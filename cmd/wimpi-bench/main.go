@@ -1,0 +1,70 @@
+// Command wimpi-bench regenerates every table and figure of the paper's
+// evaluation and prints a report comparing the regenerated shapes with
+// the published values.
+//
+// Usage:
+//
+//	wimpi-bench [-sf 1] [-distsf 1] [-seed 42] [-sizes 4,8,12,16,20,24] [-out report.txt]
+//
+// At -sf 1 / -distsf 1 the full study takes a few minutes on a laptop;
+// smaller scale factors run faster but mask the paper's scale-sensitive
+// effects (the Q1 thrash cliff, the Q13 break-even miss).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wimpi/internal/core"
+)
+
+func main() {
+	opt := core.DefaultOptions()
+	sf := flag.Float64("sf", opt.SF, "TPC-H scale factor for Table II and Figures 3-7")
+	distSF := flag.Float64("distsf", opt.DistSF, "scale factor for the distributed Table III study")
+	seed := flag.Uint64("seed", opt.Seed, "dataset seed")
+	sizes := flag.String("sizes", "4,8,12,16,20,24", "comma-separated WimPi cluster sizes")
+	workers := flag.Int("workers", opt.HostWorkers, "host-side engine parallelism")
+	out := flag.String("out", "", "also write the report to this file")
+	noGeometry := flag.Bool("no-paper-geometry", false, "do not scale simulated node RAM by distsf/10")
+	flag.Parse()
+
+	opt.SF = *sf
+	opt.DistSF = *distSF
+	opt.Seed = *seed
+	opt.HostWorkers = *workers
+	opt.EmulatePaperGeometry = !*noGeometry
+	opt.ClusterSizes = opt.ClusterSizes[:0]
+	for _, s := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fatalf("bad cluster size %q", s)
+		}
+		opt.ClusterSizes = append(opt.ClusterSizes, n)
+	}
+
+	h, err := core.NewHarness(opt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	study, err := h.Run(os.Stderr)
+	if err != nil {
+		fatalf("study failed: %v", err)
+	}
+	report := study.Report(h)
+	fmt.Print(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wimpi-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

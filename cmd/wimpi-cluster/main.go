@@ -1,0 +1,111 @@
+// Command wimpi-cluster runs the WimPi distributed engine as real OS
+// processes: workers serve partitions over TCP, and a coordinator loads
+// them and drives distributed queries — the multi-process equivalent of
+// the paper's 24-board cluster.
+//
+// Worker:
+//
+//	wimpi-cluster -mode worker -listen 127.0.0.1:9101 [-throttle 220e6]
+//
+// Coordinator:
+//
+//	wimpi-cluster -mode coord -addrs 127.0.0.1:9101,127.0.0.1:9102 \
+//	    -sf 0.1 -q 1,3,4,5,6,13,14,19 [-simulate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wimpi/internal/cluster"
+	"wimpi/internal/engine"
+)
+
+func main() {
+	mode := flag.String("mode", "", "worker or coord")
+	listen := flag.String("listen", "127.0.0.1:0", "worker listen address")
+	throttle := flag.Float64("throttle", cluster.PiLinkBandwidthBps, "worker outbound link bits/s (0 = unthrottled)")
+	addrs := flag.String("addrs", "", "coordinator: comma-separated worker addresses")
+	sf := flag.Float64("sf", 0.1, "coordinator: TPC-H scale factor")
+	seed := flag.Uint64("seed", 42, "coordinator: dataset seed")
+	queries := flag.String("q", "1,3,4,5,6,13,14,19", "coordinator: distributed queries to run")
+	simulate := flag.Bool("simulate", false, "coordinator: print simulated WimPi wall-clock per query")
+	rows := flag.Int("rows", 5, "coordinator: result rows to print")
+	flag.Parse()
+
+	switch *mode {
+	case "worker":
+		runWorker(*listen, *throttle)
+	case "coord":
+		runCoordinator(*addrs, *sf, *seed, *queries, *simulate, *rows)
+	default:
+		fatalf("-mode must be worker or coord")
+	}
+}
+
+func runWorker(listen string, throttle float64) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	fmt.Printf("wimpi worker listening on %s (link %.0f Mbit/s)\n",
+		ln.Addr(), throttle/1e6)
+	w := cluster.NewWorker(cluster.WorkerConfig{LinkBandwidthBps: throttle})
+	if err := w.Serve(ln); err != nil {
+		fatalf("serve: %v", err)
+	}
+}
+
+func runCoordinator(addrList string, sf float64, seed uint64, queryList string, simulate bool, rows int) {
+	if addrList == "" {
+		fatalf("coordinator needs -addrs")
+	}
+	coord, err := cluster.Dial(cluster.Config{
+		Addrs:          strings.Split(addrList, ","),
+		WorkersPerNode: 4,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer coord.Close()
+
+	fmt.Fprintf(os.Stderr, "loading SF %g across %d nodes ... ", sf, coord.NumNodes())
+	stats, err := coord.Load(sf, seed)
+	if err != nil {
+		fatalf("load: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", stats.Duration.Round(time.Millisecond))
+
+	for _, qs := range strings.Split(queryList, ",") {
+		q, err := strconv.Atoi(strings.TrimSpace(qs))
+		if err != nil {
+			fatalf("bad query %q", qs)
+		}
+		res, err := coord.Run(q)
+		if err != nil {
+			fatalf("Q%d: %v", q, err)
+		}
+		fmt.Printf("-- Q%d: %d rows, %d nodes, %.1f KB transferred, %v (host) --\n",
+			q, res.Table.NumRows(), res.NodesUsed,
+			float64(res.BytesReceived)/1024, res.HostDuration.Round(time.Microsecond))
+		if rows > 0 {
+			fmt.Print(engine.FormatTable(res.Table, rows))
+		}
+		if simulate {
+			b := cluster.Simulate(res, cluster.DefaultSimOptions())
+			fmt.Printf("simulated WimPi wall-clock: %.3fs (node %.3fs, network %.3fs, merge %.3fs, thrash %v)\n",
+				b.Total, b.NodeSeconds, b.NetworkSeconds, b.MergeSeconds, b.Thrashed)
+		}
+		fmt.Println()
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wimpi-cluster: "+format+"\n", args...)
+	os.Exit(1)
+}

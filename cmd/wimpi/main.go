@@ -1,0 +1,123 @@
+// Command wimpi is the single-node CLI of the WimPi OLAP engine: it
+// generates a TPC-H dataset in memory and runs queries against it.
+//
+// Usage:
+//
+//	wimpi -sf 0.1 -q 6             # run one query
+//	wimpi -sf 0.1 -q all           # run all 22
+//	wimpi -sf 0.1 -q 3 -explain    # print the physical plan
+//	wimpi -sf 0.1 -q 1 -simulate   # show simulated per-hardware times
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"wimpi/internal/engine"
+	"wimpi/internal/hardware"
+	"wimpi/internal/snapshot"
+	"wimpi/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.1, "TPC-H scale factor")
+	seed := flag.Uint64("seed", 42, "dataset seed")
+	query := flag.String("q", "all", "query number (1-22) or 'all'")
+	workers := flag.Int("workers", 0, "engine parallelism (0 = one per core)")
+	explain := flag.Bool("explain", false, "print the plan instead of executing")
+	analyze := flag.Bool("analyze", false, "execute with per-operator instrumentation (EXPLAIN ANALYZE)")
+	simulate := flag.Bool("simulate", false, "print simulated runtimes for every Table I profile")
+	rows := flag.Int("rows", 10, "result rows to print")
+	save := flag.String("save", "", "after generating, snapshot the dataset to this directory")
+	load := flag.String("load", "", "load the dataset from a snapshot directory instead of generating")
+	flag.Parse()
+
+	var queries []int
+	if *query == "all" {
+		queries = tpch.QueryNumbers()
+	} else {
+		n, err := strconv.Atoi(*query)
+		if err != nil {
+			fatalf("bad query %q", *query)
+		}
+		queries = []int{n}
+	}
+
+	if *explain {
+		for _, q := range queries {
+			node, err := tpch.Query(q)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("-- Q%d --\n%s\n", q, engine.NewDB(engine.Config{}).Explain(node))
+		}
+		return
+	}
+
+	start := time.Now()
+	var data *tpch.Dataset
+	if *load != "" {
+		fmt.Fprintf(os.Stderr, "loading snapshot %s ... ", *load)
+		var err error
+		data, err = snapshot.LoadDataset(*load)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "generating TPC-H SF %g ... ", *sf)
+		data = tpch.Generate(tpch.Config{SF: *sf, Seed: *seed})
+	}
+	if *save != "" {
+		if err := snapshot.SaveDataset(*save, data); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "(snapshot written to %s) ", *save)
+	}
+	db := engine.NewDB(engine.Config{Workers: *workers})
+	data.RegisterAll(db)
+	fmt.Fprintf(os.Stderr, "done in %v (%.1f MB)\n", time.Since(start).Round(time.Millisecond),
+		float64(db.SizeBytes())/(1<<20))
+
+	model := hardware.DefaultModel()
+	profiles := hardware.Profiles()
+	for _, q := range queries {
+		node, err := tpch.Query(q)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *analyze {
+			an, err := db.Analyze(node)
+			if err != nil {
+				fatalf("Q%d: %v", q, err)
+			}
+			fmt.Printf("-- Q%d (analyzed): %d rows --\n%s\n", q, an.Table.NumRows(), an.Render())
+			continue
+		}
+		res, err := db.Run(node)
+		if err != nil {
+			fatalf("Q%d: %v", q, err)
+		}
+		fmt.Printf("-- Q%d: %d rows in %v (host) --\n", q, res.Table.NumRows(),
+			res.HostDuration.Round(time.Microsecond))
+		if *rows > 0 {
+			fmt.Print(engine.FormatTable(res.Table, *rows))
+		}
+		if *simulate {
+			fmt.Println("simulated runtimes:")
+			for i := range profiles {
+				p := &profiles[i]
+				d := model.QueryTime(p, res.Counters, p.TotalCores())
+				fmt.Printf("  %-12s %10.3fs\n", p.Name, d.Seconds())
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wimpi: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package wimpi is a from-scratch Go reproduction of "The Case for
+// In-Memory OLAP on 'Wimpy' Nodes" (ICDE 2021): a columnar in-memory
+// OLAP engine, the TPC-H workload, a TCP-distributed WimPi cluster, the
+// paper's microbenchmarks and execution strategies, calibrated hardware
+// profiles for its ten comparison points, and a harness that regenerates
+// every table and figure of the evaluation.
+//
+// The implementation lives under internal/; see README.md for the
+// architecture overview, DESIGN.md for the system inventory and
+// substitution notes, and EXPERIMENTS.md for paper-vs-measured results.
+// The root bench_test.go exposes one benchmark per paper artifact plus
+// ablations of the design choices DESIGN.md calls out.
+package wimpi

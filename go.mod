@@ -1,0 +1,3 @@
+module wimpi
+
+go 1.22

@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+	"wimpi/internal/hardware"
+	"wimpi/internal/tpch"
+)
+
+// Config parameterizes a coordinator.
+type Config struct {
+	// Addrs lists worker addresses; len(Addrs) is the cluster size.
+	Addrs []string
+	// WorkersPerNode is each node's intra-query parallelism (a Pi 3B+
+	// has four cores).
+	WorkersPerNode int
+}
+
+// Coordinator drives a WimPi cluster: it loads partitions, fans out
+// partial plans, and merges partial results (the role of the paper's
+// Python driver program, Section III-C.3).
+type Coordinator struct {
+	cfg   Config
+	conns []*rpcConn
+}
+
+// Dial connects to every worker.
+func Dial(cfg Config) (*Coordinator, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no worker addresses")
+	}
+	if cfg.WorkersPerNode < 1 {
+		cfg.WorkersPerNode = 4
+	}
+	c := &Coordinator{cfg: cfg}
+	for _, addr := range cfg.Addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		c.conns = append(c.conns, newRPCConn(conn))
+	}
+	for i := range c.conns {
+		if _, _, err := c.conns[i].call(&Request{Type: "ping"}); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// NumNodes reports the cluster size.
+func (c *Coordinator) NumNodes() int { return len(c.conns) }
+
+// Close tells workers to shut down their session and closes connections.
+func (c *Coordinator) Close() {
+	for _, conn := range c.conns {
+		if conn != nil {
+			conn.call(&Request{Type: "shutdown"})
+			conn.close()
+		}
+	}
+}
+
+// LoadStats summarizes a cluster load.
+type LoadStats struct {
+	// NodeBytes is each node's resident dataset size.
+	NodeBytes []int64
+	// Duration is the wall-clock load time.
+	Duration time.Duration
+}
+
+// Load makes every worker generate and register its partition.
+func (c *Coordinator) Load(sf float64, seed uint64) (*LoadStats, error) {
+	start := time.Now()
+	stats := &LoadStats{NodeBytes: make([]int64, len(c.conns))}
+	errs := make([]error, len(c.conns))
+	var wg sync.WaitGroup
+	for i := range c.conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _, err := c.conns[i].call(&Request{Type: "load", Load: &LoadRequest{
+				SF: sf, Seed: seed, Node: i, NumNodes: len(c.conns),
+				Workers: c.cfg.WorkersPerNode,
+			}})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			stats.NodeBytes[i] = resp.DBBytes
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// DistResult is the outcome of one distributed query.
+type DistResult struct {
+	// Query is the TPC-H query number.
+	Query int
+	// Table is the merged final result.
+	Table *colstore.Table
+	// NodeCounters holds each participating node's work profile.
+	NodeCounters []exec.Counters
+	// NodeDBBytes holds each participating node's resident data size.
+	NodeDBBytes []int64
+	// MergeCounters is the coordinator's merge work.
+	MergeCounters exec.Counters
+	// BytesReceived is the wire volume of partial results.
+	BytesReceived int64
+	// NodesUsed is how many nodes executed the query (1 for Q13).
+	NodesUsed int
+	// HostDuration is the real wall-clock time of the distributed run.
+	HostDuration time.Duration
+}
+
+// Run executes the distributed form of query q across the cluster.
+func (c *Coordinator) Run(q int) (*DistResult, error) {
+	dq, err := tpch.DistQueryFor(q)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	conns := c.conns
+	if dq.SingleNode {
+		conns = c.conns[:1]
+	}
+	type part struct {
+		table *colstore.Table
+		ctr   exec.Counters
+		bytes int64
+		db    int64
+		err   error
+	}
+	parts := make([]part, len(conns))
+	var wg sync.WaitGroup
+	for i := range conns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, n, err := conns[i].call(&Request{Type: "query", Query: q})
+			if err != nil {
+				parts[i].err = err
+				return
+			}
+			t, err := resp.Table.Table()
+			if err != nil {
+				parts[i].err = err
+				return
+			}
+			parts[i] = part{table: t, ctr: resp.Counters, bytes: n, db: resp.DBBytes}
+		}(i)
+	}
+	wg.Wait()
+
+	res := &DistResult{Query: q, NodesUsed: len(conns)}
+	tables := make([]*colstore.Table, len(conns))
+	for i := range parts {
+		if parts[i].err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, parts[i].err)
+		}
+		tables[i] = parts[i].table
+		res.NodeCounters = append(res.NodeCounters, parts[i].ctr)
+		res.NodeDBBytes = append(res.NodeDBBytes, parts[i].db)
+		res.BytesReceived += parts[i].bytes
+	}
+	merged, mergeCtr, err := dq.MergePartials(tables, c.cfg.WorkersPerNode)
+	if err != nil {
+		return nil, err
+	}
+	res.Table = merged
+	res.MergeCounters = mergeCtr
+	res.HostDuration = time.Since(start)
+	return res, nil
+}
+
+// SimOptions parameterize the simulated wall-clock of a distributed run.
+type SimOptions struct {
+	// NodeProfile is the per-node hardware (normally the Pi 3B+).
+	NodeProfile hardware.Profile
+	// Model converts work to time.
+	Model hardware.Model
+	// LinkBandwidthBps is the coordinator's ingest bandwidth.
+	LinkBandwidthBps float64
+	// PerMessageLatency is charged once per participating node.
+	PerMessageLatency time.Duration
+}
+
+// DefaultSimOptions returns Pi 3B+ nodes on 220 Mbit/s links.
+func DefaultSimOptions() SimOptions {
+	return SimOptions{
+		NodeProfile:       hardware.Pi(),
+		Model:             hardware.DefaultModel(),
+		LinkBandwidthBps:  PiLinkBandwidthBps,
+		PerMessageLatency: 2 * time.Millisecond,
+	}
+}
+
+// SimBreakdown reports where simulated distributed time went.
+type SimBreakdown struct {
+	// NodeSeconds is the slowest node's simulated local time.
+	NodeSeconds float64
+	// NetworkSeconds is partial-result transfer time.
+	NetworkSeconds float64
+	// MergeSeconds is the coordinator's merge time.
+	MergeSeconds float64
+	// Total is the simulated distributed wall-clock.
+	Total float64
+	// Thrashed reports whether any node exceeded its RAM.
+	Thrashed bool
+}
+
+// Simulate converts a distributed run into the simulated wall-clock it
+// would take on real WimPi hardware: the slowest node's local execution
+// (including the §III-C.4 memory-pressure cliff when a node's working
+// set exceeds its 1 GB), plus partial-result transfer over the throttled
+// link, plus the coordinator-side merge.
+func Simulate(res *DistResult, opt SimOptions) SimBreakdown {
+	var b SimBreakdown
+	for _, ctr := range res.NodeCounters {
+		ex := opt.Model.Explain(&opt.NodeProfile, ctr, opt.NodeProfile.TotalCores())
+		if ex.Total > b.NodeSeconds {
+			b.NodeSeconds = ex.Total
+		}
+		if ex.SwapSeconds > 0 {
+			b.Thrashed = true
+		}
+	}
+	if opt.LinkBandwidthBps > 0 {
+		b.NetworkSeconds = float64(res.BytesReceived*8) / opt.LinkBandwidthBps
+	}
+	b.NetworkSeconds += opt.PerMessageLatency.Seconds() * float64(res.NodesUsed)
+	b.MergeSeconds = opt.Model.Explain(&opt.NodeProfile, res.MergeCounters, opt.NodeProfile.TotalCores()).Total
+	if res.NodesUsed == 1 {
+		// Single-node queries skip the network and merge path.
+		b.NetworkSeconds = 0
+		b.MergeSeconds = 0
+	}
+	b.Total = b.NodeSeconds + b.NetworkSeconds + b.MergeSeconds
+	return b
+}

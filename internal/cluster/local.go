@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+)
+
+// LocalCluster is an in-process WimPi cluster: n workers listening on
+// loopback TCP ports plus a connected coordinator. It exists for tests,
+// examples, and the benchmark harness; cmd/wimpi-cluster runs the same
+// worker and coordinator as separate OS processes.
+type LocalCluster struct {
+	// Coordinator is connected to all workers.
+	Coordinator *Coordinator
+
+	listeners []net.Listener
+}
+
+// StartLocal launches n workers on loopback and dials them.
+func StartLocal(n int, wcfg WorkerConfig, workersPerNode int) (*LocalCluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
+	}
+	lc := &LocalCluster{}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		lc.listeners = append(lc.listeners, ln)
+		addrs[i] = ln.Addr().String()
+		w := NewWorker(wcfg)
+		go w.Serve(ln)
+	}
+	coord, err := Dial(Config{Addrs: addrs, WorkersPerNode: workersPerNode})
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	lc.Coordinator = coord
+	return lc, nil
+}
+
+// Close shuts down the coordinator and all workers.
+func (lc *LocalCluster) Close() {
+	if lc.Coordinator != nil {
+		lc.Coordinator.Close()
+	}
+	for _, ln := range lc.listeners {
+		ln.Close()
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// PiLinkBandwidthBps is the effective Ethernet bandwidth of a Raspberry
+// Pi 3B+ in bits per second: the GbE port shares a USB 2.0 bus, leaving
+// roughly 20% of line rate (~220 Mbit/s measured with iperf in
+// Section II-C.3).
+const PiLinkBandwidthBps = 220e6
+
+// tokenBucket paces writes to a byte rate.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(bitsPerSec float64) *tokenBucket {
+	rate := bitsPerSec / 8
+	return &tokenBucket{rate: rate, burst: 64 << 10, tokens: 64 << 10, last: time.Now()}
+}
+
+// wait blocks until n bytes of budget are available, then spends them.
+func (b *tokenBucket) wait(n int) {
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		b.last = now
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		if b.tokens >= float64(n) {
+			b.tokens -= float64(n)
+			b.mu.Unlock()
+			return
+		}
+		deficit := float64(n) - b.tokens
+		b.mu.Unlock()
+		time.Sleep(time.Duration(deficit / b.rate * float64(time.Second)))
+	}
+}
+
+// throttledConn rate-limits writes on a connection, emulating a slow
+// NIC. Reads are untouched (the sender's throttle paces the link).
+type throttledConn struct {
+	net.Conn
+	bucket *tokenBucket
+}
+
+// newThrottledConn wraps conn with a write-side rate limit of
+// bitsPerSec; bitsPerSec <= 0 disables throttling.
+func newThrottledConn(conn net.Conn, bitsPerSec float64) net.Conn {
+	if bitsPerSec <= 0 {
+		return conn
+	}
+	return &throttledConn{Conn: conn, bucket: newTokenBucket(bitsPerSec)}
+}
+
+func (t *throttledConn) Write(p []byte) (int, error) {
+	const chunk = 32 << 10
+	written := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > chunk {
+			n = chunk
+		}
+		t.bucket.wait(n)
+		m, err := t.Conn.Write(p[:n])
+		written += m
+		if err != nil {
+			return written, err
+		}
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// MeasureLinkBandwidth reproduces the paper's iperf check: it transfers
+// payloadBytes from a worker over its throttled link and returns the
+// observed bits per second.
+func MeasureLinkBandwidth(c *Coordinator, node int, payloadBytes int64) (float64, error) {
+	start := time.Now()
+	resp, _, err := c.conns[node].call(&Request{Type: "iperf", IperfBytes: payloadBytes})
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(len(resp.Payload)) * 8 / elapsed, nil
+}

@@ -1,0 +1,195 @@
+// Package cluster implements the WimPi distributed execution layer: a
+// coordinator/worker engine over real TCP connections (stdlib net),
+// reproducing the paper's Section II-D.2 setup. Each worker holds one
+// partition of the TPC-H dataset in memory (lineitem partitioned by
+// l_orderkey, everything else replicated), executes per-node partial
+// plans, and ships partial results to the coordinator, which merges them.
+//
+// Links are throttled to the Pi 3B+'s effective Ethernet bandwidth
+// (~220 Mbit/s — the GbE port shares a USB 2.0 bus), and the iperf
+// measurement of Section II-C.3 is reproduced by MeasureLinkBandwidth.
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+)
+
+// wireColumn is the gob representation of one column.
+type wireColumn struct {
+	Type   colstore.Type
+	Ints   []int64
+	Floats []float64
+	Dates  []int32
+	Bools  []bool
+	Codes  []int32
+	Dict   []string
+}
+
+// WireTable is the gob representation of a table.
+type WireTable struct {
+	// Name and Fields mirror colstore.Table.
+	Name   string
+	Fields colstore.Schema
+	Cols   []wireColumn
+}
+
+// ToWire converts a table for transmission.
+func ToWire(t *colstore.Table) *WireTable {
+	w := &WireTable{Name: t.Name, Fields: t.Schema, Cols: make([]wireColumn, t.NumCols())}
+	for i, c := range t.Cols {
+		wc := &w.Cols[i]
+		wc.Type = c.Type()
+		switch col := c.(type) {
+		case *colstore.Int64s:
+			wc.Ints = col.V
+		case *colstore.Float64s:
+			wc.Floats = col.V
+		case *colstore.Dates:
+			wc.Dates = col.V
+		case *colstore.Bools:
+			wc.Bools = col.V
+		case *colstore.Strings:
+			wc.Codes = col.Codes
+			wc.Dict = col.Dict.Values()
+		}
+	}
+	return w
+}
+
+// Table reconstructs the column-store table.
+func (w *WireTable) Table() (*colstore.Table, error) {
+	cols := make([]colstore.Column, len(w.Cols))
+	for i := range w.Cols {
+		wc := &w.Cols[i]
+		switch wc.Type {
+		case colstore.Int64:
+			cols[i] = &colstore.Int64s{V: nilSafe(wc.Ints)}
+		case colstore.Float64:
+			cols[i] = &colstore.Float64s{V: nilSafe(wc.Floats)}
+		case colstore.Date:
+			cols[i] = &colstore.Dates{V: nilSafe(wc.Dates)}
+		case colstore.Bool:
+			cols[i] = &colstore.Bools{V: nilSafe(wc.Bools)}
+		case colstore.String:
+			d := colstore.NewDict()
+			for _, v := range wc.Dict {
+				d.Add(v)
+			}
+			cols[i] = &colstore.Strings{Codes: nilSafe(wc.Codes), Dict: d}
+		default:
+			return nil, fmt.Errorf("cluster: unknown wire column type %d", wc.Type)
+		}
+	}
+	return colstore.NewTable(w.Name, w.Fields, cols)
+}
+
+func nilSafe[T any](s []T) []T {
+	if s == nil {
+		return []T{}
+	}
+	return s
+}
+
+// Request is one coordinator-to-worker message.
+type Request struct {
+	// Type selects the operation: "ping", "load", "query", "iperf",
+	// "shutdown".
+	Type string
+	// Load parameterizes a "load" request.
+	Load *LoadRequest
+	// Query is the TPC-H query number for a "query" request.
+	Query int
+	// IperfBytes is the payload size for an "iperf" request.
+	IperfBytes int64
+}
+
+// LoadRequest tells a worker which partition to generate.
+type LoadRequest struct {
+	// SF and Seed parameterize the dataset.
+	SF   float64
+	Seed uint64
+	// Node and NumNodes identify the partition.
+	Node, NumNodes int
+	// Workers is the worker's intra-query parallelism (a Pi has 4 cores).
+	Workers int
+}
+
+// Response is one worker-to-coordinator message.
+type Response struct {
+	// Err is non-empty on failure.
+	Err string
+	// Table carries a query's partial result.
+	Table *WireTable
+	// Counters is the work profile of the partial execution.
+	Counters exec.Counters
+	// DBBytes reports the worker's resident data size after a load.
+	DBBytes int64
+	// Payload carries iperf filler bytes.
+	Payload []byte
+}
+
+// rpcConn is a mutex-guarded gob session over one TCP connection, with
+// transfer accounting.
+type rpcConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	cw   *countingRW
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func newRPCConn(conn net.Conn) *rpcConn {
+	cw := &countingRW{inner: conn}
+	return &rpcConn{
+		conn: conn,
+		cw:   cw,
+		enc:  gob.NewEncoder(cw),
+		dec:  gob.NewDecoder(cw),
+	}
+}
+
+// call performs one request/response exchange and reports the bytes read
+// off the wire for it.
+func (c *rpcConn) call(req *Request) (*Response, int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.cw.read
+	if err := c.enc.Encode(req); err != nil {
+		return nil, 0, fmt.Errorf("cluster: send %s: %w", req.Type, err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, 0, fmt.Errorf("cluster: recv %s: %w", req.Type, err)
+	}
+	if resp.Err != "" {
+		return nil, 0, fmt.Errorf("cluster: worker: %s", resp.Err)
+	}
+	return &resp, c.cw.read - before, nil
+}
+
+func (c *rpcConn) close() error { return c.conn.Close() }
+
+// countingRW tallies bytes moved through a connection.
+type countingRW struct {
+	inner net.Conn
+	read  int64
+	wrote int64
+}
+
+func (c *countingRW) Read(p []byte) (int, error) {
+	n, err := c.inner.Read(p)
+	c.read += int64(n)
+	return n, err
+}
+
+func (c *countingRW) Write(p []byte) (int, error) {
+	n, err := c.inner.Write(p)
+	c.wrote += int64(n)
+	return n, err
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wimpi/internal/colstore"
+)
+
+// TestWireTableRoundTripProperty fuzzes the codec with random tables of
+// mixed column types.
+func TestWireTableRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8) % 64
+		b := colstore.NewTableBuilder("t", colstore.Schema{
+			{Name: "i", Type: colstore.Int64},
+			{Name: "f", Type: colstore.Float64},
+			{Name: "d", Type: colstore.Date},
+			{Name: "s", Type: colstore.String},
+			{Name: "bo", Type: colstore.Bool},
+		})
+		words := []string{"", "a", "bb", "ccc", "dddd"}
+		for i := 0; i < n; i++ {
+			b.Int(0, rng.Int63()-rng.Int63())
+			b.Float(1, rng.NormFloat64())
+			b.Date(2, int32(rng.Intn(20000)-5000))
+			b.Str(3, words[rng.Intn(len(words))])
+			b.Bool(4, rng.Intn(2) == 0)
+			b.EndRow()
+		}
+		orig := b.Build()
+		got, err := ToWire(orig).Table()
+		if err != nil {
+			return false
+		}
+		if got.NumRows() != orig.NumRows() || got.NumCols() != orig.NumCols() {
+			return false
+		}
+		for c := 0; c < orig.NumCols(); c++ {
+			for r := 0; r < orig.NumRows(); r++ {
+				if cell(orig, c, r) != cell(got, c, r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkerErrorPaths(t *testing.T) {
+	w := NewWorker(WorkerConfig{})
+	if resp := w.handle(&Request{Type: "bogus"}); resp.Err == "" {
+		t.Error("unknown request type should error")
+	}
+	if resp := w.handle(&Request{Type: "load"}); resp.Err == "" {
+		t.Error("load without parameters should error")
+	}
+	if resp := w.handle(&Request{Type: "iperf", IperfBytes: 0}); resp.Err == "" {
+		t.Error("zero iperf size should error")
+	}
+	if resp := w.handle(&Request{Type: "iperf", IperfBytes: 2 << 30}); resp.Err == "" {
+		t.Error("oversized iperf should error")
+	}
+	if resp := w.handle(&Request{Type: "query", Query: 6}); resp.Err == "" {
+		t.Error("query before load should error")
+	}
+	if resp := w.handle(&Request{Type: "ping"}); resp.Err != "" {
+		t.Errorf("ping failed: %s", resp.Err)
+	}
+	// Load with invalid partition parameters.
+	if resp := w.handle(&Request{Type: "load", Load: &LoadRequest{SF: 0.001, Node: 5, NumNodes: 2}}); resp.Err == "" {
+		t.Error("invalid partition should error")
+	}
+}
+
+func TestSharedSourceMismatch(t *testing.T) {
+	full := tpchMini(t)
+	src := SharedSource(full)
+	if _, err := src(&LoadRequest{SF: 9, Seed: 42, Node: 0, NumNodes: 1}); err == nil {
+		t.Error("SF mismatch should error")
+	}
+	if _, err := src(&LoadRequest{SF: full.Config.SF, Seed: 1, Node: 0, NumNodes: 1}); err == nil {
+		t.Error("seed mismatch should error")
+	}
+	d, err := src(&LoadRequest{SF: full.Config.SF, Seed: full.Config.Seed, Node: 0, NumNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Tables["lineitem"].NumRows() >= full.Tables["lineitem"].NumRows() {
+		t.Error("partition not smaller than whole")
+	}
+}
+
+func TestThrottledConnPassthrough(t *testing.T) {
+	// Zero bandwidth disables the wrapper entirely.
+	if c := newThrottledConn(nil, 0); c != nil {
+		if _, ok := c.(*throttledConn); ok {
+			t.Error("zero rate should not wrap")
+		}
+	}
+}

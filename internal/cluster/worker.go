@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"wimpi/internal/engine"
+	"wimpi/internal/tpch"
+)
+
+// WorkerConfig controls one cluster node.
+type WorkerConfig struct {
+	// LinkBandwidthBps throttles the worker's outbound link (bits per
+	// second); zero disables throttling. Real WimPi nodes manage about
+	// 220 Mbit/s (PiLinkBandwidthBps).
+	LinkBandwidthBps float64
+	// Source optionally supplies the worker's partition instead of
+	// generating it (in-process clusters share one full dataset this
+	// way). Nil means generate with tpch.GeneratePartition.
+	Source func(*LoadRequest) (*tpch.Dataset, error)
+}
+
+// SharedSource adapts a pre-generated full dataset into a WorkerConfig
+// Source: each worker receives a zero-copy view of the replicated tables
+// plus its materialized lineitem partition.
+func SharedSource(full *tpch.Dataset) func(*LoadRequest) (*tpch.Dataset, error) {
+	return func(l *LoadRequest) (*tpch.Dataset, error) {
+		if l.SF != full.Config.SF || l.Seed != full.Config.Seed {
+			return nil, fmt.Errorf("cluster: shared dataset is SF %g seed %d, load wants SF %g seed %d",
+				full.Config.SF, full.Config.Seed, l.SF, l.Seed)
+		}
+		return tpch.PartitionFromFull(full, l.Node, l.NumNodes)
+	}
+}
+
+// Worker is one WimPi node: an in-memory engine over one dataset
+// partition, served over TCP.
+type Worker struct {
+	cfg WorkerConfig
+
+	mu      sync.Mutex
+	db      *engine.DB
+	node    int
+	nodes   int
+	loaded  bool
+	dbBytes int64
+}
+
+// NewWorker returns an empty worker.
+func NewWorker(cfg WorkerConfig) *Worker {
+	return &Worker{cfg: cfg}
+}
+
+// Serve accepts coordinator connections on ln until the listener closes.
+// Each connection is served on its own goroutine; requests on a
+// connection are processed in order.
+func (w *Worker) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go w.serveConn(conn)
+	}
+}
+
+func (w *Worker) serveConn(conn net.Conn) {
+	rc := newRPCConn(newThrottledConn(conn, w.cfg.LinkBandwidthBps))
+	defer rc.conn.Close()
+	for {
+		var req Request
+		if err := rc.dec.Decode(&req); err != nil {
+			return
+		}
+		resp := w.handle(&req)
+		if err := rc.enc.Encode(resp); err != nil {
+			return
+		}
+		if req.Type == "shutdown" {
+			return
+		}
+	}
+}
+
+func (w *Worker) handle(req *Request) *Response {
+	switch req.Type {
+	case "ping", "shutdown":
+		return &Response{}
+	case "iperf":
+		n := req.IperfBytes
+		if n <= 0 || n > 1<<30 {
+			return &Response{Err: fmt.Sprintf("bad iperf size %d", n)}
+		}
+		return &Response{Payload: make([]byte, n)}
+	case "load":
+		return w.handleLoad(req.Load)
+	case "query":
+		return w.handleQuery(req.Query)
+	default:
+		return &Response{Err: fmt.Sprintf("unknown request type %q", req.Type)}
+	}
+}
+
+func (w *Worker) handleLoad(l *LoadRequest) *Response {
+	if l == nil {
+		return &Response{Err: "load request missing parameters"}
+	}
+	var d *tpch.Dataset
+	var err error
+	if w.cfg.Source != nil {
+		d, err = w.cfg.Source(l)
+	} else {
+		d, err = tpch.GeneratePartition(tpch.Config{SF: l.SF, Seed: l.Seed}, l.Node, l.NumNodes)
+	}
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	workers := l.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	db := engine.NewDB(engine.Config{Workers: workers})
+	d.RegisterAll(db)
+
+	w.mu.Lock()
+	w.db = db
+	w.node = l.Node
+	w.nodes = l.NumNodes
+	w.loaded = true
+	w.dbBytes = db.SizeBytes()
+	w.mu.Unlock()
+	return &Response{DBBytes: db.SizeBytes()}
+}
+
+func (w *Worker) handleQuery(q int) *Response {
+	w.mu.Lock()
+	db := w.db
+	loaded := w.loaded
+	w.mu.Unlock()
+	if !loaded {
+		return &Response{Err: "no data loaded"}
+	}
+	dq, err := tpch.DistQueryFor(q)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	res, err := db.Run(dq.Partial())
+	if err != nil {
+		return &Response{Err: fmt.Sprintf("Q%d: %v", q, err)}
+	}
+	return &Response{
+		Table:    ToWire(res.Table),
+		Counters: res.Counters,
+		DBBytes:  w.dbBytes,
+	}
+}

@@ -1,0 +1,130 @@
+package colstore
+
+import "fmt"
+
+// The date helpers implement proleptic Gregorian civil-date arithmetic on
+// 32-bit day numbers (days since 1970-01-01), following Howard Hinnant's
+// well-known algorithms. Dates are the backbone of TPC-H predicates, so
+// they are stored and compared as plain int32 values and only converted to
+// calendar form at parse/print time.
+
+// DateOf returns the day number of the given civil date.
+func DateOf(year, month, day int) int32 {
+	y := int64(year)
+	if month <= 2 {
+		y--
+	}
+	var era int64
+	if y >= 0 {
+		era = y / 400
+	} else {
+		era = (y - 399) / 400
+	}
+	yoe := y - era*400 // [0, 399]
+	var m = int64(month)
+	var doy int64
+	if m > 2 {
+		doy = (153*(m-3)+2)/5 + int64(day) - 1
+	} else {
+		doy = (153*(m+9)+2)/5 + int64(day) - 1
+	}
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return int32(era*146097 + doe - 719468)
+}
+
+// CivilOf returns the civil date of day number d.
+func CivilOf(d int32) (year, month, day int) {
+	z := int64(d) + 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097                                  // [0, 146096]
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365 // [0, 399]
+	y := yoe + era*400                                     //
+	doy := doe - (365*yoe + yoe/4 - yoe/100)               // [0, 365]
+	mp := (5*doy + 2) / 153                                // [0, 11]
+	day = int(doy - (153*mp+2)/5 + 1)                      // [1, 31]
+	if mp < 10 {
+		month = int(mp + 3)
+	} else {
+		month = int(mp - 9)
+	}
+	if month <= 2 {
+		y++
+	}
+	return int(y), month, day
+}
+
+// ParseDate parses a date in "YYYY-MM-DD" form.
+func ParseDate(s string) (int32, error) {
+	var y, m, d int
+	if _, err := fmt.Sscanf(s, "%d-%d-%d", &y, &m, &d); err != nil {
+		return 0, fmt.Errorf("colstore: parse date %q: %w", s, err)
+	}
+	if m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, fmt.Errorf("colstore: parse date %q: out of range", s)
+	}
+	return DateOf(y, m, d), nil
+}
+
+// MustDate is like ParseDate but panics on error. It is intended for
+// compile-time-constant dates in query definitions and tests.
+func MustDate(s string) int32 {
+	d, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// FormatDate renders day number d as "YYYY-MM-DD".
+func FormatDate(d int32) string {
+	y, m, dd := CivilOf(d)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, dd)
+}
+
+// YearOf returns the calendar year of day number d. TPC-H queries group by
+// EXTRACT(YEAR FROM ...) in Q7, Q8 and Q9.
+func YearOf(d int32) int {
+	y, _, _ := CivilOf(d)
+	return y
+}
+
+// AddMonths returns the day number of the date months after d, clamping
+// the day of month as SQL interval arithmetic does.
+func AddMonths(d int32, months int) int32 {
+	y, m, day := CivilOf(d)
+	m += months
+	for m > 12 {
+		m -= 12
+		y++
+	}
+	for m < 1 {
+		m += 12
+		y--
+	}
+	if dim := daysInMonth(y, m); day > dim {
+		day = dim
+	}
+	return DateOf(y, m, day)
+}
+
+// AddYears returns the day number of the date years after d.
+func AddYears(d int32, years int) int32 { return AddMonths(d, 12*years) }
+
+func daysInMonth(y, m int) int {
+	switch m {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	default:
+		if (y%4 == 0 && y%100 != 0) || y%400 == 0 {
+			return 29
+		}
+		return 28
+	}
+}

@@ -1,0 +1,106 @@
+package colstore
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDateOfKnownValues(t *testing.T) {
+	cases := []struct {
+		s    string
+		want int32
+	}{
+		{"1970-01-01", 0},
+		{"1970-01-02", 1},
+		{"1969-12-31", -1},
+		{"2000-03-01", 11017},
+		{"1992-01-01", 8035},
+		{"1998-12-01", 10561},
+	}
+	for _, c := range cases {
+		got := MustDate(c.s)
+		if got != c.want {
+			t.Errorf("MustDate(%q) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	f := func(d int32) bool {
+		// Restrict to a few millennia around the epoch.
+		d = d % 1_000_000
+		y, m, dd := CivilOf(d)
+		return DateOf(y, m, dd) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDateMatchesTimePackage(t *testing.T) {
+	// Cross-check our civil arithmetic against the standard library over
+	// the TPC-H date range (1992-01-01 .. 1998-12-31).
+	start := time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 2557; i++ {
+		tm := start.AddDate(0, 0, i)
+		want := int32(tm.Unix() / 86400)
+		got := DateOf(tm.Year(), int(tm.Month()), tm.Day())
+		if got != want {
+			t.Fatalf("DateOf(%v) = %d, want %d", tm, got, want)
+		}
+		y, m, d := CivilOf(got)
+		if y != tm.Year() || m != int(tm.Month()) || d != tm.Day() {
+			t.Fatalf("CivilOf(%d) = %d-%d-%d, want %v", got, y, m, d, tm)
+		}
+	}
+}
+
+func TestParseDateErrors(t *testing.T) {
+	for _, s := range []string{"", "nonsense", "1994-13-01", "1994-00-10", "1994-01-41"} {
+		if _, err := ParseDate(s); err == nil {
+			t.Errorf("ParseDate(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestFormatDate(t *testing.T) {
+	for _, s := range []string{"1994-01-01", "1998-12-01", "1992-02-29", "2000-02-29"} {
+		if got := FormatDate(MustDate(s)); got != s {
+			t.Errorf("FormatDate(MustDate(%q)) = %q", s, got)
+		}
+	}
+}
+
+func TestYearOf(t *testing.T) {
+	if y := YearOf(MustDate("1995-06-17")); y != 1995 {
+		t.Errorf("YearOf = %d, want 1995", y)
+	}
+	if y := YearOf(MustDate("1992-01-01")); y != 1992 {
+		t.Errorf("YearOf = %d, want 1992", y)
+	}
+}
+
+func TestAddMonths(t *testing.T) {
+	cases := []struct {
+		in     string
+		months int
+		want   string
+	}{
+		{"1994-01-01", 3, "1994-04-01"},
+		{"1994-11-15", 2, "1995-01-15"},
+		{"1994-01-31", 1, "1994-02-28"},
+		{"1996-01-31", 1, "1996-02-29"},
+		{"1995-03-15", -3, "1994-12-15"},
+		{"1994-01-01", 12, "1995-01-01"},
+	}
+	for _, c := range cases {
+		got := AddMonths(MustDate(c.in), c.months)
+		if got != MustDate(c.want) {
+			t.Errorf("AddMonths(%s, %d) = %s, want %s", c.in, c.months, FormatDate(got), c.want)
+		}
+	}
+	if AddYears(MustDate("1994-06-01"), 1) != MustDate("1995-06-01") {
+		t.Error("AddYears failed")
+	}
+}

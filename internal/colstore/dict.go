@@ -1,0 +1,77 @@
+package colstore
+
+// Dict is an order-preserving string dictionary. Codes are assigned in
+// insertion order, starting at zero. A Dict may be shared by many Strings
+// columns; it is not safe for concurrent mutation, but read-only use from
+// multiple goroutines is safe once construction is complete.
+type Dict struct {
+	vals  []string
+	index map[string]int32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{index: make(map[string]int32)}
+}
+
+// Add interns s and returns its code, assigning a new code if s has not
+// been seen before.
+func (d *Dict) Add(s string) int32 {
+	if c, ok := d.index[s]; ok {
+		return c
+	}
+	c := int32(len(d.vals))
+	d.vals = append(d.vals, s)
+	d.index[s] = c
+	return c
+}
+
+// Lookup returns the code for s and whether s is present.
+func (d *Dict) Lookup(s string) (int32, bool) {
+	c, ok := d.index[s]
+	return c, ok
+}
+
+// Value returns the string for code c.
+func (d *Dict) Value(c int32) string { return d.vals[c] }
+
+// Len reports the number of distinct values.
+func (d *Dict) Len() int { return len(d.vals) }
+
+// Values returns the dictionary's values in code order. The returned slice
+// must not be mutated.
+func (d *Dict) Values() []string { return d.vals }
+
+// SizeBytes reports the approximate heap footprint of the dictionary's
+// string data.
+func (d *Dict) SizeBytes() int64 {
+	var n int64
+	for _, v := range d.vals {
+		n += int64(len(v)) + 16 // string header
+	}
+	return n
+}
+
+// MatchMask returns a boolean mask over codes where mask[c] reports
+// whether pred holds for the value with code c. Evaluating a string
+// predicate once per distinct value instead of once per row is the main
+// CPU saving of dictionary encoding.
+func (d *Dict) MatchMask(pred func(string) bool) []bool {
+	mask := make([]bool, len(d.vals))
+	for c, v := range d.vals {
+		mask[c] = pred(v)
+	}
+	return mask
+}
+
+// Clone returns a deep copy of the dictionary.
+func (d *Dict) Clone() *Dict {
+	nd := &Dict{
+		vals:  append([]string(nil), d.vals...),
+		index: make(map[string]int32, len(d.index)),
+	}
+	for s, c := range d.index {
+		nd.index[s] = c
+	}
+	return nd
+}

@@ -1,0 +1,115 @@
+package colstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func runny(vals []uint8) *Int64s {
+	// Map random bytes to run-prone values.
+	v := make([]int64, len(vals))
+	for i, x := range vals {
+		v[i] = int64(x % 5)
+	}
+	return &Int64s{V: v}
+}
+
+func TestRLERoundTripProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		dense := runny(vals)
+		r := CompressInt64(dense)
+		if r.Len() != dense.Len() {
+			return false
+		}
+		back := r.Decode()
+		for i := range dense.V {
+			if back.V[i] != dense.V[i] {
+				return false
+			}
+			if r.Value(int32(i)) != dense.V[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRLEBasics(t *testing.T) {
+	dense := &Int64s{V: []int64{7, 7, 7, 3, 3, 9, 7, 7}}
+	r := CompressInt64(dense)
+	if r.NumRuns() != 4 {
+		t.Fatalf("runs = %d, want 4", r.NumRuns())
+	}
+	if r.Type() != Int64 || r.Len() != 8 {
+		t.Fatal("type/len wrong")
+	}
+	if r.SizeBytes() >= dense.SizeBytes() {
+		t.Errorf("RLE (%d B) should be smaller than dense (%d B) here",
+			r.SizeBytes(), dense.SizeBytes())
+	}
+	g := r.Gather([]int32{5, 0, 4}).(*Int64s)
+	if g.V[0] != 9 || g.V[1] != 7 || g.V[2] != 3 {
+		t.Errorf("gather = %v", g.V)
+	}
+}
+
+func TestRLESliceProperty(t *testing.T) {
+	f := func(vals []uint8, lo8, hi8 uint8) bool {
+		dense := runny(vals)
+		n := dense.Len()
+		if n == 0 {
+			return true
+		}
+		lo := int(lo8) % (n + 1)
+		hi := int(hi8) % (n + 1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r := CompressInt64(dense)
+		sl := r.Slice(lo, hi).(*RLEInt64)
+		if sl.Len() != hi-lo {
+			return false
+		}
+		for i := 0; i < hi-lo; i++ {
+			if sl.Value(int32(i)) != dense.V[lo+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRLEEmpty(t *testing.T) {
+	r := CompressInt64(&Int64s{V: nil})
+	if r.Len() != 0 {
+		t.Fatal("empty compress")
+	}
+	if d := r.Decode(); d.Len() != 0 {
+		t.Fatal("empty decode")
+	}
+	if s := r.Slice(0, 0); s.Len() != 0 {
+		t.Fatal("empty slice")
+	}
+}
+
+func TestRLEInTable(t *testing.T) {
+	dense := &Int64s{V: []int64{1, 1, 2, 2, 2, 3}}
+	tbl := MustNewTable("t", Schema{{Name: "k", Type: Int64}}, []Column{CompressInt64(dense)})
+	if tbl.NumRows() != 6 {
+		t.Fatal("RLE column not accepted by table")
+	}
+	g := tbl.Gather([]int32{5, 2})
+	if g.MustCol("k").(*Int64s).V[0] != 3 {
+		t.Fatal("gather through table wrong")
+	}
+	sl := tbl.Slice(1, 4)
+	if sl.MustCol("k").(*RLEInt64).Value(2) != 2 {
+		t.Fatal("slice through table wrong")
+	}
+}

@@ -1,0 +1,153 @@
+package colstore
+
+import "fmt"
+
+// Field describes one column of a schema.
+type Field struct {
+	// Name is the column name, e.g. "l_shipdate".
+	Name string
+	// Type is the column's physical type.
+	Type Type
+}
+
+// Schema is an ordered list of fields.
+type Schema []Field
+
+// Index returns the position of the named field, or -1 if absent.
+func (s Schema) Index(name string) int {
+	for i, f := range s {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the field names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, f := range s {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Table is an immutable set of equal-length columns with a schema.
+type Table struct {
+	// Name is an optional identifier, e.g. "lineitem".
+	Name string
+	// Schema describes the columns.
+	Schema Schema
+	// Cols holds the column data, parallel to Schema.
+	Cols []Column
+
+	rows int
+}
+
+// NewTable assembles a table from a schema and columns, validating that
+// column count, types and lengths agree.
+func NewTable(name string, schema Schema, cols []Column) (*Table, error) {
+	if len(schema) != len(cols) {
+		return nil, fmt.Errorf("colstore: table %s: %d fields but %d columns", name, len(schema), len(cols))
+	}
+	rows := 0
+	for i, c := range cols {
+		if c == nil {
+			return nil, fmt.Errorf("colstore: table %s: column %s is nil", name, schema[i].Name)
+		}
+		if c.Type() != schema[i].Type {
+			return nil, fmt.Errorf("colstore: table %s: column %s declared %s but is %s",
+				name, schema[i].Name, schema[i].Type, c.Type())
+		}
+		if i == 0 {
+			rows = c.Len()
+		} else if c.Len() != rows {
+			return nil, fmt.Errorf("colstore: table %s: column %s has %d rows, want %d",
+				name, schema[i].Name, c.Len(), rows)
+		}
+	}
+	return &Table{Name: name, Schema: schema, Cols: cols, rows: rows}, nil
+}
+
+// MustNewTable is like NewTable but panics on error.
+func MustNewTable(name string, schema Schema, cols []Column) *Table {
+	t, err := NewTable(name, schema, cols)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumRows reports the row count.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumCols reports the column count.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// Col returns the i-th column.
+func (t *Table) Col(i int) Column { return t.Cols[i] }
+
+// ColByName returns the named column, or an error naming the table if the
+// column is absent.
+func (t *Table) ColByName(name string) (Column, error) {
+	i := t.Schema.Index(name)
+	if i < 0 {
+		return nil, fmt.Errorf("colstore: table %s: no column %q", t.Name, name)
+	}
+	return t.Cols[i], nil
+}
+
+// MustCol returns the named column and panics if absent. Query plans are
+// built from static column names, so a miss is a programming error.
+func (t *Table) MustCol(name string) Column {
+	c, err := t.ColByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SizeBytes reports the total in-memory footprint of the table's column
+// data (excluding shared dictionaries).
+func (t *Table) SizeBytes() int64 {
+	var n int64
+	for _, c := range t.Cols {
+		n += c.SizeBytes()
+	}
+	return n
+}
+
+// Gather materializes a new table containing the rows named by sel, in
+// order.
+func (t *Table) Gather(sel []int32) *Table {
+	cols := make([]Column, len(t.Cols))
+	for i, c := range t.Cols {
+		cols[i] = c.Gather(sel)
+	}
+	return &Table{Name: t.Name, Schema: t.Schema, Cols: cols, rows: len(sel)}
+}
+
+// Slice returns a zero-copy view of rows [lo, hi).
+func (t *Table) Slice(lo, hi int) *Table {
+	cols := make([]Column, len(t.Cols))
+	for i, c := range t.Cols {
+		cols[i] = c.Slice(lo, hi)
+	}
+	return &Table{Name: t.Name, Schema: t.Schema, Cols: cols, rows: hi - lo}
+}
+
+// Project returns a table view holding only the named columns, in the
+// given order. Column data is shared, not copied.
+func (t *Table) Project(names ...string) (*Table, error) {
+	schema := make(Schema, len(names))
+	cols := make([]Column, len(names))
+	for i, name := range names {
+		j := t.Schema.Index(name)
+		if j < 0 {
+			return nil, fmt.Errorf("colstore: table %s: no column %q", t.Name, name)
+		}
+		schema[i] = t.Schema[j]
+		cols[i] = t.Cols[j]
+	}
+	return &Table{Name: t.Name, Schema: schema, Cols: cols, rows: t.rows}, nil
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	studyOnce sync.Once
+	studyVal  *Study
+	studyH    *Harness
+	studyErr  error
+)
+
+// testStudy runs the full study once at a small scale for all core tests.
+func testStudy(t *testing.T) (*Study, *Harness) {
+	t.Helper()
+	studyOnce.Do(func() {
+		opt := DefaultOptions()
+		opt.SF = 0.05
+		opt.DistSF = 0.05
+		opt.ClusterSizes = []int{4, 8, 12, 24}
+		studyH, studyErr = NewHarness(opt)
+		if studyErr != nil {
+			return
+		}
+		studyVal, studyErr = studyH.Run(io.Discard)
+	})
+	if studyErr != nil {
+		t.Fatal(studyErr)
+	}
+	return studyVal, studyH
+}
+
+func TestNewHarnessValidation(t *testing.T) {
+	if _, err := NewHarness(Options{SF: 0, DistSF: 1}); err == nil {
+		t.Error("zero SF should error")
+	}
+	h, err := NewHarness(Options{SF: 1, DistSF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Opt.ClusterSizes) == 0 || h.Opt.HostWorkers < 1 {
+		t.Error("defaults not applied")
+	}
+	if len(h.Profiles()) != 10 {
+		t.Error("profiles missing")
+	}
+	if h.profile("Pi 3B+") == nil || h.profile("nope") != nil {
+		t.Error("profile lookup wrong")
+	}
+}
+
+func TestPaperDataShape(t *testing.T) {
+	if len(PaperTableII) != 22 {
+		t.Fatalf("paper Table II has %d queries", len(PaperTableII))
+	}
+	for q, row := range PaperTableII {
+		if len(row) != 10 {
+			t.Errorf("Q%d: %d comparison points", q, len(row))
+		}
+		for name, v := range row {
+			if v <= 0 {
+				t.Errorf("Q%d %s: nonpositive paper value", q, name)
+			}
+		}
+	}
+	if len(PaperTableIIIWimPi) != 8 || len(PaperTableIIIServers) != 8 {
+		t.Error("paper Table III incomplete")
+	}
+	for q, sizes := range PaperTableIIIWimPi {
+		if len(sizes) != 6 {
+			t.Errorf("Q%d: %d cluster sizes", q, len(sizes))
+		}
+	}
+}
+
+func TestTableIText(t *testing.T) {
+	_, h := testStudy(t)
+	txt := h.TableIText()
+	for _, want := range []string{"op-e5", "Pi 3B+", "$35", "5.1 W", "c6g.metal", "512 KB"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+}
+
+func TestStudyArtifactsComplete(t *testing.T) {
+	s, _ := testStudy(t)
+	if len(s.TableII.Seconds) != 22 {
+		t.Errorf("Table II has %d queries", len(s.TableII.Seconds))
+	}
+	for q, row := range s.TableII.Seconds {
+		if len(row) != 10 {
+			t.Errorf("Q%d: %d profiles", q, len(row))
+		}
+		for name, v := range row {
+			if v <= 0 {
+				t.Errorf("Q%d %s: nonpositive simulated time", q, name)
+			}
+		}
+	}
+	if len(s.TableIII.WimPi) != 8 {
+		t.Errorf("Table III has %d queries", len(s.TableIII.WimPi))
+	}
+	for _, q := range s.TableIII.Queries {
+		if len(s.TableIII.WimPi[q]) != 4 {
+			t.Errorf("Q%d: %d cluster sizes", q, len(s.TableIII.WimPi[q]))
+		}
+		if len(s.TableIII.Servers[q]) != 9 {
+			t.Errorf("Q%d: %d servers", q, len(s.TableIII.Servers[q]))
+		}
+	}
+	if len(s.Figure2.SingleCore) != 4 || len(s.Figure2.Host) != 4 {
+		t.Error("Figure 2 incomplete")
+	}
+	if len(s.Figure3.SF1) != 22 || len(s.Figure3.SF10) != 8 {
+		t.Error("Figure 3 incomplete")
+	}
+	if len(s.Figure4.Seconds) != 8 {
+		t.Error("Figure 4 incomplete")
+	}
+	if len(s.Figure5.SF1) != 22 || len(s.Figure6.SF1) != 22 || len(s.Figure7.SF1) != 22 {
+		t.Error("Figures 5-7 incomplete")
+	}
+}
+
+func TestStudyClaims(t *testing.T) {
+	s, _ := testStudy(t)
+	if len(s.Claims) < 8 {
+		t.Fatalf("only %d claims checked", len(s.Claims))
+	}
+	for _, c := range s.Claims {
+		if !c.Pass && !c.ScaleSensitive {
+			t.Errorf("paper claim failed: %s (%s)", c.Claim, c.Detail)
+		}
+		if !c.Pass && c.ScaleSensitive {
+			t.Logf("scale-sensitive claim not visible at SF %g: %s (%s)",
+				s.Options.SF, c.Claim, c.Detail)
+		}
+	}
+}
+
+func TestStudyReportRenders(t *testing.T) {
+	s, h := testStudy(t)
+	rep := s.Report(h)
+	for _, want := range []string{
+		"== Table I ==", "== Figure 2 ==", "== Table II ==", "== Table III ==",
+		"== Figure 3 ==", "== Figure 4 ==", "== Figure 5 ==", "== Figure 6 ==",
+		"== Figure 7 ==", "== Paper claims ==", "median slowdown",
+		"Pi 3B+ x4", "access-aware",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(rep, "[MISS]") {
+		t.Log(rep)
+		t.Error("report contains failed scale-robust claims")
+	}
+}
+
+func TestTableIIShapeVsPaper(t *testing.T) {
+	s, _ := testStudy(t)
+	// Rank correlation between measured and paper Pi slowdowns vs op-e5
+	// should be clearly positive: the same queries are hard for the Pi.
+	meas := s.TableII.PiSlowdowns("op-e5")
+	var paper = map[int]float64{}
+	for q, row := range PaperTableII {
+		paper[q] = row["Pi 3B+"] / row["op-e5"]
+	}
+	rho := spearman(meas, paper)
+	if rho < 0.3 {
+		t.Errorf("Spearman rank correlation with paper = %.2f, want > 0.3", rho)
+	}
+	t.Logf("rank correlation with paper Table II (vs op-e5): %.2f", rho)
+}
+
+func spearman(a, b map[int]float64) float64 {
+	ra := rankAscending(a)
+	rb := rankAscending(b)
+	var n, sumD2 float64
+	for k, r1 := range ra {
+		r2, ok := rb[k]
+		if !ok {
+			continue
+		}
+		d := float64(r1 - r2)
+		sumD2 += d * d
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	return 1 - 6*sumD2/(n*(n*n-1))
+}
+
+func TestHarnessGeometryOption(t *testing.T) {
+	opt := DefaultOptions()
+	opt.SF, opt.DistSF = 0.01, 0.01
+	h, err := NewHarness(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := h.nodeRAMBytes()
+	opt.EmulatePaperGeometry = false
+	h2, err := NewHarness(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := h2.nodeRAMBytes()
+	if full != 1<<30 {
+		t.Errorf("non-scaled RAM = %d, want 1 GB", full)
+	}
+	if scaled >= full {
+		t.Errorf("scaled RAM %d should be below %d", scaled, full)
+	}
+	// Scaling preserves the paper geometry: RAM/SF constant.
+	if got := float64(scaled); got < float64(full)*0.01/10*0.99 || got > float64(full)*0.01/10*1.01 {
+		t.Errorf("scaled RAM = %d, want 1GB * 0.01/10", scaled)
+	}
+}
+
+func TestTableIIDeterministic(t *testing.T) {
+	opt := DefaultOptions()
+	opt.SF, opt.DistSF = 0.01, 0.01
+	run := func() *TableIIResult {
+		h, err := NewHarness(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := h.TableII()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	for q, row := range a.Seconds {
+		for name, v := range row {
+			if b.Seconds[q][name] != v {
+				t.Fatalf("Q%d %s: %g vs %g across identical runs", q, name, v, b.Seconds[q][name])
+			}
+		}
+	}
+}
+
+func TestPiSlowdownsAndRenderHelpers(t *testing.T) {
+	s, _ := testStudy(t)
+	slow := s.TableII.PiSlowdowns("op-e5")
+	if len(slow) != 22 {
+		t.Fatalf("%d slowdowns", len(slow))
+	}
+	for q, v := range slow {
+		if v <= 0 {
+			t.Errorf("Q%d slowdown %g", q, v)
+		}
+	}
+	if s.TableII.Render() == "" || s.TableIII.Render() == "" ||
+		s.Figure2.Render() == "" || s.Figure3.Render() == "" ||
+		s.Figure4.Render() == "" || s.Figure5.Render() == "" {
+		t.Error("empty render")
+	}
+	if median(nil) != 0 {
+		t.Error("median of empty should be 0")
+	}
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"wimpi/internal/hardware"
+	"wimpi/internal/microbench"
+	"wimpi/internal/strategies"
+)
+
+// Figure2Result holds the regenerated microbenchmark figures (2a-2d):
+// projected scores per benchmark, comparison point, and core
+// configuration.
+type Figure2Result struct {
+	// SingleCore and AllCores map benchmark name -> profile -> score.
+	SingleCore map[string]map[string]float64
+	AllCores   map[string]map[string]float64
+	// Units maps benchmark name -> score unit.
+	Units map[string]string
+	// Host holds the host machine's real single-core kernel runs, as a
+	// sanity anchor for the implementation.
+	Host []microbench.Result
+}
+
+// Figure2Benchmarks lists the four microbenchmarks in figure order.
+var Figure2Benchmarks = []string{"whetstone", "dhrystone", "sysbench-cpu", "membw"}
+
+// Figure2 projects the four microbenchmarks for every comparison point
+// and runs the real kernels once on the host.
+func (h *Harness) Figure2() *Figure2Result {
+	res := &Figure2Result{
+		SingleCore: map[string]map[string]float64{},
+		AllCores:   map[string]map[string]float64{},
+		Units:      map[string]string{},
+	}
+	project := func(p *hardware.Profile, cores int) []microbench.Result {
+		return []microbench.Result{
+			microbench.ProjectWhetstone(p, cores),
+			microbench.ProjectDhrystone(p, cores),
+			microbench.ProjectSysbenchCPU(p, cores),
+			microbench.ProjectMemBW(p, cores),
+		}
+	}
+	for i := range h.profiles {
+		p := &h.profiles[i]
+		for _, r := range project(p, 1) {
+			if res.SingleCore[r.Name] == nil {
+				res.SingleCore[r.Name] = map[string]float64{}
+				res.AllCores[r.Name] = map[string]float64{}
+			}
+			res.SingleCore[r.Name][p.Name] = r.Score
+			res.Units[r.Name] = r.Unit
+		}
+		for _, r := range project(p, 0) {
+			res.AllCores[r.Name][p.Name] = r.Score
+		}
+	}
+	res.Host = []microbench.Result{
+		microbench.RunWhetstone(200_000),
+		microbench.RunDhrystone(2_000_000),
+		microbench.RunSysbenchCPU(20_000),
+		microbench.RunMemBW(8 << 20),
+	}
+	return res
+}
+
+// Render formats Figures 2a-2d.
+func (r *Figure2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: microbenchmark projections (single core / all cores)\n")
+	for _, bench := range Figure2Benchmarks {
+		fmt.Fprintf(&b, "\n  %s (%s)\n", bench, r.Units[bench])
+		for _, name := range PaperProfiles {
+			fmt.Fprintf(&b, "    %-12s %12.2f / %-12.2f\n",
+				name, r.SingleCore[bench][name], r.AllCores[bench][name])
+		}
+	}
+	b.WriteString("\n  host kernels (measured on this machine, single core):\n")
+	for _, hr := range r.Host {
+		fmt.Fprintf(&b, "    %-12s %12.2f %s\n", hr.Name, hr.Score, hr.Unit)
+	}
+	return b.String()
+}
+
+// Figure3Result holds the regenerated speedup figure: each comparison
+// point's speedup over the Pi configuration (single Pi at SF 1, the
+// largest WimPi cluster at the distributed scale).
+type Figure3Result struct {
+	// SF1 maps query -> server -> t_pi / t_server.
+	SF1 map[int]map[string]float64
+	// SF10 maps query -> server -> t_wimpi(max nodes) / t_server.
+	SF10 map[int]map[string]float64
+	// Nodes is the cluster size used for the distributed speedups.
+	Nodes int
+}
+
+// Figure3 derives the speedup figure from Table II and Table III
+// results.
+func (h *Harness) Figure3(t2 *TableIIResult, t3 *TableIIIResult) *Figure3Result {
+	res := &Figure3Result{
+		SF1:  map[int]map[string]float64{},
+		SF10: map[int]map[string]float64{},
+	}
+	for q, row := range t2.Seconds {
+		res.SF1[q] = map[string]float64{}
+		for name, s := range row {
+			if name == "Pi 3B+" || s <= 0 {
+				continue
+			}
+			res.SF1[q][name] = row["Pi 3B+"] / s
+		}
+	}
+	maxNodes := 0
+	for _, sizes := range t3.WimPi {
+		for n := range sizes {
+			if n > maxNodes {
+				maxNodes = n
+			}
+		}
+	}
+	res.Nodes = maxNodes
+	for _, q := range t3.Queries {
+		res.SF10[q] = map[string]float64{}
+		wim := t3.WimPi[q][maxNodes]
+		for name, s := range t3.Servers[q] {
+			if s > 0 {
+				res.SF10[q][name] = wim / s
+			}
+		}
+	}
+	return res
+}
+
+// Render formats Figure 3.
+func (r *Figure3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: server speedup over the Pi configuration (values < 1 mean the Pi side wins)\n")
+	b.WriteString("\n  SF1 (vs single Pi 3B+):\n")
+	renderSpeedups(&b, r.SF1)
+	fmt.Fprintf(&b, "\n  Distributed (vs %d-node WimPi):\n", r.Nodes)
+	renderSpeedups(&b, r.SF10)
+	return b.String()
+}
+
+func renderSpeedups(b *strings.Builder, m map[int]map[string]float64) {
+	queries := sortedKeys(m)
+	fmt.Fprintf(b, "    %-12s", "")
+	for _, q := range queries {
+		fmt.Fprintf(b, "%8s", fmt.Sprintf("Q%d", q))
+	}
+	b.WriteString("\n")
+	for _, name := range PaperProfiles {
+		if name == "Pi 3B+" {
+			continue
+		}
+		if _, ok := m[queries[0]][name]; !ok {
+			continue
+		}
+		fmt.Fprintf(b, "    %-12s", name)
+		for _, q := range queries {
+			fmt.Fprintf(b, "%8.2f", m[q][name])
+		}
+		b.WriteString("\n")
+	}
+}
+
+// Figure4Result holds the regenerated execution-strategy comparison:
+// simulated single-threaded runtimes per query, strategy and machine.
+type Figure4Result struct {
+	// Seconds maps query -> strategy -> machine -> simulated seconds.
+	Seconds map[int]map[strategies.Strategy]map[string]float64
+	// Machines lists the compared machines (op-e5, op-gold, Pi 3B+).
+	Machines []string
+}
+
+// Figure4 executes the three strategies for the eight representative
+// queries and simulates the paper's three Figure 4 machines. The
+// strategy binaries are hand-coded, so the engine's per-query overhead
+// does not apply.
+func (h *Harness) Figure4() (*Figure4Result, error) {
+	data, _ := h.sfDatabase()
+	machines := []string{"op-e5", "op-gold", "Pi 3B+"}
+	res := &Figure4Result{
+		Seconds:  map[int]map[strategies.Strategy]map[string]float64{},
+		Machines: machines,
+	}
+	profs := make([]hardware.Profile, len(machines))
+	for i, m := range machines {
+		p := h.profile(m)
+		if p == nil {
+			return nil, fmt.Errorf("core: no profile %s", m)
+		}
+		profs[i] = *p
+		profs[i].QueryOverheadSec = 0
+	}
+	for _, q := range strategies.Queries {
+		res.Seconds[q] = map[strategies.Strategy]map[string]float64{}
+		for _, s := range strategies.Strategies {
+			_, ctr, err := strategies.Execute(s, q, data)
+			if err != nil {
+				return nil, fmt.Errorf("core: figure 4 Q%d %s: %w", q, s, err)
+			}
+			res.Seconds[q][s] = map[string]float64{}
+			for i := range profs {
+				res.Seconds[q][s][machines[i]] = h.Model.Explain(&profs[i], ctr, 1).Total
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats Figure 4.
+func (r *Figure4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: execution strategies, single-threaded simulated seconds\n")
+	for _, m := range r.Machines {
+		fmt.Fprintf(&b, "\n  %s\n    %-14s", m, "")
+		queries := sortedKeys(r.Seconds)
+		for _, q := range queries {
+			fmt.Fprintf(&b, "%9s", fmt.Sprintf("Q%d", q))
+		}
+		b.WriteString("\n")
+		for _, s := range strategies.Strategies {
+			fmt.Fprintf(&b, "    %-14s", s)
+			for _, q := range queries {
+				fmt.Fprintf(&b, "%9.4f", r.Seconds[q][s][m])
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+// Package costmodel implements the paper's Section III methodology:
+// normalizing query runtimes by purchase price (MSRP, Figure 5), by
+// hourly cost (Figure 6), and by energy (TDP, Figure 7), plus the plain
+// speedups of Figure 3.
+//
+// A normalized improvement of X means the SBC configuration delivers X
+// times more work per dollar (or per joule): values above 1 favor the
+// Pi/WimPi configuration, below 1 the traditional server — the paper's
+// dotted break-even line.
+package costmodel
+
+import (
+	"fmt"
+	"time"
+
+	"wimpi/internal/hardware"
+)
+
+// Pi 3B+ cost constants from the paper.
+const (
+	// PiUnitPriceUSD is the Raspberry Pi 3B+ MSRP.
+	PiUnitPriceUSD = 35.0
+	// PiHourlyUSD is the estimated electricity cost of one Pi at
+	// sustained maximum draw (5.1 W at the US average $/kWh).
+	PiHourlyUSD = 0.0004
+	// PiMaxWatts is the whole-board maximum power draw.
+	PiMaxWatts = 5.1
+)
+
+// Speedup returns how many times faster b is than a (t_a / t_b); the
+// paper's Figure 3 reports each comparison point's speedup over the
+// Pi/WimPi configuration.
+func Speedup(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a.Seconds() / b.Seconds()
+}
+
+// ServerMSRP returns the purchase price of a server's CPUs (MSRP times
+// socket count — the paper doubles the On-Premises prices because both
+// machines are dual-socket). It errors for profiles without a public
+// MSRP (the Cloud SKUs).
+func ServerMSRP(p *hardware.Profile) (float64, error) {
+	if p.MSRPUSD <= 0 {
+		return 0, fmt.Errorf("costmodel: %s has no public MSRP", p.Name)
+	}
+	return p.MSRPUSD * float64(p.Sockets), nil
+}
+
+// ClusterMSRP returns the purchase price of an n-node WimPi cluster.
+func ClusterMSRP(n int) float64 { return PiUnitPriceUSD * float64(n) }
+
+// ClusterHourly returns the estimated hourly operating cost of an n-node
+// WimPi cluster.
+func ClusterHourly(n int) float64 { return PiHourlyUSD * float64(n) }
+
+// ClusterWatts returns the peak power draw of an n-node WimPi cluster.
+func ClusterWatts(n int) float64 { return PiMaxWatts * float64(n) }
+
+// ServerWatts returns a server's TDP-based power draw (TDP times socket
+// count, matching the MSRP convention). It errors for profiles without a
+// public TDP.
+func ServerWatts(p *hardware.Profile) (float64, error) {
+	if p.TDPWatts <= 0 {
+		return 0, fmt.Errorf("costmodel: %s has no public TDP", p.Name)
+	}
+	return p.TDPWatts * float64(p.Sockets), nil
+}
+
+// Improvement computes the normalized-performance improvement of
+// configuration A over configuration B: (t_b * cost_b) / (t_a * cost_a).
+// Both runtime and cost must be positive.
+func Improvement(tA time.Duration, costA float64, tB time.Duration, costB float64) float64 {
+	den := tA.Seconds() * costA
+	if den <= 0 {
+		return 0
+	}
+	return tB.Seconds() * costB / den
+}
+
+// MSRPImprovement returns the Figure 5 metric: the Pi configuration's
+// price-normalized advantage over a server. piNodes is 1 for SF 1 and
+// the cluster size for SF 10.
+func MSRPImprovement(piTime time.Duration, piNodes int, serverTime time.Duration, server *hardware.Profile) (float64, error) {
+	msrp, err := ServerMSRP(server)
+	if err != nil {
+		return 0, err
+	}
+	return Improvement(piTime, ClusterMSRP(piNodes), serverTime, msrp), nil
+}
+
+// HourlyImprovement returns the Figure 6 metric against a Cloud server.
+func HourlyImprovement(piTime time.Duration, piNodes int, serverTime time.Duration, server *hardware.Profile) (float64, error) {
+	if server.HourlyUSD <= 0 {
+		return 0, fmt.Errorf("costmodel: %s has no hourly price", server.Name)
+	}
+	return Improvement(piTime, ClusterHourly(piNodes), serverTime, server.HourlyUSD), nil
+}
+
+// EnergyImprovement returns the Figure 7 metric: the Pi configuration's
+// energy-normalized advantage (runtime x watts on each side).
+func EnergyImprovement(piTime time.Duration, piNodes int, serverTime time.Duration, server *hardware.Profile) (float64, error) {
+	w, err := ServerWatts(server)
+	if err != nil {
+		return 0, err
+	}
+	return Improvement(piTime, ClusterWatts(piNodes), serverTime, w), nil
+}
+
+// EnergyJoules returns runtime x watts, the paper's energy estimate.
+func EnergyJoules(t time.Duration, watts float64) float64 {
+	return t.Seconds() * watts
+}
+
+// IdleDutyCycleJoules models the Section III-B.2 energy-proportionality
+// argument: energy for a duty cycle that is active for activeSeconds and
+// idle the rest, with the idle fraction optionally powered off (the
+// fine-grained on/off control SBC clusters allow).
+func IdleDutyCycleJoules(activeW, idleW, activeSeconds, idleSeconds float64, powerOffWhenIdle bool) float64 {
+	e := activeW * activeSeconds
+	if !powerOffWhenIdle {
+		e += idleW * idleSeconds
+	}
+	return e
+}

@@ -1,0 +1,119 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"wimpi/internal/hardware"
+)
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(2*time.Second, time.Second); s != 2 {
+		t.Errorf("Speedup = %v", s)
+	}
+	if s := Speedup(time.Second, 0); s != 0 {
+		t.Errorf("Speedup with zero divisor = %v", s)
+	}
+}
+
+func TestServerCostAccessors(t *testing.T) {
+	e5, _ := hardware.ByName("op-e5")
+	msrp, err := ServerMSRP(&e5)
+	if err != nil || msrp != 2*1389 {
+		t.Errorf("op-e5 MSRP = %v, %v (dual socket should double)", msrp, err)
+	}
+	w, err := ServerWatts(&e5)
+	if err != nil || w != 190 {
+		t.Errorf("op-e5 watts = %v, %v", w, err)
+	}
+	cloud, _ := hardware.ByName("m5.metal")
+	if _, err := ServerMSRP(&cloud); err == nil {
+		t.Error("cloud SKU should have no MSRP")
+	}
+	if _, err := ServerWatts(&cloud); err == nil {
+		t.Error("cloud SKU should have no TDP")
+	}
+	if ClusterMSRP(24) != 840 {
+		t.Errorf("24-node cluster MSRP = %v, want $840 (paper)", ClusterMSRP(24))
+	}
+	if w := ClusterWatts(24); w < 122.3 || w > 122.5 {
+		t.Errorf("cluster watts = %v, want ~122.4 (the paper's ~122 W)", w)
+	}
+	if h := ClusterHourly(10); h < 0.0039 || h > 0.0041 {
+		t.Errorf("cluster hourly = %v", h)
+	}
+}
+
+func TestImprovementSemantics(t *testing.T) {
+	// Same cost, A twice as fast: 2x improvement.
+	if got := Improvement(time.Second, 100, 2*time.Second, 100); got != 2 {
+		t.Errorf("improvement = %v", got)
+	}
+	// A twice as slow but 10x cheaper: 5x improvement (the paper's
+	// worked example in Section III).
+	if got := Improvement(2*time.Second, 10, time.Second, 100); got != 5 {
+		t.Errorf("improvement = %v, want 5", got)
+	}
+	if got := Improvement(0, 10, time.Second, 10); got != 0 {
+		t.Errorf("zero runtime should yield 0, got %v", got)
+	}
+}
+
+func TestFigureMetrics(t *testing.T) {
+	e5, _ := hardware.ByName("op-e5")
+	// Paper Q6 SF1: Pi 0.099s vs op-e5 0.028s.
+	pi := 99 * time.Millisecond
+	srv := 28 * time.Millisecond
+	msrp, err := MSRPImprovement(pi, 1, srv, &e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0.028*2778)/(0.099*35) = ~22.4 — inside the paper's 7-41x band.
+	if msrp < 20 || msrp > 25 {
+		t.Errorf("Q6 MSRP improvement = %.1f, want ~22", msrp)
+	}
+	energy, err := EnergyImprovement(pi, 1, srv, &e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0.028*190)/(0.099*5.1) = ~10.5 — the paper's ~10x median.
+	if energy < 9 || energy > 12 {
+		t.Errorf("Q6 energy improvement = %.1f, want ~10.5", energy)
+	}
+	m5, _ := hardware.ByName("m5.metal")
+	hourly, err := HourlyImprovement(pi, 1, 8*time.Millisecond, &m5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (0.008*4.608)/(0.099*0.0004) = ~930 — the paper's "up to 10,000x"
+	// hourly dominance.
+	if hourly < 800 || hourly > 1100 {
+		t.Errorf("hourly improvement = %.0f", hourly)
+	}
+	if _, err := HourlyImprovement(pi, 1, srv, &e5); err == nil {
+		t.Error("on-prem server has no hourly price")
+	}
+	if _, err := MSRPImprovement(pi, 1, srv, &m5); err == nil {
+		t.Error("cloud SKU has no MSRP")
+	}
+	if _, err := EnergyImprovement(pi, 1, srv, &m5); err == nil {
+		t.Error("cloud SKU has no TDP")
+	}
+}
+
+func TestEnergyHelpers(t *testing.T) {
+	if EnergyJoules(10*time.Second, 5.1) != 51 {
+		t.Error("EnergyJoules wrong")
+	}
+	on := IdleDutyCycleJoules(5.1, 1.9, 100, 900, false)
+	off := IdleDutyCycleJoules(5.1, 1.9, 100, 900, true)
+	if on <= off {
+		t.Error("powering off idle nodes must save energy")
+	}
+	if off < 509.9 || off > 510.1 {
+		t.Errorf("active-only energy = %v", off)
+	}
+	if on < 2219.9 || on > 2220.1 {
+		t.Errorf("duty-cycle energy = %v", on)
+	}
+}

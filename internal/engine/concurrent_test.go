@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+	"wimpi/internal/plan"
+)
+
+// TestConcurrentQueries exercises the DB's concurrent read path: many
+// goroutines run the same aggregation simultaneously (each with its own
+// counters) and must all see the same answer. Run with -race to check
+// for data races in the shared column storage.
+func TestConcurrentQueries(t *testing.T) {
+	db := NewDB(Config{Workers: 2})
+	b := colstore.NewTableBuilder("nums", colstore.Schema{
+		{Name: "k", Type: colstore.Int64},
+		{Name: "v", Type: colstore.Float64},
+	})
+	var want float64
+	for i := 0; i < 50000; i++ {
+		b.Int(0, int64(i%7))
+		b.Float(1, float64(i%100))
+		if i%7 == 3 {
+			want += float64(i % 100)
+		}
+		b.EndRow()
+	}
+	db.Register(b.Build())
+
+	p := &plan.GroupBy{
+		Input: &plan.Scan{Table: "nums", Pred: exec.CmpI{Column: "k", Op: exec.Eq, V: 3}},
+		Aggs:  []plan.AggSpec{{Name: "s", Func: plan.Sum, Arg: exec.Col{Name: "v"}}},
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	sums := make([]float64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				res, err := db.Run(p)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				sums[g] = res.Table.MustCol("s").(*colstore.Float64s).V[0]
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if sums[g] != want {
+			t.Fatalf("goroutine %d saw %g, want %g", g, sums[g], want)
+		}
+	}
+}
+
+// TestConcurrentRegisterAndQuery checks that registration under the
+// DB's lock does not corrupt concurrent reads of other tables.
+func TestConcurrentRegisterAndQuery(t *testing.T) {
+	db := NewDB(Config{Workers: 1})
+	mk := func(name string, n int) *colstore.Table {
+		b := colstore.NewTableBuilder(name, colstore.Schema{{Name: "v", Type: colstore.Int64}})
+		for i := 0; i < n; i++ {
+			b.Int(0, int64(i))
+			b.EndRow()
+		}
+		return b.Build()
+	}
+	db.Register(mk("stable", 1000))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			db.Register(mk("churn", 10+i%5))
+			i++
+		}
+	}()
+	for q := 0; q < 50; q++ {
+		res, err := db.Run(&plan.GroupBy{
+			Input: &plan.Scan{Table: "stable"},
+			Aggs:  []plan.AggSpec{{Name: "n", Func: plan.Count}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Table.MustCol("n").(*colstore.Int64s).V[0] != 1000 {
+			t.Fatal("stable table changed under concurrent registration")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

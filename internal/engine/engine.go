@@ -1,0 +1,187 @@
+// Package engine ties the WimPi OLAP engine together: an in-memory
+// catalog of columnar tables, a configurable executor, and the query
+// result type carrying both the answer and the work profile used by the
+// hardware simulation layer.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+	"wimpi/internal/plan"
+)
+
+// Config controls an engine instance.
+type Config struct {
+	// Workers bounds intra-query parallelism. Zero means one worker.
+	Workers int
+}
+
+// DB is an in-memory database: a named set of columnar tables. It is safe
+// for concurrent query execution; registration must complete before
+// queries begin.
+type DB struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	tables map[string]*colstore.Table
+}
+
+// NewDB returns an empty database.
+func NewDB(cfg Config) *DB {
+	return &DB{cfg: cfg, tables: make(map[string]*colstore.Table)}
+}
+
+// Register adds or replaces a table.
+func (db *DB) Register(t *colstore.Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[t.Name] = t
+}
+
+// Table implements plan.Catalog.
+func (db *DB) Table(name string) (*colstore.Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the registered table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SizeBytes reports the total footprint of all registered tables,
+// including string dictionaries (each counted once).
+func (db *DB) SizeBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var n int64
+	seen := map[*colstore.Dict]bool{}
+	for _, t := range db.tables {
+		n += t.SizeBytes()
+		for _, c := range t.Cols {
+			if s, ok := c.(*colstore.Strings); ok && !seen[s.Dict] {
+				seen[s.Dict] = true
+				n += s.Dict.SizeBytes()
+			}
+		}
+	}
+	return n
+}
+
+// Workers reports the configured parallelism.
+func (db *DB) Workers() int {
+	if db.cfg.Workers < 1 {
+		return 1
+	}
+	return db.cfg.Workers
+}
+
+// Result is the outcome of a query execution.
+type Result struct {
+	// Table is the answer.
+	Table *colstore.Table
+	// Counters is the work profile recorded by the kernels.
+	Counters exec.Counters
+	// HostDuration is the wall-clock time spent on the host machine. The
+	// simulated per-profile durations come from package hardware.
+	HostDuration time.Duration
+}
+
+// Run executes a plan and returns its result.
+func (db *DB) Run(p plan.Node) (*Result, error) {
+	start := time.Now()
+	t, ctr, err := plan.Run(db, db.Workers(), p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: t, Counters: ctr, HostDuration: time.Since(start)}, nil
+}
+
+// Explain renders a plan without executing it.
+func (db *DB) Explain(p plan.Node) string { return plan.Explain(p) }
+
+// FormatTable renders a result table as aligned text, up to maxRows rows.
+// It is used by the CLI tools and examples.
+func FormatTable(t *colstore.Table, maxRows int) string {
+	var b strings.Builder
+	names := t.Schema.Names()
+	widths := make([]int, len(names))
+	rows := t.NumRows()
+	if maxRows > 0 && rows > maxRows {
+		rows = maxRows
+	}
+	cells := make([][]string, rows)
+	for i := range widths {
+		widths[i] = len(names[i])
+	}
+	for r := 0; r < rows; r++ {
+		cells[r] = make([]string, len(names))
+		for c := 0; c < t.NumCols(); c++ {
+			s := formatCell(t.Col(c), r)
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	for i, n := range names {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], n)
+	}
+	b.WriteString("\n")
+	for i := range names {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for r := 0; r < rows; r++ {
+		for c := range names {
+			fmt.Fprintf(&b, "%-*s  ", widths[c], cells[r][c])
+		}
+		b.WriteString("\n")
+	}
+	if rows < t.NumRows() {
+		fmt.Fprintf(&b, "... (%d rows total)\n", t.NumRows())
+	}
+	return b.String()
+}
+
+func formatCell(c colstore.Column, row int) string {
+	switch col := c.(type) {
+	case *colstore.Int64s:
+		return fmt.Sprintf("%d", col.V[row])
+	case *colstore.Float64s:
+		return fmt.Sprintf("%.4f", col.V[row])
+	case *colstore.Dates:
+		return colstore.FormatDate(col.V[row])
+	case *colstore.Strings:
+		return col.Value(row)
+	case *colstore.Bools:
+		return fmt.Sprintf("%t", col.V[row])
+	default:
+		return "?"
+	}
+}
+
+// Analyze executes a plan with per-operator instrumentation (EXPLAIN
+// ANALYZE): each operator's output cardinality, footprint, wall-clock
+// time, and work profile.
+func (db *DB) Analyze(p plan.Node) (*plan.Analysis, error) {
+	return plan.Analyze(db, db.Workers(), p)
+}

@@ -1,0 +1,94 @@
+// Package exec implements the vectorized execution kernels of the WimPi
+// OLAP engine: selection, expression evaluation, hash joins, grouped
+// aggregation and sorting, all operating column-at-a-time over
+// colstore data.
+//
+// Every kernel charges its work to a Counters value. The counters are the
+// bridge to the hardware simulation layer (package hardware): queries run
+// for real on the host to produce correct results, while the recorded
+// work profile — sequential bytes streamed, random accesses performed,
+// arithmetic executed — is translated into simulated runtimes for each of
+// the paper's ten hardware comparison points.
+package exec
+
+// Counters records the work performed by kernels during a query. Fields
+// are plain integers; kernels run single-threaded per morsel and
+// per-morsel counters are merged with Add.
+type Counters struct {
+	// TuplesScanned counts base-table tuples visited by selections and
+	// scans.
+	TuplesScanned int64
+	// SeqBytes counts bytes streamed sequentially: base column reads and
+	// materialized intermediate writes/reads.
+	SeqBytes int64
+	// RandomAccesses counts data-dependent (cache-unfriendly) accesses:
+	// hash probes, hash inserts, and gathers through selection vectors.
+	RandomAccesses int64
+	// IntOps counts integer/branch operations: predicate evaluations, key
+	// encodings, comparisons.
+	IntOps int64
+	// FloatOps counts floating-point operations in expression and
+	// aggregate kernels.
+	FloatOps int64
+	// HashBuildTuples counts tuples inserted into hash tables.
+	HashBuildTuples int64
+	// HashProbeTuples counts tuples probed against hash tables.
+	HashProbeTuples int64
+	// AggUpdates counts aggregate-state updates.
+	AggUpdates int64
+	// TuplesMaterialized counts tuples written to intermediate tables.
+	TuplesMaterialized int64
+	// BytesMaterialized counts bytes written to intermediate tables.
+	BytesMaterialized int64
+	// MaxHashBytes tracks the footprint of the largest hash table built,
+	// used by the hardware model to decide whether probes hit LLC.
+	MaxHashBytes int64
+	// PeakLiveBytes approximates the peak of live intermediate data plus
+	// touched base columns, used by the cluster memory-pressure model.
+	PeakLiveBytes int64
+	// TouchedBaseBytes sums the footprint of every base-table column a
+	// query reads. Together with PeakLiveBytes and MaxHashBytes it
+	// estimates the resident working set for the memory-pressure model.
+	TouchedBaseBytes int64
+}
+
+// Add accumulates o into c. Max-like fields take the maximum.
+func (c *Counters) Add(o Counters) {
+	c.TuplesScanned += o.TuplesScanned
+	c.SeqBytes += o.SeqBytes
+	c.RandomAccesses += o.RandomAccesses
+	c.IntOps += o.IntOps
+	c.FloatOps += o.FloatOps
+	c.HashBuildTuples += o.HashBuildTuples
+	c.HashProbeTuples += o.HashProbeTuples
+	c.AggUpdates += o.AggUpdates
+	c.TuplesMaterialized += o.TuplesMaterialized
+	c.BytesMaterialized += o.BytesMaterialized
+	c.TouchedBaseBytes += o.TouchedBaseBytes
+	if o.MaxHashBytes > c.MaxHashBytes {
+		c.MaxHashBytes = o.MaxHashBytes
+	}
+	if o.PeakLiveBytes > c.PeakLiveBytes {
+		c.PeakLiveBytes = o.PeakLiveBytes
+	}
+}
+
+// ObserveHashBytes records a hash-table footprint.
+func (c *Counters) ObserveHashBytes(n int64) {
+	if n > c.MaxHashBytes {
+		c.MaxHashBytes = n
+	}
+}
+
+// ObserveLiveBytes records an estimate of currently live bytes.
+func (c *Counters) ObserveLiveBytes(n int64) {
+	if n > c.PeakLiveBytes {
+		c.PeakLiveBytes = n
+	}
+}
+
+// TotalOps returns the combined op count used by simple CPU-cost
+// summaries.
+func (c *Counters) TotalOps() int64 {
+	return c.IntOps + c.FloatOps + c.RandomAccesses + c.AggUpdates
+}

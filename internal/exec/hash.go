@@ -1,0 +1,191 @@
+package exec
+
+// hashKey mixes a 64-bit key with a Fibonacci multiplier. The low bits of
+// the product are poorly mixed, so slots are derived from the high bits.
+func hashKey(k int64, shift uint) uint64 {
+	return (uint64(k) * 0x9E3779B97F4A7C15) >> shift
+}
+
+func nextPow2(n int) int {
+	c := 16
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// JoinTable is a hash table over the build side of an equi-join. Slots use
+// open addressing on distinct keys; duplicate build rows chain through
+// next. Build-row payloads are represented by their row indexes, so the
+// probe result can gather any build column afterwards.
+type JoinTable struct {
+	slotKeys []int64 // slot -> key (valid when slotHead >= 0)
+	slotHead []int32 // slot -> first build row, or -1
+	next     []int32 // build row -> next build row with same key, or -1
+	shift    uint
+	n        int // number of build rows
+}
+
+// BuildJoinTable indexes the build-side keys. keys[i] is the join key of
+// build row i.
+func BuildJoinTable(keys []int64, ctr *Counters) *JoinTable {
+	capacity := nextPow2(len(keys)*2 + 1)
+	jt := &JoinTable{
+		slotKeys: make([]int64, capacity),
+		slotHead: make([]int32, capacity),
+		next:     make([]int32, len(keys)),
+		shift:    uint(64 - log2(capacity)),
+		n:        len(keys),
+	}
+	for i := range jt.slotHead {
+		jt.slotHead[i] = -1
+	}
+	mask := uint64(capacity - 1)
+	for i, k := range keys {
+		slot := hashKey(k, jt.shift) & mask
+		for {
+			if jt.slotHead[slot] < 0 {
+				jt.slotKeys[slot] = k
+				jt.slotHead[slot] = int32(i)
+				jt.next[i] = -1
+				break
+			}
+			if jt.slotKeys[slot] == k {
+				// Prepend to the chain for this key.
+				jt.next[i] = jt.slotHead[slot]
+				jt.slotHead[slot] = int32(i)
+				break
+			}
+			slot = (slot + 1) & mask
+		}
+	}
+	ctr.HashBuildTuples += int64(len(keys))
+	ctr.RandomAccesses += int64(len(keys))
+	ctr.ObserveHashBytes(jt.SizeBytes())
+	return jt
+}
+
+// SizeBytes reports the table's memory footprint.
+func (jt *JoinTable) SizeBytes() int64 {
+	return int64(len(jt.slotKeys))*8 + int64(len(jt.slotHead))*4 + int64(len(jt.next))*4
+}
+
+// NumBuildRows reports the number of indexed build rows.
+func (jt *JoinTable) NumBuildRows() int { return jt.n }
+
+// Lookup returns the first build row whose key is k, or -1. Callers that
+// need all duplicates follow the chain with Next. Unlike the batch Probe
+// methods, Lookup charges no counters; single-row callers (the
+// execution-strategy interpreters) account for their own work.
+func (jt *JoinTable) Lookup(k int64) int32 { return jt.lookup(k) }
+
+// Next returns the next build row sharing row's key, or -1.
+func (jt *JoinTable) Next(row int32) int32 { return jt.next[row] }
+
+// CountMatches returns the number of build rows with key k.
+func (jt *JoinTable) CountMatches(k int64) int64 {
+	var n int64
+	for b := jt.lookup(k); b >= 0; b = jt.next[b] {
+		n++
+	}
+	return n
+}
+
+// lookup returns the first build row for key k, or -1.
+func (jt *JoinTable) lookup(k int64) int32 {
+	mask := uint64(len(jt.slotKeys) - 1)
+	slot := hashKey(k, jt.shift) & mask
+	for {
+		head := jt.slotHead[slot]
+		if head < 0 {
+			return -1
+		}
+		if jt.slotKeys[slot] == k {
+			return head
+		}
+		slot = (slot + 1) & mask
+	}
+}
+
+// InnerJoin probes the table with probeKeys and returns parallel vectors
+// of matching (build row, probe row) pairs. Probe rows are visited in
+// order, so probeIdx is non-decreasing.
+func (jt *JoinTable) InnerJoin(probeKeys []int64, ctr *Counters) (buildIdx, probeIdx []int32) {
+	buildIdx = make([]int32, 0, len(probeKeys))
+	probeIdx = make([]int32, 0, len(probeKeys))
+	for p, k := range probeKeys {
+		for b := jt.lookup(k); b >= 0; b = jt.next[b] {
+			buildIdx = append(buildIdx, b)
+			probeIdx = append(probeIdx, int32(p))
+		}
+	}
+	ctr.HashProbeTuples += int64(len(probeKeys))
+	ctr.RandomAccesses += int64(len(probeKeys)) + int64(len(buildIdx))
+	return buildIdx, probeIdx
+}
+
+// SemiJoin returns the probe rows having at least one match (ascending).
+func (jt *JoinTable) SemiJoin(probeKeys []int64, ctr *Counters) []int32 {
+	out := make([]int32, 0, len(probeKeys))
+	for p, k := range probeKeys {
+		if jt.lookup(k) >= 0 {
+			out = append(out, int32(p))
+		}
+	}
+	ctr.HashProbeTuples += int64(len(probeKeys))
+	ctr.RandomAccesses += int64(len(probeKeys))
+	return out
+}
+
+// AntiJoin returns the probe rows having no match (ascending).
+func (jt *JoinTable) AntiJoin(probeKeys []int64, ctr *Counters) []int32 {
+	out := make([]int32, 0, len(probeKeys))
+	for p, k := range probeKeys {
+		if jt.lookup(k) < 0 {
+			out = append(out, int32(p))
+		}
+	}
+	ctr.HashProbeTuples += int64(len(probeKeys))
+	ctr.RandomAccesses += int64(len(probeKeys))
+	return out
+}
+
+// CountPerProbe returns, for each probe row, the number of matching build
+// rows. It implements COUNT-augmented outer joins such as TPC-H Q13's
+// customer-orders left outer join.
+func (jt *JoinTable) CountPerProbe(probeKeys []int64, ctr *Counters) []int64 {
+	out := make([]int64, len(probeKeys))
+	var matches int64
+	for p, k := range probeKeys {
+		var n int64
+		for b := jt.lookup(k); b >= 0; b = jt.next[b] {
+			n++
+		}
+		out[p] = n
+		matches += n
+	}
+	ctr.HashProbeTuples += int64(len(probeKeys))
+	ctr.RandomAccesses += int64(len(probeKeys)) + matches
+	return out
+}
+
+// FirstMatch returns, for each probe row, the first matching build row or
+// -1. It implements joins known to be at-most-one-match (primary-key
+// lookups), avoiding pair materialization.
+func (jt *JoinTable) FirstMatch(probeKeys []int64, ctr *Counters) []int32 {
+	out := make([]int32, len(probeKeys))
+	for p, k := range probeKeys {
+		out[p] = jt.lookup(k)
+	}
+	ctr.HashProbeTuples += int64(len(probeKeys))
+	ctr.RandomAccesses += int64(len(probeKeys))
+	return out
+}
+
+func log2(n int) int {
+	l := 0
+	for 1<<uint(l) < n {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,135 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wimpi/internal/colstore"
+)
+
+// SortKey orders a sort by one column.
+type SortKey struct {
+	// Column names the sort column.
+	Column string
+	// Desc sorts descending when set.
+	Desc bool
+}
+
+// ArgSort returns a permutation of row indexes ordering t by keys. The
+// sort is stable, so ties preserve input order. String columns sort by
+// value (not dictionary code).
+func ArgSort(t *colstore.Table, keys []SortKey, ctr *Counters) ([]int32, error) {
+	type cmp func(a, b int32) int
+	cmps := make([]cmp, len(keys))
+	for ki, k := range keys {
+		c, err := t.ColByName(k.Column)
+		if err != nil {
+			return nil, err
+		}
+		desc := k.Desc
+		var f cmp
+		switch col := c.(type) {
+		case *colstore.Int64s:
+			f = func(a, b int32) int { return cmpOrder(col.V[a], col.V[b]) }
+		case *colstore.Float64s:
+			f = func(a, b int32) int { return cmpOrderF(col.V[a], col.V[b]) }
+		case *colstore.Dates:
+			f = func(a, b int32) int { return cmpOrder(int64(col.V[a]), int64(col.V[b])) }
+		case *colstore.Strings:
+			f = func(a, b int32) int { return cmpOrderS(col.Value(int(a)), col.Value(int(b))) }
+		case *colstore.Bools:
+			f = func(a, b int32) int { return cmpOrder(boolInt(col.V[a]), boolInt(col.V[b])) }
+		default:
+			return nil, fmt.Errorf("exec: cannot sort by %s column", c.Type())
+		}
+		if desc {
+			inner := f
+			f = func(a, b int32) int { return -inner(a, b) }
+		}
+		cmps[ki] = f
+	}
+	idx := SelAll(t.NumRows())
+	sort.SliceStable(idx, func(i, j int) bool {
+		a, b := idx[i], idx[j]
+		for _, f := range cmps {
+			if c := f(a, b); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	n := int64(t.NumRows())
+	if n > 1 {
+		ctr.IntOps += n * int64(math.Ilogb(float64(n))+1) * int64(len(keys)+1)
+		ctr.RandomAccesses += n * int64(math.Ilogb(float64(n))+1)
+	}
+	return idx, nil
+}
+
+// SortTable materializes t ordered by keys.
+func SortTable(t *colstore.Table, keys []SortKey, ctr *Counters) (*colstore.Table, error) {
+	idx, err := ArgSort(t, keys, ctr)
+	if err != nil {
+		return nil, err
+	}
+	out := t.Gather(idx)
+	ctr.TuplesMaterialized += int64(out.NumRows())
+	ctr.BytesMaterialized += out.SizeBytes()
+	ctr.RandomAccesses += int64(out.NumRows()) * int64(out.NumCols())
+	return out, nil
+}
+
+// TopN materializes the first n rows of t ordered by keys. TPC-H result
+// sets after aggregation are small, so a full sort followed by a slice is
+// adequate.
+func TopN(t *colstore.Table, keys []SortKey, n int, ctr *Counters) (*colstore.Table, error) {
+	sorted, err := SortTable(t, keys, ctr)
+	if err != nil {
+		return nil, err
+	}
+	if n < sorted.NumRows() {
+		return sorted.Slice(0, n), nil
+	}
+	return sorted, nil
+}
+
+func cmpOrder(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpOrderF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpOrderS(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

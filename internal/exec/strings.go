@@ -1,0 +1,116 @@
+package exec
+
+import "wimpi/internal/colstore"
+
+// MatchLike reports whether s matches a SQL LIKE pattern. The matcher
+// supports the '%' (any run, including empty) and '_' (any single byte)
+// wildcards, which covers every pattern in TPC-H (e.g.
+// '%special%requests%', 'PROMO%', 'MED%').
+func MatchLike(s, pattern string) bool {
+	return likeMatch(s, pattern)
+}
+
+func likeMatch(s, p string) bool {
+	// Iterative two-pointer matcher with backtracking to the last '%'.
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// EqMask returns a code mask matching exactly s. If s is not in the
+// dictionary the mask is all-false.
+func EqMask(d *colstore.Dict, s string) []bool {
+	mask := make([]bool, d.Len())
+	if c, ok := d.Lookup(s); ok {
+		mask[c] = true
+	}
+	return mask
+}
+
+// NeMask returns a code mask matching every value except s.
+func NeMask(d *colstore.Dict, s string) []bool {
+	mask := make([]bool, d.Len())
+	for i := range mask {
+		mask[i] = true
+	}
+	if c, ok := d.Lookup(s); ok {
+		mask[c] = false
+	}
+	return mask
+}
+
+// InMask returns a code mask matching any of vals.
+func InMask(d *colstore.Dict, vals ...string) []bool {
+	mask := make([]bool, d.Len())
+	for _, v := range vals {
+		if c, ok := d.Lookup(v); ok {
+			mask[c] = true
+		}
+	}
+	return mask
+}
+
+// LikeMask returns a code mask matching the LIKE pattern. The predicate
+// is evaluated once per distinct value; the kernel charges one string
+// operation per dictionary entry.
+func LikeMask(d *colstore.Dict, pattern string, ctr *Counters) []bool {
+	ctr.IntOps += int64(d.Len()) * 8 // rough per-string matching cost
+	return d.MatchMask(func(s string) bool { return likeMatch(s, pattern) })
+}
+
+// NotLikeMask returns the complement of LikeMask.
+func NotLikeMask(d *colstore.Dict, pattern string, ctr *Counters) []bool {
+	mask := LikeMask(d, pattern, ctr)
+	for i := range mask {
+		mask[i] = !mask[i]
+	}
+	return mask
+}
+
+// PrefixMask returns a code mask matching values with the given prefix
+// (LIKE 'prefix%').
+func PrefixMask(d *colstore.Dict, prefix string, ctr *Counters) []bool {
+	ctr.IntOps += int64(d.Len()) * 4
+	return d.MatchMask(func(s string) bool {
+		return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+	})
+}
+
+// ContainsMask returns a code mask matching values containing the given
+// substring (LIKE '%sub%').
+func ContainsMask(d *colstore.Dict, sub string, ctr *Counters) []bool {
+	ctr.IntOps += int64(d.Len()) * 8
+	return d.MatchMask(func(s string) bool { return containsStr(s, sub) })
+}
+
+func containsStr(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,212 @@
+package hardware
+
+import (
+	"testing"
+	"time"
+
+	"wimpi/internal/exec"
+)
+
+func TestProfilesTableI(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 10 {
+		t.Fatalf("got %d profiles, want 10", len(ps))
+	}
+	var onprem, cloud, sbc int
+	for i := range ps {
+		p := &ps[i]
+		switch p.Category {
+		case OnPremises:
+			onprem++
+		case Cloud:
+			cloud++
+		case SBC:
+			sbc++
+		}
+		if p.TotalCores() < 4 || p.FreqGHz <= 0 || p.IntOpsPerCore <= 0 ||
+			p.FpOpsPerCore <= 0 || p.MemBW1 <= 0 || p.MemBWAll < p.MemBW1 ||
+			p.LLCBytes <= 0 || p.QueryOverheadSec <= 0 {
+			t.Errorf("%s: implausible profile %+v", p.Name, p)
+		}
+	}
+	if onprem != 2 || cloud != 7 || sbc != 1 {
+		t.Fatalf("category counts = %d/%d/%d", onprem, cloud, sbc)
+	}
+	// Table I spot checks.
+	pi := Pi()
+	if pi.MSRPUSD != 35 || pi.TDPWatts != 5.1 || pi.Cores != 4 || pi.LLCBytes != 512*1024 {
+		t.Errorf("Pi profile diverges from Table I: %+v", pi)
+	}
+	e5, err := ByName("op-e5")
+	if err != nil || e5.MSRPUSD != 1389 || e5.TDPWatts != 95 || e5.Cores != 10 || e5.Sockets != 2 {
+		t.Errorf("op-e5 profile diverges from Table I")
+	}
+	gold, _ := ByName("op-gold")
+	if gold.MSRPUSD != 3358 || gold.TDPWatts != 165 || gold.Cores != 18 {
+		t.Errorf("op-gold profile diverges from Table I")
+	}
+	c6g, _ := ByName("c6g.metal")
+	if c6g.Cores != 64 || c6g.HourlyUSD != 2.176 {
+		t.Errorf("c6g profile diverges from Table I")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should error")
+	}
+	if len(OnPrem()) != 2 || len(CloudProfiles()) != 7 || len(Servers()) != 9 {
+		t.Error("grouping helpers wrong")
+	}
+}
+
+func TestMemBWSaturation(t *testing.T) {
+	pi := Pi()
+	if bw1, bw4 := pi.MemBW(1), pi.MemBW(4); bw4 > bw1*1.3 {
+		t.Errorf("Pi bandwidth should saturate with one core: %g vs %g", bw1, bw4)
+	}
+	e5, _ := ByName("op-e5")
+	if e5.MemBW(1) >= e5.MemBW(e5.TotalCores()) {
+		t.Error("server bandwidth should scale with cores")
+	}
+	if e5.MemBW(1000) != e5.MemBWAll {
+		t.Error("bandwidth must clamp at MemBWAll")
+	}
+}
+
+func scanCounters(bytes int64) exec.Counters {
+	return exec.Counters{
+		TuplesScanned: bytes / 8,
+		SeqBytes:      bytes,
+		IntOps:        bytes / 8,
+	}
+}
+
+func TestModelCPUvsMemoryBound(t *testing.T) {
+	m := DefaultModel()
+	pi := Pi()
+	e5, _ := ByName("op-e5")
+
+	// A huge sequential scan: memory-bound on the Pi.
+	scan := scanCounters(512 << 20)
+	bPi := m.Explain(&pi, scan, 0)
+	if !bPi.MemoryBound {
+		t.Errorf("512MB scan on Pi should be memory-bound: %+v", bPi)
+	}
+	// Compute-heavy, low-byte workload: CPU-bound everywhere.
+	compute := exec.Counters{IntOps: 5e9, FloatOps: 2e9, SeqBytes: 1 << 20, TuplesScanned: 1e6}
+	bC := m.Explain(&pi, compute, 0)
+	if bC.MemoryBound {
+		t.Errorf("compute workload on Pi should be CPU-bound: %+v", bC)
+	}
+
+	// The scan gap between Pi and op-e5 must track the bandwidth ratio;
+	// the compute gap must track the compute ratio (the paper's central
+	// observation: scans are where the Pi collapses).
+	scanRatio := m.QueryTime(&pi, scan, 0).Seconds() / m.QueryTime(&e5, scan, 0).Seconds()
+	compRatio := m.QueryTime(&pi, compute, 0).Seconds() / m.QueryTime(&e5, compute, 0).Seconds()
+	if scanRatio <= compRatio {
+		t.Errorf("scan ratio %.1f should exceed compute ratio %.1f", scanRatio, compRatio)
+	}
+	if scanRatio < 5 || scanRatio > 60 {
+		t.Errorf("Pi/op-e5 scan ratio %.1f outside plausible band", scanRatio)
+	}
+}
+
+func TestModelMonotonicity(t *testing.T) {
+	m := DefaultModel()
+	for _, p := range Profiles() {
+		p := p
+		small := scanCounters(64 << 20)
+		big := scanCounters(256 << 20)
+		if m.QueryTime(&p, small, 0) >= m.QueryTime(&p, big, 0) {
+			t.Errorf("%s: more work should take longer", p.Name)
+		}
+		// More cores never hurt.
+		if m.QueryTime(&p, big, 1) < m.QueryTime(&p, big, 0) {
+			t.Errorf("%s: all cores slower than one core", p.Name)
+		}
+	}
+}
+
+func TestModelLLCEffect(t *testing.T) {
+	m := DefaultModel()
+	e5, _ := ByName("op-e5")
+	probes := exec.Counters{RandomAccesses: 1e8, TuplesScanned: 1e8, HashProbeTuples: 1e8}
+	inLLC := probes
+	inLLC.MaxHashBytes = 1 << 20 // 1 MB: fits 25 MB LLC
+	inDRAM := probes
+	inDRAM.MaxHashBytes = 1 << 30 // 1 GB: misses
+	if m.QueryTime(&e5, inLLC, 0) >= m.QueryTime(&e5, inDRAM, 0) {
+		t.Error("LLC-resident hash table should be faster than DRAM-resident")
+	}
+}
+
+func TestModelSwapCliff(t *testing.T) {
+	m := DefaultModel()
+	pi := Pi()
+	fits := scanCounters(200 << 20)
+	fits.PeakLiveBytes = 800 << 20
+	thrash := fits
+	thrash.PeakLiveBytes = 2500 << 20 // 2.5 GB working set on a 1 GB node
+	tFit := m.QueryTime(&pi, fits, 0)
+	tThrash := m.QueryTime(&pi, thrash, 0)
+	if tThrash < 10*tFit {
+		t.Errorf("swap cliff too shallow: %v vs %v", tFit, tThrash)
+	}
+	b := m.Explain(&pi, thrash, 0)
+	if b.SwapSeconds <= 0 || !b.MemoryBound {
+		t.Errorf("thrash breakdown wrong: %+v", b)
+	}
+	// Servers with large RAM are unaffected.
+	e5, _ := ByName("op-e5")
+	if m.Explain(&e5, thrash, 0).SwapSeconds != 0 {
+		t.Error("server should not swap at 2.5 GB")
+	}
+}
+
+func TestModelBreakdownConsistency(t *testing.T) {
+	m := DefaultModel()
+	pi := Pi()
+	c := exec.Counters{
+		IntOps: 1e8, FloatOps: 1e7, SeqBytes: 1 << 26,
+		RandomAccesses: 1e6, HashProbeTuples: 1e6, AggUpdates: 1e6,
+		TuplesScanned: 1e7,
+	}
+	b := m.Explain(&pi, c, 0)
+	if b.Total <= 0 {
+		t.Fatal("total not positive")
+	}
+	want := b.CPUSeconds + b.MemRandSeconds
+	if b.MemSeqSeconds > want {
+		want = b.MemSeqSeconds
+	}
+	want += b.SwapSeconds + b.OverheadSeconds
+	if diff := b.Total - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("total %g != recomposed %g", b.Total, want)
+	}
+	if m.QueryTime(&pi, c, 0) != time.Duration(b.Total*float64(time.Second)) {
+		t.Error("QueryTime disagrees with Explain")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	pi := Pi()
+	if e := EnergyJoules(&pi, 10*time.Second); e != 51 {
+		t.Errorf("Pi energy = %g J, want 51", e)
+	}
+	if e := IdleEnergyJoules(&pi, 10*time.Second); e != 19 {
+		t.Errorf("Pi idle energy = %g J, want 19", e)
+	}
+	a1, _ := ByName("a1.metal")
+	if EnergyJoules(&a1, time.Second) != 0 {
+		t.Error("profiles without TDP should report zero energy")
+	}
+}
+
+func TestIntFpAllCoreHelpers(t *testing.T) {
+	e5, _ := ByName("op-e5")
+	if e5.IntOpsAll() != e5.IntOpsPerCore*20*1.25 {
+		t.Error("IntOpsAll wrong")
+	}
+	if e5.FpOpsAll() != e5.FpOpsPerCore*20*1.25 {
+		t.Error("FpOpsAll wrong")
+	}
+}

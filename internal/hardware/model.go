@@ -1,0 +1,138 @@
+package hardware
+
+import (
+	"time"
+
+	"wimpi/internal/exec"
+)
+
+// Model converts a recorded work profile into simulated runtimes for any
+// hardware profile. The tunables have physically motivated defaults;
+// tests pin down the model's qualitative behaviour (monotonicity, the
+// CPU-bound/memory-bound split) rather than absolute constants.
+type Model struct {
+	// HashOpCost is the integer-op cost charged per hash build/probe
+	// tuple on top of the random access itself.
+	HashOpCost float64
+	// AggOpCost is the integer-op cost per aggregate-state update.
+	AggOpCost float64
+	// MLP is the assumed memory-level parallelism per core: how many
+	// independent random accesses a core keeps in flight.
+	MLP float64
+	// SwapBWBytes is the microSD/swap device bandwidth used when a
+	// working set exceeds RAM (the WimPi thrashing cliff, §III-C.4).
+	SwapBWBytes float64
+	// SwapPassFactor scales the thrash penalty once a working set
+	// exceeds RAM. It is calibrated so the Table III cliff magnitude
+	// matches the paper's relative shape at this engine's (leaner)
+	// absolute time scale.
+	SwapPassFactor float64
+}
+
+// DefaultModel returns the calibrated default model.
+func DefaultModel() Model {
+	return Model{
+		HashOpCost:     10,
+		AggOpCost:      6,
+		MLP:            4,
+		SwapBWBytes:    80e6, // ~80 MB/s microSD
+		SwapPassFactor: 1.5,
+	}
+}
+
+// Breakdown reports where simulated time went, for EXPLAIN ANALYZE-style
+// output and for tests that check which resource bound a query.
+type Breakdown struct {
+	// CPUSeconds is integer+float compute time.
+	CPUSeconds float64
+	// MemSeqSeconds is sequential-bandwidth time.
+	MemSeqSeconds float64
+	// MemRandSeconds is random-access latency time.
+	MemRandSeconds float64
+	// SwapSeconds is thrashing time when the working set exceeds RAM.
+	SwapSeconds float64
+	// OverheadSeconds is fixed per-query system overhead.
+	OverheadSeconds float64
+	// Total is the simulated wall-clock time.
+	Total float64
+	// MemoryBound reports whether bandwidth (rather than compute)
+	// dominated.
+	MemoryBound bool
+}
+
+// QueryTime simulates the runtime of a query whose kernels recorded c,
+// executed with up to dop parallel workers on profile p. dop <= 0 means
+// all cores.
+func (m Model) QueryTime(p *Profile, c exec.Counters, dop int) time.Duration {
+	return time.Duration(m.Explain(p, c, dop).Total * float64(time.Second))
+}
+
+// Explain is QueryTime with a full resource breakdown.
+func (m Model) Explain(p *Profile, c exec.Counters, dop int) Breakdown {
+	cores := p.TotalCores()
+	if dop > 0 && dop < cores {
+		cores = dop
+	}
+	fcores := float64(cores)
+
+	intOps := float64(c.IntOps) +
+		m.HashOpCost*float64(c.HashBuildTuples+c.HashProbeTuples) +
+		m.AggOpCost*float64(c.AggUpdates)
+	cpu := intOps/(p.IntOpsPerCore*fcores*p.SMTSpeedup) +
+		float64(c.FloatOps)/(p.FpOpsPerCore*fcores*p.SMTSpeedup)
+
+	memSeq := float64(c.SeqBytes) / p.MemBW(cores)
+
+	lat := p.DRAMLatency
+	if c.MaxHashBytes > 0 && c.MaxHashBytes <= p.LLCBytes {
+		lat = p.LLCLatency
+	}
+	memRand := float64(c.RandomAccesses) * lat / (fcores * m.MLP)
+
+	var swap float64
+	// The query's working set: every base column touched, plus live
+	// intermediates and the largest hash table. Once it exceeds RAM,
+	// the node thrashes: pages cycle through the microSD swap device
+	// repeatedly (§III-C.4).
+	working := c.TouchedBaseBytes + c.PeakLiveBytes + c.MaxHashBytes
+	if p.RAMBytes > 0 && working > p.RAMBytes {
+		pressure := float64(working) / float64(p.RAMBytes)
+		swap = float64(working) * (pressure - 1) * pressure * m.SwapPassFactor / m.SwapBWBytes
+	}
+
+	b := Breakdown{
+		CPUSeconds:      cpu,
+		MemSeqSeconds:   memSeq,
+		MemRandSeconds:  memRand,
+		SwapSeconds:     swap,
+		OverheadSeconds: p.QueryOverheadSec,
+	}
+	// Sequential streaming overlaps with compute (column-at-a-time
+	// kernels are either bandwidth- or compute-limited); random access
+	// latency overlaps only partially.
+	busy := cpu + memRand
+	if memSeq > busy {
+		b.Total = memSeq
+		b.MemoryBound = true
+	} else {
+		b.Total = busy
+	}
+	b.Total += swap + p.QueryOverheadSec
+	if swap > b.Total/2 {
+		b.MemoryBound = true
+	}
+	return b
+}
+
+// EnergyJoules estimates the energy consumed running at full load for
+// the given simulated duration: TDP × time, the paper's methodology
+// (Section III-B.1). Profiles without a public TDP return 0.
+func EnergyJoules(p *Profile, d time.Duration) float64 {
+	return p.TDPWatts * d.Seconds()
+}
+
+// IdleEnergyJoules estimates energy drawn while idle for the duration
+// (Section III-B.2).
+func IdleEnergyJoules(p *Profile, d time.Duration) float64 {
+	return p.IdleWatts * d.Seconds()
+}

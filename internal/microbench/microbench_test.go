@@ -1,0 +1,174 @@
+package microbench
+
+import (
+	"testing"
+
+	"wimpi/internal/hardware"
+)
+
+func TestHostKernelsProducePlausibleScores(t *testing.T) {
+	w := RunWhetstone(20000)
+	if w.Score <= 0 || w.Unit != "MWIPS" {
+		t.Errorf("whetstone: %+v", w)
+	}
+	d := RunDhrystone(200000)
+	if d.Score <= 0 || d.Unit != "DMIPS" {
+		t.Errorf("dhrystone: %+v", d)
+	}
+	s := RunSysbenchCPU(20000)
+	if s.Score <= 0 || s.Unit != "seconds" {
+		t.Errorf("sysbench: %+v", s)
+	}
+	m := RunMemBW(1 << 22)
+	if m.Score <= 0 || m.Unit != "GB/s" {
+		t.Errorf("membw: %+v", m)
+	}
+}
+
+func TestCountPrimes(t *testing.T) {
+	if n := countPrimes(2, 10); n != 4 { // 2 3 5 7
+		t.Errorf("primes to 10 = %d", n)
+	}
+	if n := countPrimes(2, 100); n != 25 {
+		t.Errorf("primes to 100 = %d", n)
+	}
+}
+
+func TestRunParallelAggregation(t *testing.T) {
+	r := RunParallel(4, func() Result { return Result{Name: "x", Score: 2, Unit: "DMIPS"} })
+	if r.Score != 8 || r.Cores != 4 {
+		t.Errorf("throughput aggregation: %+v", r)
+	}
+	r = RunParallel(4, func() Result { return Result{Name: "x", Score: 2, Unit: "seconds"} })
+	if r.Score != 2 {
+		t.Errorf("seconds aggregation should take max: %+v", r)
+	}
+	r = RunParallel(0, func() Result { return Result{Score: 1, Unit: "DMIPS"} })
+	if r.Cores != 1 {
+		t.Error("n<1 should clamp to 1")
+	}
+	if HostCores() < 1 {
+		t.Error("HostCores")
+	}
+}
+
+// projections lifts each comparison point's score for one benchmark.
+func projections(t *testing.T, f func(*hardware.Profile, int) Result, cores func(*hardware.Profile) int) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, p := range hardware.Profiles() {
+		p := p
+		out[p.Name] = f(&p, cores(&p)).Score
+	}
+	return out
+}
+
+func one(*hardware.Profile) int { return 1 }
+func all(*hardware.Profile) int { return 0 }
+
+// The projection tests pin the Figure 2 claims from Section II-C.1/2.
+func TestFigure2SingleCoreClaims(t *testing.T) {
+	w := projections(t, ProjectWhetstone, one)
+	// Pi single-core FP is 2-3x below op-e5 and roughly 5-6x below
+	// op-gold and m5.metal.
+	if r := w["op-e5"] / w["Pi 3B+"]; r < 2 || r > 3.2 {
+		t.Errorf("whetstone op-e5/Pi = %.2f, want 2-3", r)
+	}
+	if r := w["op-gold"] / w["Pi 3B+"]; r < 4.5 || r > 6.5 {
+		t.Errorf("whetstone op-gold/Pi = %.2f, want ~5-6", r)
+	}
+	if r := w["m5.metal"] / w["Pi 3B+"]; r < 4.5 || r > 6.5 {
+		t.Errorf("whetstone m5/Pi = %.2f, want ~5-6", r)
+	}
+	// z1d.metal has the best single-core performance.
+	for name, v := range w {
+		if v > w["z1d.metal"] {
+			t.Errorf("whetstone: %s (%.1f) beats z1d.metal (%.1f)", name, v, w["z1d.metal"])
+		}
+	}
+	// Sysbench single-core: Pi roughly equals op-e5; other servers are
+	// 1.2-3.9x better (lower seconds).
+	s := projections(t, ProjectSysbenchCPU, one)
+	if r := s["Pi 3B+"] / s["op-e5"]; r < 0.85 || r > 1.2 {
+		t.Errorf("sysbench Pi/op-e5 = %.2f, want ~1", r)
+	}
+	for _, name := range []string{"op-gold", "c4.8xlarge", "m4.10xlarge", "m4.16xlarge", "z1d.metal", "m5.metal", "a1.metal", "c6g.metal"} {
+		r := s["Pi 3B+"] / s[name]
+		if r < 1.1 || r > 4.2 {
+			t.Errorf("sysbench Pi/%s = %.2f, want 1.2-3.9", name, r)
+		}
+	}
+}
+
+func TestFigure2AllCoreClaims(t *testing.T) {
+	// All-core compute: servers 10-90x the Pi on Whetstone/Dhrystone,
+	// with c6g.metal the strongest by a wide margin.
+	w := projections(t, ProjectWhetstone, all)
+	d := projections(t, ProjectDhrystone, all)
+	for name := range w {
+		if name == "Pi 3B+" {
+			continue
+		}
+		rw := w[name] / w["Pi 3B+"]
+		if rw < 8 || rw > 95 {
+			t.Errorf("whetstone all-core %s/Pi = %.1f, want 10-90", name, rw)
+		}
+		rd := d[name] / d["Pi 3B+"]
+		if rd < 4 || rd > 95 {
+			t.Errorf("dhrystone all-core %s/Pi = %.1f", name, rd)
+		}
+	}
+	for name, v := range w {
+		if v > w["c6g.metal"] {
+			t.Errorf("all-core whetstone: %s beats c6g.metal", name)
+		}
+	}
+	// Sysbench all-core: servers 4-14x except c6g.metal (bigger).
+	s := projections(t, ProjectSysbenchCPU, all)
+	for _, name := range []string{"op-e5", "op-gold", "c4.8xlarge", "m4.10xlarge", "m4.16xlarge", "z1d.metal", "m5.metal", "a1.metal"} {
+		r := s["Pi 3B+"] / s[name]
+		if r < 3.2 || r > 17 {
+			t.Errorf("sysbench all-core Pi/%s = %.1f, want roughly 4-14", name, r)
+		}
+	}
+	if r := s["Pi 3B+"] / s["c6g.metal"]; r < 16 {
+		t.Errorf("c6g.metal should exceed the 4-14x band, got %.1f", r)
+	}
+}
+
+func TestFigure2MemoryBandwidthClaims(t *testing.T) {
+	b1 := projections(t, ProjectMemBW, one)
+	ball := projections(t, ProjectMemBW, all)
+	// Single core: Pi 5-11x below the servers.
+	for name := range b1 {
+		if name == "Pi 3B+" {
+			continue
+		}
+		r := b1[name] / b1["Pi 3B+"]
+		if r < 4.5 || r > 11.5 {
+			t.Errorf("membw 1-core %s/Pi = %.1f, want 5-11", name, r)
+		}
+	}
+	// All cores: Pi stays nearly flat; servers 20-99x ahead.
+	if r := ball["Pi 3B+"] / b1["Pi 3B+"]; r > 1.3 {
+		t.Errorf("Pi all-core bandwidth should stay near single-core, ratio %.2f", r)
+	}
+	for name := range ball {
+		if name == "Pi 3B+" {
+			continue
+		}
+		r := ball[name] / ball["Pi 3B+"]
+		if r < 18 || r > 100 {
+			t.Errorf("membw all-core %s/Pi = %.1f, want 20-99", name, r)
+		}
+	}
+	// A 24-node WimPi aggregate (~24x Pi) matches op-e5 and m4.10xlarge;
+	// op-gold and m5.metal need roughly triple that (Section II-C.2).
+	agg24 := 24 * ball["Pi 3B+"]
+	if r := ball["op-e5"] / agg24; r < 0.7 || r > 1.4 {
+		t.Errorf("24-node aggregate vs op-e5 = %.2f, want ~1", r)
+	}
+	if r := ball["op-gold"] / agg24; r < 2.2 || r > 4 {
+		t.Errorf("op-gold vs 24-node aggregate = %.2f, want ~3", r)
+	}
+}

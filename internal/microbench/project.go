@@ -1,0 +1,82 @@
+package microbench
+
+import (
+	"math"
+
+	"wimpi/internal/hardware"
+)
+
+// The projection constants map a profile's calibrated throughput scalars
+// onto each benchmark's score scale. They are shared by all profiles, so
+// they cancel in every cross-profile ratio — Figure 2 is about relative
+// scores.
+const (
+	// fpOpsPerWhetstoneInstr is the floating-point work (including the
+	// transcendental-heavy modules) behind one Whetstone "instruction".
+	fpOpsPerWhetstoneInstr = 1.6
+	// intOpsPerDhrystone is the integer work of one Dhrystone iteration.
+	intOpsPerDhrystone = 320.0
+	// vaxDhrystonesPerSec is the VAX 11/780 baseline dividing DMIPS.
+	vaxDhrystonesPerSec = 1757.0
+	// sysbenchOpsPerCandidate is the average trial-division work per
+	// candidate integer at the default --cpu-max-prime=10000.
+	sysbenchOpsPerCandidate = 110.0
+	// sysbenchCandidates is the default candidate count (10k events of
+	// primality checks in sysbench's default configuration).
+	sysbenchCandidates = 10000.0 * 20
+)
+
+// ProjectWhetstone returns the projected MWIPS for p using the given
+// core count (0 means all cores).
+func ProjectWhetstone(p *hardware.Profile, cores int) Result {
+	n, throughput := scaled(cores, p, p.FpOpsPerCore)
+	return Result{Name: "whetstone", Cores: n, Score: throughput / fpOpsPerWhetstoneInstr / 1e6, Unit: "MWIPS"}
+}
+
+// ProjectDhrystone returns the projected DMIPS for p.
+func ProjectDhrystone(p *hardware.Profile, cores int) Result {
+	n, throughput := scaled(cores, p, p.IntOpsPerCore)
+	return Result{Name: "dhrystone", Cores: n, Score: throughput / intOpsPerDhrystone / vaxDhrystonesPerSec, Unit: "DMIPS"}
+}
+
+// sysbenchScalingExp models sysbench's sublinear thread scaling: its
+// event loop serializes enough that the paper's all-core gaps (4-14x)
+// are far smaller than Whetstone's (up to 90x).
+const sysbenchScalingExp = 0.75
+
+// ProjectSysbenchCPU returns the projected runtime in seconds of the
+// sysbench prime benchmark for p (lower is better).
+func ProjectSysbenchCPU(p *hardware.Profile, cores int) Result {
+	n := cores
+	if n <= 0 {
+		n = p.TotalCores()
+	}
+	throughput := p.IntOpsPerCore * math.Pow(float64(n), sysbenchScalingExp)
+	work := sysbenchCandidates * sysbenchOpsPerCandidate
+	return Result{Name: "sysbench-cpu", Cores: n, Score: work / throughput, Unit: "seconds"}
+}
+
+// ProjectMemBW returns the projected sequential bandwidth in GB/s for p.
+// Unlike the CPU benchmarks, SMT does not help bandwidth, and a single
+// Pi core nearly saturates its one memory channel (Section II-C.2).
+func ProjectMemBW(p *hardware.Profile, cores int) Result {
+	n := cores
+	if n <= 0 {
+		n = p.TotalCores()
+	}
+	return Result{Name: "membw", Cores: n, Score: p.MemBW(n) / 1e9, Unit: "GB/s"}
+}
+
+func scaled(cores int, p *hardware.Profile, perCore float64) (int, float64) {
+	n := cores
+	if n <= 0 {
+		n = p.TotalCores()
+	}
+	throughput := perCore * float64(n)
+	if n > 1 {
+		// SMT applies only in the all-core configuration (the paper ran
+		// 2x threads on the Intel parts).
+		throughput *= p.SMTSpeedup
+	}
+	return n, throughput
+}

@@ -1,0 +1,195 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+)
+
+// NodeStats records one operator's contribution during an analyzed
+// execution.
+type NodeStats struct {
+	// Label is the operator's one-line description.
+	Label string
+	// Depth is the operator's depth in the plan tree.
+	Depth int
+	// Rows is the operator's output cardinality.
+	Rows int
+	// OutputBytes is the operator's output footprint.
+	OutputBytes int64
+	// HostDuration is wall-clock time spent in this operator,
+	// excluding its children.
+	HostDuration time.Duration
+	// Counters is the work charged by this operator, excluding its
+	// children.
+	Counters exec.Counters
+}
+
+// analyzeNode wraps a node, timing it and diffing the context counters
+// around its execution.
+type analyzeNode struct {
+	inner Node
+	stats *[]NodeStats
+	depth int
+}
+
+// Execute implements Node.
+func (a *analyzeNode) Execute(ctx *Context) (*colstore.Table, error) {
+	// Record an entry eagerly so parents appear before children and the
+	// child-inclusive measurements can be corrected afterwards.
+	idx := len(*a.stats)
+	*a.stats = append(*a.stats, NodeStats{
+		Label: strings.TrimSpace(a.inner.Explain(0)),
+		Depth: a.depth,
+	})
+	before := *ctx.Ctr
+	start := time.Now()
+	out, err := a.inner.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	st := &(*a.stats)[idx]
+	st.Rows = out.NumRows()
+	st.OutputBytes = out.SizeBytes()
+	// Inclusive measurements; Analyze converts them to exclusive in a
+	// post-pass once all children are recorded.
+	st.HostDuration = elapsed
+	st.Counters = diffCounters(before, *ctx.Ctr)
+	return out, nil
+}
+
+// exclusiveStats converts inclusive pre-order measurements to exclusive
+// ones by subtracting each node's direct children (which, in pre-order,
+// are the following entries one level deeper, up to the next entry at
+// the node's own depth or shallower).
+func exclusiveStats(stats []NodeStats) {
+	// Process parents before their children (ascending pre-order), so a
+	// parent always subtracts its children's still-inclusive values.
+	for i := 0; i < len(stats); i++ {
+		for j := i + 1; j < len(stats); j++ {
+			if stats[j].Depth <= stats[i].Depth {
+				break
+			}
+			if stats[j].Depth == stats[i].Depth+1 {
+				stats[i].HostDuration -= stats[j].HostDuration
+				stats[i].Counters = diffCounters(stats[j].Counters, stats[i].Counters)
+			}
+		}
+	}
+}
+
+// Explain implements Node.
+func (a *analyzeNode) Explain(depth int) string { return a.inner.Explain(depth) }
+
+func diffCounters(before, after exec.Counters) exec.Counters {
+	return exec.Counters{
+		TuplesScanned:      after.TuplesScanned - before.TuplesScanned,
+		SeqBytes:           after.SeqBytes - before.SeqBytes,
+		RandomAccesses:     after.RandomAccesses - before.RandomAccesses,
+		IntOps:             after.IntOps - before.IntOps,
+		FloatOps:           after.FloatOps - before.FloatOps,
+		HashBuildTuples:    after.HashBuildTuples - before.HashBuildTuples,
+		HashProbeTuples:    after.HashProbeTuples - before.HashProbeTuples,
+		AggUpdates:         after.AggUpdates - before.AggUpdates,
+		TuplesMaterialized: after.TuplesMaterialized - before.TuplesMaterialized,
+		BytesMaterialized:  after.BytesMaterialized - before.BytesMaterialized,
+		TouchedBaseBytes:   after.TouchedBaseBytes - before.TouchedBaseBytes,
+		MaxHashBytes:       after.MaxHashBytes,
+		PeakLiveBytes:      after.PeakLiveBytes,
+	}
+}
+
+// instrument returns a deep copy of the plan with every node wrapped for
+// analysis. It understands all node types defined in this package;
+// unknown nodes (e.g. query-defined function nodes) are wrapped without
+// descending into their internals.
+func instrument(n Node, stats *[]NodeStats, depth int) Node {
+	wrap := func(inner Node) Node { return &analyzeNode{inner: inner, stats: stats, depth: depth} }
+	switch v := n.(type) {
+	case *Scan:
+		c := *v
+		return wrap(&c)
+	case *Filter:
+		c := *v
+		c.Input = instrument(v.Input, stats, depth+1)
+		return wrap(&c)
+	case *Project:
+		c := *v
+		c.Input = instrument(v.Input, stats, depth+1)
+		return wrap(&c)
+	case *Rename:
+		c := *v
+		c.Input = instrument(v.Input, stats, depth+1)
+		return wrap(&c)
+	case *Limit:
+		c := *v
+		c.Input = instrument(v.Input, stats, depth+1)
+		return wrap(&c)
+	case *OrderBy:
+		c := *v
+		c.Input = instrument(v.Input, stats, depth+1)
+		return wrap(&c)
+	case *GroupBy:
+		c := *v
+		c.Input = instrument(v.Input, stats, depth+1)
+		return wrap(&c)
+	case *HashJoin:
+		c := *v
+		c.Build = instrument(v.Build, stats, depth+1)
+		c.Probe = instrument(v.Probe, stats, depth+1)
+		return wrap(&c)
+	default:
+		return wrap(n)
+	}
+}
+
+// Analysis is the outcome of an analyzed execution.
+type Analysis struct {
+	// Table is the query result.
+	Table *colstore.Table
+	// Counters is the total work.
+	Counters exec.Counters
+	// Stats holds per-operator measurements in pre-order.
+	Stats []NodeStats
+}
+
+// Analyze executes a plan with per-operator instrumentation — the
+// engine's EXPLAIN ANALYZE.
+func Analyze(cat Catalog, workers int, n Node) (*Analysis, error) {
+	var stats []NodeStats
+	wrapped := instrument(n, &stats, 0)
+	out, ctr, err := Run(cat, workers, wrapped)
+	if err != nil {
+		return nil, err
+	}
+	exclusiveStats(stats)
+	return &Analysis{Table: out, Counters: ctr, Stats: stats}, nil
+}
+
+// Render formats the analysis as an annotated plan tree.
+func (a *Analysis) Render() string {
+	var b strings.Builder
+	b.WriteString("operator                                          rows     out-bytes       time     seq-bytes      rnd-acc\n")
+	for _, st := range a.Stats {
+		label := strings.Repeat("  ", st.Depth) + firstLine(st.Label)
+		if len(label) > 48 {
+			label = label[:45] + "..."
+		}
+		fmt.Fprintf(&b, "%-48s %8d %13d %10s %13d %12d\n",
+			label, st.Rows, st.OutputBytes,
+			st.HostDuration.Round(time.Microsecond),
+			st.Counters.SeqBytes, st.Counters.RandomAccesses)
+	}
+	return b.String()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"wimpi/internal/exec"
+)
+
+func TestAnalyzeMatchesRunAndAttributesWork(t *testing.T) {
+	cat := testCatalog()
+	node := &GroupBy{
+		Input: &HashJoin{
+			Build:     &Scan{Table: "cust"},
+			Probe:     &Scan{Table: "orders", Pred: exec.CmpF{Column: "o_total", Op: exec.Gt, V: 30}},
+			BuildKeys: []string{"c_id"},
+			ProbeKeys: []string{"o_cust"},
+			Kind:      Inner,
+		},
+		Keys: []string{"c_name"},
+		Aggs: []AggSpec{{Name: "total", Func: Sum, Arg: exec.Col{Name: "o_total"}}},
+	}
+	plain, plainCtr, err := Run(cat, 1, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(cat, 1, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same result and (nearly) same totals.
+	if an.Table.NumRows() != plain.NumRows() {
+		t.Fatalf("analyzed rows %d != plain %d", an.Table.NumRows(), plain.NumRows())
+	}
+	if an.Counters.TuplesScanned != plainCtr.TuplesScanned ||
+		an.Counters.SeqBytes != plainCtr.SeqBytes {
+		t.Errorf("analyzed counters diverge: %+v vs %+v", an.Counters, plainCtr)
+	}
+	// One stats row per operator: groupby, join, 2 scans.
+	if len(an.Stats) != 4 {
+		t.Fatalf("stats rows = %d, want 4", len(an.Stats))
+	}
+	// Pre-order: the root is first and has depth 0.
+	if an.Stats[0].Depth != 0 || !strings.Contains(an.Stats[0].Label, "group by") {
+		t.Errorf("root stats wrong: %+v", an.Stats[0])
+	}
+	// Exclusive counters sum to (approximately) the totals.
+	var sum int64
+	for _, st := range an.Stats {
+		if st.Rows < 0 || st.HostDuration < 0 {
+			t.Errorf("negative exclusive measurement: %+v", st)
+		}
+		sum += st.Counters.TuplesScanned
+	}
+	if sum != an.Counters.TuplesScanned {
+		t.Errorf("exclusive TuplesScanned sum %d != total %d", sum, an.Counters.TuplesScanned)
+	}
+	// Render produces one line per operator plus a header.
+	r := an.Render()
+	if got := strings.Count(r, "\n"); got != len(an.Stats)+1 {
+		t.Errorf("render has %d lines, want %d:\n%s", got, len(an.Stats)+1, r)
+	}
+	if !strings.Contains(r, "scan orders") {
+		t.Errorf("render missing scan label:\n%s", r)
+	}
+}
+
+func TestAnalyzeErrorPropagates(t *testing.T) {
+	cat := testCatalog()
+	if _, err := Analyze(cat, 1, &Scan{Table: "missing"}); err == nil {
+		t.Error("analyze of bad plan should error")
+	}
+}

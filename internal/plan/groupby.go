@@ -1,0 +1,340 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+)
+
+// AggFunc is an aggregate function.
+type AggFunc uint8
+
+// The aggregate functions.
+const (
+	// Sum adds the argument (float64 result).
+	Sum AggFunc = iota
+	// Count counts rows; a nil argument means COUNT(*).
+	Count
+	// Avg averages the argument (float64 result).
+	Avg
+	// Min takes the minimum of the argument (float64 result).
+	Min
+	// Max takes the maximum of the argument (float64 result).
+	Max
+	// SumI adds an int64 argument with an int64 result. It exists for
+	// merging distributed partial counts without losing integer typing.
+	SumI
+)
+
+// String returns the SQL name of the function.
+func (f AggFunc) String() string {
+	switch f {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return "sumi"
+	}
+}
+
+// AggSpec describes one aggregate output column.
+type AggSpec struct {
+	// Name is the output column name.
+	Name string
+	// Func is the aggregate function.
+	Func AggFunc
+	// Arg is the aggregated expression; it must be nil only for Count.
+	Arg exec.Expr
+}
+
+// GroupBy groups its input by the key columns and computes aggregates.
+// With no keys it computes scalar aggregates over the whole input,
+// producing exactly one row (even for empty input, matching SQL
+// aggregation semantics).
+//
+// Output rows appear in order of first key occurrence; key columns retain
+// their input types.
+type GroupBy struct {
+	// Input is the child operator.
+	Input Node
+	// Keys name the grouping columns (may be empty).
+	Keys []string
+	// Aggs are the aggregate outputs.
+	Aggs []AggSpec
+}
+
+// Execute implements Node.
+func (g *GroupBy) Execute(ctx *Context) (*colstore.Table, error) {
+	in, err := g.Input.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(g.Keys) == 0 {
+		return g.scalar(ctx, in)
+	}
+	packed, err := packKeys(in, g.Keys, ctx.Ctr)
+	if err != nil {
+		return nil, err
+	}
+	grouper := exec.NewGrouper(1024)
+	gids := grouper.GroupIDs(packed, ctx.Ctr)
+	ngroups := grouper.NumGroups()
+
+	firstRow := make([]int32, ngroups)
+	for i := range firstRow {
+		firstRow[i] = -1
+	}
+	for i, gid := range gids {
+		if firstRow[gid] < 0 {
+			firstRow[gid] = int32(i)
+		}
+	}
+
+	schema := make(colstore.Schema, 0, len(g.Keys)+len(g.Aggs))
+	cols := make([]colstore.Column, 0, len(g.Keys)+len(g.Aggs))
+	for _, k := range g.Keys {
+		c, err := in.ColByName(k)
+		if err != nil {
+			return nil, err
+		}
+		schema = append(schema, colstore.Field{Name: k, Type: c.Type()})
+		cols = append(cols, c.Gather(firstRow))
+	}
+	ctx.Ctr.RandomAccesses += int64(ngroups) * int64(len(g.Keys))
+
+	for _, spec := range g.Aggs {
+		col, err := evalAgg(ctx, in, spec, gids, ngroups)
+		if err != nil {
+			return nil, err
+		}
+		schema = append(schema, colstore.Field{Name: spec.Name, Type: col.Type()})
+		cols = append(cols, col)
+	}
+	out, err := colstore.NewTable("", schema, cols)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Ctr.TuplesMaterialized += int64(ngroups)
+	ctx.Ctr.BytesMaterialized += out.SizeBytes()
+	observe(ctx, in, out)
+	return out, nil
+}
+
+func (g *GroupBy) scalar(ctx *Context, in *colstore.Table) (*colstore.Table, error) {
+	schema := make(colstore.Schema, 0, len(g.Aggs))
+	cols := make([]colstore.Column, 0, len(g.Aggs))
+	for _, spec := range g.Aggs {
+		switch spec.Func {
+		case Count:
+			schema = append(schema, colstore.Field{Name: spec.Name, Type: colstore.Int64})
+			cols = append(cols, &colstore.Int64s{V: []int64{int64(in.NumRows())}})
+		case SumI:
+			iv, err := aggArgI(ctx, in, spec)
+			if err != nil {
+				return nil, err
+			}
+			schema = append(schema, colstore.Field{Name: spec.Name, Type: colstore.Int64})
+			cols = append(cols, &colstore.Int64s{V: []int64{exec.SumI64(iv, ctx.Ctr)}})
+		default:
+			vals, err := aggArg(ctx, in, spec)
+			if err != nil {
+				return nil, err
+			}
+			var v float64
+			switch spec.Func {
+			case Sum:
+				v = exec.SumF64(vals, ctx.Ctr)
+			case Avg:
+				if len(vals) > 0 {
+					v = exec.SumF64(vals, ctx.Ctr) / float64(len(vals))
+				}
+			case Min:
+				v = math.Inf(1)
+				for _, x := range vals {
+					if x < v {
+						v = x
+					}
+				}
+				if len(vals) == 0 {
+					v = 0
+				}
+				ctx.Ctr.FloatOps += int64(len(vals))
+			case Max:
+				v = math.Inf(-1)
+				for _, x := range vals {
+					if x > v {
+						v = x
+					}
+				}
+				if len(vals) == 0 {
+					v = 0
+				}
+				ctx.Ctr.FloatOps += int64(len(vals))
+			}
+			schema = append(schema, colstore.Field{Name: spec.Name, Type: colstore.Float64})
+			cols = append(cols, &colstore.Float64s{V: []float64{v}})
+		}
+	}
+	return colstore.NewTable("", schema, cols)
+}
+
+func aggArgI(ctx *Context, in *colstore.Table, spec AggSpec) ([]int64, error) {
+	if spec.Arg == nil {
+		return nil, fmt.Errorf("plan: %s(%s) needs an argument", spec.Func, spec.Name)
+	}
+	c, err := spec.Arg.Eval(in, ctx.Ctr)
+	if err != nil {
+		return nil, fmt.Errorf("plan: agg %s: %w", spec.Name, err)
+	}
+	ic, ok := c.(*colstore.Int64s)
+	if !ok {
+		return nil, fmt.Errorf("plan: agg %s: sumi needs an int64 argument, got %s", spec.Name, c.Type())
+	}
+	return ic.V, nil
+}
+
+func aggArg(ctx *Context, in *colstore.Table, spec AggSpec) ([]float64, error) {
+	if spec.Arg == nil {
+		return nil, fmt.Errorf("plan: %s(%s) needs an argument", spec.Func, spec.Name)
+	}
+	c, err := spec.Arg.Eval(in, ctx.Ctr)
+	if err != nil {
+		return nil, fmt.Errorf("plan: agg %s: %w", spec.Name, err)
+	}
+	return exec.AsFloat64(c, ctx.Ctr)
+}
+
+func evalAgg(ctx *Context, in *colstore.Table, spec AggSpec, gids []int32, ngroups int) (colstore.Column, error) {
+	if spec.Func == Count && spec.Arg == nil {
+		var counts []int64
+		exec.ScatterCount(gids, &counts, ngroups, ctx.Ctr)
+		return &colstore.Int64s{V: counts}, nil
+	}
+	if spec.Func == SumI {
+		iv, err := aggArgI(ctx, in, spec)
+		if err != nil {
+			return nil, err
+		}
+		var sums []int64
+		exec.ScatterSumI64(gids, iv, &sums, ngroups, ctx.Ctr)
+		return &colstore.Int64s{V: sums}, nil
+	}
+	vals, err := aggArg(ctx, in, spec)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Func {
+	case Sum:
+		var sums []float64
+		exec.ScatterSumF64(gids, vals, &sums, ngroups, ctx.Ctr)
+		return &colstore.Float64s{V: sums}, nil
+	case Count:
+		var counts []int64
+		exec.ScatterCount(gids, &counts, ngroups, ctx.Ctr)
+		return &colstore.Int64s{V: counts}, nil
+	case Avg:
+		var sums []float64
+		var counts []int64
+		exec.ScatterSumF64(gids, vals, &sums, ngroups, ctx.Ctr)
+		exec.ScatterCount(gids, &counts, ngroups, ctx.Ctr)
+		out := make([]float64, ngroups)
+		for i := range out {
+			if counts[i] > 0 {
+				out[i] = sums[i] / float64(counts[i])
+			}
+		}
+		ctx.Ctr.FloatOps += int64(ngroups)
+		return &colstore.Float64s{V: out}, nil
+	case Min:
+		var mins []float64
+		exec.ScatterMinF64(gids, vals, &mins, ngroups, math.Inf(1), ctx.Ctr)
+		return &colstore.Float64s{V: mins}, nil
+	case Max:
+		var maxs []float64
+		exec.ScatterMaxF64(gids, vals, &maxs, ngroups, math.Inf(-1), ctx.Ctr)
+		return &colstore.Float64s{V: maxs}, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown aggregate %d", spec.Func)
+	}
+}
+
+// Explain implements Node.
+func (g *GroupBy) Explain(depth int) string {
+	aggs := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		arg := "*"
+		if a.Arg != nil {
+			arg = a.Arg.String()
+		}
+		aggs[i] = fmt.Sprintf("%s=%s(%s)", a.Name, a.Func, arg)
+	}
+	return fmt.Sprintf("%sgroup by [%s] %s\n%s",
+		pad(depth), strings.Join(g.Keys, ", "), strings.Join(aggs, ", "),
+		g.Input.Explain(depth+1))
+}
+
+// packKeys encodes one or more grouping columns into single 64-bit keys,
+// sizing each component's bit width from its maximum value. Negative key
+// values are rejected.
+func packKeys(t *colstore.Table, names []string, ctr *exec.Counters) ([]int64, error) {
+	vecs := make([][]int64, len(names))
+	for i, name := range names {
+		c, err := t.ColByName(name)
+		if err != nil {
+			return nil, err
+		}
+		v, err := exec.KeysFromColumn(c, nil, ctr)
+		if err != nil {
+			return nil, fmt.Errorf("plan: group key %s: %w", name, err)
+		}
+		vecs[i] = v
+	}
+	if len(vecs) == 1 {
+		return vecs[0], nil
+	}
+	// Compute bit widths.
+	bits := make([]uint, len(vecs))
+	var total uint
+	for i, v := range vecs {
+		var max int64
+		for _, x := range v {
+			if x < 0 {
+				return nil, fmt.Errorf("plan: group key %s has negative value %d", names[i], x)
+			}
+			if x > max {
+				max = x
+			}
+		}
+		b := uint(1)
+		for int64(1)<<b <= max {
+			b++
+		}
+		bits[i] = b
+		total += b
+	}
+	if total > 63 {
+		return nil, fmt.Errorf("plan: group keys %v need %d bits, max 63", names, total)
+	}
+	n := t.NumRows()
+	out := make([]int64, n)
+	copy(out, vecs[0])
+	for i := 1; i < len(vecs); i++ {
+		b := bits[i]
+		v := vecs[i]
+		for r := 0; r < n; r++ {
+			out[r] = out[r]<<b | v[r]
+		}
+	}
+	ctr.IntOps += int64(n) * int64(len(vecs))
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+)
+
+// JoinKind selects the semantics of a HashJoin.
+type JoinKind uint8
+
+// The join kinds.
+const (
+	// Inner emits one output row per matching (build, probe) pair,
+	// carrying the columns of both sides.
+	Inner JoinKind = iota
+	// Semi emits probe rows with at least one match (probe columns only).
+	Semi
+	// Anti emits probe rows with no match (probe columns only).
+	Anti
+	// LeftCount emits every probe row plus an int64 column counting its
+	// matches, implementing COUNT-augmented left outer joins (Q13).
+	LeftCount
+)
+
+// String returns the kind's name.
+func (k JoinKind) String() string {
+	switch k {
+	case Inner:
+		return "inner"
+	case Semi:
+		return "semi"
+	case Anti:
+		return "anti"
+	default:
+		return "left-count"
+	}
+}
+
+// HashJoin joins Build and Probe on equality of one or two key columns.
+// The smaller input should be the build side; the node does not reorder
+// its children.
+type HashJoin struct {
+	// Build and Probe are the child operators.
+	Build, Probe Node
+	// BuildKeys and ProbeKeys name the equi-join columns (one or two,
+	// pairwise matched).
+	BuildKeys, ProbeKeys []string
+	// Kind selects inner/semi/anti/left-count semantics.
+	Kind JoinKind
+	// CountAs names the match-count column for LeftCount joins; it
+	// defaults to "match_count".
+	CountAs string
+}
+
+// Execute implements Node.
+func (j *HashJoin) Execute(ctx *Context) (*colstore.Table, error) {
+	if len(j.BuildKeys) == 0 || len(j.BuildKeys) != len(j.ProbeKeys) {
+		return nil, fmt.Errorf("plan: hash join needs matching key lists, got %v and %v", j.BuildKeys, j.ProbeKeys)
+	}
+	build, err := j.Build.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := j.Probe.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	bk, err := joinKeys(build, j.BuildKeys, ctx.Ctr)
+	if err != nil {
+		return nil, err
+	}
+	pk, err := joinKeys(probe, j.ProbeKeys, ctx.Ctr)
+	if err != nil {
+		return nil, err
+	}
+	jt := exec.BuildJoinTable(bk, ctx.Ctr)
+
+	switch j.Kind {
+	case Inner:
+		bi, pi := jt.InnerJoin(pk, ctx.Ctr)
+		left := gather(ctx, probe, pi)
+		right := gather(ctx, build, bi)
+		out, err := concatTables(left, right)
+		if err != nil {
+			return nil, fmt.Errorf("plan: join %v/%v: %w", j.BuildKeys, j.ProbeKeys, err)
+		}
+		observe(ctx, build, probe, out)
+		return out, nil
+	case Semi:
+		sel := jt.SemiJoin(pk, ctx.Ctr)
+		out := gather(ctx, probe, sel)
+		observe(ctx, build, probe, out)
+		return out, nil
+	case Anti:
+		sel := jt.AntiJoin(pk, ctx.Ctr)
+		out := gather(ctx, probe, sel)
+		observe(ctx, build, probe, out)
+		return out, nil
+	case LeftCount:
+		counts := jt.CountPerProbe(pk, ctx.Ctr)
+		name := j.CountAs
+		if name == "" {
+			name = "match_count"
+		}
+		schema := make(colstore.Schema, 0, probe.NumCols()+1)
+		cols := make([]colstore.Column, 0, probe.NumCols()+1)
+		schema = append(schema, probe.Schema...)
+		cols = append(cols, probe.Cols...)
+		schema = append(schema, colstore.Field{Name: name, Type: colstore.Int64})
+		cols = append(cols, &colstore.Int64s{V: counts})
+		out, err := colstore.NewTable("", schema, cols)
+		if err != nil {
+			return nil, err
+		}
+		observe(ctx, build, probe, out)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown join kind %d", j.Kind)
+	}
+}
+
+// Explain implements Node.
+func (j *HashJoin) Explain(depth int) string {
+	return fmt.Sprintf("%shash join (%s) build.%s = probe.%s\n%s%s",
+		pad(depth), j.Kind,
+		strings.Join(j.BuildKeys, ","), strings.Join(j.ProbeKeys, ","),
+		j.Build.Explain(depth+1), j.Probe.Explain(depth+1))
+}
+
+// joinKeys extracts 64-bit keys for one side of a join, packing two-column
+// keys into a single word.
+func joinKeys(t *colstore.Table, names []string, ctr *exec.Counters) ([]int64, error) {
+	switch len(names) {
+	case 1:
+		c, err := t.ColByName(names[0])
+		if err != nil {
+			return nil, err
+		}
+		return exec.KeysFromColumn(c, nil, ctr)
+	case 2:
+		a, err := t.ColByName(names[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := t.ColByName(names[1])
+		if err != nil {
+			return nil, err
+		}
+		hi, err := exec.KeysFromColumn(a, nil, ctr)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := exec.KeysFromColumn(b, nil, ctr)
+		if err != nil {
+			return nil, err
+		}
+		return exec.CombineKeys(hi, lo, 31, ctr)
+	default:
+		return nil, fmt.Errorf("plan: joins support one or two key columns, got %d", len(names))
+	}
+}
+
+// concatTables concatenates the columns of two equal-length tables,
+// rejecting duplicate column names (rename one side first).
+func concatTables(a, b *colstore.Table) (*colstore.Table, error) {
+	if a.NumRows() != b.NumRows() {
+		return nil, fmt.Errorf("row count mismatch: %d vs %d", a.NumRows(), b.NumRows())
+	}
+	schema := make(colstore.Schema, 0, a.NumCols()+b.NumCols())
+	cols := make([]colstore.Column, 0, a.NumCols()+b.NumCols())
+	schema = append(schema, a.Schema...)
+	cols = append(cols, a.Cols...)
+	for i, f := range b.Schema {
+		if a.Schema.Index(f.Name) >= 0 {
+			return nil, fmt.Errorf("duplicate column %q after join; rename one side", f.Name)
+		}
+		schema = append(schema, f)
+		cols = append(cols, b.Cols[i])
+	}
+	return colstore.NewTable("", schema, cols)
+}

@@ -1,0 +1,68 @@
+package plan
+
+import (
+	"sync"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+)
+
+// parallelMinRows is the smallest input for which selection is split
+// across workers; below this the coordination overhead dominates.
+const parallelMinRows = 1 << 15
+
+// parallelSel evaluates pred over t, splitting the row range across the
+// context's workers (morsel-style). Each worker evaluates the predicate
+// on a zero-copy slice with private counters; results are offset back to
+// table-global row indexes and concatenated in order, so the output is
+// identical to a sequential evaluation.
+func parallelSel(ctx *Context, t *colstore.Table, pred exec.Pred) ([]int32, error) {
+	w := ctx.workers()
+	n := t.NumRows()
+	if w == 1 || n < parallelMinRows {
+		return pred.Sel(t, nil, ctx.Ctr)
+	}
+	type part struct {
+		sel []int32
+		ctr exec.Counters
+		err error
+	}
+	parts := make([]part, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := n * i / w
+		hi := n * (i + 1) / w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			p := &parts[i]
+			sub := t.Slice(lo, hi)
+			sel, err := pred.Sel(sub, nil, &p.ctr)
+			if err != nil {
+				p.err = err
+				return
+			}
+			for j := range sel {
+				sel[j] += int32(lo)
+			}
+			p.sel = sel
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for i := range parts {
+		if parts[i].err != nil {
+			return nil, parts[i].err
+		}
+		total += len(parts[i].sel)
+		ctx.Ctr.Add(parts[i].ctr)
+	}
+	out := make([]int32, 0, total)
+	for i := range parts {
+		out = append(out, parts[i].sel...)
+	}
+	return out, nil
+}

@@ -1,0 +1,322 @@
+// Package plan implements the physical query plans of the WimPi OLAP
+// engine. A plan is a tree of Node values; executing a node materializes
+// a result table, in the operator-at-a-time style of column stores like
+// MonetDB (the system used in the paper's TPC-H study).
+//
+// Plans are built directly by query definitions (package tpch) and by
+// library users; there is no SQL front end. The executor records all work
+// in an exec.Counters so the hardware layer can simulate runtimes for the
+// paper's ten comparison points.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+)
+
+// Catalog resolves table names to tables. *engine.DB implements Catalog.
+type Catalog interface {
+	// Table returns the named base table.
+	Table(name string) (*colstore.Table, error)
+}
+
+// Context carries everything a plan needs to execute.
+type Context struct {
+	// Cat resolves base tables.
+	Cat Catalog
+	// Ctr accumulates the work performed.
+	Ctr *exec.Counters
+	// Workers bounds intra-query parallelism; values < 1 mean one.
+	Workers int
+}
+
+func (c *Context) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// Node is one operator of a physical plan.
+type Node interface {
+	// Execute materializes the operator's result.
+	Execute(ctx *Context) (*colstore.Table, error)
+	// Explain renders the operator and its inputs, one per line, with the
+	// given indentation depth.
+	Explain(depth int) string
+}
+
+// Explain renders a whole plan tree.
+func Explain(n Node) string { return n.Explain(0) }
+
+func pad(depth int) string { return strings.Repeat("  ", depth) }
+
+// Run executes a plan against a catalog with fresh counters, returning
+// the result table and the recorded work.
+func Run(cat Catalog, workers int, n Node) (*colstore.Table, exec.Counters, error) {
+	ctx := &Context{Cat: cat, Ctr: &exec.Counters{}, Workers: workers}
+	t, err := n.Execute(ctx)
+	if err != nil {
+		return nil, exec.Counters{}, err
+	}
+	return t, *ctx.Ctr, nil
+}
+
+// observe records a node output in the live-memory high-water mark.
+func observe(ctx *Context, tables ...*colstore.Table) {
+	var n int64
+	for _, t := range tables {
+		if t != nil {
+			n += t.SizeBytes()
+		}
+	}
+	cur := ctx.Ctr.PeakLiveBytes
+	if n > cur {
+		ctx.Ctr.ObserveLiveBytes(n)
+	}
+}
+
+// Scan reads a base table, optionally pushing down a projection and a
+// filter predicate. With neither, the scan is a zero-copy view.
+type Scan struct {
+	// Table names the base table.
+	Table string
+	// Columns optionally projects the scan to the listed columns.
+	Columns []string
+	// Pred optionally filters rows before materialization.
+	Pred exec.Pred
+}
+
+// Execute implements Node.
+func (s *Scan) Execute(ctx *Context) (*colstore.Table, error) {
+	t, err := ctx.Cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Columns) > 0 {
+		t, err = t.Project(s.Columns...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx.Ctr.TouchedBaseBytes += t.SizeBytes()
+	if s.Pred == nil {
+		observe(ctx, t)
+		return t, nil
+	}
+	sel, err := parallelSel(ctx, t, s.Pred)
+	if err != nil {
+		return nil, err
+	}
+	out := gather(ctx, t, sel)
+	observe(ctx, t, out)
+	return out, nil
+}
+
+// Explain implements Node.
+func (s *Scan) Explain(depth int) string {
+	b := fmt.Sprintf("%sscan %s", pad(depth), s.Table)
+	if len(s.Columns) > 0 {
+		b += fmt.Sprintf(" [%s]", strings.Join(s.Columns, ", "))
+	}
+	if s.Pred != nil {
+		b += " where " + s.Pred.String()
+	}
+	return b + "\n"
+}
+
+// Filter materializes the input rows satisfying Pred.
+type Filter struct {
+	// Input is the child operator.
+	Input Node
+	// Pred is the filter predicate.
+	Pred exec.Pred
+}
+
+// Execute implements Node.
+func (f *Filter) Execute(ctx *Context) (*colstore.Table, error) {
+	in, err := f.Input.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := parallelSel(ctx, in, f.Pred)
+	if err != nil {
+		return nil, err
+	}
+	out := gather(ctx, in, sel)
+	observe(ctx, in, out)
+	return out, nil
+}
+
+// Explain implements Node.
+func (f *Filter) Explain(depth int) string {
+	return fmt.Sprintf("%sfilter %s\n%s", pad(depth), f.Pred, f.Input.Explain(depth+1))
+}
+
+// NamedExpr pairs an output column name with its defining expression.
+type NamedExpr struct {
+	// Name is the output column name.
+	Name string
+	// Expr computes the column.
+	Expr exec.Expr
+}
+
+// Project evaluates expressions over the input, producing a table with
+// exactly the listed columns. Plain column references are zero-copy.
+type Project struct {
+	// Input is the child operator.
+	Input Node
+	// Cols are the output columns.
+	Cols []NamedExpr
+}
+
+// Execute implements Node.
+func (p *Project) Execute(ctx *Context) (*colstore.Table, error) {
+	in, err := p.Input.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	schema := make(colstore.Schema, len(p.Cols))
+	cols := make([]colstore.Column, len(p.Cols))
+	for i, ne := range p.Cols {
+		c, err := ne.Expr.Eval(in, ctx.Ctr)
+		if err != nil {
+			return nil, fmt.Errorf("plan: project %s: %w", ne.Name, err)
+		}
+		schema[i] = colstore.Field{Name: ne.Name, Type: c.Type()}
+		cols[i] = c
+	}
+	out, err := colstore.NewTable("", schema, cols)
+	if err != nil {
+		return nil, err
+	}
+	observe(ctx, in, out)
+	return out, nil
+}
+
+// Explain implements Node.
+func (p *Project) Explain(depth int) string {
+	parts := make([]string, len(p.Cols))
+	for i, ne := range p.Cols {
+		parts[i] = fmt.Sprintf("%s=%s", ne.Name, ne.Expr)
+	}
+	return fmt.Sprintf("%sproject %s\n%s", pad(depth), strings.Join(parts, ", "), p.Input.Explain(depth+1))
+}
+
+// Rename relabels columns (for example the second nation table in Q7).
+type Rename struct {
+	// Input is the child operator.
+	Input Node
+	// Pairs lists {from, to} column name pairs.
+	Pairs [][2]string
+}
+
+// Execute implements Node.
+func (r *Rename) Execute(ctx *Context) (*colstore.Table, error) {
+	in, err := r.Input.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	schema := make(colstore.Schema, len(in.Schema))
+	copy(schema, in.Schema)
+	for _, pr := range r.Pairs {
+		i := in.Schema.Index(pr[0])
+		if i < 0 {
+			return nil, fmt.Errorf("plan: rename: no column %q", pr[0])
+		}
+		schema[i].Name = pr[1]
+	}
+	return colstore.NewTable(in.Name, schema, in.Cols)
+}
+
+// Explain implements Node.
+func (r *Rename) Explain(depth int) string {
+	parts := make([]string, len(r.Pairs))
+	for i, pr := range r.Pairs {
+		parts[i] = pr[0] + "->" + pr[1]
+	}
+	return fmt.Sprintf("%srename %s\n%s", pad(depth), strings.Join(parts, ", "), r.Input.Explain(depth+1))
+}
+
+// Limit returns the first N rows of its input.
+type Limit struct {
+	// Input is the child operator.
+	Input Node
+	// N is the row budget.
+	N int
+}
+
+// Execute implements Node.
+func (l *Limit) Execute(ctx *Context) (*colstore.Table, error) {
+	in, err := l.Input.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if l.N < in.NumRows() {
+		return in.Slice(0, l.N), nil
+	}
+	return in, nil
+}
+
+// Explain implements Node.
+func (l *Limit) Explain(depth int) string {
+	return fmt.Sprintf("%slimit %d\n%s", pad(depth), l.N, l.Input.Explain(depth+1))
+}
+
+// OrderBy sorts its input; with N > 0 it keeps only the first N rows.
+type OrderBy struct {
+	// Input is the child operator.
+	Input Node
+	// Keys are the sort keys, most significant first.
+	Keys []exec.SortKey
+	// N, when positive, limits the output (ORDER BY ... LIMIT N).
+	N int
+}
+
+// Execute implements Node.
+func (o *OrderBy) Execute(ctx *Context) (*colstore.Table, error) {
+	in, err := o.Input.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out *colstore.Table
+	if o.N > 0 {
+		out, err = exec.TopN(in, o.Keys, o.N, ctx.Ctr)
+	} else {
+		out, err = exec.SortTable(in, o.Keys, ctx.Ctr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	observe(ctx, in, out)
+	return out, nil
+}
+
+// Explain implements Node.
+func (o *OrderBy) Explain(depth int) string {
+	parts := make([]string, len(o.Keys))
+	for i, k := range o.Keys {
+		parts[i] = k.Column
+		if k.Desc {
+			parts[i] += " desc"
+		}
+	}
+	s := fmt.Sprintf("%sorder by %s", pad(depth), strings.Join(parts, ", "))
+	if o.N > 0 {
+		s += fmt.Sprintf(" limit %d", o.N)
+	}
+	return s + "\n" + o.Input.Explain(depth+1)
+}
+
+// gather materializes t's rows named by sel and charges the write.
+func gather(ctx *Context, t *colstore.Table, sel []int32) *colstore.Table {
+	out := t.Gather(sel)
+	ctx.Ctr.TuplesMaterialized += int64(len(sel))
+	ctx.Ctr.BytesMaterialized += out.SizeBytes()
+	ctx.Ctr.SeqBytes += out.SizeBytes()
+	ctx.Ctr.RandomAccesses += int64(len(sel)) * int64(t.NumCols())
+	return out
+}

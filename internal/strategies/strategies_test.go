@@ -1,0 +1,164 @@
+package strategies
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"wimpi/internal/hardware"
+	"wimpi/internal/tpch"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureData *tpch.Dataset
+	fixtureRef  *tpch.Reference
+)
+
+func fixture(t *testing.T) (*tpch.Dataset, *tpch.Reference) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureData = tpch.Generate(tpch.Config{SF: 0.01, Seed: 42})
+		fixtureRef = tpch.NewReference(fixtureData)
+	})
+	return fixtureData, fixtureRef
+}
+
+func cellsMatch(a, b any) bool {
+	switch av := a.(type) {
+	case float64:
+		bv, ok := b.(float64)
+		if !ok {
+			if bi, ok2 := b.(int64); ok2 {
+				bv = float64(bi)
+			} else {
+				return false
+			}
+		}
+		diff := math.Abs(av - bv)
+		return diff <= 1e-6 || diff <= 1e-9*math.Max(math.Abs(av), math.Abs(bv))
+	case int64:
+		bv, ok := b.(int64)
+		return ok && av == bv
+	default:
+		return a == b
+	}
+}
+
+func TestAllStrategiesMatchReference(t *testing.T) {
+	d, ref := fixture(t)
+	for _, q := range Queries {
+		want, err := ref.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range Strategies {
+			got, ctr, err := Execute(s, q, d)
+			if err != nil {
+				t.Fatalf("Q%d %s: %v", q, s, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Q%d %s: %d rows, want %d", q, s, len(got), len(want))
+			}
+			for i := range got {
+				for j := range got[i] {
+					// The reference emits some columns the strategies do
+					// not distinguish; compare positionally.
+					if j >= len(want[i]) {
+						t.Fatalf("Q%d %s row %d has extra column %d", q, s, i, j)
+					}
+					if !cellsMatch(got[i][j], want[i][j]) {
+						t.Fatalf("Q%d %s row %d col %d: got %v want %v\nrow: %v\nref: %v",
+							q, s, i, j, got[i][j], want[i][j], got[i], want[i])
+					}
+				}
+			}
+			if ctr.TuplesScanned == 0 {
+				t.Errorf("Q%d %s: no work recorded", q, s)
+			}
+		}
+	}
+}
+
+func TestStrategyWorkProfilesDiffer(t *testing.T) {
+	d, _ := fixture(t)
+	prep, err := Prepare(6, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, _ := Run(DataCentric, prep.Pipeline)
+	hy, _ := Run(Hybrid, prep.Pipeline)
+	aa, _ := Run(AccessAware, prep.Pipeline)
+
+	// Access-aware evaluates every stage on every row: most bytes.
+	if aa.Counters.SeqBytes <= hy.Counters.SeqBytes || aa.Counters.SeqBytes <= dc.Counters.SeqBytes {
+		t.Errorf("access-aware should stream the most bytes: aa=%d hy=%d dc=%d",
+			aa.Counters.SeqBytes, hy.Counters.SeqBytes, dc.Counters.SeqBytes)
+	}
+	// Data-centric pays the branch penalty: most int ops per byte.
+	if dc.Counters.IntOps <= hy.Counters.IntOps {
+		t.Errorf("data-centric should spend more ops than hybrid: dc=%d hy=%d",
+			dc.Counters.IntOps, hy.Counters.IntOps)
+	}
+}
+
+func TestFigure4Ordering(t *testing.T) {
+	// Figure 4's finding: access-aware fastest and data-centric slowest
+	// on every machine; the advantage is less pronounced on the Pi.
+	d, _ := fixture(t)
+	model := hardware.DefaultModel()
+	e5, err := hardware.ByName("op-e5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := hardware.Pi()
+	// Figure 4 ran hand-coded C binaries: no per-query DBMS overhead.
+	e5.QueryOverheadSec = 0
+	pi.QueryOverheadSec = 0
+	for _, q := range Queries {
+		times := map[Strategy]map[string]float64{}
+		for _, s := range Strategies {
+			_, ctr, err := Execute(s, q, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			times[s] = map[string]float64{
+				"op-e5": model.QueryTime(&e5, ctr, 1).Seconds(),
+				"pi":    model.QueryTime(&pi, ctr, 1).Seconds(),
+			}
+		}
+		for _, machine := range []string{"op-e5", "pi"} {
+			// Data-centric is the worst strategy everywhere.
+			if times[DataCentric][machine] < times[Hybrid][machine] ||
+				times[DataCentric][machine] < times[AccessAware][machine] {
+				t.Errorf("Q%d on %s: data-centric not worst: aa=%.5f hy=%.5f dc=%.5f",
+					q, machine,
+					times[AccessAware][machine], times[Hybrid][machine], times[DataCentric][machine])
+			}
+		}
+		// Access-aware wins (within tolerance) on the server.
+		if times[AccessAware]["op-e5"] > times[Hybrid]["op-e5"]*1.05 {
+			t.Errorf("Q%d on op-e5: access-aware (%.5f) should not trail hybrid (%.5f)",
+				q, times[AccessAware]["op-e5"], times[Hybrid]["op-e5"])
+		}
+		// The paper: strategy advantages are less pronounced on the Pi.
+		gapE5 := times[DataCentric]["op-e5"] / times[AccessAware]["op-e5"]
+		gapPi := times[DataCentric]["pi"] / times[AccessAware]["pi"]
+		if gapPi > gapE5*1.1 {
+			t.Errorf("Q%d: strategy gap on Pi (%.2fx) should not exceed op-e5 (%.2fx)", q, gapPi, gapE5)
+		}
+	}
+}
+
+func TestPrepareAndRunErrors(t *testing.T) {
+	d, _ := fixture(t)
+	if _, err := Prepare(2, d); err == nil {
+		t.Error("Prepare(2) should error: not in Figure 4 subset")
+	}
+	if _, _, err := Execute(Strategy("bogus"), 6, d); err == nil {
+		t.Error("bogus strategy should error")
+	}
+	if _, _, err := Execute(DataCentric, 99, d); err == nil {
+		t.Error("bogus query should error")
+	}
+}

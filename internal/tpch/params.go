@@ -1,0 +1,97 @@
+package tpch
+
+import (
+	"fmt"
+
+	"wimpi/internal/colstore"
+)
+
+// Params carries the substitution parameters of the eight representative
+// queries, mirroring TPC-H's qgen. DefaultParams returns the
+// specification's validation values (what Query/MustQuery use);
+// RandomParams draws from the spec's ranges so the engine can be
+// exercised across selectivities, as qgen does between benchmark runs.
+type Params struct {
+	// Q1Delta is the shipdate cutoff distance from 1998-12-01, in days
+	// (spec: 60..120).
+	Q1Delta int
+	// Q3Segment is the customer market segment; Q3Date the cutoff.
+	Q3Segment string
+	Q3Date    int32
+	// Q4Date is the start of the three-month order window.
+	Q4Date int32
+	// Q5Region is the region name; Q5Date the start of the one-year
+	// order window.
+	Q5Region string
+	Q5Date   int32
+	// Q6Date starts the one-year shipping window; Q6Discount the
+	// center of the ±0.01 discount band; Q6Quantity the upper bound.
+	Q6Date     int32
+	Q6Discount float64
+	Q6Quantity float64
+	// Q13Word1 and Q13Word2 form the o_comment exclusion pattern.
+	Q13Word1, Q13Word2 string
+	// Q14Date starts the one-month promotion window.
+	Q14Date int32
+	// Q19Quantity1..3 are the per-block lower quantity bounds; the
+	// brands are drawn per block.
+	Q19Quantity1, Q19Quantity2, Q19Quantity3 float64
+	Q19Brand1, Q19Brand2, Q19Brand3          string
+}
+
+// DefaultParams returns the spec's validation parameters.
+func DefaultParams() Params {
+	return Params{
+		Q1Delta:   90,
+		Q3Segment: "BUILDING", Q3Date: date("1995-03-15"),
+		Q4Date:   date("1993-07-01"),
+		Q5Region: "ASIA", Q5Date: date("1994-01-01"),
+		Q6Date: date("1994-01-01"), Q6Discount: 0.06, Q6Quantity: 24,
+		Q13Word1: "special", Q13Word2: "requests",
+		Q14Date:      date("1995-09-01"),
+		Q19Quantity1: 1, Q19Quantity2: 10, Q19Quantity3: 20,
+		Q19Brand1: "Brand#12", Q19Brand2: "Brand#23", Q19Brand3: "Brand#34",
+	}
+}
+
+// Q13 word lists from the specification.
+var (
+	q13Words1 = []string{"special", "pending", "unusual", "express"}
+	q13Words2 = []string{"packages", "requests", "accounts", "deposits"}
+)
+
+// RandomParams draws substitution parameters from the spec's ranges,
+// deterministically from seed.
+func RandomParams(seed uint64) Params {
+	r := newRNG(mix(seed, 0xBEEF))
+	monthStart := func(loYear, loMonth, months int) int32 {
+		m := r.intn(months)
+		y := loYear + (loMonth-1+m)/12
+		mo := (loMonth-1+m)%12 + 1
+		return colstore.DateOf(y, mo, 1)
+	}
+	return Params{
+		Q1Delta:      r.rangeInt(60, 120),
+		Q3Segment:    pick(r, segments),
+		Q3Date:       date("1995-03-01") + int32(r.intn(31)),
+		Q4Date:       monthStart(1993, 1, 58), // 1993-01 .. 1997-10
+		Q5Region:     pick(r, regions),
+		Q5Date:       colstore.DateOf(r.rangeInt(1993, 1997), 1, 1),
+		Q6Date:       colstore.DateOf(r.rangeInt(1993, 1997), 1, 1),
+		Q6Discount:   float64(r.rangeInt(2, 9)) / 100,
+		Q6Quantity:   float64(r.rangeInt(24, 25)),
+		Q13Word1:     pick(r, q13Words1),
+		Q13Word2:     pick(r, q13Words2),
+		Q14Date:      monthStart(1993, 1, 60), // 1993-01 .. 1997-12
+		Q19Quantity1: float64(r.rangeInt(1, 10)),
+		Q19Quantity2: float64(r.rangeInt(10, 20)),
+		Q19Quantity3: float64(r.rangeInt(20, 30)),
+		Q19Brand1:    randBrand(r),
+		Q19Brand2:    randBrand(r),
+		Q19Brand3:    randBrand(r),
+	}
+}
+
+func randBrand(r *rng) string {
+	return fmt.Sprintf("Brand#%d%d", r.rangeInt(1, 5), r.rangeInt(1, 5))
+}

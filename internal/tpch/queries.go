@@ -1,0 +1,366 @@
+package tpch
+
+import (
+	"fmt"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+	"wimpi/internal/plan"
+)
+
+// Query returns the physical plan for TPC-H query n (1..22), built with
+// the specification's validation parameters.
+func Query(n int) (plan.Node, error) {
+	if n < 1 || n > len(queryBuilders) || queryBuilders[n-1] == nil {
+		return nil, fmt.Errorf("tpch: no query %d", n)
+	}
+	return queryBuilders[n-1](), nil
+}
+
+// QueryP returns the physical plan for query n using the given
+// substitution parameters. Only the eight representative queries are
+// parameterized; the rest use their validation values regardless.
+func QueryP(n int, p Params) (plan.Node, error) {
+	switch n {
+	case 1:
+		return q1(p), nil
+	case 3:
+		return q3(p), nil
+	case 4:
+		return q4(p), nil
+	case 5:
+		return q5(p), nil
+	case 6:
+		return q6(p), nil
+	case 13:
+		return q13(p), nil
+	case 14:
+		return q14(p), nil
+	case 19:
+		return q19(p), nil
+	default:
+		return Query(n)
+	}
+}
+
+// MustQuery is Query for known-valid numbers.
+func MustQuery(n int) plan.Node {
+	q, err := Query(n)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// QueryNumbers lists all implemented queries.
+func QueryNumbers() []int {
+	out := make([]int, 0, 22)
+	for i := range queryBuilders {
+		if queryBuilders[i] != nil {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// RepresentativeQueries is the eight-query subset used by the paper's
+// distributed (Table III) and execution-strategy (Figure 4) experiments,
+// covering the main TPC-H chokepoints.
+var RepresentativeQueries = []int{1, 3, 4, 5, 6, 13, 14, 19}
+
+var queryBuilders = [22]func() plan.Node{
+	Q1, Q2, Q3, Q4, Q5, Q6, Q7, Q8, Q9, Q10, Q11,
+	Q12, Q13, Q14, Q15, Q16, Q17, Q18, Q19, Q20, Q21, Q22,
+}
+
+// funcNode lets query definitions embed imperative steps (scalar
+// subqueries, computed dictionary columns) inside a plan tree.
+type funcNode struct {
+	name string
+	fn   func(ctx *plan.Context) (*colstore.Table, error)
+}
+
+// Execute implements plan.Node.
+func (n *funcNode) Execute(ctx *plan.Context) (*colstore.Table, error) { return n.fn(ctx) }
+
+// Explain implements plan.Node.
+func (n *funcNode) Explain(depth int) string {
+	out := ""
+	for i := 0; i < depth; i++ {
+		out += "  "
+	}
+	return out + n.name + "\n"
+}
+
+// scalarF extracts the single float value of a one-row aggregate result.
+func scalarF(t *colstore.Table, col string) (float64, error) {
+	c, err := t.ColByName(col)
+	if err != nil {
+		return 0, err
+	}
+	f, ok := c.(*colstore.Float64s)
+	if !ok || len(f.V) != 1 {
+		return 0, fmt.Errorf("tpch: %s is not a scalar float", col)
+	}
+	return f.V[0], nil
+}
+
+// revenue is the ubiquitous l_extendedprice * (1 - l_discount).
+func revenue() exec.Expr {
+	return exec.Mul(exec.Col{Name: "l_extendedprice"},
+		exec.Sub(exec.ConstF{V: 1}, exec.Col{Name: "l_discount"}))
+}
+
+func date(s string) int32 { return colstore.MustDate(s) }
+
+// q6DiscountBand returns the spec's DISCOUNT-0.01 .. DISCOUNT+0.01 band
+// with a half-cent guard so exact-hundredth discounts compare robustly.
+func q6DiscountBand(p Params) (lo, hi float64) {
+	return p.Q6Discount - 0.01 - 0.005, p.Q6Discount + 0.01 + 0.005
+}
+
+// Q1 is the pricing summary report: a near-full scan of lineitem with a
+// two-key aggregation. It is the paper's canonical memory-bandwidth-bound
+// query (worst Pi 3B+ slowdown in Table II).
+func Q1() plan.Node { return q1(DefaultParams()) }
+
+func q1(p Params) plan.Node {
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "l_returnflag"}, {Column: "l_linestatus"}},
+		Input: &plan.GroupBy{
+			Input: &plan.Scan{
+				Table: "lineitem",
+				Columns: []string{"l_returnflag", "l_linestatus", "l_quantity",
+					"l_extendedprice", "l_discount", "l_tax", "l_shipdate"},
+				Pred: exec.CmpD{Column: "l_shipdate", Op: exec.Le, V: date("1998-12-01") - int32(p.Q1Delta)},
+			},
+			Keys: []string{"l_returnflag", "l_linestatus"},
+			Aggs: []plan.AggSpec{
+				{Name: "sum_qty", Func: plan.Sum, Arg: exec.Col{Name: "l_quantity"}},
+				{Name: "sum_base_price", Func: plan.Sum, Arg: exec.Col{Name: "l_extendedprice"}},
+				{Name: "sum_disc_price", Func: plan.Sum, Arg: revenue()},
+				{Name: "sum_charge", Func: plan.Sum, Arg: exec.Mul(revenue(),
+					exec.Add(exec.ConstF{V: 1}, exec.Col{Name: "l_tax"}))},
+				{Name: "avg_qty", Func: plan.Avg, Arg: exec.Col{Name: "l_quantity"}},
+				{Name: "avg_price", Func: plan.Avg, Arg: exec.Col{Name: "l_extendedprice"}},
+				{Name: "avg_disc", Func: plan.Avg, Arg: exec.Col{Name: "l_discount"}},
+				{Name: "count_order", Func: plan.Count},
+			},
+		},
+	}
+}
+
+// Q2 is the minimum-cost supplier query: a correlated subquery
+// decorrelated into a per-part minimum join.
+func Q2() plan.Node {
+	// European partsupp offers with supplier details.
+	europeOffers := func() plan.Node {
+		return &plan.HashJoin{
+			Build: &plan.HashJoin{
+				Build: &plan.HashJoin{
+					Build:     &plan.Scan{Table: "region", Columns: []string{"r_regionkey", "r_name"}, Pred: exec.StrEq{Column: "r_name", V: "EUROPE"}},
+					Probe:     &plan.Scan{Table: "nation", Columns: []string{"n_nationkey", "n_name", "n_regionkey"}},
+					BuildKeys: []string{"r_regionkey"},
+					ProbeKeys: []string{"n_regionkey"},
+					Kind:      plan.Semi,
+				},
+				Probe:     &plan.Scan{Table: "supplier", Columns: []string{"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"}},
+				BuildKeys: []string{"n_nationkey"},
+				ProbeKeys: []string{"s_nationkey"},
+				Kind:      plan.Inner,
+			},
+			Probe:     &plan.Scan{Table: "partsupp", Columns: []string{"ps_partkey", "ps_suppkey", "ps_supplycost"}},
+			BuildKeys: []string{"s_suppkey"},
+			ProbeKeys: []string{"ps_suppkey"},
+			Kind:      plan.Inner,
+		}
+	}
+	// Offers restricted to qualifying parts.
+	offers := &plan.HashJoin{
+		Build: &plan.Scan{
+			Table:   "part",
+			Columns: []string{"p_partkey", "p_mfgr"},
+			Pred: exec.AndOf(
+				exec.CmpI{Column: "p_size", Op: exec.Eq, V: 15},
+				exec.Like{Column: "p_type", Pattern: "%BRASS"},
+			),
+		},
+		Probe:     europeOffers(),
+		BuildKeys: []string{"p_partkey"},
+		ProbeKeys: []string{"ps_partkey"},
+		Kind:      plan.Inner,
+	}
+	// The part scan above projects p_size and p_type away before the
+	// join, so re-state the predicate columns in the scan.
+	offers.Build.(*plan.Scan).Columns = []string{"p_partkey", "p_mfgr", "p_size", "p_type"}
+
+	minCost := &plan.Rename{
+		Input: &plan.GroupBy{
+			Input: offers,
+			Keys:  []string{"ps_partkey"},
+			Aggs:  []plan.AggSpec{{Name: "min_cost", Func: plan.Min, Arg: exec.Col{Name: "ps_supplycost"}}},
+		},
+		Pairs: [][2]string{{"ps_partkey", "mc_partkey"}},
+	}
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{
+			{Column: "s_acctbal", Desc: true},
+			{Column: "n_name"}, {Column: "s_name"}, {Column: "p_partkey"},
+		},
+		N: 100,
+		Input: &plan.Project{
+			Input: &plan.Filter{
+				Pred: exec.ColCmpF{A: "ps_supplycost", B: "min_cost", Op: exec.Eq},
+				Input: &plan.HashJoin{
+					Build:     minCost,
+					Probe:     offers,
+					BuildKeys: []string{"mc_partkey"},
+					ProbeKeys: []string{"ps_partkey"},
+					Kind:      plan.Inner,
+				},
+			},
+			Cols: []plan.NamedExpr{
+				{Name: "s_acctbal", Expr: exec.Col{Name: "s_acctbal"}},
+				{Name: "s_name", Expr: exec.Col{Name: "s_name"}},
+				{Name: "n_name", Expr: exec.Col{Name: "n_name"}},
+				{Name: "p_partkey", Expr: exec.Col{Name: "p_partkey"}},
+				{Name: "p_mfgr", Expr: exec.Col{Name: "p_mfgr"}},
+				{Name: "s_address", Expr: exec.Col{Name: "s_address"}},
+				{Name: "s_phone", Expr: exec.Col{Name: "s_phone"}},
+				{Name: "s_comment", Expr: exec.Col{Name: "s_comment"}},
+			},
+		},
+	}
+}
+
+// Q3 is the shipping-priority query: two selective joins into a top-10
+// aggregation.
+func Q3() plan.Node { return q3(DefaultParams()) }
+
+func q3(p Params) plan.Node {
+	d := p.Q3Date
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "revenue", Desc: true}, {Column: "o_orderdate"}},
+		N:    10,
+		Input: &plan.GroupBy{
+			Input: &plan.HashJoin{
+				Build: &plan.HashJoin{
+					Build:     &plan.Scan{Table: "customer", Columns: []string{"c_custkey", "c_mktsegment"}, Pred: exec.StrEq{Column: "c_mktsegment", V: p.Q3Segment}},
+					Probe:     &plan.Scan{Table: "orders", Columns: []string{"o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"}, Pred: exec.CmpD{Column: "o_orderdate", Op: exec.Lt, V: d}},
+					BuildKeys: []string{"c_custkey"},
+					ProbeKeys: []string{"o_custkey"},
+					Kind:      plan.Semi,
+				},
+				Probe:     &plan.Scan{Table: "lineitem", Columns: []string{"l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"}, Pred: exec.CmpD{Column: "l_shipdate", Op: exec.Gt, V: d}},
+				BuildKeys: []string{"o_orderkey"},
+				ProbeKeys: []string{"l_orderkey"},
+				Kind:      plan.Inner,
+			},
+			Keys: []string{"l_orderkey", "o_orderdate", "o_shippriority"},
+			Aggs: []plan.AggSpec{{Name: "revenue", Func: plan.Sum, Arg: revenue()}},
+		},
+	}
+}
+
+// Q4 is the order-priority check: a date-windowed semi-join counted by
+// priority.
+func Q4() plan.Node { return q4(DefaultParams()) }
+
+func q4(p Params) plan.Node {
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "o_orderpriority"}},
+		Input: &plan.GroupBy{
+			Input: &plan.HashJoin{
+				Build: &plan.Scan{
+					Table:   "lineitem",
+					Columns: []string{"l_orderkey", "l_commitdate", "l_receiptdate"},
+					Pred:    exec.ColCmpD{A: "l_commitdate", B: "l_receiptdate", Op: exec.Lt},
+				},
+				Probe: &plan.Scan{
+					Table:   "orders",
+					Columns: []string{"o_orderkey", "o_orderdate", "o_orderpriority"},
+					Pred:    exec.DateRange{Column: "o_orderdate", Lo: p.Q4Date, Hi: colstore.AddMonths(p.Q4Date, 3)},
+				},
+				BuildKeys: []string{"l_orderkey"},
+				ProbeKeys: []string{"o_orderkey"},
+				Kind:      plan.Semi,
+			},
+			Keys: []string{"o_orderpriority"},
+			Aggs: []plan.AggSpec{{Name: "order_count", Func: plan.Count}},
+		},
+	}
+}
+
+// Q5 is the local-supplier-volume query: a five-way join with the
+// customer-nation = supplier-nation correlation.
+func Q5() plan.Node { return q5(DefaultParams()) }
+
+func q5(p Params) plan.Node {
+	custInAsia := &plan.HashJoin{
+		Build: &plan.HashJoin{
+			Build:     &plan.Scan{Table: "region", Columns: []string{"r_regionkey", "r_name"}, Pred: exec.StrEq{Column: "r_name", V: p.Q5Region}},
+			Probe:     &plan.Scan{Table: "nation", Columns: []string{"n_nationkey", "n_name", "n_regionkey"}},
+			BuildKeys: []string{"r_regionkey"},
+			ProbeKeys: []string{"n_regionkey"},
+			Kind:      plan.Semi,
+		},
+		Probe:     &plan.Scan{Table: "customer", Columns: []string{"c_custkey", "c_nationkey"}},
+		BuildKeys: []string{"n_nationkey"},
+		ProbeKeys: []string{"c_nationkey"},
+		Kind:      plan.Inner,
+	}
+	ordersOfCust := &plan.HashJoin{
+		Build:     custInAsia,
+		Probe:     &plan.Scan{Table: "orders", Columns: []string{"o_orderkey", "o_custkey", "o_orderdate"}, Pred: exec.DateRange{Column: "o_orderdate", Lo: p.Q5Date, Hi: colstore.AddYears(p.Q5Date, 1)}},
+		BuildKeys: []string{"c_custkey"},
+		ProbeKeys: []string{"o_custkey"},
+		Kind:      plan.Inner,
+	}
+	lines := &plan.HashJoin{
+		Build:     ordersOfCust,
+		Probe:     &plan.Scan{Table: "lineitem", Columns: []string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"}},
+		BuildKeys: []string{"o_orderkey"},
+		ProbeKeys: []string{"l_orderkey"},
+		Kind:      plan.Inner,
+	}
+	withSupp := &plan.Filter{
+		Pred: exec.ColCmpI{A: "s_nationkey", B: "c_nationkey", Op: exec.Eq},
+		Input: &plan.HashJoin{
+			Build:     &plan.Scan{Table: "supplier", Columns: []string{"s_suppkey", "s_nationkey"}},
+			Probe:     lines,
+			BuildKeys: []string{"s_suppkey"},
+			ProbeKeys: []string{"l_suppkey"},
+			Kind:      plan.Inner,
+		},
+	}
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "revenue", Desc: true}},
+		Input: &plan.GroupBy{
+			Input: withSupp,
+			Keys:  []string{"n_name"},
+			Aggs:  []plan.AggSpec{{Name: "revenue", Func: plan.Sum, Arg: revenue()}},
+		},
+	}
+}
+
+// Q6 is the forecasting-revenue-change query: a pure scan-filter-sum, the
+// paper's canonical selective CPU-friendly query (best Pi 3B+ energy
+// result).
+func Q6() plan.Node { return q6(DefaultParams()) }
+
+func q6(p Params) plan.Node {
+	lo, hi := q6DiscountBand(p)
+	return &plan.GroupBy{
+		Input: &plan.Scan{
+			Table:   "lineitem",
+			Columns: []string{"l_extendedprice", "l_discount", "l_shipdate", "l_quantity"},
+			Pred: exec.AndOf(
+				exec.DateRange{Column: "l_shipdate", Lo: p.Q6Date, Hi: colstore.AddYears(p.Q6Date, 1)},
+				exec.FloatRange{Column: "l_discount", Lo: lo, Hi: hi},
+				exec.CmpF{Column: "l_quantity", Op: exec.Lt, V: p.Q6Quantity},
+			),
+		},
+		Aggs: []plan.AggSpec{{Name: "revenue", Func: plan.Sum,
+			Arg: exec.Mul(exec.Col{Name: "l_extendedprice"}, exec.Col{Name: "l_discount"})}},
+	}
+}

@@ -1,0 +1,435 @@
+package tpch
+
+import (
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+	"wimpi/internal/plan"
+)
+
+// Q7 is the volume-shipping query: supplier and customer nations joined
+// through lineitem with a nation-pair disjunction, grouped by year.
+func Q7() plan.Node {
+	suppFranceGermany := &plan.Rename{
+		Input: &plan.HashJoin{
+			Build:     &plan.Scan{Table: "nation", Columns: []string{"n_nationkey", "n_name"}, Pred: exec.StrIn{Column: "n_name", Vals: []string{"FRANCE", "GERMANY"}}},
+			Probe:     &plan.Scan{Table: "supplier", Columns: []string{"s_suppkey", "s_nationkey"}},
+			BuildKeys: []string{"n_nationkey"},
+			ProbeKeys: []string{"s_nationkey"},
+			Kind:      plan.Inner,
+		},
+		Pairs: [][2]string{{"n_name", "supp_nation"}, {"n_nationkey", "supp_nationkey"}},
+	}
+	custFranceGermany := &plan.Rename{
+		Input: &plan.HashJoin{
+			Build:     &plan.Scan{Table: "nation", Columns: []string{"n_nationkey", "n_name"}, Pred: exec.StrIn{Column: "n_name", Vals: []string{"FRANCE", "GERMANY"}}},
+			Probe:     &plan.Scan{Table: "customer", Columns: []string{"c_custkey", "c_nationkey"}},
+			BuildKeys: []string{"n_nationkey"},
+			ProbeKeys: []string{"c_nationkey"},
+			Kind:      plan.Inner,
+		},
+		Pairs: [][2]string{{"n_name", "cust_nation"}, {"n_nationkey", "cust_nationkey"}},
+	}
+	lines := &plan.HashJoin{
+		Build: suppFranceGermany,
+		Probe: &plan.Scan{
+			Table:   "lineitem",
+			Columns: []string{"l_orderkey", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"},
+			Pred:    exec.DateRange{Column: "l_shipdate", Lo: date("1995-01-01"), Hi: date("1997-01-01")},
+		},
+		BuildKeys: []string{"s_suppkey"},
+		ProbeKeys: []string{"l_suppkey"},
+		Kind:      plan.Inner,
+	}
+	withOrders := &plan.HashJoin{
+		Build:     lines,
+		Probe:     &plan.Scan{Table: "orders", Columns: []string{"o_orderkey", "o_custkey"}},
+		BuildKeys: []string{"l_orderkey"},
+		ProbeKeys: []string{"o_orderkey"},
+		Kind:      plan.Inner,
+	}
+	withCust := &plan.Filter{
+		Pred: exec.OrOf(
+			exec.AndOf(exec.StrEq{Column: "supp_nation", V: "FRANCE"}, exec.StrEq{Column: "cust_nation", V: "GERMANY"}),
+			exec.AndOf(exec.StrEq{Column: "supp_nation", V: "GERMANY"}, exec.StrEq{Column: "cust_nation", V: "FRANCE"}),
+		),
+		Input: &plan.HashJoin{
+			Build:     custFranceGermany,
+			Probe:     withOrders,
+			BuildKeys: []string{"c_custkey"},
+			ProbeKeys: []string{"o_custkey"},
+			Kind:      plan.Inner,
+		},
+	}
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "supp_nation"}, {Column: "cust_nation"}, {Column: "l_year"}},
+		Input: &plan.GroupBy{
+			Input: &plan.Project{
+				Input: withCust,
+				Cols: []plan.NamedExpr{
+					{Name: "supp_nation", Expr: exec.Col{Name: "supp_nation"}},
+					{Name: "cust_nation", Expr: exec.Col{Name: "cust_nation"}},
+					{Name: "l_year", Expr: exec.YearExpr{Arg: exec.Col{Name: "l_shipdate"}}},
+					{Name: "volume", Expr: revenue()},
+				},
+			},
+			Keys: []string{"supp_nation", "cust_nation", "l_year"},
+			Aggs: []plan.AggSpec{{Name: "revenue", Func: plan.Sum, Arg: exec.Col{Name: "volume"}}},
+		},
+	}
+}
+
+// Q8 is the national-market-share query: an eight-table join producing a
+// conditional-aggregate ratio per year.
+func Q8() plan.Node {
+	partLines := &plan.HashJoin{
+		Build:     &plan.Scan{Table: "part", Columns: []string{"p_partkey", "p_type"}, Pred: exec.StrEq{Column: "p_type", V: "ECONOMY ANODIZED STEEL"}},
+		Probe:     &plan.Scan{Table: "lineitem", Columns: []string{"l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"}},
+		BuildKeys: []string{"p_partkey"},
+		ProbeKeys: []string{"l_partkey"},
+		Kind:      plan.Inner,
+	}
+	withOrders := &plan.HashJoin{
+		Build:     partLines,
+		Probe:     &plan.Scan{Table: "orders", Columns: []string{"o_orderkey", "o_custkey", "o_orderdate"}, Pred: exec.DateRange{Column: "o_orderdate", Lo: date("1995-01-01"), Hi: date("1997-01-01")}},
+		BuildKeys: []string{"l_orderkey"},
+		ProbeKeys: []string{"o_orderkey"},
+		Kind:      plan.Inner,
+	}
+	// Customers in AMERICA.
+	amerCust := &plan.HashJoin{
+		Build: &plan.HashJoin{
+			Build:     &plan.Scan{Table: "region", Columns: []string{"r_regionkey", "r_name"}, Pred: exec.StrEq{Column: "r_name", V: "AMERICA"}},
+			Probe:     &plan.Scan{Table: "nation", Columns: []string{"n_nationkey", "n_regionkey"}},
+			BuildKeys: []string{"r_regionkey"},
+			ProbeKeys: []string{"n_regionkey"},
+			Kind:      plan.Semi,
+		},
+		Probe:     &plan.Scan{Table: "customer", Columns: []string{"c_custkey", "c_nationkey"}},
+		BuildKeys: []string{"n_nationkey"},
+		ProbeKeys: []string{"c_nationkey"},
+		Kind:      plan.Semi,
+	}
+	withCust := &plan.HashJoin{
+		Build:     amerCust,
+		Probe:     withOrders,
+		BuildKeys: []string{"c_custkey"},
+		ProbeKeys: []string{"o_custkey"},
+		Kind:      plan.Semi,
+	}
+	suppNation := &plan.Rename{
+		Input: &plan.HashJoin{
+			Build:     &plan.Scan{Table: "nation", Columns: []string{"n_nationkey", "n_name"}},
+			Probe:     &plan.Scan{Table: "supplier", Columns: []string{"s_suppkey", "s_nationkey"}},
+			BuildKeys: []string{"n_nationkey"},
+			ProbeKeys: []string{"s_nationkey"},
+			Kind:      plan.Inner,
+		},
+		Pairs: [][2]string{{"n_name", "supp_nation"}},
+	}
+	full := &plan.HashJoin{
+		Build:     suppNation,
+		Probe:     withCust,
+		BuildKeys: []string{"s_suppkey"},
+		ProbeKeys: []string{"l_suppkey"},
+		Kind:      plan.Inner,
+	}
+	grouped := &plan.GroupBy{
+		Input: &plan.Project{
+			Input: full,
+			Cols: []plan.NamedExpr{
+				{Name: "o_year", Expr: exec.YearExpr{Arg: exec.Col{Name: "o_orderdate"}}},
+				{Name: "volume", Expr: revenue()},
+				{Name: "brazil_volume", Expr: exec.CaseWhenF{
+					Pred: exec.StrEq{Column: "supp_nation", V: "BRAZIL"},
+					Then: revenue(),
+					Else: exec.ConstF{V: 0},
+				}},
+			},
+		},
+		Keys: []string{"o_year"},
+		Aggs: []plan.AggSpec{
+			{Name: "brazil", Func: plan.Sum, Arg: exec.Col{Name: "brazil_volume"}},
+			{Name: "total", Func: plan.Sum, Arg: exec.Col{Name: "volume"}},
+		},
+	}
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "o_year"}},
+		Input: &plan.Project{
+			Input: grouped,
+			Cols: []plan.NamedExpr{
+				{Name: "o_year", Expr: exec.Col{Name: "o_year"}},
+				{Name: "mkt_share", Expr: exec.Div(exec.Col{Name: "brazil"}, exec.Col{Name: "total"})},
+			},
+		},
+	}
+}
+
+// Q9 is the product-type-profit query: the heaviest join query, with a
+// two-column partsupp join and a nation/year rollup.
+func Q9() plan.Node {
+	greenLines := &plan.HashJoin{
+		Build:     &plan.Scan{Table: "part", Columns: []string{"p_partkey", "p_name"}, Pred: exec.Like{Column: "p_name", Pattern: "%green%"}},
+		Probe:     &plan.Scan{Table: "lineitem", Columns: []string{"l_orderkey", "l_partkey", "l_suppkey", "l_quantity", "l_extendedprice", "l_discount"}},
+		BuildKeys: []string{"p_partkey"},
+		ProbeKeys: []string{"l_partkey"},
+		Kind:      plan.Inner,
+	}
+	withPS := &plan.HashJoin{
+		Build:     &plan.Scan{Table: "partsupp", Columns: []string{"ps_partkey", "ps_suppkey", "ps_supplycost"}},
+		Probe:     greenLines,
+		BuildKeys: []string{"ps_partkey", "ps_suppkey"},
+		ProbeKeys: []string{"l_partkey", "l_suppkey"},
+		Kind:      plan.Inner,
+	}
+	withSupp := &plan.HashJoin{
+		Build: &plan.HashJoin{
+			Build:     &plan.Scan{Table: "nation", Columns: []string{"n_nationkey", "n_name"}},
+			Probe:     &plan.Scan{Table: "supplier", Columns: []string{"s_suppkey", "s_nationkey"}},
+			BuildKeys: []string{"n_nationkey"},
+			ProbeKeys: []string{"s_nationkey"},
+			Kind:      plan.Inner,
+		},
+		Probe:     withPS,
+		BuildKeys: []string{"s_suppkey"},
+		ProbeKeys: []string{"l_suppkey"},
+		Kind:      plan.Inner,
+	}
+	withOrders := &plan.HashJoin{
+		Build:     withSupp,
+		Probe:     &plan.Scan{Table: "orders", Columns: []string{"o_orderkey", "o_orderdate"}},
+		BuildKeys: []string{"l_orderkey"},
+		ProbeKeys: []string{"o_orderkey"},
+		Kind:      plan.Inner,
+	}
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "nation"}, {Column: "o_year", Desc: true}},
+		Input: &plan.GroupBy{
+			Input: &plan.Project{
+				Input: withOrders,
+				Cols: []plan.NamedExpr{
+					{Name: "nation", Expr: exec.Col{Name: "n_name"}},
+					{Name: "o_year", Expr: exec.YearExpr{Arg: exec.Col{Name: "o_orderdate"}}},
+					{Name: "amount", Expr: exec.Sub(revenue(),
+						exec.Mul(exec.Col{Name: "ps_supplycost"}, exec.Col{Name: "l_quantity"}))},
+				},
+			},
+			Keys: []string{"nation", "o_year"},
+			Aggs: []plan.AggSpec{{Name: "sum_profit", Func: plan.Sum, Arg: exec.Col{Name: "amount"}}},
+		},
+	}
+}
+
+// Q10 is the returned-item reporting query: a revenue rollup per customer
+// joined back for display columns, top 20.
+func Q10() plan.Node {
+	returned := &plan.HashJoin{
+		Build: &plan.Scan{
+			Table:   "orders",
+			Columns: []string{"o_orderkey", "o_custkey", "o_orderdate"},
+			Pred:    exec.DateRange{Column: "o_orderdate", Lo: date("1993-10-01"), Hi: date("1994-01-01")},
+		},
+		Probe: &plan.Scan{
+			Table:   "lineitem",
+			Columns: []string{"l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"},
+			Pred:    exec.StrEq{Column: "l_returnflag", V: "R"},
+		},
+		BuildKeys: []string{"o_orderkey"},
+		ProbeKeys: []string{"l_orderkey"},
+		Kind:      plan.Inner,
+	}
+	perCust := &plan.GroupBy{
+		Input: returned,
+		Keys:  []string{"o_custkey"},
+		Aggs:  []plan.AggSpec{{Name: "revenue", Func: plan.Sum, Arg: revenue()}},
+	}
+	withCust := &plan.HashJoin{
+		Build:     perCust,
+		Probe:     &plan.Scan{Table: "customer", Columns: []string{"c_custkey", "c_name", "c_acctbal", "c_nationkey", "c_address", "c_phone", "c_comment"}},
+		BuildKeys: []string{"o_custkey"},
+		ProbeKeys: []string{"c_custkey"},
+		Kind:      plan.Inner,
+	}
+	withNation := &plan.HashJoin{
+		Build:     &plan.Scan{Table: "nation", Columns: []string{"n_nationkey", "n_name"}},
+		Probe:     withCust,
+		BuildKeys: []string{"n_nationkey"},
+		ProbeKeys: []string{"c_nationkey"},
+		Kind:      plan.Inner,
+	}
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "revenue", Desc: true}},
+		N:    20,
+		Input: &plan.Project{
+			Input: withNation,
+			Cols: []plan.NamedExpr{
+				{Name: "c_custkey", Expr: exec.Col{Name: "c_custkey"}},
+				{Name: "c_name", Expr: exec.Col{Name: "c_name"}},
+				{Name: "revenue", Expr: exec.Col{Name: "revenue"}},
+				{Name: "c_acctbal", Expr: exec.Col{Name: "c_acctbal"}},
+				{Name: "n_name", Expr: exec.Col{Name: "n_name"}},
+				{Name: "c_address", Expr: exec.Col{Name: "c_address"}},
+				{Name: "c_phone", Expr: exec.Col{Name: "c_phone"}},
+				{Name: "c_comment", Expr: exec.Col{Name: "c_comment"}},
+			},
+		},
+	}
+}
+
+// Q11 is the important-stock query: a grouped value rollup filtered by a
+// scalar fraction of the total (the paper's exemplar CPU-bound query —
+// the Pi 3B+'s best showing in Table II).
+func Q11() plan.Node {
+	germanPS := func() plan.Node {
+		return &plan.HashJoin{
+			Build: &plan.HashJoin{
+				Build:     &plan.Scan{Table: "nation", Columns: []string{"n_nationkey", "n_name"}, Pred: exec.StrEq{Column: "n_name", V: "GERMANY"}},
+				Probe:     &plan.Scan{Table: "supplier", Columns: []string{"s_suppkey", "s_nationkey"}},
+				BuildKeys: []string{"n_nationkey"},
+				ProbeKeys: []string{"s_nationkey"},
+				Kind:      plan.Semi,
+			},
+			Probe:     &plan.Scan{Table: "partsupp", Columns: []string{"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"}},
+			BuildKeys: []string{"s_suppkey"},
+			ProbeKeys: []string{"ps_suppkey"},
+			Kind:      plan.Semi,
+		}
+	}
+	value := exec.Mul(exec.Col{Name: "ps_supplycost"}, exec.Col{Name: "ps_availqty"})
+	perPart := &plan.GroupBy{
+		Input: germanPS(),
+		Keys:  []string{"ps_partkey"},
+		Aggs:  []plan.AggSpec{{Name: "value", Func: plan.Sum, Arg: value}},
+	}
+	total := &plan.GroupBy{
+		Input: germanPS(),
+		Aggs:  []plan.AggSpec{{Name: "total", Func: plan.Sum, Arg: value}},
+	}
+	return &funcNode{
+		name: "q11: value > 0.0001/SF * total(value)",
+		fn: func(ctx *plan.Context) (*colstore.Table, error) {
+			// The spec's HAVING fraction is 0.0001/SF; recover SF from
+			// the supplier cardinality (10,000 per unit scale factor).
+			supp, err := ctx.Cat.Table("supplier")
+			if err != nil {
+				return nil, err
+			}
+			sf := float64(supp.NumRows()) / 10000
+			tt, err := total.Execute(ctx)
+			if err != nil {
+				return nil, err
+			}
+			tv, err := scalarF(tt, "total")
+			if err != nil {
+				return nil, err
+			}
+			threshold := tv * 0.0001 / sf
+			out := &plan.OrderBy{
+				Keys: []exec.SortKey{{Column: "value", Desc: true}},
+				Input: &plan.Filter{
+					Input: perPart,
+					Pred:  exec.CmpF{Column: "value", Op: exec.Gt, V: threshold},
+				},
+			}
+			return out.Execute(ctx)
+		},
+	}
+}
+
+// Q12 is the shipping-modes query: a tight lineitem filter joined to
+// orders with two conditional counts.
+func Q12() plan.Node {
+	lines := &plan.Scan{
+		Table:   "lineitem",
+		Columns: []string{"l_orderkey", "l_shipmode", "l_shipdate", "l_commitdate", "l_receiptdate"},
+		Pred: exec.AndOf(
+			exec.StrIn{Column: "l_shipmode", Vals: []string{"MAIL", "SHIP"}},
+			exec.DateRange{Column: "l_receiptdate", Lo: date("1994-01-01"), Hi: date("1995-01-01")},
+			exec.ColCmpD{A: "l_commitdate", B: "l_receiptdate", Op: exec.Lt},
+			exec.ColCmpD{A: "l_shipdate", B: "l_commitdate", Op: exec.Lt},
+		),
+	}
+	joined := &plan.HashJoin{
+		Build:     &plan.Scan{Table: "orders", Columns: []string{"o_orderkey", "o_orderpriority"}},
+		Probe:     lines,
+		BuildKeys: []string{"o_orderkey"},
+		ProbeKeys: []string{"l_orderkey"},
+		Kind:      plan.Inner,
+	}
+	isUrgent := exec.StrIn{Column: "o_orderpriority", Vals: []string{"1-URGENT", "2-HIGH"}}
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "l_shipmode"}},
+		Input: &plan.GroupBy{
+			Input: joined,
+			Keys:  []string{"l_shipmode"},
+			Aggs: []plan.AggSpec{
+				{Name: "high_line_count", Func: plan.Sum, Arg: exec.CaseWhenF{
+					Pred: isUrgent, Then: exec.ConstF{V: 1}, Else: exec.ConstF{V: 0}}},
+				{Name: "low_line_count", Func: plan.Sum, Arg: exec.CaseWhenF{
+					Pred: isUrgent, Then: exec.ConstF{V: 0}, Else: exec.ConstF{V: 1}}},
+			},
+		},
+	}
+}
+
+// Q13 is the customer-distribution query: a COUNT-augmented left outer
+// join followed by a histogram. In the paper's distributed experiments
+// this is the query that cannot use the partitioned lineitem table and
+// therefore runs on a single WimPi node (the flat line in Table III).
+func Q13() plan.Node { return q13(DefaultParams()) }
+
+func q13(p Params) plan.Node {
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "custdist", Desc: true}, {Column: "c_count", Desc: true}},
+		Input: &plan.GroupBy{
+			Input: &plan.HashJoin{
+				Build: &plan.Scan{
+					Table:   "orders",
+					Columns: []string{"o_orderkey", "o_custkey", "o_comment"},
+					Pred:    exec.Like{Column: "o_comment", Pattern: "%" + p.Q13Word1 + "%" + p.Q13Word2 + "%", Negate: true},
+				},
+				Probe:     &plan.Scan{Table: "customer", Columns: []string{"c_custkey"}},
+				BuildKeys: []string{"o_custkey"},
+				ProbeKeys: []string{"c_custkey"},
+				Kind:      plan.LeftCount,
+				CountAs:   "c_count",
+			},
+			Keys: []string{"c_count"},
+			Aggs: []plan.AggSpec{{Name: "custdist", Func: plan.Count}},
+		},
+	}
+}
+
+// Q14 is the promotion-effect query: a one-month lineitem window joined
+// to part with a conditional-revenue ratio.
+func Q14() plan.Node { return q14(DefaultParams()) }
+
+func q14(p Params) plan.Node {
+	joined := &plan.HashJoin{
+		Build: &plan.Scan{Table: "part", Columns: []string{"p_partkey", "p_type"}},
+		Probe: &plan.Scan{
+			Table:   "lineitem",
+			Columns: []string{"l_partkey", "l_extendedprice", "l_discount", "l_shipdate"},
+			Pred:    exec.DateRange{Column: "l_shipdate", Lo: p.Q14Date, Hi: colstore.AddMonths(p.Q14Date, 1)},
+		},
+		BuildKeys: []string{"p_partkey"},
+		ProbeKeys: []string{"l_partkey"},
+		Kind:      plan.Inner,
+	}
+	sums := &plan.GroupBy{
+		Input: joined,
+		Aggs: []plan.AggSpec{
+			{Name: "promo", Func: plan.Sum, Arg: exec.CaseWhenF{
+				Pred: exec.Like{Column: "p_type", Pattern: "PROMO%"},
+				Then: revenue(), Else: exec.ConstF{V: 0}}},
+			{Name: "total", Func: plan.Sum, Arg: revenue()},
+		},
+	}
+	return &plan.Project{
+		Input: sums,
+		Cols: []plan.NamedExpr{
+			{Name: "promo_revenue", Expr: exec.Div(
+				exec.Mul(exec.ConstF{V: 100}, exec.Col{Name: "promo"}),
+				exec.Col{Name: "total"})},
+		},
+	}
+}

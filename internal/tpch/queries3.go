@@ -1,0 +1,538 @@
+package tpch
+
+import (
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+	"wimpi/internal/plan"
+)
+
+// Q15 is the top-supplier query: a per-supplier revenue view filtered to
+// its maximum.
+func Q15() plan.Node {
+	perSupp := &plan.GroupBy{
+		Input: &plan.Scan{
+			Table:   "lineitem",
+			Columns: []string{"l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"},
+			Pred:    exec.DateRange{Column: "l_shipdate", Lo: date("1996-01-01"), Hi: date("1996-04-01")},
+		},
+		Keys: []string{"l_suppkey"},
+		Aggs: []plan.AggSpec{{Name: "total_revenue", Func: plan.Sum, Arg: revenue()}},
+	}
+	return &funcNode{
+		name: "q15: total_revenue = max(total_revenue)",
+		fn: func(ctx *plan.Context) (*colstore.Table, error) {
+			rev, err := perSupp.Execute(ctx)
+			if err != nil {
+				return nil, err
+			}
+			maxT, err := (&plan.GroupBy{
+				Input: tableNode{rev},
+				Aggs:  []plan.AggSpec{{Name: "m", Func: plan.Max, Arg: exec.Col{Name: "total_revenue"}}},
+			}).Execute(ctx)
+			if err != nil {
+				return nil, err
+			}
+			m, err := scalarF(maxT, "m")
+			if err != nil {
+				return nil, err
+			}
+			out := &plan.OrderBy{
+				Keys: []exec.SortKey{{Column: "s_suppkey"}},
+				Input: &plan.Project{
+					Input: &plan.HashJoin{
+						Build: &plan.Filter{
+							Input: tableNode{rev},
+							Pred:  exec.CmpF{Column: "total_revenue", Op: exec.Ge, V: m},
+						},
+						Probe:     &plan.Scan{Table: "supplier", Columns: []string{"s_suppkey", "s_name", "s_address", "s_phone"}},
+						BuildKeys: []string{"l_suppkey"},
+						ProbeKeys: []string{"s_suppkey"},
+						Kind:      plan.Inner,
+					},
+					Cols: []plan.NamedExpr{
+						{Name: "s_suppkey", Expr: exec.Col{Name: "s_suppkey"}},
+						{Name: "s_name", Expr: exec.Col{Name: "s_name"}},
+						{Name: "s_address", Expr: exec.Col{Name: "s_address"}},
+						{Name: "s_phone", Expr: exec.Col{Name: "s_phone"}},
+						{Name: "total_revenue", Expr: exec.Col{Name: "total_revenue"}},
+					},
+				},
+			}
+			return out.Execute(ctx)
+		},
+	}
+}
+
+// Q16 is the parts/supplier-relationship query: a distinct-count over a
+// filtered partsupp with an anti-join against complained-about suppliers.
+func Q16() plan.Node {
+	qualifying := &plan.HashJoin{
+		Build: &plan.Scan{
+			Table:   "part",
+			Columns: []string{"p_partkey", "p_brand", "p_type", "p_size"},
+			Pred: exec.AndOf(
+				exec.StrEq{Column: "p_brand", V: "Brand#45", Negate: true},
+				exec.Like{Column: "p_type", Pattern: "MEDIUM POLISHED%", Negate: true},
+				intIn("p_size", 49, 14, 23, 45, 19, 3, 36, 9),
+			),
+		},
+		Probe:     &plan.Scan{Table: "partsupp", Columns: []string{"ps_partkey", "ps_suppkey"}},
+		BuildKeys: []string{"p_partkey"},
+		ProbeKeys: []string{"ps_partkey"},
+		Kind:      plan.Inner,
+	}
+	noComplaints := &plan.HashJoin{
+		Build: &plan.Scan{
+			Table:   "supplier",
+			Columns: []string{"s_suppkey", "s_comment"},
+			Pred:    exec.Like{Column: "s_comment", Pattern: "%Customer%Complaints%"},
+		},
+		Probe:     qualifying,
+		BuildKeys: []string{"s_suppkey"},
+		ProbeKeys: []string{"ps_suppkey"},
+		Kind:      plan.Anti,
+	}
+	// COUNT(DISTINCT ps_suppkey) = dedupe on (brand, type, size, suppkey)
+	// then count per (brand, type, size).
+	dedup := &plan.GroupBy{
+		Input: noComplaints,
+		Keys:  []string{"p_brand", "p_type", "p_size", "ps_suppkey"},
+		Aggs:  []plan.AggSpec{{Name: "n", Func: plan.Count}},
+	}
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{
+			{Column: "supplier_cnt", Desc: true},
+			{Column: "p_brand"}, {Column: "p_type"}, {Column: "p_size"},
+		},
+		Input: &plan.GroupBy{
+			Input: dedup,
+			Keys:  []string{"p_brand", "p_type", "p_size"},
+			Aggs:  []plan.AggSpec{{Name: "supplier_cnt", Func: plan.Count}},
+		},
+	}
+}
+
+// Q17 is the small-quantity-order query: an average-quantity correlated
+// subquery decorrelated into a per-part join.
+func Q17() plan.Node {
+	lines := &plan.HashJoin{
+		Build: &plan.Scan{
+			Table:   "part",
+			Columns: []string{"p_partkey", "p_brand", "p_container"},
+			Pred: exec.AndOf(
+				exec.StrEq{Column: "p_brand", V: "Brand#23"},
+				exec.StrEq{Column: "p_container", V: "MED BOX"},
+			),
+		},
+		Probe:     &plan.Scan{Table: "lineitem", Columns: []string{"l_partkey", "l_quantity", "l_extendedprice"}},
+		BuildKeys: []string{"p_partkey"},
+		ProbeKeys: []string{"l_partkey"},
+		Kind:      plan.Inner,
+	}
+	avgQty := &plan.Rename{
+		Input: &plan.GroupBy{
+			Input: lines,
+			Keys:  []string{"l_partkey"},
+			Aggs:  []plan.AggSpec{{Name: "avg_qty", Func: plan.Avg, Arg: exec.Col{Name: "l_quantity"}}},
+		},
+		Pairs: [][2]string{{"l_partkey", "aq_partkey"}},
+	}
+	filtered := &plan.Filter{
+		Pred: exec.ColCmpF{A: "l_quantity", B: "qty_limit", Op: exec.Lt},
+		Input: &plan.Project{
+			Input: &plan.HashJoin{
+				Build:     avgQty,
+				Probe:     lines,
+				BuildKeys: []string{"aq_partkey"},
+				ProbeKeys: []string{"l_partkey"},
+				Kind:      plan.Inner,
+			},
+			Cols: []plan.NamedExpr{
+				{Name: "l_quantity", Expr: exec.Col{Name: "l_quantity"}},
+				{Name: "l_extendedprice", Expr: exec.Col{Name: "l_extendedprice"}},
+				{Name: "qty_limit", Expr: exec.Mul(exec.ConstF{V: 0.2}, exec.Col{Name: "avg_qty"})},
+			},
+		},
+	}
+	return &plan.Project{
+		Input: &plan.GroupBy{
+			Input: filtered,
+			Aggs:  []plan.AggSpec{{Name: "total", Func: plan.Sum, Arg: exec.Col{Name: "l_extendedprice"}}},
+		},
+		Cols: []plan.NamedExpr{
+			{Name: "avg_yearly", Expr: exec.Div(exec.Col{Name: "total"}, exec.ConstF{V: 7})},
+		},
+	}
+}
+
+// Q18 is the large-volume-customer query: a HAVING subquery over lineitem
+// joined back through orders and customer, top 100.
+func Q18() plan.Node {
+	bigOrders := &plan.Filter{
+		Pred: exec.CmpF{Column: "sum_qty", Op: exec.Gt, V: 300},
+		Input: &plan.GroupBy{
+			Input: &plan.Scan{Table: "lineitem", Columns: []string{"l_orderkey", "l_quantity"}},
+			Keys:  []string{"l_orderkey"},
+			Aggs:  []plan.AggSpec{{Name: "sum_qty", Func: plan.Sum, Arg: exec.Col{Name: "l_quantity"}}},
+		},
+	}
+	withOrders := &plan.HashJoin{
+		Build:     bigOrders,
+		Probe:     &plan.Scan{Table: "orders", Columns: []string{"o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"}},
+		BuildKeys: []string{"l_orderkey"},
+		ProbeKeys: []string{"o_orderkey"},
+		Kind:      plan.Inner,
+	}
+	withCust := &plan.HashJoin{
+		Build:     &plan.Scan{Table: "customer", Columns: []string{"c_custkey", "c_name"}},
+		Probe:     withOrders,
+		BuildKeys: []string{"c_custkey"},
+		ProbeKeys: []string{"o_custkey"},
+		Kind:      plan.Inner,
+	}
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "o_totalprice", Desc: true}, {Column: "o_orderdate"}},
+		N:    100,
+		Input: &plan.Project{
+			Input: withCust,
+			Cols: []plan.NamedExpr{
+				{Name: "c_name", Expr: exec.Col{Name: "c_name"}},
+				{Name: "c_custkey", Expr: exec.Col{Name: "c_custkey"}},
+				{Name: "o_orderkey", Expr: exec.Col{Name: "o_orderkey"}},
+				{Name: "o_orderdate", Expr: exec.Col{Name: "o_orderdate"}},
+				{Name: "o_totalprice", Expr: exec.Col{Name: "o_totalprice"}},
+				{Name: "sum_qty", Expr: exec.Col{Name: "sum_qty"}},
+			},
+		},
+	}
+}
+
+// Q19 is the discounted-revenue query: a disjunction of three
+// brand/container/quantity condition blocks over a part-lineitem join.
+func Q19() plan.Node { return q19(DefaultParams()) }
+
+func q19(p Params) plan.Node {
+	block := func(brand string, containers []string, qtyLo, qtyHi float64, sizeHi int64) exec.Pred {
+		return exec.AndOf(
+			exec.StrEq{Column: "p_brand", V: brand},
+			exec.StrIn{Column: "p_container", Vals: containers},
+			exec.FloatRange{Column: "l_quantity", Lo: qtyLo, Hi: qtyHi},
+			exec.CmpI{Column: "p_size", Op: exec.Ge, V: 1},
+			exec.CmpI{Column: "p_size", Op: exec.Le, V: sizeHi},
+		)
+	}
+	joined := &plan.HashJoin{
+		Build: &plan.Scan{Table: "part", Columns: []string{"p_partkey", "p_brand", "p_container", "p_size"}},
+		Probe: &plan.Scan{
+			Table:   "lineitem",
+			Columns: []string{"l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipmode", "l_shipinstruct"},
+			Pred: exec.AndOf(
+				exec.StrIn{Column: "l_shipmode", Vals: []string{"AIR", "AIR REG"}},
+				exec.StrEq{Column: "l_shipinstruct", V: "DELIVER IN PERSON"},
+			),
+		},
+		BuildKeys: []string{"p_partkey"},
+		ProbeKeys: []string{"l_partkey"},
+		Kind:      plan.Inner,
+	}
+	return &plan.GroupBy{
+		Input: &plan.Filter{
+			Input: joined,
+			Pred: exec.OrOf(
+				block(p.Q19Brand1, []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, p.Q19Quantity1, p.Q19Quantity1+10, 5),
+				block(p.Q19Brand2, []string{"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, p.Q19Quantity2, p.Q19Quantity2+10, 10),
+				block(p.Q19Brand3, []string{"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, p.Q19Quantity3, p.Q19Quantity3+10, 15),
+			),
+		},
+		Aggs: []plan.AggSpec{{Name: "revenue", Func: plan.Sum, Arg: revenue()}},
+	}
+}
+
+// Q20 is the potential-part-promotion query: availability compared to
+// half the shipped quantity per (part, supplier), restricted to 'forest'
+// parts and Canadian suppliers.
+func Q20() plan.Node {
+	shipped := &plan.GroupBy{
+		Input: &plan.Scan{
+			Table:   "lineitem",
+			Columns: []string{"l_partkey", "l_suppkey", "l_quantity", "l_shipdate"},
+			Pred:    exec.DateRange{Column: "l_shipdate", Lo: date("1994-01-01"), Hi: date("1995-01-01")},
+		},
+		Keys: []string{"l_partkey", "l_suppkey"},
+		Aggs: []plan.AggSpec{{Name: "sum_qty", Func: plan.Sum, Arg: exec.Col{Name: "l_quantity"}}},
+	}
+	forestPS := &plan.HashJoin{
+		Build:     &plan.Scan{Table: "part", Columns: []string{"p_partkey", "p_name"}, Pred: exec.Like{Column: "p_name", Pattern: "forest%"}},
+		Probe:     &plan.Scan{Table: "partsupp", Columns: []string{"ps_partkey", "ps_suppkey", "ps_availqty"}},
+		BuildKeys: []string{"p_partkey"},
+		ProbeKeys: []string{"ps_partkey"},
+		Kind:      plan.Semi,
+	}
+	excess := &plan.Filter{
+		Pred: exec.ColCmpF{A: "ps_availqty_f", B: "half_qty", Op: exec.Gt},
+		Input: &plan.Project{
+			Input: &plan.HashJoin{
+				Build:     shipped,
+				Probe:     forestPS,
+				BuildKeys: []string{"l_partkey", "l_suppkey"},
+				ProbeKeys: []string{"ps_partkey", "ps_suppkey"},
+				Kind:      plan.Inner,
+			},
+			Cols: []plan.NamedExpr{
+				{Name: "ps_suppkey", Expr: exec.Col{Name: "ps_suppkey"}},
+				{Name: "ps_availqty_f", Expr: exec.Add(exec.Col{Name: "ps_availqty"}, exec.ConstF{V: 0})},
+				{Name: "half_qty", Expr: exec.Mul(exec.ConstF{V: 0.5}, exec.Col{Name: "sum_qty"})},
+			},
+		},
+	}
+	canadian := &plan.HashJoin{
+		Build: &plan.HashJoin{
+			Build:     &plan.Scan{Table: "nation", Columns: []string{"n_nationkey", "n_name"}, Pred: exec.StrEq{Column: "n_name", V: "CANADA"}},
+			Probe:     &plan.Scan{Table: "supplier", Columns: []string{"s_suppkey", "s_name", "s_address", "s_nationkey"}},
+			BuildKeys: []string{"n_nationkey"},
+			ProbeKeys: []string{"s_nationkey"},
+			Kind:      plan.Semi,
+		},
+		Probe:     excess,
+		BuildKeys: []string{"s_suppkey"},
+		ProbeKeys: []string{"ps_suppkey"},
+		Kind:      plan.Semi,
+	}
+	// canadian yields qualifying (suppkey) rows; semi-join supplier to
+	// recover the display columns.
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "s_name"}},
+		Input: &plan.Project{
+			Input: &plan.HashJoin{
+				Build:     canadian,
+				Probe:     &plan.Scan{Table: "supplier", Columns: []string{"s_suppkey", "s_name", "s_address"}},
+				BuildKeys: []string{"ps_suppkey"},
+				ProbeKeys: []string{"s_suppkey"},
+				Kind:      plan.Semi,
+			},
+			Cols: []plan.NamedExpr{
+				{Name: "s_name", Expr: exec.Col{Name: "s_name"}},
+				{Name: "s_address", Expr: exec.Col{Name: "s_address"}},
+			},
+		},
+	}
+}
+
+// Q21 is the suppliers-who-kept-orders-waiting query: the exists/not
+// exists pair over lineitem decorrelated into per-order distinct-supplier
+// counts.
+func Q21() plan.Node {
+	// Distinct (orderkey, suppkey) pairs over all lineitems, counted per
+	// order: how many suppliers participate in each order.
+	suppsPerOrder := &plan.Rename{
+		Input: &plan.GroupBy{
+			Input: &plan.GroupBy{
+				Input: &plan.Scan{Table: "lineitem", Columns: []string{"l_orderkey", "l_suppkey"}},
+				Keys:  []string{"l_orderkey", "l_suppkey"},
+				Aggs:  []plan.AggSpec{{Name: "n", Func: plan.Count}},
+			},
+			Keys: []string{"l_orderkey"},
+			Aggs: []plan.AggSpec{{Name: "nsupp", Func: plan.Count}},
+		},
+		Pairs: [][2]string{{"l_orderkey", "all_orderkey"}},
+	}
+	// The same, restricted to late lines (receipt > commit).
+	lateSuppsPerOrder := &plan.Rename{
+		Input: &plan.GroupBy{
+			Input: &plan.GroupBy{
+				Input: &plan.Scan{
+					Table:   "lineitem",
+					Columns: []string{"l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"},
+					Pred:    exec.ColCmpD{A: "l_receiptdate", B: "l_commitdate", Op: exec.Gt},
+				},
+				Keys: []string{"l_orderkey", "l_suppkey"},
+				Aggs: []plan.AggSpec{{Name: "n", Func: plan.Count}},
+			},
+			Keys: []string{"l_orderkey"},
+			Aggs: []plan.AggSpec{{Name: "nlate", Func: plan.Count}},
+		},
+		Pairs: [][2]string{{"l_orderkey", "late_orderkey"}},
+	}
+	// l1: late lines of Saudi suppliers in failed orders.
+	saudiLate := &plan.HashJoin{
+		Build: &plan.HashJoin{
+			Build:     &plan.Scan{Table: "nation", Columns: []string{"n_nationkey", "n_name"}, Pred: exec.StrEq{Column: "n_name", V: "SAUDI ARABIA"}},
+			Probe:     &plan.Scan{Table: "supplier", Columns: []string{"s_suppkey", "s_name", "s_nationkey"}},
+			BuildKeys: []string{"n_nationkey"},
+			ProbeKeys: []string{"s_nationkey"},
+			Kind:      plan.Semi,
+		},
+		Probe: &plan.Scan{
+			Table:   "lineitem",
+			Columns: []string{"l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"},
+			Pred:    exec.ColCmpD{A: "l_receiptdate", B: "l_commitdate", Op: exec.Gt},
+		},
+		BuildKeys: []string{"s_suppkey"},
+		ProbeKeys: []string{"l_suppkey"},
+		Kind:      plan.Inner,
+	}
+	inFailedOrders := &plan.HashJoin{
+		Build:     &plan.Scan{Table: "orders", Columns: []string{"o_orderkey", "o_orderstatus"}, Pred: exec.StrEq{Column: "o_orderstatus", V: "F"}},
+		Probe:     saudiLate,
+		BuildKeys: []string{"o_orderkey"},
+		ProbeKeys: []string{"l_orderkey"},
+		Kind:      plan.Semi,
+	}
+	withCounts := &plan.HashJoin{
+		Build: lateSuppsPerOrder,
+		Probe: &plan.HashJoin{
+			Build:     suppsPerOrder,
+			Probe:     inFailedOrders,
+			BuildKeys: []string{"all_orderkey"},
+			ProbeKeys: []string{"l_orderkey"},
+			Kind:      plan.Inner,
+		},
+		BuildKeys: []string{"late_orderkey"},
+		ProbeKeys: []string{"l_orderkey"},
+		Kind:      plan.Inner,
+	}
+	return &plan.OrderBy{
+		Keys: []exec.SortKey{{Column: "numwait", Desc: true}, {Column: "s_name"}},
+		N:    100,
+		Input: &plan.GroupBy{
+			Input: &plan.Filter{
+				Input: withCounts,
+				Pred: exec.AndOf(
+					exec.CmpI{Column: "nsupp", Op: exec.Gt, V: 1},
+					exec.CmpI{Column: "nlate", Op: exec.Eq, V: 1},
+				),
+			},
+			Keys: []string{"s_name"},
+			Aggs: []plan.AggSpec{{Name: "numwait", Func: plan.Count}},
+		},
+	}
+}
+
+// Q22 is the global-sales-opportunity query: positive-balance customers
+// from seven country codes with no orders.
+func Q22() plan.Node {
+	codes := []string{"13", "31", "23", "29", "30", "18", "17"}
+	codePred := func() exec.Pred {
+		ps := make([]exec.Pred, len(codes))
+		for i, c := range codes {
+			ps[i] = exec.Like{Column: "c_phone", Pattern: c + "%"}
+		}
+		return exec.OrOf(ps...)
+	}
+	return &funcNode{
+		name: "q22: acctbal > avg(positive acctbal of candidate codes)",
+		fn: func(ctx *plan.Context) (*colstore.Table, error) {
+			avgT, err := (&plan.GroupBy{
+				Input: &plan.Scan{
+					Table:   "customer",
+					Columns: []string{"c_acctbal", "c_phone"},
+					Pred: exec.AndOf(
+						codePred(),
+						exec.CmpF{Column: "c_acctbal", Op: exec.Gt, V: 0},
+					),
+				},
+				Aggs: []plan.AggSpec{{Name: "a", Func: plan.Avg, Arg: exec.Col{Name: "c_acctbal"}}},
+			}).Execute(ctx)
+			if err != nil {
+				return nil, err
+			}
+			avg, err := scalarF(avgT, "a")
+			if err != nil {
+				return nil, err
+			}
+			candidates := &plan.HashJoin{
+				Build: &plan.Scan{Table: "orders", Columns: []string{"o_custkey"}},
+				Probe: &plan.Scan{
+					Table:   "customer",
+					Columns: []string{"c_custkey", "c_phone", "c_acctbal"},
+					Pred: exec.AndOf(
+						codePred(),
+						exec.CmpF{Column: "c_acctbal", Op: exec.Gt, V: avg},
+					),
+				},
+				BuildKeys: []string{"o_custkey"},
+				ProbeKeys: []string{"c_custkey"},
+				Kind:      plan.Anti,
+			}
+			withCode, err := candidates.Execute(ctx)
+			if err != nil {
+				return nil, err
+			}
+			coded, err := addPhonePrefixColumn(withCode, "c_phone", "cntrycode", 2, ctx.Ctr)
+			if err != nil {
+				return nil, err
+			}
+			out := &plan.OrderBy{
+				Keys: []exec.SortKey{{Column: "cntrycode"}},
+				Input: &plan.GroupBy{
+					Input: tableNode{coded},
+					Keys:  []string{"cntrycode"},
+					Aggs: []plan.AggSpec{
+						{Name: "numcust", Func: plan.Count},
+						{Name: "totacctbal", Func: plan.Sum, Arg: exec.Col{Name: "c_acctbal"}},
+					},
+				},
+			}
+			return out.Execute(ctx)
+		},
+	}
+}
+
+// tableNode adapts an already-materialized table into a plan leaf.
+type tableNode struct {
+	t *colstore.Table
+}
+
+// Execute implements plan.Node.
+func (n tableNode) Execute(ctx *plan.Context) (*colstore.Table, error) { return n.t, nil }
+
+// Explain implements plan.Node.
+func (n tableNode) Explain(depth int) string {
+	out := ""
+	for i := 0; i < depth; i++ {
+		out += "  "
+	}
+	return out + "materialized\n"
+}
+
+// addPhonePrefixColumn derives a new dictionary-encoded column holding
+// the first n bytes of a string column (Q22's substring(c_phone, 1, 2)).
+// The prefix is computed once per distinct source value.
+func addPhonePrefixColumn(t *colstore.Table, src, dst string, n int, ctr *exec.Counters) (*colstore.Table, error) {
+	c, err := t.ColByName(src)
+	if err != nil {
+		return nil, err
+	}
+	sc, ok := c.(*colstore.Strings)
+	if !ok {
+		return nil, err
+	}
+	prefDict := colstore.NewDict()
+	remap := make([]int32, sc.Dict.Len())
+	for code, v := range sc.Dict.Values() {
+		p := v
+		if len(p) > n {
+			p = p[:n]
+		}
+		remap[code] = prefDict.Add(p)
+	}
+	codes := make([]int32, len(sc.Codes))
+	for i, code := range sc.Codes {
+		codes[i] = remap[code]
+	}
+	ctr.IntOps += int64(len(codes)) + int64(len(remap))
+	schema := append(colstore.Schema{}, t.Schema...)
+	cols := append([]colstore.Column{}, t.Cols...)
+	schema = append(schema, colstore.Field{Name: dst, Type: colstore.String})
+	cols = append(cols, &colstore.Strings{Codes: codes, Dict: prefDict})
+	return colstore.NewTable(t.Name, schema, cols)
+}
+
+// intIn builds an OR of integer equality predicates (p_size IN (...)).
+func intIn(col string, vals ...int64) exec.Pred {
+	ps := make([]exec.Pred, len(vals))
+	for i, v := range vals {
+		ps[i] = exec.CmpI{Column: col, Op: exec.Eq, V: v}
+	}
+	return exec.OrOf(ps...)
+}

@@ -1,0 +1,453 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wimpi/internal/colstore"
+)
+
+// Reference computes TPC-H answers with straightforward row-at-a-time Go
+// code over a Dataset, completely independent of the columnar engine. It
+// serves as the correctness oracle for the engine's query plans and as
+// the basis of the "data-centric" execution strategy in Figure 4.
+//
+// Each query method returns rows in the query's ORDER BY order; cell
+// types are int64, float64, string, or int32 (dates).
+type Reference struct {
+	d *Dataset
+
+	li   liRows
+	ord  ordRows
+	cust custRows
+	part partRows
+	supp suppRows
+	ps   psRows
+	nat  natRows
+	reg  regRows
+}
+
+type liRows struct {
+	orderkey, partkey, suppkey []int64
+	qty, extprice, disc, tax   []float64
+	rf, ls, instruct, mode     []string
+	ship, commit, receipt      []int32
+	n                          int
+}
+
+type ordRows struct {
+	orderkey, custkey  []int64
+	status, prio, cmnt []string
+	total              []float64
+	odate              []int32
+	n                  int
+}
+
+type custRows struct {
+	custkey, nationkey               []int64
+	name, addr, phone, segment, cmnt []string
+	acctbal                          []float64
+	n                                int
+}
+
+type partRows struct {
+	partkey, size                  []int64
+	name, mfgr, brand, typ, contnr []string
+	retail                         []float64
+	n                              int
+}
+
+type suppRows struct {
+	suppkey, nationkey      []int64
+	name, addr, phone, cmnt []string
+	acctbal                 []float64
+	n                       int
+}
+
+type psRows struct {
+	partkey, suppkey, availqty []int64
+	cost                       []float64
+	n                          int
+}
+
+type natRows struct {
+	nationkey, regionkey []int64
+	name                 []string
+	n                    int
+}
+
+type regRows struct {
+	regionkey []int64
+	name      []string
+	n         int
+}
+
+// NewReference materializes row-oriented views of d's tables.
+func NewReference(d *Dataset) *Reference {
+	r := &Reference{d: d}
+	li := d.Tables["lineitem"]
+	r.li = liRows{
+		orderkey: colI(li, "l_orderkey"), partkey: colI(li, "l_partkey"),
+		suppkey: colI(li, "l_suppkey"),
+		qty:     colF(li, "l_quantity"), extprice: colF(li, "l_extendedprice"),
+		disc: colF(li, "l_discount"), tax: colF(li, "l_tax"),
+		rf: colS(li, "l_returnflag"), ls: colS(li, "l_linestatus"),
+		instruct: colS(li, "l_shipinstruct"), mode: colS(li, "l_shipmode"),
+		ship: colD(li, "l_shipdate"), commit: colD(li, "l_commitdate"),
+		receipt: colD(li, "l_receiptdate"),
+		n:       li.NumRows(),
+	}
+	o := d.Tables["orders"]
+	r.ord = ordRows{
+		orderkey: colI(o, "o_orderkey"), custkey: colI(o, "o_custkey"),
+		status: colS(o, "o_orderstatus"), prio: colS(o, "o_orderpriority"),
+		cmnt: colS(o, "o_comment"), total: colF(o, "o_totalprice"),
+		odate: colD(o, "o_orderdate"), n: o.NumRows(),
+	}
+	c := d.Tables["customer"]
+	r.cust = custRows{
+		custkey: colI(c, "c_custkey"), nationkey: colI(c, "c_nationkey"),
+		name: colS(c, "c_name"), addr: colS(c, "c_address"),
+		phone: colS(c, "c_phone"), segment: colS(c, "c_mktsegment"),
+		cmnt: colS(c, "c_comment"), acctbal: colF(c, "c_acctbal"), n: c.NumRows(),
+	}
+	p := d.Tables["part"]
+	r.part = partRows{
+		partkey: colI(p, "p_partkey"), size: colI(p, "p_size"),
+		name: colS(p, "p_name"), mfgr: colS(p, "p_mfgr"), brand: colS(p, "p_brand"),
+		typ: colS(p, "p_type"), contnr: colS(p, "p_container"),
+		retail: colF(p, "p_retailprice"), n: p.NumRows(),
+	}
+	s := d.Tables["supplier"]
+	r.supp = suppRows{
+		suppkey: colI(s, "s_suppkey"), nationkey: colI(s, "s_nationkey"),
+		name: colS(s, "s_name"), addr: colS(s, "s_address"),
+		phone: colS(s, "s_phone"), cmnt: colS(s, "s_comment"),
+		acctbal: colF(s, "s_acctbal"), n: s.NumRows(),
+	}
+	psT := d.Tables["partsupp"]
+	r.ps = psRows{
+		partkey: colI(psT, "ps_partkey"), suppkey: colI(psT, "ps_suppkey"),
+		availqty: colI(psT, "ps_availqty"), cost: colF(psT, "ps_supplycost"),
+		n: psT.NumRows(),
+	}
+	nt := d.Tables["nation"]
+	r.nat = natRows{
+		nationkey: colI(nt, "n_nationkey"), regionkey: colI(nt, "n_regionkey"),
+		name: colS(nt, "n_name"), n: nt.NumRows(),
+	}
+	rg := d.Tables["region"]
+	r.reg = regRows{regionkey: colI(rg, "r_regionkey"), name: colS(rg, "r_name"), n: rg.NumRows()}
+	return r
+}
+
+// Query dispatches to the reference implementation of query n using the
+// validation parameters.
+func (r *Reference) Query(n int) ([][]any, error) {
+	return r.QueryP(n, DefaultParams())
+}
+
+// QueryP dispatches to the reference implementation of query n with the
+// given substitution parameters (parameterized for the eight
+// representative queries, like QueryP on the engine side).
+func (r *Reference) QueryP(n int, p Params) ([][]any, error) {
+	fns := []func() [][]any{
+		r.Q1, r.Q2, r.Q3, r.Q4, r.Q5, r.Q6, r.Q7, r.Q8, r.Q9, r.Q10, r.Q11,
+		r.Q12, r.Q13, r.Q14, r.Q15, r.Q16, r.Q17, r.Q18, r.Q19, r.Q20, r.Q21, r.Q22,
+	}
+	switch n {
+	case 1:
+		return r.q1(p), nil
+	case 3:
+		return r.q3(p), nil
+	case 4:
+		return r.q4(p), nil
+	case 5:
+		return r.q5(p), nil
+	case 6:
+		return r.q6(p), nil
+	case 13:
+		return r.q13(p), nil
+	case 14:
+		return r.q14(p), nil
+	case 19:
+		return r.q19(p), nil
+	}
+	if n < 1 || n > len(fns) {
+		return nil, fmt.Errorf("tpch: no reference query %d", n)
+	}
+	return fns[n-1](), nil
+}
+
+func colI(t *colstore.Table, name string) []int64 { return t.MustCol(name).(*colstore.Int64s).V }
+
+func colF(t *colstore.Table, name string) []float64 {
+	return t.MustCol(name).(*colstore.Float64s).V
+}
+
+func colD(t *colstore.Table, name string) []int32 { return t.MustCol(name).(*colstore.Dates).V }
+
+func colS(t *colstore.Table, name string) []string {
+	c := t.MustCol(name).(*colstore.Strings)
+	out := make([]string, c.Len())
+	for i := range out {
+		out[i] = c.Value(i)
+	}
+	return out
+}
+
+func rev(extprice, disc float64) float64 { return extprice * (1 - disc) }
+
+// nationName returns the name for a nation key.
+func (r *Reference) nationName(k int64) string { return r.nat.name[k] }
+
+// nationInRegion reports whether nation k lies in the named region.
+func (r *Reference) nationInRegion(k int64, region string) bool {
+	for i := 0; i < r.reg.n; i++ {
+		if r.reg.name[i] == region {
+			return r.nat.regionkey[k] == r.reg.regionkey[i]
+		}
+	}
+	return false
+}
+
+// Q1 reference.
+func (r *Reference) Q1() [][]any { return r.q1(DefaultParams()) }
+
+func (r *Reference) q1(p Params) [][]any {
+	cutoff := date("1998-12-01") - int32(p.Q1Delta)
+	type agg struct {
+		qty, price, disc, discPrice, charge float64
+		n                                   int64
+	}
+	m := map[string]*agg{}
+	for i := 0; i < r.li.n; i++ {
+		if r.li.ship[i] > cutoff {
+			continue
+		}
+		k := r.li.rf[i] + "|" + r.li.ls[i]
+		a := m[k]
+		if a == nil {
+			a = &agg{}
+			m[k] = a
+		}
+		a.qty += r.li.qty[i]
+		a.price += r.li.extprice[i]
+		a.disc += r.li.disc[i]
+		dp := rev(r.li.extprice[i], r.li.disc[i])
+		a.discPrice += dp
+		a.charge += dp * (1 + r.li.tax[i])
+		a.n++
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]any, 0, len(keys))
+	for _, k := range keys {
+		a := m[k]
+		parts := strings.SplitN(k, "|", 2)
+		out = append(out, []any{parts[0], parts[1], a.qty, a.price, a.discPrice, a.charge,
+			a.qty / float64(a.n), a.price / float64(a.n), a.disc / float64(a.n), a.n})
+	}
+	return out
+}
+
+// Q2 reference.
+func (r *Reference) Q2() [][]any {
+	type offer struct{ psIdx, suppIdx int }
+	suppByKey := map[int64]int{}
+	for i := 0; i < r.supp.n; i++ {
+		suppByKey[r.supp.suppkey[i]] = i
+	}
+	partByKey := map[int64]int{}
+	for i := 0; i < r.part.n; i++ {
+		partByKey[r.part.partkey[i]] = i
+	}
+	// Qualifying parts.
+	qual := map[int64]bool{}
+	for i := 0; i < r.part.n; i++ {
+		if r.part.size[i] == 15 && strings.HasSuffix(r.part.typ[i], "BRASS") {
+			qual[r.part.partkey[i]] = true
+		}
+	}
+	offers := map[int64][]offer{} // partkey -> european offers
+	minCost := map[int64]float64{}
+	for i := 0; i < r.ps.n; i++ {
+		pk := r.ps.partkey[i]
+		if !qual[pk] {
+			continue
+		}
+		si := suppByKey[r.ps.suppkey[i]]
+		if !r.nationInRegion(r.supp.nationkey[si], "EUROPE") {
+			continue
+		}
+		offers[pk] = append(offers[pk], offer{i, si})
+		if c, ok := minCost[pk]; !ok || r.ps.cost[i] < c {
+			minCost[pk] = r.ps.cost[i]
+		}
+	}
+	var out [][]any
+	for pk, os := range offers {
+		for _, o := range os {
+			if r.ps.cost[o.psIdx] != minCost[pk] {
+				continue
+			}
+			si := o.suppIdx
+			pi := partByKey[pk]
+			out = append(out, []any{
+				r.supp.acctbal[si], r.supp.name[si], r.nationName(r.supp.nationkey[si]),
+				pk, r.part.mfgr[pi], r.supp.addr[si], r.supp.phone[si], r.supp.cmnt[si],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i][0].(float64), out[j][0].(float64); a != b {
+			return a > b
+		}
+		if a, b := out[i][2].(string), out[j][2].(string); a != b {
+			return a < b
+		}
+		if a, b := out[i][1].(string), out[j][1].(string); a != b {
+			return a < b
+		}
+		return out[i][3].(int64) < out[j][3].(int64)
+	})
+	if len(out) > 100 {
+		out = out[:100]
+	}
+	return out
+}
+
+// Q3 reference.
+func (r *Reference) Q3() [][]any { return r.q3(DefaultParams()) }
+
+func (r *Reference) q3(p Params) [][]any {
+	d := p.Q3Date
+	building := map[int64]bool{}
+	for i := 0; i < r.cust.n; i++ {
+		if r.cust.segment[i] == p.Q3Segment {
+			building[r.cust.custkey[i]] = true
+		}
+	}
+	type oinfo struct {
+		odate int32
+		prio  int64
+	}
+	ords := map[int64]oinfo{}
+	for i := 0; i < r.ord.n; i++ {
+		if r.ord.odate[i] < d && building[r.ord.custkey[i]] {
+			ords[r.ord.orderkey[i]] = oinfo{r.ord.odate[i], 0}
+		}
+	}
+	revs := map[int64]float64{}
+	for i := 0; i < r.li.n; i++ {
+		if r.li.ship[i] <= d {
+			continue
+		}
+		if _, ok := ords[r.li.orderkey[i]]; ok {
+			revs[r.li.orderkey[i]] += rev(r.li.extprice[i], r.li.disc[i])
+		}
+	}
+	var out [][]any
+	for ok, v := range revs {
+		out = append(out, []any{ok, ords[ok].odate, ords[ok].prio, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i][3].(float64), out[j][3].(float64); a != b {
+			return a > b
+		}
+		return out[i][1].(int32) < out[j][1].(int32)
+	})
+	if len(out) > 10 {
+		out = out[:10]
+	}
+	return out
+}
+
+// Q4 reference.
+func (r *Reference) Q4() [][]any { return r.q4(DefaultParams()) }
+
+func (r *Reference) q4(p Params) [][]any {
+	lo, hi := p.Q4Date, colstore.AddMonths(p.Q4Date, 3)
+	late := map[int64]bool{}
+	for i := 0; i < r.li.n; i++ {
+		if r.li.commit[i] < r.li.receipt[i] {
+			late[r.li.orderkey[i]] = true
+		}
+	}
+	counts := map[string]int64{}
+	for i := 0; i < r.ord.n; i++ {
+		if r.ord.odate[i] >= lo && r.ord.odate[i] < hi && late[r.ord.orderkey[i]] {
+			counts[r.ord.prio[i]]++
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]any, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, []any{k, counts[k]})
+	}
+	return out
+}
+
+// Q5 reference.
+func (r *Reference) Q5() [][]any { return r.q5(DefaultParams()) }
+
+func (r *Reference) q5(p Params) [][]any {
+	lo, hi := p.Q5Date, colstore.AddYears(p.Q5Date, 1)
+	custNation := map[int64]int64{}
+	for i := 0; i < r.cust.n; i++ {
+		if r.nationInRegion(r.cust.nationkey[i], p.Q5Region) {
+			custNation[r.cust.custkey[i]] = r.cust.nationkey[i]
+		}
+	}
+	orderNation := map[int64]int64{} // orderkey -> customer nation
+	for i := 0; i < r.ord.n; i++ {
+		if r.ord.odate[i] < lo || r.ord.odate[i] >= hi {
+			continue
+		}
+		if nk, ok := custNation[r.ord.custkey[i]]; ok {
+			orderNation[r.ord.orderkey[i]] = nk
+		}
+	}
+	suppNation := map[int64]int64{}
+	for i := 0; i < r.supp.n; i++ {
+		suppNation[r.supp.suppkey[i]] = r.supp.nationkey[i]
+	}
+	revs := map[int64]float64{} // nationkey -> revenue
+	for i := 0; i < r.li.n; i++ {
+		nk, ok := orderNation[r.li.orderkey[i]]
+		if !ok || suppNation[r.li.suppkey[i]] != nk {
+			continue
+		}
+		revs[nk] += rev(r.li.extprice[i], r.li.disc[i])
+	}
+	var out [][]any
+	for nk, v := range revs {
+		out = append(out, []any{r.nationName(nk), v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][1].(float64) > out[j][1].(float64) })
+	return out
+}
+
+// Q6 reference.
+func (r *Reference) Q6() [][]any { return r.q6(DefaultParams()) }
+
+func (r *Reference) q6(p Params) [][]any {
+	lo, hi := p.Q6Date, colstore.AddYears(p.Q6Date, 1)
+	dlo, dhi := q6DiscountBand(p)
+	var total float64
+	for i := 0; i < r.li.n; i++ {
+		if r.li.ship[i] >= lo && r.li.ship[i] < hi &&
+			r.li.disc[i] >= dlo && r.li.disc[i] <= dhi && r.li.qty[i] < p.Q6Quantity {
+			total += r.li.extprice[i] * r.li.disc[i]
+		}
+	}
+	return [][]any{{total}}
+}

@@ -1,0 +1,382 @@
+package tpch
+
+import (
+	"sort"
+	"strings"
+
+	"wimpi/internal/colstore"
+)
+
+// Q7 reference.
+func (r *Reference) Q7() [][]any {
+	lo, hi := date("1995-01-01"), date("1997-01-01")
+	suppNat := map[int64]string{}
+	for i := 0; i < r.supp.n; i++ {
+		n := r.nationName(r.supp.nationkey[i])
+		if n == "FRANCE" || n == "GERMANY" {
+			suppNat[r.supp.suppkey[i]] = n
+		}
+	}
+	custNat := map[int64]string{}
+	for i := 0; i < r.cust.n; i++ {
+		n := r.nationName(r.cust.nationkey[i])
+		if n == "FRANCE" || n == "GERMANY" {
+			custNat[r.cust.custkey[i]] = n
+		}
+	}
+	orderCustNat := map[int64]string{}
+	for i := 0; i < r.ord.n; i++ {
+		if n, ok := custNat[r.ord.custkey[i]]; ok {
+			orderCustNat[r.ord.orderkey[i]] = n
+		}
+	}
+	type key struct {
+		sn, cn string
+		year   int64
+	}
+	sums := map[key]float64{}
+	for i := 0; i < r.li.n; i++ {
+		if r.li.ship[i] < lo || r.li.ship[i] >= hi {
+			continue
+		}
+		sn, ok := suppNat[r.li.suppkey[i]]
+		if !ok {
+			continue
+		}
+		cn, ok := orderCustNat[r.li.orderkey[i]]
+		if !ok {
+			continue
+		}
+		if !(sn == "FRANCE" && cn == "GERMANY" || sn == "GERMANY" && cn == "FRANCE") {
+			continue
+		}
+		k := key{sn, cn, int64(colstore.YearOf(r.li.ship[i]))}
+		sums[k] += rev(r.li.extprice[i], r.li.disc[i])
+	}
+	keys := make([]key, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sn != keys[j].sn {
+			return keys[i].sn < keys[j].sn
+		}
+		if keys[i].cn != keys[j].cn {
+			return keys[i].cn < keys[j].cn
+		}
+		return keys[i].year < keys[j].year
+	})
+	out := make([][]any, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, []any{k.sn, k.cn, k.year, sums[k]})
+	}
+	return out
+}
+
+// Q8 reference.
+func (r *Reference) Q8() [][]any {
+	lo, hi := date("1995-01-01"), date("1997-01-01")
+	qualPart := map[int64]bool{}
+	for i := 0; i < r.part.n; i++ {
+		if r.part.typ[i] == "ECONOMY ANODIZED STEEL" {
+			qualPart[r.part.partkey[i]] = true
+		}
+	}
+	amerCust := map[int64]bool{}
+	for i := 0; i < r.cust.n; i++ {
+		if r.nationInRegion(r.cust.nationkey[i], "AMERICA") {
+			amerCust[r.cust.custkey[i]] = true
+		}
+	}
+	orderDate := map[int64]int32{}
+	for i := 0; i < r.ord.n; i++ {
+		if r.ord.odate[i] >= lo && r.ord.odate[i] < hi && amerCust[r.ord.custkey[i]] {
+			orderDate[r.ord.orderkey[i]] = r.ord.odate[i]
+		}
+	}
+	suppNat := map[int64]string{}
+	for i := 0; i < r.supp.n; i++ {
+		suppNat[r.supp.suppkey[i]] = r.nationName(r.supp.nationkey[i])
+	}
+	brazil := map[int64]float64{}
+	total := map[int64]float64{}
+	for i := 0; i < r.li.n; i++ {
+		if !qualPart[r.li.partkey[i]] {
+			continue
+		}
+		od, ok := orderDate[r.li.orderkey[i]]
+		if !ok {
+			continue
+		}
+		year := int64(colstore.YearOf(od))
+		v := rev(r.li.extprice[i], r.li.disc[i])
+		total[year] += v
+		if suppNat[r.li.suppkey[i]] == "BRAZIL" {
+			brazil[year] += v
+		}
+	}
+	years := make([]int64, 0, len(total))
+	for y := range total {
+		years = append(years, y)
+	}
+	sort.Slice(years, func(i, j int) bool { return years[i] < years[j] })
+	out := make([][]any, 0, len(years))
+	for _, y := range years {
+		out = append(out, []any{y, brazil[y] / total[y]})
+	}
+	return out
+}
+
+// Q9 reference.
+func (r *Reference) Q9() [][]any {
+	greenPart := map[int64]bool{}
+	for i := 0; i < r.part.n; i++ {
+		if strings.Contains(r.part.name[i], "green") {
+			greenPart[r.part.partkey[i]] = true
+		}
+	}
+	psCost := map[[2]int64]float64{}
+	for i := 0; i < r.ps.n; i++ {
+		psCost[[2]int64{r.ps.partkey[i], r.ps.suppkey[i]}] = r.ps.cost[i]
+	}
+	suppNat := map[int64]string{}
+	for i := 0; i < r.supp.n; i++ {
+		suppNat[r.supp.suppkey[i]] = r.nationName(r.supp.nationkey[i])
+	}
+	orderDate := map[int64]int32{}
+	for i := 0; i < r.ord.n; i++ {
+		orderDate[r.ord.orderkey[i]] = r.ord.odate[i]
+	}
+	type key struct {
+		nation string
+		year   int64
+	}
+	sums := map[key]float64{}
+	for i := 0; i < r.li.n; i++ {
+		if !greenPart[r.li.partkey[i]] {
+			continue
+		}
+		cost := psCost[[2]int64{r.li.partkey[i], r.li.suppkey[i]}]
+		amount := rev(r.li.extprice[i], r.li.disc[i]) - cost*r.li.qty[i]
+		k := key{suppNat[r.li.suppkey[i]], int64(colstore.YearOf(orderDate[r.li.orderkey[i]]))}
+		sums[k] += amount
+	}
+	keys := make([]key, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].nation != keys[j].nation {
+			return keys[i].nation < keys[j].nation
+		}
+		return keys[i].year > keys[j].year
+	})
+	out := make([][]any, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, []any{k.nation, k.year, sums[k]})
+	}
+	return out
+}
+
+// Q10 reference.
+func (r *Reference) Q10() [][]any {
+	lo, hi := date("1993-10-01"), date("1994-01-01")
+	orderCust := map[int64]int64{}
+	for i := 0; i < r.ord.n; i++ {
+		if r.ord.odate[i] >= lo && r.ord.odate[i] < hi {
+			orderCust[r.ord.orderkey[i]] = r.ord.custkey[i]
+		}
+	}
+	revs := map[int64]float64{}
+	for i := 0; i < r.li.n; i++ {
+		if r.li.rf[i] != "R" {
+			continue
+		}
+		if ck, ok := orderCust[r.li.orderkey[i]]; ok {
+			revs[ck] += rev(r.li.extprice[i], r.li.disc[i])
+		}
+	}
+	custIdx := map[int64]int{}
+	for i := 0; i < r.cust.n; i++ {
+		custIdx[r.cust.custkey[i]] = i
+	}
+	var out [][]any
+	for ck, v := range revs {
+		i := custIdx[ck]
+		out = append(out, []any{
+			ck, r.cust.name[i], v, r.cust.acctbal[i],
+			r.nationName(r.cust.nationkey[i]), r.cust.addr[i], r.cust.phone[i], r.cust.cmnt[i],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i][2].(float64), out[j][2].(float64); a != b {
+			return a > b
+		}
+		return out[i][0].(int64) < out[j][0].(int64)
+	})
+	if len(out) > 20 {
+		out = out[:20]
+	}
+	return out
+}
+
+// Q11 reference.
+func (r *Reference) Q11() [][]any {
+	german := map[int64]bool{}
+	for i := 0; i < r.supp.n; i++ {
+		if r.nationName(r.supp.nationkey[i]) == "GERMANY" {
+			german[r.supp.suppkey[i]] = true
+		}
+	}
+	perPart := map[int64]float64{}
+	var total float64
+	for i := 0; i < r.ps.n; i++ {
+		if !german[r.ps.suppkey[i]] {
+			continue
+		}
+		v := r.ps.cost[i] * float64(r.ps.availqty[i])
+		perPart[r.ps.partkey[i]] += v
+		total += v
+	}
+	sf := float64(r.supp.n) / 10000
+	threshold := total * 0.0001 / sf
+	var out [][]any
+	for pk, v := range perPart {
+		if v > threshold {
+			out = append(out, []any{pk, v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i][1].(float64), out[j][1].(float64); a != b {
+			return a > b
+		}
+		return out[i][0].(int64) < out[j][0].(int64)
+	})
+	return out
+}
+
+// Q12 reference.
+func (r *Reference) Q12() [][]any {
+	lo, hi := date("1994-01-01"), date("1995-01-01")
+	prio := map[int64]string{}
+	for i := 0; i < r.ord.n; i++ {
+		prio[r.ord.orderkey[i]] = r.ord.prio[i]
+	}
+	high := map[string]float64{}
+	low := map[string]float64{}
+	for i := 0; i < r.li.n; i++ {
+		m := r.li.mode[i]
+		if m != "MAIL" && m != "SHIP" {
+			continue
+		}
+		if r.li.receipt[i] < lo || r.li.receipt[i] >= hi {
+			continue
+		}
+		if !(r.li.commit[i] < r.li.receipt[i] && r.li.ship[i] < r.li.commit[i]) {
+			continue
+		}
+		p := prio[r.li.orderkey[i]]
+		if p == "1-URGENT" || p == "2-HIGH" {
+			high[m]++
+			low[m] += 0
+		} else {
+			low[m]++
+			high[m] += 0
+		}
+	}
+	modes := make([]string, 0, len(high))
+	seen := map[string]bool{}
+	for m := range high {
+		if !seen[m] {
+			seen[m] = true
+			modes = append(modes, m)
+		}
+	}
+	for m := range low {
+		if !seen[m] {
+			seen[m] = true
+			modes = append(modes, m)
+		}
+	}
+	sort.Strings(modes)
+	out := make([][]any, 0, len(modes))
+	for _, m := range modes {
+		out = append(out, []any{m, high[m], low[m]})
+	}
+	return out
+}
+
+// Q13 reference.
+func (r *Reference) Q13() [][]any { return r.q13(DefaultParams()) }
+
+func (r *Reference) q13(p Params) [][]any {
+	perCust := map[int64]int64{}
+	for i := 0; i < r.ord.n; i++ {
+		if matchWordPair(r.ord.cmnt[i], p.Q13Word1, p.Q13Word2) {
+			continue
+		}
+		perCust[r.ord.custkey[i]]++
+	}
+	hist := map[int64]int64{}
+	for i := 0; i < r.cust.n; i++ {
+		hist[perCust[r.cust.custkey[i]]]++
+	}
+	type pair struct{ count, dist int64 }
+	var ps []pair
+	for c, d := range hist {
+		ps = append(ps, pair{c, d})
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].dist != ps[j].dist {
+			return ps[i].dist > ps[j].dist
+		}
+		return ps[i].count > ps[j].count
+	})
+	out := make([][]any, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, []any{p.count, p.dist})
+	}
+	return out
+}
+
+// matchSpecialRequests mirrors LIKE '%special%requests%' without the
+// engine's matcher.
+func matchSpecialRequests(s string) bool {
+	return matchWordPair(s, "special", "requests")
+}
+
+// matchWordPair mirrors LIKE '%w1%w2%'.
+func matchWordPair(s, w1, w2 string) bool {
+	i := strings.Index(s, w1)
+	if i < 0 {
+		return false
+	}
+	return strings.Contains(s[i+len(w1):], w2)
+}
+
+// Q14 reference.
+func (r *Reference) Q14() [][]any { return r.q14(DefaultParams()) }
+
+func (r *Reference) q14(p Params) [][]any {
+	lo, hi := p.Q14Date, colstore.AddMonths(p.Q14Date, 1)
+	promoPart := map[int64]bool{}
+	isPart := map[int64]bool{}
+	for i := 0; i < r.part.n; i++ {
+		isPart[r.part.partkey[i]] = true
+		if strings.HasPrefix(r.part.typ[i], "PROMO") {
+			promoPart[r.part.partkey[i]] = true
+		}
+	}
+	var promo, total float64
+	for i := 0; i < r.li.n; i++ {
+		if r.li.ship[i] < lo || r.li.ship[i] >= hi || !isPart[r.li.partkey[i]] {
+			continue
+		}
+		v := rev(r.li.extprice[i], r.li.disc[i])
+		total += v
+		if promoPart[r.li.partkey[i]] {
+			promo += v
+		}
+	}
+	return [][]any{{100 * promo / total}}
+}

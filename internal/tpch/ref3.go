@@ -1,0 +1,343 @@
+package tpch
+
+import (
+	"sort"
+	"strings"
+)
+
+// Q15 reference.
+func (r *Reference) Q15() [][]any {
+	lo, hi := date("1996-01-01"), date("1996-04-01")
+	revs := map[int64]float64{}
+	for i := 0; i < r.li.n; i++ {
+		if r.li.ship[i] >= lo && r.li.ship[i] < hi {
+			revs[r.li.suppkey[i]] += rev(r.li.extprice[i], r.li.disc[i])
+		}
+	}
+	var max float64
+	for _, v := range revs {
+		if v > max {
+			max = v
+		}
+	}
+	suppIdx := map[int64]int{}
+	for i := 0; i < r.supp.n; i++ {
+		suppIdx[r.supp.suppkey[i]] = i
+	}
+	var out [][]any
+	for sk, v := range revs {
+		if v >= max {
+			i := suppIdx[sk]
+			out = append(out, []any{sk, r.supp.name[i], r.supp.addr[i], r.supp.phone[i], v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].(int64) < out[j][0].(int64) })
+	return out
+}
+
+// Q16 reference.
+func (r *Reference) Q16() [][]any {
+	sizes := map[int64]bool{49: true, 14: true, 23: true, 45: true, 19: true, 3: true, 36: true, 9: true}
+	type pinfo struct {
+		brand, typ string
+		size       int64
+	}
+	qual := map[int64]pinfo{}
+	for i := 0; i < r.part.n; i++ {
+		if r.part.brand[i] == "Brand#45" ||
+			strings.HasPrefix(r.part.typ[i], "MEDIUM POLISHED") ||
+			!sizes[r.part.size[i]] {
+			continue
+		}
+		qual[r.part.partkey[i]] = pinfo{r.part.brand[i], r.part.typ[i], r.part.size[i]}
+	}
+	complained := map[int64]bool{}
+	for i := 0; i < r.supp.n; i++ {
+		if matchCustomerComplaints(r.supp.cmnt[i]) {
+			complained[r.supp.suppkey[i]] = true
+		}
+	}
+	type key struct {
+		brand, typ string
+		size       int64
+	}
+	supps := map[key]map[int64]bool{}
+	for i := 0; i < r.ps.n; i++ {
+		info, ok := qual[r.ps.partkey[i]]
+		if !ok || complained[r.ps.suppkey[i]] {
+			continue
+		}
+		k := key(info)
+		if supps[k] == nil {
+			supps[k] = map[int64]bool{}
+		}
+		supps[k][r.ps.suppkey[i]] = true
+	}
+	var out [][]any
+	for k, s := range supps {
+		out = append(out, []any{k.brand, k.typ, k.size, int64(len(s))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i][3].(int64), out[j][3].(int64); a != b {
+			return a > b
+		}
+		if a, b := out[i][0].(string), out[j][0].(string); a != b {
+			return a < b
+		}
+		if a, b := out[i][1].(string), out[j][1].(string); a != b {
+			return a < b
+		}
+		return out[i][2].(int64) < out[j][2].(int64)
+	})
+	return out
+}
+
+func matchCustomerComplaints(s string) bool {
+	i := strings.Index(s, "Customer")
+	if i < 0 {
+		return false
+	}
+	return strings.Contains(s[i+len("Customer"):], "Complaints")
+}
+
+// Q17 reference.
+func (r *Reference) Q17() [][]any {
+	qual := map[int64]bool{}
+	for i := 0; i < r.part.n; i++ {
+		if r.part.brand[i] == "Brand#23" && r.part.contnr[i] == "MED BOX" {
+			qual[r.part.partkey[i]] = true
+		}
+	}
+	sum := map[int64]float64{}
+	cnt := map[int64]int64{}
+	for i := 0; i < r.li.n; i++ {
+		if qual[r.li.partkey[i]] {
+			sum[r.li.partkey[i]] += r.li.qty[i]
+			cnt[r.li.partkey[i]]++
+		}
+	}
+	var total float64
+	for i := 0; i < r.li.n; i++ {
+		pk := r.li.partkey[i]
+		if !qual[pk] || cnt[pk] == 0 {
+			continue
+		}
+		if r.li.qty[i] < 0.2*sum[pk]/float64(cnt[pk]) {
+			total += r.li.extprice[i]
+		}
+	}
+	return [][]any{{total / 7}}
+}
+
+// Q18 reference.
+func (r *Reference) Q18() [][]any {
+	qty := map[int64]float64{}
+	for i := 0; i < r.li.n; i++ {
+		qty[r.li.orderkey[i]] += r.li.qty[i]
+	}
+	custName := map[int64]string{}
+	for i := 0; i < r.cust.n; i++ {
+		custName[r.cust.custkey[i]] = r.cust.name[i]
+	}
+	var out [][]any
+	for i := 0; i < r.ord.n; i++ {
+		ok := r.ord.orderkey[i]
+		if qty[ok] <= 300 {
+			continue
+		}
+		out = append(out, []any{
+			custName[r.ord.custkey[i]], r.ord.custkey[i], ok,
+			r.ord.odate[i], r.ord.total[i], qty[ok],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i][4].(float64), out[j][4].(float64); a != b {
+			return a > b
+		}
+		return out[i][3].(int32) < out[j][3].(int32)
+	})
+	if len(out) > 100 {
+		out = out[:100]
+	}
+	return out
+}
+
+// Q19 reference.
+func (r *Reference) Q19() [][]any { return r.q19(DefaultParams()) }
+
+func (r *Reference) q19(p Params) [][]any {
+	type pinfo struct {
+		brand, contnr string
+		size          int64
+	}
+	parts := map[int64]pinfo{}
+	for i := 0; i < r.part.n; i++ {
+		parts[r.part.partkey[i]] = pinfo{r.part.brand[i], r.part.contnr[i], r.part.size[i]}
+	}
+	in := func(s string, vals ...string) bool {
+		for _, v := range vals {
+			if s == v {
+				return true
+			}
+		}
+		return false
+	}
+	var total float64
+	for i := 0; i < r.li.n; i++ {
+		if !in(r.li.mode[i], "AIR", "AIR REG") || r.li.instruct[i] != "DELIVER IN PERSON" {
+			continue
+		}
+		pi, ok := parts[r.li.partkey[i]]
+		if !ok {
+			continue
+		}
+		q := r.li.qty[i]
+		match := pi.brand == p.Q19Brand1 && in(pi.contnr, "SM CASE", "SM BOX", "SM PACK", "SM PKG") &&
+			q >= p.Q19Quantity1 && q <= p.Q19Quantity1+10 && pi.size >= 1 && pi.size <= 5 ||
+			pi.brand == p.Q19Brand2 && in(pi.contnr, "MED BAG", "MED BOX", "MED PKG", "MED PACK") &&
+				q >= p.Q19Quantity2 && q <= p.Q19Quantity2+10 && pi.size >= 1 && pi.size <= 10 ||
+			pi.brand == p.Q19Brand3 && in(pi.contnr, "LG CASE", "LG BOX", "LG PACK", "LG PKG") &&
+				q >= p.Q19Quantity3 && q <= p.Q19Quantity3+10 && pi.size >= 1 && pi.size <= 15
+		if match {
+			total += rev(r.li.extprice[i], r.li.disc[i])
+		}
+	}
+	return [][]any{{total}}
+}
+
+// Q20 reference.
+func (r *Reference) Q20() [][]any {
+	lo, hi := date("1994-01-01"), date("1995-01-01")
+	forest := map[int64]bool{}
+	for i := 0; i < r.part.n; i++ {
+		if strings.HasPrefix(r.part.name[i], "forest") {
+			forest[r.part.partkey[i]] = true
+		}
+	}
+	shipped := map[[2]int64]float64{}
+	for i := 0; i < r.li.n; i++ {
+		if r.li.ship[i] >= lo && r.li.ship[i] < hi {
+			shipped[[2]int64{r.li.partkey[i], r.li.suppkey[i]}] += r.li.qty[i]
+		}
+	}
+	qualSupp := map[int64]bool{}
+	for i := 0; i < r.ps.n; i++ {
+		if !forest[r.ps.partkey[i]] {
+			continue
+		}
+		s, ok := shipped[[2]int64{r.ps.partkey[i], r.ps.suppkey[i]}]
+		if !ok {
+			continue
+		}
+		if float64(r.ps.availqty[i]) > 0.5*s {
+			qualSupp[r.ps.suppkey[i]] = true
+		}
+	}
+	var out [][]any
+	for i := 0; i < r.supp.n; i++ {
+		if qualSupp[r.supp.suppkey[i]] && r.nationName(r.supp.nationkey[i]) == "CANADA" {
+			out = append(out, []any{r.supp.name[i], r.supp.addr[i]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].(string) < out[j][0].(string) })
+	return out
+}
+
+// Q21 reference.
+func (r *Reference) Q21() [][]any {
+	saudi := map[int64]bool{}
+	suppName := map[int64]string{}
+	for i := 0; i < r.supp.n; i++ {
+		suppName[r.supp.suppkey[i]] = r.supp.name[i]
+		if r.nationName(r.supp.nationkey[i]) == "SAUDI ARABIA" {
+			saudi[r.supp.suppkey[i]] = true
+		}
+	}
+	failed := map[int64]bool{}
+	for i := 0; i < r.ord.n; i++ {
+		if r.ord.status[i] == "F" {
+			failed[r.ord.orderkey[i]] = true
+		}
+	}
+	allSupp := map[int64]map[int64]bool{}
+	lateSupp := map[int64]map[int64]bool{}
+	for i := 0; i < r.li.n; i++ {
+		ok := r.li.orderkey[i]
+		if allSupp[ok] == nil {
+			allSupp[ok] = map[int64]bool{}
+		}
+		allSupp[ok][r.li.suppkey[i]] = true
+		if r.li.receipt[i] > r.li.commit[i] {
+			if lateSupp[ok] == nil {
+				lateSupp[ok] = map[int64]bool{}
+			}
+			lateSupp[ok][r.li.suppkey[i]] = true
+		}
+	}
+	counts := map[int64]int64{}
+	for i := 0; i < r.li.n; i++ {
+		ok := r.li.orderkey[i]
+		sk := r.li.suppkey[i]
+		if !saudi[sk] || !failed[ok] || r.li.receipt[i] <= r.li.commit[i] {
+			continue
+		}
+		if len(allSupp[ok]) > 1 && len(lateSupp[ok]) == 1 {
+			counts[sk]++
+		}
+	}
+	var out [][]any
+	for sk, n := range counts {
+		out = append(out, []any{suppName[sk], n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i][1].(int64), out[j][1].(int64); a != b {
+			return a > b
+		}
+		return out[i][0].(string) < out[j][0].(string)
+	})
+	if len(out) > 100 {
+		out = out[:100]
+	}
+	return out
+}
+
+// Q22 reference.
+func (r *Reference) Q22() [][]any {
+	codes := map[string]bool{"13": true, "31": true, "23": true, "29": true, "30": true, "18": true, "17": true}
+	var sum float64
+	var n int64
+	for i := 0; i < r.cust.n; i++ {
+		if codes[r.cust.phone[i][:2]] && r.cust.acctbal[i] > 0 {
+			sum += r.cust.acctbal[i]
+			n++
+		}
+	}
+	avg := 0.0
+	if n > 0 {
+		avg = sum / float64(n)
+	}
+	hasOrders := map[int64]bool{}
+	for i := 0; i < r.ord.n; i++ {
+		hasOrders[r.ord.custkey[i]] = true
+	}
+	numcust := map[string]int64{}
+	totbal := map[string]float64{}
+	for i := 0; i < r.cust.n; i++ {
+		code := r.cust.phone[i][:2]
+		if !codes[code] || r.cust.acctbal[i] <= avg || hasOrders[r.cust.custkey[i]] {
+			continue
+		}
+		numcust[code]++
+		totbal[code] += r.cust.acctbal[i]
+	}
+	keys := make([]string, 0, len(numcust))
+	for k := range numcust {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]any, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, []any{k, numcust[k], totbal[k]})
+	}
+	return out
+}

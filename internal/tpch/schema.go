@@ -1,0 +1,105 @@
+package tpch
+
+import "wimpi/internal/colstore"
+
+// Schemas for the eight TPC-H tables. Money and quantity columns use
+// float64 (two-decimal values), keys use int64, and low-cardinality text
+// uses dictionary-encoded strings.
+
+// LineitemSchema is the schema of the lineitem table.
+var LineitemSchema = colstore.Schema{
+	{Name: "l_orderkey", Type: colstore.Int64},
+	{Name: "l_partkey", Type: colstore.Int64},
+	{Name: "l_suppkey", Type: colstore.Int64},
+	{Name: "l_linenumber", Type: colstore.Int64},
+	{Name: "l_quantity", Type: colstore.Float64},
+	{Name: "l_extendedprice", Type: colstore.Float64},
+	{Name: "l_discount", Type: colstore.Float64},
+	{Name: "l_tax", Type: colstore.Float64},
+	{Name: "l_returnflag", Type: colstore.String},
+	{Name: "l_linestatus", Type: colstore.String},
+	{Name: "l_shipdate", Type: colstore.Date},
+	{Name: "l_commitdate", Type: colstore.Date},
+	{Name: "l_receiptdate", Type: colstore.Date},
+	{Name: "l_shipinstruct", Type: colstore.String},
+	{Name: "l_shipmode", Type: colstore.String},
+	{Name: "l_comment", Type: colstore.String},
+}
+
+// OrdersSchema is the schema of the orders table.
+var OrdersSchema = colstore.Schema{
+	{Name: "o_orderkey", Type: colstore.Int64},
+	{Name: "o_custkey", Type: colstore.Int64},
+	{Name: "o_orderstatus", Type: colstore.String},
+	{Name: "o_totalprice", Type: colstore.Float64},
+	{Name: "o_orderdate", Type: colstore.Date},
+	{Name: "o_orderpriority", Type: colstore.String},
+	{Name: "o_clerk", Type: colstore.String},
+	{Name: "o_shippriority", Type: colstore.Int64},
+	{Name: "o_comment", Type: colstore.String},
+}
+
+// CustomerSchema is the schema of the customer table.
+var CustomerSchema = colstore.Schema{
+	{Name: "c_custkey", Type: colstore.Int64},
+	{Name: "c_name", Type: colstore.String},
+	{Name: "c_address", Type: colstore.String},
+	{Name: "c_nationkey", Type: colstore.Int64},
+	{Name: "c_phone", Type: colstore.String},
+	{Name: "c_acctbal", Type: colstore.Float64},
+	{Name: "c_mktsegment", Type: colstore.String},
+	{Name: "c_comment", Type: colstore.String},
+}
+
+// PartSchema is the schema of the part table.
+var PartSchema = colstore.Schema{
+	{Name: "p_partkey", Type: colstore.Int64},
+	{Name: "p_name", Type: colstore.String},
+	{Name: "p_mfgr", Type: colstore.String},
+	{Name: "p_brand", Type: colstore.String},
+	{Name: "p_type", Type: colstore.String},
+	{Name: "p_size", Type: colstore.Int64},
+	{Name: "p_container", Type: colstore.String},
+	{Name: "p_retailprice", Type: colstore.Float64},
+	{Name: "p_comment", Type: colstore.String},
+}
+
+// SupplierSchema is the schema of the supplier table.
+var SupplierSchema = colstore.Schema{
+	{Name: "s_suppkey", Type: colstore.Int64},
+	{Name: "s_name", Type: colstore.String},
+	{Name: "s_address", Type: colstore.String},
+	{Name: "s_nationkey", Type: colstore.Int64},
+	{Name: "s_phone", Type: colstore.String},
+	{Name: "s_acctbal", Type: colstore.Float64},
+	{Name: "s_comment", Type: colstore.String},
+}
+
+// PartsuppSchema is the schema of the partsupp table.
+var PartsuppSchema = colstore.Schema{
+	{Name: "ps_partkey", Type: colstore.Int64},
+	{Name: "ps_suppkey", Type: colstore.Int64},
+	{Name: "ps_availqty", Type: colstore.Int64},
+	{Name: "ps_supplycost", Type: colstore.Float64},
+	{Name: "ps_comment", Type: colstore.String},
+}
+
+// NationSchema is the schema of the nation table.
+var NationSchema = colstore.Schema{
+	{Name: "n_nationkey", Type: colstore.Int64},
+	{Name: "n_name", Type: colstore.String},
+	{Name: "n_regionkey", Type: colstore.Int64},
+	{Name: "n_comment", Type: colstore.String},
+}
+
+// RegionSchema is the schema of the region table.
+var RegionSchema = colstore.Schema{
+	{Name: "r_regionkey", Type: colstore.Int64},
+	{Name: "r_name", Type: colstore.String},
+	{Name: "r_comment", Type: colstore.String},
+}
+
+// TableNames lists the eight TPC-H tables.
+var TableNames = []string{
+	"lineitem", "orders", "customer", "part", "supplier", "partsupp", "nation", "region",
+}

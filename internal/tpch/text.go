@@ -1,0 +1,139 @@
+package tpch
+
+import "fmt"
+
+// Value lists from the TPC-H specification. The query predicates filter
+// on these exact strings, so they must match the spec verbatim.
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// nations maps each of the 25 TPC-H nations to its region index.
+var nations = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+
+var shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+
+// Part type components: type = syllable1 + " " + syllable2 + " " + syllable3.
+var typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+// Container components: container = size + " " + kind.
+var containerSyl1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+var containerSyl2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+// partNameWords is the spec's P_NAME color vocabulary (subset); p_name is
+// five distinct words. Q9 matches '%green%' and Q20 matches 'forest%'.
+var partNameWords = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+	"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+	"dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+	"frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+	"hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+	"lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+	"midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+	"orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+	"puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+	"sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+	"steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+	"yellow",
+}
+
+// commentWords is the bounded vocabulary for free-text fields. Three-word
+// comments give at most len^3 distinct values, keeping dictionaries small
+// while exercising the LIKE-over-dictionary code path.
+var commentWords = []string{
+	"carefully", "quickly", "furiously", "slyly", "blithely", "deposits",
+	"accounts", "packages", "theodolites", "instructions", "foxes", "ideas",
+	"pinto", "beans", "requests", "platelets", "excuses", "asymptotes",
+	"dependencies", "waters", "sauternes", "warthogs", "sentiments", "courts",
+	"final", "ironic", "regular", "express", "bold", "even", "silent", "pending",
+}
+
+// comment produces a three-word pseudo-text string.
+func comment(r *rng) string {
+	return pick(r, commentWords) + " " + pick(r, commentWords) + " " + pick(r, commentWords)
+}
+
+// orderComment produces an o_comment, injecting Q13's word-pair pattern
+// (WORD1 ... WORD2 from the spec's two four-word lists) into roughly 8%%
+// of orders — about 0.5%% per specific pair, near the spec's exclusion
+// rate for any one pattern.
+func orderComment(r *rng) string {
+	if r.chance(0.08) {
+		return pick(r, q13Words1) + " " + pick(r, commentWords) + " " + pick(r, q13Words2)
+	}
+	return comment(r)
+}
+
+// supplierComment produces an s_comment, injecting the Q16 'Customer ...
+// Complaints' pattern for roughly 5 per 10,000 suppliers.
+func supplierComment(r *rng) string {
+	if r.chance(0.0005) {
+		return "Customer " + pick(r, commentWords) + " Complaints"
+	}
+	return comment(r)
+}
+
+// partName produces a five-word p_name.
+func partName(r *rng) string {
+	out := pick(r, partNameWords)
+	for i := 0; i < 4; i++ {
+		out += " " + pick(r, partNameWords)
+	}
+	return out
+}
+
+// partType produces a p_type like "PROMO BURNISHED TIN".
+func partType(r *rng) string {
+	return pick(r, typeSyl1) + " " + pick(r, typeSyl2) + " " + pick(r, typeSyl3)
+}
+
+// container produces a p_container like "SM BOX".
+func container(r *rng) string {
+	return pick(r, containerSyl1) + " " + pick(r, containerSyl2)
+}
+
+// brand produces a p_brand like "Brand#23".
+func brand(r *rng) string {
+	return fmt.Sprintf("Brand#%d%d", r.rangeInt(1, 5), r.rangeInt(1, 5))
+}
+
+// phone produces a phone number whose two-digit country code is
+// nationkey+10, as Q22 requires.
+func phone(r *rng, nationkey int) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", nationkey+10,
+		r.rangeInt(100, 999), r.rangeInt(100, 999), r.rangeInt(1000, 9999))
+}
+
+// address produces a short bounded-vocabulary address.
+func address(r *rng) string {
+	return fmt.Sprintf("%d %s %s", r.rangeInt(1, 999), pick(r, commentWords), pick(r, commentWords))
+}
+
+// clerk produces an o_clerk like "Clerk#000000316" from a pool of
+// 1000*SF clerks.
+func clerk(r *rng, sf float64) string {
+	n := int(1000 * sf)
+	if n < 1 {
+		n = 1
+	}
+	return fmt.Sprintf("Clerk#%09d", r.rangeInt(1, n))
+}
