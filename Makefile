@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test race bench-scaling
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-detector pass over every package that runs parallel kernels.
+race:
+	$(GO) test -race ./internal/exec/... ./internal/plan/... ./internal/engine/... ./internal/cluster/...
+
+# Parallel speedup on Q1/Q3/Q6/Q18 at 1/2/4/8 workers (SF via WIMPI_BENCH_SF).
+bench-scaling:
+	$(GO) test -run '^$$' -bench BenchmarkParallelScaling -benchtime 3x .

@@ -105,6 +105,37 @@ func BenchmarkFigure2Membw(b *testing.B) {
 	b.ReportMetric(gbps, "GB/s")
 }
 
+// BenchmarkParallelScaling runs Q1/Q3/Q6/Q18 at 1, 2, 4, and 8 workers
+// and reports each configuration's speedup over its query's one-worker
+// run. On a single-core host the speedups hover near 1; on a Pi-class
+// quad core the aggregation-heavy queries should clear 2x at 4 workers.
+func BenchmarkParallelScaling(b *testing.B) {
+	_, db := fixture(b)
+	base := map[int]float64{} // query -> 1-worker ns/op
+	for _, q := range []int{1, 3, 6, 18} {
+		for _, w := range []int{1, 2, 4, 8} {
+			q, w := q, w
+			b.Run(fmt.Sprintf("Q%d/workers=%d", q, w), func(b *testing.B) {
+				p := tpch.MustQuery(q)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.RunWith(p, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				nsop := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				if w == 1 {
+					base[q] = nsop
+				}
+				if base[q] > 0 {
+					b.ReportMetric(base[q]/nsop, "speedup-vs-1w")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTableII runs each of the 22 TPC-H queries (one sub-benchmark
 // per query) and reports the simulated Pi 3B+ and op-e5 runtimes.
 func BenchmarkTableII(b *testing.B) {

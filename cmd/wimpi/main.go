@@ -78,8 +78,8 @@ func main() {
 	}
 	db := engine.NewDB(engine.Config{Workers: *workers})
 	data.RegisterAll(db)
-	fmt.Fprintf(os.Stderr, "done in %v (%.1f MB)\n", time.Since(start).Round(time.Millisecond),
-		float64(db.SizeBytes())/(1<<20))
+	fmt.Fprintf(os.Stderr, "done in %v (%.1f MB, %d workers)\n", time.Since(start).Round(time.Millisecond),
+		float64(db.SizeBytes())/(1<<20), db.Workers())
 
 	model := hardware.DefaultModel()
 	profiles := hardware.Profiles()

@@ -1,0 +1,159 @@
+package engine_test
+
+// Determinism suite: every TPC-H query must produce byte-identical
+// results at every worker count. Morsel boundaries depend only on input
+// size, so per-morsel partial results — floating-point sums included —
+// merge in the same order regardless of parallelism.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/engine"
+	"wimpi/internal/plan"
+	"wimpi/internal/tpch"
+)
+
+var (
+	detOnce sync.Once
+	detDB   *engine.DB
+)
+
+func determinismDB(t *testing.T) *engine.DB {
+	t.Helper()
+	detOnce.Do(func() {
+		data := tpch.Generate(tpch.Config{SF: 0.01, Seed: 42})
+		detDB = engine.NewDB(engine.Config{})
+		data.RegisterAll(detDB)
+	})
+	return detDB
+}
+
+// equalColumns reports whether two columns are byte-identical:
+// float64 values are compared by bit pattern, strings by value.
+func equalColumns(a, b colstore.Column) (bool, string) {
+	switch ca := a.(type) {
+	case *colstore.Float64s:
+		cb, ok := b.(*colstore.Float64s)
+		if !ok || len(ca.V) != len(cb.V) {
+			return false, "type/length mismatch"
+		}
+		for i := range ca.V {
+			if math.Float64bits(ca.V[i]) != math.Float64bits(cb.V[i]) {
+				return false, fmt.Sprintf("row %d: %v (%x) vs %v (%x)",
+					i, ca.V[i], math.Float64bits(ca.V[i]), cb.V[i], math.Float64bits(cb.V[i]))
+			}
+		}
+	case *colstore.Int64s:
+		cb, ok := b.(*colstore.Int64s)
+		if !ok || len(ca.V) != len(cb.V) {
+			return false, "type/length mismatch"
+		}
+		for i := range ca.V {
+			if ca.V[i] != cb.V[i] {
+				return false, fmt.Sprintf("row %d: %d vs %d", i, ca.V[i], cb.V[i])
+			}
+		}
+	case *colstore.Dates:
+		cb, ok := b.(*colstore.Dates)
+		if !ok || len(ca.V) != len(cb.V) {
+			return false, "type/length mismatch"
+		}
+		for i := range ca.V {
+			if ca.V[i] != cb.V[i] {
+				return false, fmt.Sprintf("row %d: %d vs %d", i, ca.V[i], cb.V[i])
+			}
+		}
+	case *colstore.Bools:
+		cb, ok := b.(*colstore.Bools)
+		if !ok || len(ca.V) != len(cb.V) {
+			return false, "type/length mismatch"
+		}
+		for i := range ca.V {
+			if ca.V[i] != cb.V[i] {
+				return false, fmt.Sprintf("row %d: %t vs %t", i, ca.V[i], cb.V[i])
+			}
+		}
+	case *colstore.Strings:
+		cb, ok := b.(*colstore.Strings)
+		if !ok || len(ca.Codes) != len(cb.Codes) {
+			return false, "type/length mismatch"
+		}
+		for i := range ca.Codes {
+			if ca.Value(i) != cb.Value(i) {
+				return false, fmt.Sprintf("row %d: %q vs %q", i, ca.Value(i), cb.Value(i))
+			}
+		}
+	default:
+		return false, fmt.Sprintf("unhandled column type %T", a)
+	}
+	return true, ""
+}
+
+func assertTablesIdentical(t *testing.T, want, got *colstore.Table, label string) {
+	t.Helper()
+	if want.NumRows() != got.NumRows() || want.NumCols() != got.NumCols() {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", label,
+			got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for c := 0; c < want.NumCols(); c++ {
+		if ok, why := equalColumns(want.Col(c), got.Col(c)); !ok {
+			t.Fatalf("%s: column %s differs: %s", label, want.Schema[c].Name, why)
+		}
+	}
+}
+
+// TestQueriesDeterministicAcrossWorkers runs all 22 TPC-H queries at
+// 1, 2, 4, and 8 workers and requires byte-identical results.
+func TestQueriesDeterministicAcrossWorkers(t *testing.T) {
+	db := determinismDB(t)
+	for _, q := range tpch.QueryNumbers() {
+		q := q
+		t.Run(fmt.Sprintf("Q%d", q), func(t *testing.T) {
+			p, err := tpch.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := db.RunWith(p, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{2, 4, 8} {
+				res, err := db.RunWith(p, w)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				assertTablesIdentical(t, base.Table, res.Table,
+					fmt.Sprintf("Q%d workers=%d", q, w))
+			}
+		})
+	}
+}
+
+// TestRunWithDefaults checks the worker-count plumbing: RunWith(p, 0)
+// uses the database default, and an unconfigured DB defaults to the
+// runtime's CPU count.
+func TestRunWithDefaults(t *testing.T) {
+	db := engine.NewDB(engine.Config{Workers: 3})
+	if got := db.Workers(); got != 3 {
+		t.Fatalf("Workers() = %d, want 3", got)
+	}
+	if engine.NewDB(engine.Config{}).Workers() < 1 {
+		t.Fatal("default Workers() must be at least 1")
+	}
+	bt := colstore.NewTableBuilder("t", colstore.Schema{{Name: "v", Type: colstore.Int64}})
+	bt.Grow(1)
+	bt.Int(0, 7)
+	bt.EndRow()
+	db.Register(bt.Build())
+	res, err := db.RunWith(&plan.Scan{Table: "t"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 1 {
+		t.Fatalf("got %d rows", res.Table.NumRows())
+	}
+}

@@ -6,6 +6,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -18,7 +19,8 @@ import (
 
 // Config controls an engine instance.
 type Config struct {
-	// Workers bounds intra-query parallelism. Zero means one worker.
+	// Workers bounds intra-query parallelism. Values < 1 select the
+	// runtime default, runtime.GOMAXPROCS(0).
 	Workers int
 }
 
@@ -86,10 +88,11 @@ func (db *DB) SizeBytes() int64 {
 	return n
 }
 
-// Workers reports the configured parallelism.
+// Workers reports the configured parallelism; unconfigured databases
+// default to the number of schedulable CPUs.
 func (db *DB) Workers() int {
 	if db.cfg.Workers < 1 {
-		return 1
+		return runtime.GOMAXPROCS(0)
 	}
 	return db.cfg.Workers
 }
@@ -105,10 +108,21 @@ type Result struct {
 	HostDuration time.Duration
 }
 
-// Run executes a plan and returns its result.
+// Run executes a plan with the database's configured parallelism.
 func (db *DB) Run(p plan.Node) (*Result, error) {
+	return db.RunWith(p, 0)
+}
+
+// RunWith executes a plan with an explicit per-query worker count.
+// workers < 1 selects the database default (Config.Workers, or the
+// number of schedulable CPUs). Results are bit-identical at every
+// worker count.
+func (db *DB) RunWith(p plan.Node, workers int) (*Result, error) {
+	if workers < 1 {
+		workers = db.Workers()
+	}
 	start := time.Now()
-	t, ctr, err := plan.Run(db, db.Workers(), p)
+	t, ctr, err := plan.Run(db, workers, p)
 	if err != nil {
 		return nil, err
 	}

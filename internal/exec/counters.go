@@ -50,6 +50,13 @@ type Counters struct {
 	// query reads. Together with PeakLiveBytes and MaxHashBytes it
 	// estimates the resident working set for the memory-pressure model.
 	TouchedBaseBytes int64
+	// MergeBytes counts bytes moved solely because of parallel execution:
+	// partitioning a hash-join build, folding thread-local aggregation
+	// state into the global table, and k-way merging per-morsel sort
+	// runs. The hardware model charges these at single-core bandwidth, so
+	// simulated parallel speedups stay sub-linear instead of assuming
+	// perfect scaling.
+	MergeBytes int64
 }
 
 // Add accumulates o into c. Max-like fields take the maximum.
@@ -65,6 +72,7 @@ func (c *Counters) Add(o Counters) {
 	c.TuplesMaterialized += o.TuplesMaterialized
 	c.BytesMaterialized += o.BytesMaterialized
 	c.TouchedBaseBytes += o.TouchedBaseBytes
+	c.MergeBytes += o.MergeBytes
 	if o.MaxHashBytes > c.MaxHashBytes {
 		c.MaxHashBytes = o.MaxHashBytes
 	}

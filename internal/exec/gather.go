@@ -1,0 +1,77 @@
+package exec
+
+import "wimpi/internal/colstore"
+
+// gatherParallelMinRows is the smallest selection worth splitting across
+// workers.
+const gatherParallelMinRows = 1 << 14
+
+// GatherTable materializes t's rows named by sel, splitting the gather
+// across up to workers goroutines. Each morsel writes a disjoint range
+// of every output column, so the result is identical to t.Gather(sel).
+// Callers charge materialization counters themselves, exactly as they
+// would for the sequential Gather.
+func GatherTable(t *colstore.Table, sel []int32, workers, morselRows int) *colstore.Table {
+	if workers <= 1 || len(sel) < gatherParallelMinRows {
+		return t.Gather(sel)
+	}
+	cols := make([]colstore.Column, t.NumCols())
+	for ci, c := range t.Cols {
+		cols[ci] = gatherColumn(c, sel, workers, morselRows)
+	}
+	return colstore.MustNewTable(t.Name, t.Schema, cols)
+}
+
+func gatherColumn(c colstore.Column, sel []int32, workers, morselRows int) colstore.Column {
+	var ctr Counters // data movement is charged by the caller
+	switch col := c.(type) {
+	case *colstore.Int64s:
+		out := make([]int64, len(sel))
+		_ = RunMorsels(workers, len(sel), morselRows, &ctr, func(m, lo, hi int, _ *Counters) error {
+			for i := lo; i < hi; i++ {
+				out[i] = col.V[sel[i]]
+			}
+			return nil
+		})
+		return &colstore.Int64s{V: out}
+	case *colstore.Float64s:
+		out := make([]float64, len(sel))
+		_ = RunMorsels(workers, len(sel), morselRows, &ctr, func(m, lo, hi int, _ *Counters) error {
+			for i := lo; i < hi; i++ {
+				out[i] = col.V[sel[i]]
+			}
+			return nil
+		})
+		return &colstore.Float64s{V: out}
+	case *colstore.Dates:
+		out := make([]int32, len(sel))
+		_ = RunMorsels(workers, len(sel), morselRows, &ctr, func(m, lo, hi int, _ *Counters) error {
+			for i := lo; i < hi; i++ {
+				out[i] = col.V[sel[i]]
+			}
+			return nil
+		})
+		return &colstore.Dates{V: out}
+	case *colstore.Bools:
+		out := make([]bool, len(sel))
+		_ = RunMorsels(workers, len(sel), morselRows, &ctr, func(m, lo, hi int, _ *Counters) error {
+			for i := lo; i < hi; i++ {
+				out[i] = col.V[sel[i]]
+			}
+			return nil
+		})
+		return &colstore.Bools{V: out}
+	case *colstore.Strings:
+		out := make([]int32, len(sel))
+		_ = RunMorsels(workers, len(sel), morselRows, &ctr, func(m, lo, hi int, _ *Counters) error {
+			for i := lo; i < hi; i++ {
+				out[i] = col.Codes[sel[i]]
+			}
+			return nil
+		})
+		return &colstore.Strings{Codes: out, Dict: col.Dict}
+	default:
+		// RLE and any future encodings keep their own Gather semantics.
+		return c.Gather(sel)
+	}
+}

@@ -1,0 +1,402 @@
+package exec
+
+// Parallel hash join: a modulo-partitioned build producing per-partition
+// hash tables that probe like one big table, plus morsel-parallel probe
+// drivers. Both sides are bit-compatible with the sequential JoinTable
+// path: duplicate build rows chain in the same (descending row) order,
+// and probe morsels are concatenated in input order, so every join kind
+// produces byte-identical match vectors at any worker count.
+
+// parallelBuildMinRows is the smallest build side worth partitioning;
+// below it a single sequential table is cheaper.
+const parallelBuildMinRows = 1 << 14
+
+// parallelProbeMinRows is the smallest probe side split into morsels.
+const parallelProbeMinRows = 1 << 14
+
+// maxBuildPartitions caps the partition fan-out of a parallel build.
+const maxBuildPartitions = 64
+
+// JoinIndex is the probe-side interface of a join hash table, implemented
+// by both the sequential JoinTable and the PartitionedJoinTable built by
+// BuildJoinTableParallel.
+type JoinIndex interface {
+	// InnerJoin returns matching (build row, probe row) pairs in probe
+	// order.
+	InnerJoin(probeKeys []int64, ctr *Counters) (buildIdx, probeIdx []int32)
+	// SemiJoin returns the probe rows having at least one match.
+	SemiJoin(probeKeys []int64, ctr *Counters) []int32
+	// AntiJoin returns the probe rows having no match.
+	AntiJoin(probeKeys []int64, ctr *Counters) []int32
+	// CountPerProbe returns the match count of every probe row.
+	CountPerProbe(probeKeys []int64, ctr *Counters) []int64
+	// FirstMatch returns the first matching build row per probe row, or -1.
+	FirstMatch(probeKeys []int64, ctr *Counters) []int32
+	// NumBuildRows reports the number of indexed build rows.
+	NumBuildRows() int
+	// SizeBytes reports the table's memory footprint.
+	SizeBytes() int64
+}
+
+// partHash spreads keys over partitions with a multiplier independent of
+// the slot hash, so partitioning does not drain entropy from the open
+// addressing inside each partition.
+func partHash(k int64, bits uint) int {
+	if bits == 0 {
+		return 0
+	}
+	return int((uint64(k) * 0xBF58476D1CE4E5B9) >> (64 - bits))
+}
+
+// joinPart is one partition's open-addressing table. Slot heads store
+// global build-row indexes; duplicate chains live in the shared next
+// array of the owning PartitionedJoinTable.
+type joinPart struct {
+	slotKeys []int64
+	slotHead []int32
+	shift    uint
+}
+
+// PartitionedJoinTable is a hash table over the build side of an
+// equi-join, split into independently built partitions. It probes
+// exactly like a JoinTable built from the same keys.
+type PartitionedJoinTable struct {
+	parts []joinPart
+	next  []int32 // build row -> next build row with same key, or -1
+	bits  uint    // log2(len(parts))
+	n     int
+}
+
+// BuildJoinTableParallel indexes the build-side keys with up to workers
+// goroutines, partitioning the keys so each partition's table is built
+// race-free by one worker. Small inputs or workers <= 1 fall back to the
+// sequential single-table build. The result probes identically to
+// BuildJoinTable(keys, ctr).
+func BuildJoinTableParallel(keys []int64, workers, morselRows int, ctr *Counters) JoinIndex {
+	if workers <= 1 || len(keys) < parallelBuildMinRows {
+		return BuildJoinTable(keys, ctr)
+	}
+	return buildPartitionedJoinTable(keys, workers, morselRows, ctr)
+}
+
+// buildPartitionedJoinTable is the partitioned build without the size
+// threshold, so tests can force it on small inputs.
+func buildPartitionedJoinTable(keys []int64, workers, morselRows int, ctr *Counters) *PartitionedJoinTable {
+	n := len(keys)
+	p := workers
+	if p > maxBuildPartitions {
+		p = maxBuildPartitions
+	}
+	p = nextPow2(p)
+	bits := uint(log2(p))
+
+	// Pass 1: per-morsel partition histograms.
+	nm := NumMorsels(n, morselRows)
+	counts := make([][]int32, nm)
+	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+		cnt := make([]int32, p)
+		for _, k := range keys[lo:hi] {
+			cnt[partHash(k, bits)]++
+		}
+		counts[m] = cnt
+		return nil
+	})
+
+	// Prefix sums give every (morsel, partition) pair a disjoint write
+	// window; filling windows in morsel order keeps each partition's row
+	// list ascending, which preserves the sequential duplicate-chain
+	// order.
+	partRows := make([][]int32, p)
+	offsets := make([][]int32, nm)
+	cur := make([]int32, p)
+	for m := 0; m < nm; m++ {
+		off := make([]int32, p)
+		copy(off, cur)
+		offsets[m] = off
+		for pi := 0; pi < p; pi++ {
+			cur[pi] += counts[m][pi]
+		}
+	}
+	for pi := 0; pi < p; pi++ {
+		partRows[pi] = make([]int32, cur[pi])
+	}
+
+	// Pass 2: scatter global row indexes into their partitions.
+	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+		pos := make([]int32, p)
+		copy(pos, offsets[m])
+		for i := lo; i < hi; i++ {
+			pi := partHash(keys[i], bits)
+			partRows[pi][pos[pi]] = int32(i)
+			pos[pi]++
+		}
+		return nil
+	})
+
+	// Pass 3: build every partition's table in parallel. Each partition
+	// writes disjoint rows of the shared next array.
+	pt := &PartitionedJoinTable{
+		parts: make([]joinPart, p),
+		next:  make([]int32, n),
+		bits:  bits,
+		n:     n,
+	}
+	_ = RunMorsels(workers, p, 1, ctr, func(pi, _, _ int, c *Counters) error {
+		rows := partRows[pi]
+		capacity := nextPow2(len(rows)*2 + 1)
+		jp := &pt.parts[pi]
+		jp.slotKeys = make([]int64, capacity)
+		jp.slotHead = make([]int32, capacity)
+		jp.shift = uint(64 - log2(capacity))
+		for i := range jp.slotHead {
+			jp.slotHead[i] = -1
+		}
+		mask := uint64(capacity - 1)
+		for _, r := range rows {
+			k := keys[r]
+			slot := hashKey(k, jp.shift) & mask
+			for {
+				if jp.slotHead[slot] < 0 {
+					jp.slotKeys[slot] = k
+					jp.slotHead[slot] = r
+					pt.next[r] = -1
+					break
+				}
+				if jp.slotKeys[slot] == k {
+					pt.next[r] = jp.slotHead[slot]
+					jp.slotHead[slot] = r
+					break
+				}
+				slot = (slot + 1) & mask
+			}
+		}
+		return nil
+	})
+
+	ctr.HashBuildTuples += int64(n)
+	ctr.RandomAccesses += int64(n)
+	// The two partition passes stream the keys twice and write one row
+	// index per key — work the sequential build never does.
+	ctr.MergeBytes += int64(n) * (8 + 8 + 4)
+	ctr.ObserveHashBytes(pt.SizeBytes())
+	return pt
+}
+
+// SizeBytes reports the table's memory footprint.
+func (pt *PartitionedJoinTable) SizeBytes() int64 {
+	n := int64(len(pt.next)) * 4
+	for i := range pt.parts {
+		n += int64(len(pt.parts[i].slotKeys))*8 + int64(len(pt.parts[i].slotHead))*4
+	}
+	return n
+}
+
+// NumBuildRows reports the number of indexed build rows.
+func (pt *PartitionedJoinTable) NumBuildRows() int { return pt.n }
+
+// Lookup returns the first build row whose key is k, or -1.
+func (pt *PartitionedJoinTable) Lookup(k int64) int32 { return pt.lookup(k) }
+
+// Next returns the next build row sharing row's key, or -1.
+func (pt *PartitionedJoinTable) Next(row int32) int32 { return pt.next[row] }
+
+func (pt *PartitionedJoinTable) lookup(k int64) int32 {
+	jp := &pt.parts[partHash(k, pt.bits)]
+	mask := uint64(len(jp.slotKeys) - 1)
+	slot := hashKey(k, jp.shift) & mask
+	for {
+		head := jp.slotHead[slot]
+		if head < 0 {
+			return -1
+		}
+		if jp.slotKeys[slot] == k {
+			return head
+		}
+		slot = (slot + 1) & mask
+	}
+}
+
+// InnerJoin implements JoinIndex; see JoinTable.InnerJoin.
+func (pt *PartitionedJoinTable) InnerJoin(probeKeys []int64, ctr *Counters) (buildIdx, probeIdx []int32) {
+	buildIdx = make([]int32, 0, len(probeKeys))
+	probeIdx = make([]int32, 0, len(probeKeys))
+	for p, k := range probeKeys {
+		for b := pt.lookup(k); b >= 0; b = pt.next[b] {
+			buildIdx = append(buildIdx, b)
+			probeIdx = append(probeIdx, int32(p))
+		}
+	}
+	ctr.HashProbeTuples += int64(len(probeKeys))
+	ctr.RandomAccesses += int64(len(probeKeys)) + int64(len(buildIdx))
+	return buildIdx, probeIdx
+}
+
+// SemiJoin implements JoinIndex; see JoinTable.SemiJoin.
+func (pt *PartitionedJoinTable) SemiJoin(probeKeys []int64, ctr *Counters) []int32 {
+	out := make([]int32, 0, len(probeKeys))
+	for p, k := range probeKeys {
+		if pt.lookup(k) >= 0 {
+			out = append(out, int32(p))
+		}
+	}
+	ctr.HashProbeTuples += int64(len(probeKeys))
+	ctr.RandomAccesses += int64(len(probeKeys))
+	return out
+}
+
+// AntiJoin implements JoinIndex; see JoinTable.AntiJoin.
+func (pt *PartitionedJoinTable) AntiJoin(probeKeys []int64, ctr *Counters) []int32 {
+	out := make([]int32, 0, len(probeKeys))
+	for p, k := range probeKeys {
+		if pt.lookup(k) < 0 {
+			out = append(out, int32(p))
+		}
+	}
+	ctr.HashProbeTuples += int64(len(probeKeys))
+	ctr.RandomAccesses += int64(len(probeKeys))
+	return out
+}
+
+// CountPerProbe implements JoinIndex; see JoinTable.CountPerProbe.
+func (pt *PartitionedJoinTable) CountPerProbe(probeKeys []int64, ctr *Counters) []int64 {
+	out := make([]int64, len(probeKeys))
+	var matches int64
+	for p, k := range probeKeys {
+		var n int64
+		for b := pt.lookup(k); b >= 0; b = pt.next[b] {
+			n++
+		}
+		out[p] = n
+		matches += n
+	}
+	ctr.HashProbeTuples += int64(len(probeKeys))
+	ctr.RandomAccesses += int64(len(probeKeys)) + matches
+	return out
+}
+
+// FirstMatch implements JoinIndex; see JoinTable.FirstMatch.
+func (pt *PartitionedJoinTable) FirstMatch(probeKeys []int64, ctr *Counters) []int32 {
+	out := make([]int32, len(probeKeys))
+	for p, k := range probeKeys {
+		out[p] = pt.lookup(k)
+	}
+	ctr.HashProbeTuples += int64(len(probeKeys))
+	ctr.RandomAccesses += int64(len(probeKeys))
+	return out
+}
+
+// InnerJoinParallel probes jt morsel by morsel with up to workers
+// goroutines, concatenating per-morsel match vectors in input order —
+// the output is identical to jt.InnerJoin(probeKeys, ctr).
+func InnerJoinParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) (buildIdx, probeIdx []int32) {
+	if workers <= 1 || len(probeKeys) < parallelProbeMinRows {
+		return jt.InnerJoin(probeKeys, ctr)
+	}
+	return innerJoinMorsels(jt, probeKeys, workers, morselRows, ctr)
+}
+
+// innerJoinMorsels is InnerJoinParallel without the size threshold.
+func innerJoinMorsels(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) (buildIdx, probeIdx []int32) {
+	nm := NumMorsels(len(probeKeys), morselRows)
+	bis := make([][]int32, nm)
+	pis := make([][]int32, nm)
+	_ = RunMorsels(workers, len(probeKeys), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+		bi, pi := jt.InnerJoin(probeKeys[lo:hi], c)
+		for i := range pi {
+			pi[i] += int32(lo)
+		}
+		bis[m], pis[m] = bi, pi
+		return nil
+	})
+	total := 0
+	for m := range bis {
+		total += len(bis[m])
+	}
+	buildIdx = make([]int32, 0, total)
+	probeIdx = make([]int32, 0, total)
+	for m := range bis {
+		buildIdx = append(buildIdx, bis[m]...)
+		probeIdx = append(probeIdx, pis[m]...)
+	}
+	ctr.MergeBytes += int64(total) * 8
+	return buildIdx, probeIdx
+}
+
+// selJoinParallel runs a selection-vector-producing probe (semi or anti)
+// in parallel morsels.
+func selJoinParallel(probe func(sub []int64, c *Counters) []int32, probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+	nm := NumMorsels(len(probeKeys), morselRows)
+	sels := make([][]int32, nm)
+	_ = RunMorsels(workers, len(probeKeys), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+		sel := probe(probeKeys[lo:hi], c)
+		for i := range sel {
+			sel[i] += int32(lo)
+		}
+		sels[m] = sel
+		return nil
+	})
+	total := 0
+	for m := range sels {
+		total += len(sels[m])
+	}
+	out := make([]int32, 0, total)
+	for m := range sels {
+		out = append(out, sels[m]...)
+	}
+	ctr.MergeBytes += int64(total) * 4
+	return out
+}
+
+// SemiJoinParallel is the morsel-parallel jt.SemiJoin.
+func SemiJoinParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+	if workers <= 1 || len(probeKeys) < parallelProbeMinRows {
+		return jt.SemiJoin(probeKeys, ctr)
+	}
+	return selJoinParallel(jt.SemiJoin, probeKeys, workers, morselRows, ctr)
+}
+
+// AntiJoinParallel is the morsel-parallel jt.AntiJoin.
+func AntiJoinParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+	if workers <= 1 || len(probeKeys) < parallelProbeMinRows {
+		return jt.AntiJoin(probeKeys, ctr)
+	}
+	return selJoinParallel(jt.AntiJoin, probeKeys, workers, morselRows, ctr)
+}
+
+// CountPerProbeParallel is the morsel-parallel jt.CountPerProbe.
+func CountPerProbeParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) []int64 {
+	if workers <= 1 || len(probeKeys) < parallelProbeMinRows {
+		return jt.CountPerProbe(probeKeys, ctr)
+	}
+	return countPerProbeMorsels(jt, probeKeys, workers, morselRows, ctr)
+}
+
+// countPerProbeMorsels is CountPerProbeParallel without the threshold.
+func countPerProbeMorsels(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) []int64 {
+	out := make([]int64, len(probeKeys))
+	_ = RunMorsels(workers, len(probeKeys), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+		copy(out[lo:hi], jt.CountPerProbe(probeKeys[lo:hi], c))
+		return nil
+	})
+	ctr.MergeBytes += int64(len(probeKeys)) * 8
+	return out
+}
+
+// FirstMatchParallel is the morsel-parallel jt.FirstMatch.
+func FirstMatchParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+	if workers <= 1 || len(probeKeys) < parallelProbeMinRows {
+		return jt.FirstMatch(probeKeys, ctr)
+	}
+	return firstMatchMorsels(jt, probeKeys, workers, morselRows, ctr)
+}
+
+// firstMatchMorsels is FirstMatchParallel without the threshold.
+func firstMatchMorsels(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+	out := make([]int32, len(probeKeys))
+	_ = RunMorsels(workers, len(probeKeys), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+		copy(out[lo:hi], jt.FirstMatch(probeKeys[lo:hi], c))
+		return nil
+	})
+	ctr.MergeBytes += int64(len(probeKeys)) * 4
+	return out
+}

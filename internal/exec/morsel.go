@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorselRows is the fixed morsel granularity used by parallel
+// kernels when the caller does not override it. Morsel boundaries depend
+// only on the input size — never on the worker count — so any
+// order-sensitive merge of per-morsel partial results (floating-point
+// sums above all) produces bit-identical output at every degree of
+// parallelism, including one.
+const DefaultMorselRows = 1 << 15
+
+// NumMorsels returns the number of fixed-size morsels covering n rows.
+// morselRows <= 0 selects DefaultMorselRows.
+func NumMorsels(n, morselRows int) int {
+	if n <= 0 {
+		return 0
+	}
+	if morselRows <= 0 {
+		morselRows = DefaultMorselRows
+	}
+	return (n + morselRows - 1) / morselRows
+}
+
+// RunMorsels splits the row range [0, n) into fixed-size morsels and
+// executes fn once per morsel, using up to workers goroutines that pull
+// morsels from a shared queue. Each invocation receives the morsel index
+// m (dense, in range [0, NumMorsels(n, morselRows))), its row range
+// [lo, hi), and a private Counters that is merged race-free into ctr
+// after all morsels complete, in morsel order. The first error stops the
+// merge and is returned (remaining in-flight morsels still finish).
+//
+// With one worker the morsels run inline on the calling goroutine, in
+// order, through the same per-morsel bookkeeping — so a 1-worker run is
+// the sequential execution of exactly the same decomposition.
+func RunMorsels(workers, n, morselRows int, ctr *Counters, fn func(m, lo, hi int, ctr *Counters) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if morselRows <= 0 {
+		morselRows = DefaultMorselRows
+	}
+	nm := (n + morselRows - 1) / morselRows
+	w := workers
+	if w < 1 {
+		w = 1
+	}
+	if w > nm {
+		w = nm
+	}
+	if nm == 1 {
+		return fn(0, 0, n, ctr)
+	}
+	parts := make([]Counters, nm)
+	errs := make([]error, nm)
+	run := func(m int) {
+		lo := m * morselRows
+		hi := lo + morselRows
+		if hi > n {
+			hi = n
+		}
+		errs[m] = fn(m, lo, hi, &parts[m])
+	}
+	if w == 1 {
+		for m := 0; m < nm; m++ {
+			run(m)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					m := int(next.Add(1)) - 1
+					if m >= nm {
+						return
+					}
+					run(m)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for m := 0; m < nm; m++ {
+		if errs[m] != nil {
+			return errs[m]
+		}
+	}
+	for m := range parts {
+		ctr.Add(parts[m])
+	}
+	return nil
+}

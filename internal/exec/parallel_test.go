@@ -1,0 +1,225 @@
+package exec
+
+// Property tests for the parallel kernels: with any worker count and a
+// tiny morsel size, every parallel kernel must reproduce its sequential
+// oracle exactly — bit-for-bit, order included.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wimpi/internal/colstore"
+)
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRunMorselsCoversRangeOnce(t *testing.T) {
+	f := func(n uint16, workers uint8, morsel uint8) bool {
+		nn := int(n) % 5000
+		w := int(workers)%8 + 1
+		mr := int(morsel)%64 + 1
+		seen := make([]int32, nn)
+		var ctr Counters
+		err := RunMorsels(w, nn, mr, &ctr, func(m, lo, hi int, c *Counters) error {
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			c.IntOps++
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		for _, s := range seen {
+			if s != 1 {
+				return false
+			}
+		}
+		return nn == 0 || ctr.IntOps == int64(NumMorsels(nn, mr))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelJoinMatchesSequential(t *testing.T) {
+	f := func(bkRaw, pkRaw []int16, workers uint8) bool {
+		bk := make([]int64, len(bkRaw))
+		for i, v := range bkRaw {
+			bk[i] = int64(v) % 64
+		}
+		pk := make([]int64, len(pkRaw))
+		for i, v := range pkRaw {
+			pk[i] = int64(v) % 64
+		}
+		w := int(workers)%8 + 1
+		const mr = 7 // tiny morsels force many partitions and sub-probes
+
+		var seqCtr, parCtr Counters
+		seq := BuildJoinTable(bk, &seqCtr)
+		par := buildPartitionedJoinTable(bk, w, mr, &parCtr)
+
+		sb, sp := seq.InnerJoin(pk, &seqCtr)
+		pb, pp := innerJoinMorsels(par, pk, w, mr, &parCtr)
+		if !int32sEqual(sb, pb) || !int32sEqual(sp, pp) {
+			return false
+		}
+		if !int32sEqual(seq.SemiJoin(pk, &seqCtr), selJoinParallel(par.SemiJoin, pk, w, mr, &parCtr)) {
+			return false
+		}
+		if !int32sEqual(seq.AntiJoin(pk, &seqCtr), selJoinParallel(par.AntiJoin, pk, w, mr, &parCtr)) {
+			return false
+		}
+		if !int32sEqual(seq.FirstMatch(pk, &seqCtr), firstMatchMorsels(par, pk, w, mr, &parCtr)) {
+			return false
+		}
+		sc := seq.CountPerProbe(pk, &seqCtr)
+		pc := countPerProbeMorsels(par, pk, w, mr, &parCtr)
+		if len(sc) != len(pc) {
+			return false
+		}
+		for i := range sc {
+			if sc[i] != pc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildJoinTableParallelLargeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := parallelBuildMinRows * 3
+	bk := make([]int64, n)
+	for i := range bk {
+		bk[i] = rng.Int63n(1 << 12)
+	}
+	pk := make([]int64, n/2)
+	for i := range pk {
+		pk[i] = rng.Int63n(1 << 12)
+	}
+	var seqCtr, parCtr Counters
+	seq := BuildJoinTable(bk, &seqCtr)
+	par := BuildJoinTableParallel(bk, 8, 1024, &parCtr)
+	if _, ok := par.(*PartitionedJoinTable); !ok {
+		t.Fatalf("expected partitioned table for n=%d, got %T", n, par)
+	}
+	sb, sp := seq.InnerJoin(pk, &seqCtr)
+	pb, pp := InnerJoinParallel(par, pk, 8, 1024, &parCtr)
+	if !int32sEqual(sb, pb) || !int32sEqual(sp, pp) {
+		t.Fatal("partitioned inner join differs from sequential")
+	}
+	if parCtr.MergeBytes == 0 {
+		t.Error("parallel build should charge MergeBytes")
+	}
+}
+
+func TestArgSortParallelMatchesSequential(t *testing.T) {
+	f := func(vals []int16, workers uint8) bool {
+		n := len(vals)
+		iv := make([]int64, n)
+		fv := make([]float64, n)
+		for i, v := range vals {
+			iv[i] = int64(v) % 16 // heavy ties exercise stability
+			fv[i] = float64(v % 7)
+		}
+		tbl := colstore.MustNewTable("t", colstore.Schema{
+			{Name: "k", Type: colstore.Int64},
+			{Name: "f", Type: colstore.Float64},
+		}, []colstore.Column{&colstore.Int64s{V: iv}, &colstore.Float64s{V: fv}})
+		keys := []SortKey{{Column: "k"}, {Column: "f", Desc: true}}
+		w := int(workers)%8 + 1
+
+		var seqCtr, parCtr Counters
+		seq, err := ArgSort(tbl, keys, &seqCtr)
+		if err != nil {
+			return false
+		}
+		par, err := argSortMerge(tbl, keys, w, 5, &parCtr)
+		if err != nil {
+			return false
+		}
+		return int32sEqual(seq, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgSortParallelLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := sortParallelMinRows * 2
+	iv := make([]int64, n)
+	for i := range iv {
+		iv[i] = rng.Int63n(50)
+	}
+	tbl := colstore.MustNewTable("t", colstore.Schema{{Name: "k", Type: colstore.Int64}},
+		[]colstore.Column{&colstore.Int64s{V: iv}})
+	keys := []SortKey{{Column: "k"}}
+	var seqCtr, parCtr Counters
+	seq, err := ArgSort(tbl, keys, &seqCtr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ArgSortParallel(tbl, keys, 8, 1024, &parCtr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !int32sEqual(seq, par) {
+		t.Fatal("parallel sort differs from sequential")
+	}
+}
+
+func TestGatherTableMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := gatherParallelMinRows * 2
+	iv := make([]int64, n)
+	sv := make([]string, n)
+	for i := range iv {
+		iv[i] = rng.Int63n(1000)
+		sv[i] = []string{"x", "y", "z"}[rng.Intn(3)]
+	}
+	b := colstore.NewTableBuilder("t", colstore.Schema{
+		{Name: "i", Type: colstore.Int64},
+		{Name: "s", Type: colstore.String},
+	})
+	b.Grow(n)
+	for i := 0; i < n; i++ {
+		b.Int(0, iv[i])
+		b.Str(1, sv[i])
+		b.EndRow()
+	}
+	tbl := b.Build()
+	sel := make([]int32, n)
+	for i := range sel {
+		sel[i] = int32(rng.Intn(n))
+	}
+	want := tbl.Gather(sel)
+	got := GatherTable(tbl, sel, 8, 1024)
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("rows %d vs %d", got.NumRows(), want.NumRows())
+	}
+	wi := want.MustCol("i").(*colstore.Int64s).V
+	gi := got.MustCol("i").(*colstore.Int64s).V
+	ws := want.MustCol("s").(*colstore.Strings)
+	gs := got.MustCol("s").(*colstore.Strings)
+	for i := 0; i < n; i++ {
+		if wi[i] != gi[i] || ws.Value(i) != gs.Value(i) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}

@@ -16,19 +16,19 @@ type SortKey struct {
 	Desc bool
 }
 
-// ArgSort returns a permutation of row indexes ordering t by keys. The
-// sort is stable, so ties preserve input order. String columns sort by
-// value (not dictionary code).
-func ArgSort(t *colstore.Table, keys []SortKey, ctr *Counters) ([]int32, error) {
-	type cmp func(a, b int32) int
-	cmps := make([]cmp, len(keys))
+type rowCmp func(a, b int32) int
+
+// sortComparators builds one comparator per sort key. The closures read
+// shared immutable column data, so they are safe to call concurrently.
+func sortComparators(t *colstore.Table, keys []SortKey) ([]rowCmp, error) {
+	cmps := make([]rowCmp, len(keys))
 	for ki, k := range keys {
 		c, err := t.ColByName(k.Column)
 		if err != nil {
 			return nil, err
 		}
 		desc := k.Desc
-		var f cmp
+		var f rowCmp
 		switch col := c.(type) {
 		case *colstore.Int64s:
 			f = func(a, b int32) int { return cmpOrder(col.V[a], col.V[b]) }
@@ -49,6 +49,37 @@ func ArgSort(t *colstore.Table, keys []SortKey, ctr *Counters) ([]int32, error) 
 		}
 		cmps[ki] = f
 	}
+	return cmps, nil
+}
+
+// lessRows orders two row indexes by the key comparators, breaking ties
+// by row index — the unique order a stable sort of the identity
+// permutation produces.
+func lessRows(cmps []rowCmp, a, b int32) bool {
+	for _, f := range cmps {
+		if c := f(a, b); c != 0 {
+			return c < 0
+		}
+	}
+	return a < b
+}
+
+// chargeSort records the comparison work of sorting n rows by keys.
+func chargeSort(ctr *Counters, n int64, keys int) {
+	if n > 1 {
+		ctr.IntOps += n * int64(math.Ilogb(float64(n))+1) * int64(keys+1)
+		ctr.RandomAccesses += n * int64(math.Ilogb(float64(n))+1)
+	}
+}
+
+// ArgSort returns a permutation of row indexes ordering t by keys. The
+// sort is stable, so ties preserve input order. String columns sort by
+// value (not dictionary code).
+func ArgSort(t *colstore.Table, keys []SortKey, ctr *Counters) ([]int32, error) {
+	cmps, err := sortComparators(t, keys)
+	if err != nil {
+		return nil, err
+	}
 	idx := SelAll(t.NumRows())
 	sort.SliceStable(idx, func(i, j int) bool {
 		a, b := idx[i], idx[j]
@@ -59,12 +90,111 @@ func ArgSort(t *colstore.Table, keys []SortKey, ctr *Counters) ([]int32, error) 
 		}
 		return false
 	})
-	n := int64(t.NumRows())
-	if n > 1 {
-		ctr.IntOps += n * int64(math.Ilogb(float64(n))+1) * int64(len(keys)+1)
-		ctr.RandomAccesses += n * int64(math.Ilogb(float64(n))+1)
-	}
+	chargeSort(ctr, int64(t.NumRows()), len(keys))
 	return idx, nil
+}
+
+// sortParallelMinRows is the smallest input sorted with per-morsel runs
+// and a k-way merge rather than one stable sort.
+const sortParallelMinRows = 1 << 14
+
+// ArgSortParallel is ArgSort with up to workers goroutines: every morsel
+// is sorted stably in parallel, then the sorted runs are k-way merged
+// with ties broken by original row index. A stable sort's output is the
+// unique (key, row index) ordering, so the result is bit-identical to
+// ArgSort's for any worker count and morsel size.
+func ArgSortParallel(t *colstore.Table, keys []SortKey, workers, morselRows int, ctr *Counters) ([]int32, error) {
+	if workers <= 1 || t.NumRows() < sortParallelMinRows {
+		return ArgSort(t, keys, ctr)
+	}
+	return argSortMerge(t, keys, workers, morselRows, ctr)
+}
+
+// argSortMerge is the run-sort-and-merge path without ArgSortParallel's
+// size threshold, so tests can force it on small inputs.
+func argSortMerge(t *colstore.Table, keys []SortKey, workers, morselRows int, ctr *Counters) ([]int32, error) {
+	n := t.NumRows()
+	cmps, err := sortComparators(t, keys)
+	if err != nil {
+		return nil, err
+	}
+	idx := SelAll(n)
+	nm := NumMorsels(n, morselRows)
+	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+		run := idx[lo:hi]
+		sort.SliceStable(run, func(i, j int) bool {
+			a, b := run[i], run[j]
+			for _, f := range cmps {
+				if cc := f(a, b); cc != 0 {
+					return cc < 0
+				}
+			}
+			return false
+		})
+		chargeSort(c, int64(hi-lo), len(keys))
+		return nil
+	})
+
+	// K-way merge of the sorted runs via a binary min-heap of run heads.
+	type run struct{ pos, end int }
+	runs := make([]run, 0, nm)
+	for m := 0; m < nm; m++ {
+		lo := m * morselRowsOrDefault(morselRows)
+		hi := lo + morselRowsOrDefault(morselRows)
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			runs = append(runs, run{pos: lo, end: hi})
+		}
+	}
+	less := func(a, b run) bool { return lessRows(cmps, idx[a.pos], idx[b.pos]) }
+	heap := runs
+	// Build the heap.
+	for i := len(heap)/2 - 1; i >= 0; i-- {
+		siftDown(heap, i, less)
+	}
+	out := make([]int32, 0, n)
+	for len(heap) > 0 {
+		top := &heap[0]
+		out = append(out, idx[top.pos])
+		top.pos++
+		if top.pos == top.end {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		if len(heap) > 0 {
+			siftDown(heap, 0, less)
+		}
+	}
+	ctr.IntOps += int64(n) * int64(log2(len(runs))+1) * int64(len(keys)+1)
+	ctr.MergeBytes += int64(n) * 8 // read + write one int32 index per row
+	return out, nil
+}
+
+func morselRowsOrDefault(morselRows int) int {
+	if morselRows <= 0 {
+		return DefaultMorselRows
+	}
+	return morselRows
+}
+
+func siftDown[T any](h []T, i int, less func(a, b T) bool) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && less(h[r], h[l]) {
+			m = r
+		}
+		if !less(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // SortTable materializes t ordered by keys.
@@ -80,11 +210,38 @@ func SortTable(t *colstore.Table, keys []SortKey, ctr *Counters) (*colstore.Tabl
 	return out, nil
 }
 
+// SortTableParallel materializes t ordered by keys using up to workers
+// goroutines for both the sort and the gather. Output is identical to
+// SortTable's.
+func SortTableParallel(t *colstore.Table, keys []SortKey, workers, morselRows int, ctr *Counters) (*colstore.Table, error) {
+	idx, err := ArgSortParallel(t, keys, workers, morselRows, ctr)
+	if err != nil {
+		return nil, err
+	}
+	out := GatherTable(t, idx, workers, morselRows)
+	ctr.TuplesMaterialized += int64(out.NumRows())
+	ctr.BytesMaterialized += out.SizeBytes()
+	ctr.RandomAccesses += int64(out.NumRows()) * int64(out.NumCols())
+	return out, nil
+}
+
 // TopN materializes the first n rows of t ordered by keys. TPC-H result
 // sets after aggregation are small, so a full sort followed by a slice is
 // adequate.
 func TopN(t *colstore.Table, keys []SortKey, n int, ctr *Counters) (*colstore.Table, error) {
 	sorted, err := SortTable(t, keys, ctr)
+	if err != nil {
+		return nil, err
+	}
+	if n < sorted.NumRows() {
+		return sorted.Slice(0, n), nil
+	}
+	return sorted, nil
+}
+
+// TopNParallel is TopN backed by the parallel sort.
+func TopNParallel(t *colstore.Table, keys []SortKey, n, workers, morselRows int, ctr *Counters) (*colstore.Table, error) {
+	sorted, err := SortTableParallel(t, keys, workers, morselRows, ctr)
 	if err != nil {
 		return nil, err
 	}

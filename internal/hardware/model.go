@@ -49,6 +49,11 @@ type Breakdown struct {
 	MemSeqSeconds float64
 	// MemRandSeconds is random-access latency time.
 	MemRandSeconds float64
+	// MergeSeconds is time spent combining per-worker partial results
+	// (partitioning builds, folding thread-local aggregates, merging
+	// sort runs). It is charged at single-core bandwidth and does not
+	// shrink with more cores, so parallel speedups stay sub-linear.
+	MergeSeconds float64
 	// SwapSeconds is thrashing time when the working set exceeds RAM.
 	SwapSeconds float64
 	// OverheadSeconds is fixed per-query system overhead.
@@ -89,6 +94,13 @@ func (m Model) Explain(p *Profile, c exec.Counters, dop int) Breakdown {
 	}
 	memRand := float64(c.RandomAccesses) * lat / (fcores * m.MLP)
 
+	// Merge work is the serial fraction of parallel execution: it runs
+	// on one core at single-core bandwidth regardless of dop.
+	var memMerge float64
+	if cores > 1 {
+		memMerge = float64(c.MergeBytes) / p.MemBW(1)
+	}
+
 	var swap float64
 	// The query's working set: every base column touched, plus live
 	// intermediates and the largest hash table. Once it exceeds RAM,
@@ -104,13 +116,14 @@ func (m Model) Explain(p *Profile, c exec.Counters, dop int) Breakdown {
 		CPUSeconds:      cpu,
 		MemSeqSeconds:   memSeq,
 		MemRandSeconds:  memRand,
+		MergeSeconds:    memMerge,
 		SwapSeconds:     swap,
 		OverheadSeconds: p.QueryOverheadSec,
 	}
 	// Sequential streaming overlaps with compute (column-at-a-time
 	// kernels are either bandwidth- or compute-limited); random access
-	// latency overlaps only partially.
-	busy := cpu + memRand
+	// latency and the serial merge phase overlap only partially.
+	busy := cpu + memRand + memMerge
 	if memSeq > busy {
 		b.Total = memSeq
 		b.MemoryBound = true

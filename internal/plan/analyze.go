@@ -98,6 +98,7 @@ func diffCounters(before, after exec.Counters) exec.Counters {
 		TuplesMaterialized: after.TuplesMaterialized - before.TuplesMaterialized,
 		BytesMaterialized:  after.BytesMaterialized - before.BytesMaterialized,
 		TouchedBaseBytes:   after.TouchedBaseBytes - before.TouchedBaseBytes,
+		MergeBytes:         after.MergeBytes - before.MergeBytes,
 		MaxHashBytes:       after.MaxHashBytes,
 		PeakLiveBytes:      after.PeakLiveBytes,
 	}

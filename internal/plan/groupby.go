@@ -82,6 +82,14 @@ func (g *GroupBy) Execute(ctx *Context) (*colstore.Table, error) {
 	if len(g.Keys) == 0 {
 		return g.scalar(ctx, in)
 	}
+	// The morsel path is taken whenever the input is large enough —
+	// regardless of worker count. Morsel boundaries depend only on input
+	// size, and partial aggregates merge in morsel order, so the result
+	// (floating-point sums included) is bit-identical at every degree of
+	// parallelism.
+	if in.NumRows() >= ctx.parallelMinRows() {
+		return g.groupedMorsel(ctx, in)
+	}
 	packed, err := packKeys(in, g.Keys, ctx.Ctr)
 	if err != nil {
 		return nil, err
@@ -192,7 +200,7 @@ func aggArgI(ctx *Context, in *colstore.Table, spec AggSpec) ([]int64, error) {
 	if spec.Arg == nil {
 		return nil, fmt.Errorf("plan: %s(%s) needs an argument", spec.Func, spec.Name)
 	}
-	c, err := spec.Arg.Eval(in, ctx.Ctr)
+	c, err := evalExprParallel(ctx, in, spec.Arg)
 	if err != nil {
 		return nil, fmt.Errorf("plan: agg %s: %w", spec.Name, err)
 	}
@@ -207,11 +215,40 @@ func aggArg(ctx *Context, in *colstore.Table, spec AggSpec) ([]float64, error) {
 	if spec.Arg == nil {
 		return nil, fmt.Errorf("plan: %s(%s) needs an argument", spec.Func, spec.Name)
 	}
-	c, err := spec.Arg.Eval(in, ctx.Ctr)
+	c, err := evalExprParallel(ctx, in, spec.Arg)
 	if err != nil {
 		return nil, fmt.Errorf("plan: agg %s: %w", spec.Name, err)
 	}
 	return exec.AsFloat64(c, ctx.Ctr)
+}
+
+// evalAggArg evaluates spec's argument over in (typically a morsel
+// slice) as float64 values, charging ctr.
+func evalAggArg(in *colstore.Table, spec AggSpec, ctr *exec.Counters) ([]float64, error) {
+	if spec.Arg == nil {
+		return nil, fmt.Errorf("plan: %s(%s) needs an argument", spec.Func, spec.Name)
+	}
+	c, err := spec.Arg.Eval(in, ctr)
+	if err != nil {
+		return nil, fmt.Errorf("plan: agg %s: %w", spec.Name, err)
+	}
+	return exec.AsFloat64(c, ctr)
+}
+
+// evalAggArgI is evalAggArg for int64 arguments (SumI).
+func evalAggArgI(in *colstore.Table, spec AggSpec, ctr *exec.Counters) ([]int64, error) {
+	if spec.Arg == nil {
+		return nil, fmt.Errorf("plan: %s(%s) needs an argument", spec.Func, spec.Name)
+	}
+	c, err := spec.Arg.Eval(in, ctr)
+	if err != nil {
+		return nil, fmt.Errorf("plan: agg %s: %w", spec.Name, err)
+	}
+	ic, ok := c.(*colstore.Int64s)
+	if !ok {
+		return nil, fmt.Errorf("plan: agg %s: sumi needs an int64 argument, got %s", spec.Name, c.Type())
+	}
+	return ic.V, nil
 }
 
 func evalAgg(ctx *Context, in *colstore.Table, spec AggSpec, gids []int32, ngroups int) (colstore.Column, error) {
@@ -336,5 +373,305 @@ func packKeys(t *colstore.Table, names []string, ctr *exec.Counters) ([]int64, e
 		}
 	}
 	ctr.IntOps += int64(n) * int64(len(vecs))
+	return out, nil
+}
+
+// aggState holds the accumulators for one aggregate spec — for a single
+// morsel, or for the merged global result. Which slices are live depends
+// on the function: Sum/Min/Max use f, Count/SumI use i, Avg uses both.
+type aggState struct {
+	f []float64
+	i []int64
+}
+
+// groupPart is one morsel's thread-local aggregation state.
+type groupPart struct {
+	grouper  *exec.Grouper
+	firstRow []int32 // local gid -> global row of first occurrence
+	aggs     []aggState
+}
+
+// groupedMorsel is the morsel-parallel grouped aggregation: keys are
+// packed in parallel, each morsel aggregates into a thread-local hash
+// table, and the locals are folded into the global table in a final
+// single pass, in morsel order. Because global group IDs are assigned in
+// order of first key occurrence across morsels processed in order, group
+// order matches the sequential Grouper exactly.
+func (g *GroupBy) groupedMorsel(ctx *Context, in *colstore.Table) (*colstore.Table, error) {
+	packed, err := packKeysParallel(ctx, in, g.Keys)
+	if err != nil {
+		return nil, err
+	}
+	n := in.NumRows()
+	nm := exec.NumMorsels(n, ctx.morselRows())
+	parts := make([]*groupPart, nm)
+	err = exec.RunMorsels(ctx.workers(), n, ctx.morselRows(), ctx.Ctr, func(m, lo, hi int, ctr *exec.Counters) error {
+		p, err := g.aggMorsel(in, packed, lo, hi, ctr)
+		if err != nil {
+			return err
+		}
+		parts[m] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Single-threaded merge, in morsel order.
+	merged := exec.NewGrouper(1024)
+	var firstRow []int32
+	aggs := make([]aggState, len(g.Aggs))
+	for _, p := range parts {
+		lkeys := p.grouper.GroupKeys()
+		g2l := merged.GroupIDs(lkeys, ctx.Ctr)
+		ng := merged.NumGroups()
+		for len(firstRow) < ng {
+			firstRow = append(firstRow, -1)
+		}
+		for lg, gg := range g2l {
+			if firstRow[gg] < 0 {
+				firstRow[gg] = p.firstRow[lg]
+			}
+		}
+		for si := range g.Aggs {
+			mergeAggState(&aggs[si], &p.aggs[si], g2l, ng, g.Aggs[si].Func)
+		}
+		ctx.Ctr.AggUpdates += int64(len(lkeys)) * int64(len(g.Aggs))
+		ctx.Ctr.MergeBytes += int64(len(lkeys)) * int64(12+16*len(g.Aggs))
+	}
+	ngroups := merged.NumGroups()
+
+	schema := make(colstore.Schema, 0, len(g.Keys)+len(g.Aggs))
+	cols := make([]colstore.Column, 0, len(g.Keys)+len(g.Aggs))
+	for _, k := range g.Keys {
+		c, err := in.ColByName(k)
+		if err != nil {
+			return nil, err
+		}
+		schema = append(schema, colstore.Field{Name: k, Type: c.Type()})
+		cols = append(cols, c.Gather(firstRow))
+	}
+	ctx.Ctr.RandomAccesses += int64(ngroups) * int64(len(g.Keys))
+
+	for si, spec := range g.Aggs {
+		st := &aggs[si]
+		var col colstore.Column
+		switch spec.Func {
+		case Count, SumI:
+			growI(&st.i, ngroups, 0)
+			col = &colstore.Int64s{V: st.i}
+		case Sum:
+			growF(&st.f, ngroups, 0)
+			col = &colstore.Float64s{V: st.f}
+		case Avg:
+			growF(&st.f, ngroups, 0)
+			growI(&st.i, ngroups, 0)
+			out := make([]float64, ngroups)
+			for i := range out {
+				if st.i[i] > 0 {
+					out[i] = st.f[i] / float64(st.i[i])
+				}
+			}
+			ctx.Ctr.FloatOps += int64(ngroups)
+			col = &colstore.Float64s{V: out}
+		case Min:
+			growF(&st.f, ngroups, math.Inf(1))
+			col = &colstore.Float64s{V: st.f}
+		case Max:
+			growF(&st.f, ngroups, math.Inf(-1))
+			col = &colstore.Float64s{V: st.f}
+		default:
+			return nil, fmt.Errorf("plan: unknown aggregate %d", spec.Func)
+		}
+		schema = append(schema, colstore.Field{Name: spec.Name, Type: col.Type()})
+		cols = append(cols, col)
+	}
+	out, err := colstore.NewTable("", schema, cols)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Ctr.TuplesMaterialized += int64(ngroups)
+	ctx.Ctr.BytesMaterialized += out.SizeBytes()
+	observe(ctx, in, out)
+	return out, nil
+}
+
+// aggMorsel aggregates rows [lo, hi) into a fresh thread-local state.
+func (g *GroupBy) aggMorsel(in *colstore.Table, packed []int64, lo, hi int, ctr *exec.Counters) (*groupPart, error) {
+	sub := in.Slice(lo, hi)
+	p := &groupPart{grouper: exec.NewGrouper(256), aggs: make([]aggState, len(g.Aggs))}
+	gids := p.grouper.GroupIDs(packed[lo:hi], ctr)
+	ng := p.grouper.NumGroups()
+	p.firstRow = make([]int32, ng)
+	for i := range p.firstRow {
+		p.firstRow[i] = -1
+	}
+	for i, gid := range gids {
+		if p.firstRow[gid] < 0 {
+			p.firstRow[gid] = int32(lo + i)
+		}
+	}
+	for si, spec := range g.Aggs {
+		st := &p.aggs[si]
+		switch spec.Func {
+		case Count:
+			exec.ScatterCount(gids, &st.i, ng, ctr)
+		case SumI:
+			iv, err := evalAggArgI(sub, spec, ctr)
+			if err != nil {
+				return nil, err
+			}
+			exec.ScatterSumI64(gids, iv, &st.i, ng, ctr)
+		case Sum:
+			vals, err := evalAggArg(sub, spec, ctr)
+			if err != nil {
+				return nil, err
+			}
+			exec.ScatterSumF64(gids, vals, &st.f, ng, ctr)
+		case Avg:
+			vals, err := evalAggArg(sub, spec, ctr)
+			if err != nil {
+				return nil, err
+			}
+			exec.ScatterSumF64(gids, vals, &st.f, ng, ctr)
+			exec.ScatterCount(gids, &st.i, ng, ctr)
+		case Min:
+			vals, err := evalAggArg(sub, spec, ctr)
+			if err != nil {
+				return nil, err
+			}
+			exec.ScatterMinF64(gids, vals, &st.f, ng, math.Inf(1), ctr)
+		case Max:
+			vals, err := evalAggArg(sub, spec, ctr)
+			if err != nil {
+				return nil, err
+			}
+			exec.ScatterMaxF64(gids, vals, &st.f, ng, math.Inf(-1), ctr)
+		default:
+			return nil, fmt.Errorf("plan: unknown aggregate %d", spec.Func)
+		}
+	}
+	return p, nil
+}
+
+// mergeAggState folds a morsel's local accumulators into the global
+// state through the local-to-global group ID mapping.
+func mergeAggState(dst, src *aggState, g2l []int32, ng int, fn AggFunc) {
+	switch fn {
+	case Sum:
+		growF(&dst.f, ng, 0)
+		for lg, v := range src.f {
+			dst.f[g2l[lg]] += v
+		}
+	case Count, SumI:
+		growI(&dst.i, ng, 0)
+		for lg, v := range src.i {
+			dst.i[g2l[lg]] += v
+		}
+	case Avg:
+		growF(&dst.f, ng, 0)
+		growI(&dst.i, ng, 0)
+		for lg, v := range src.f {
+			dst.f[g2l[lg]] += v
+		}
+		for lg, v := range src.i {
+			dst.i[g2l[lg]] += v
+		}
+	case Min:
+		growF(&dst.f, ng, math.Inf(1))
+		for lg, v := range src.f {
+			if v < dst.f[g2l[lg]] {
+				dst.f[g2l[lg]] = v
+			}
+		}
+	case Max:
+		growF(&dst.f, ng, math.Inf(-1))
+		for lg, v := range src.f {
+			if v > dst.f[g2l[lg]] {
+				dst.f[g2l[lg]] = v
+			}
+		}
+	}
+}
+
+func growF(s *[]float64, n int, fill float64) {
+	for len(*s) < n {
+		*s = append(*s, fill)
+	}
+}
+
+func growI(s *[]int64, n int, fill int64) {
+	for len(*s) < n {
+		*s = append(*s, fill)
+	}
+}
+
+// packKeysParallel is packKeys with the per-row work — key extraction
+// and bit packing — split into morsels. Bit widths come from exact
+// global maxima, so the encoding is identical to the sequential pack.
+func packKeysParallel(ctx *Context, t *colstore.Table, names []string) ([]int64, error) {
+	w := ctx.workers()
+	n := t.NumRows()
+	mr := ctx.morselRows()
+	vecs := make([][]int64, len(names))
+	for i, name := range names {
+		c, err := t.ColByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, n)
+		err = exec.RunMorsels(w, n, mr, ctx.Ctr, func(m, lo, hi int, ctr *exec.Counters) error {
+			v, err := exec.KeysFromColumn(c.Slice(lo, hi), nil, ctr)
+			if err != nil {
+				return fmt.Errorf("plan: group key %s: %w", name, err)
+			}
+			copy(out[lo:hi], v)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		vecs[i] = out
+	}
+	if len(vecs) == 1 {
+		return vecs[0], nil
+	}
+	bits := make([]uint, len(vecs))
+	var total uint
+	for i, v := range vecs {
+		var max int64
+		for _, x := range v {
+			if x < 0 {
+				return nil, fmt.Errorf("plan: group key %s has negative value %d", names[i], x)
+			}
+			if x > max {
+				max = x
+			}
+		}
+		b := uint(1)
+		for int64(1)<<b <= max {
+			b++
+		}
+		bits[i] = b
+		total += b
+	}
+	if total > 63 {
+		return nil, fmt.Errorf("plan: group keys %v need %d bits, max 63", names, total)
+	}
+	out := make([]int64, n)
+	err := exec.RunMorsels(w, n, mr, ctx.Ctr, func(m, lo, hi int, ctr *exec.Counters) error {
+		for r := lo; r < hi; r++ {
+			k := vecs[0][r]
+			for i := 1; i < len(vecs); i++ {
+				k = k<<bits[i] | vecs[i][r]
+			}
+			out[r] = k
+		}
+		ctr.IntOps += int64(hi-lo) * int64(len(vecs))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -68,19 +68,21 @@ func (j *HashJoin) Execute(ctx *Context) (*colstore.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	bk, err := joinKeys(build, j.BuildKeys, ctx.Ctr)
+	bk, err := joinKeysParallel(ctx, build, j.BuildKeys)
 	if err != nil {
 		return nil, err
 	}
-	pk, err := joinKeys(probe, j.ProbeKeys, ctx.Ctr)
+	pk, err := joinKeysParallel(ctx, probe, j.ProbeKeys)
 	if err != nil {
 		return nil, err
 	}
-	jt := exec.BuildJoinTable(bk, ctx.Ctr)
+	w := ctx.workers()
+	mr := ctx.morselRows()
+	jt := exec.BuildJoinTableParallel(bk, w, mr, ctx.Ctr)
 
 	switch j.Kind {
 	case Inner:
-		bi, pi := jt.InnerJoin(pk, ctx.Ctr)
+		bi, pi := exec.InnerJoinParallel(jt, pk, w, mr, ctx.Ctr)
 		left := gather(ctx, probe, pi)
 		right := gather(ctx, build, bi)
 		out, err := concatTables(left, right)
@@ -90,17 +92,17 @@ func (j *HashJoin) Execute(ctx *Context) (*colstore.Table, error) {
 		observe(ctx, build, probe, out)
 		return out, nil
 	case Semi:
-		sel := jt.SemiJoin(pk, ctx.Ctr)
+		sel := exec.SemiJoinParallel(jt, pk, w, mr, ctx.Ctr)
 		out := gather(ctx, probe, sel)
 		observe(ctx, build, probe, out)
 		return out, nil
 	case Anti:
-		sel := jt.AntiJoin(pk, ctx.Ctr)
+		sel := exec.AntiJoinParallel(jt, pk, w, mr, ctx.Ctr)
 		out := gather(ctx, probe, sel)
 		observe(ctx, build, probe, out)
 		return out, nil
 	case LeftCount:
-		counts := jt.CountPerProbe(pk, ctx.Ctr)
+		counts := exec.CountPerProbeParallel(jt, pk, w, mr, ctx.Ctr)
 		name := j.CountAs
 		if name == "" {
 			name = "match_count"
@@ -161,6 +163,30 @@ func joinKeys(t *colstore.Table, names []string, ctr *exec.Counters) ([]int64, e
 	default:
 		return nil, fmt.Errorf("plan: joins support one or two key columns, got %d", len(names))
 	}
+}
+
+// joinKeysParallel is joinKeys with the per-row key extraction and
+// packing split into morsels. Both kernels are elementwise, so the
+// output is identical to the sequential path.
+func joinKeysParallel(ctx *Context, t *colstore.Table, names []string) ([]int64, error) {
+	w := ctx.workers()
+	n := t.NumRows()
+	if w == 1 || n < ctx.parallelMinRows() {
+		return joinKeys(t, names, ctx.Ctr)
+	}
+	out := make([]int64, n)
+	err := exec.RunMorsels(w, n, ctx.morselRows(), ctx.Ctr, func(m, lo, hi int, ctr *exec.Counters) error {
+		v, err := joinKeys(t.Slice(lo, hi), names, ctr)
+		if err != nil {
+			return err
+		}
+		copy(out[lo:hi], v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // concatTables concatenates the columns of two equal-length tables,

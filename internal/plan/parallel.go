@@ -1,68 +1,132 @@
 package plan
 
 import (
-	"sync"
-
 	"wimpi/internal/colstore"
 	"wimpi/internal/exec"
 )
 
-// parallelMinRows is the smallest input for which selection is split
-// across workers; below this the coordination overhead dominates.
-const parallelMinRows = 1 << 15
-
-// parallelSel evaluates pred over t, splitting the row range across the
-// context's workers (morsel-style). Each worker evaluates the predicate
-// on a zero-copy slice with private counters; results are offset back to
-// table-global row indexes and concatenated in order, so the output is
-// identical to a sequential evaluation.
+// parallelSel evaluates pred over t through the shared morsel scheduler
+// (exec.RunMorsels). Each morsel evaluates the predicate on a zero-copy
+// slice with private counters; match indexes are offset back to
+// table-global row numbers and concatenated in morsel order, so the
+// output is identical to a sequential evaluation at any worker count.
 func parallelSel(ctx *Context, t *colstore.Table, pred exec.Pred) ([]int32, error) {
 	w := ctx.workers()
 	n := t.NumRows()
-	if w == 1 || n < parallelMinRows {
+	if w == 1 || n < ctx.parallelMinRows() {
 		return pred.Sel(t, nil, ctx.Ctr)
 	}
-	type part struct {
-		sel []int32
-		ctr exec.Counters
-		err error
-	}
-	parts := make([]part, w)
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		lo := n * i / w
-		hi := n * (i + 1) / w
-		if lo == hi {
-			continue
+	nm := exec.NumMorsels(n, ctx.morselRows())
+	sels := make([][]int32, nm)
+	err := exec.RunMorsels(w, n, ctx.morselRows(), ctx.Ctr, func(m, lo, hi int, ctr *exec.Counters) error {
+		sub := t.Slice(lo, hi)
+		sel, err := pred.Sel(sub, nil, ctr)
+		if err != nil {
+			return err
 		}
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			p := &parts[i]
-			sub := t.Slice(lo, hi)
-			sel, err := pred.Sel(sub, nil, &p.ctr)
-			if err != nil {
-				p.err = err
-				return
-			}
-			for j := range sel {
-				sel[j] += int32(lo)
-			}
-			p.sel = sel
-		}(i, lo, hi)
+		for j := range sel {
+			sel[j] += int32(lo)
+		}
+		sels[m] = sel
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	total := 0
-	for i := range parts {
-		if parts[i].err != nil {
-			return nil, parts[i].err
-		}
-		total += len(parts[i].sel)
-		ctx.Ctr.Add(parts[i].ctr)
+	for _, s := range sels {
+		total += len(s)
 	}
 	out := make([]int32, 0, total)
-	for i := range parts {
-		out = append(out, parts[i].sel...)
+	for _, s := range sels {
+		out = append(out, s...)
 	}
+	ctx.Ctr.MergeBytes += int64(total) * 4
 	return out, nil
+}
+
+// evalExprParallel evaluates e over in, splitting computed expressions
+// into morsels. Expression kernels are elementwise, so evaluating on
+// zero-copy slices and concatenating the chunks in morsel order is
+// bit-identical to a whole-table evaluation. Plain column references
+// stay zero-copy, and chunk types the stitcher does not understand fall
+// back to a sequential evaluation.
+func evalExprParallel(ctx *Context, in *colstore.Table, e exec.Expr) (colstore.Column, error) {
+	n := in.NumRows()
+	w := ctx.workers()
+	if w == 1 || n < ctx.parallelMinRows() {
+		return e.Eval(in, ctx.Ctr)
+	}
+	if _, ok := e.(exec.Col); ok {
+		return e.Eval(in, ctx.Ctr)
+	}
+	nm := exec.NumMorsels(n, ctx.morselRows())
+	chunks := make([]colstore.Column, nm)
+	err := exec.RunMorsels(w, n, ctx.morselRows(), ctx.Ctr, func(m, lo, hi int, ctr *exec.Counters) error {
+		c, err := e.Eval(in.Slice(lo, hi), ctr)
+		if err != nil {
+			return err
+		}
+		chunks[m] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, ok := concatChunks(chunks, n)
+	if !ok {
+		return e.Eval(in, ctx.Ctr)
+	}
+	ctx.Ctr.MergeBytes += out.SizeBytes()
+	return out, nil
+}
+
+// concatChunks stitches per-morsel expression results into one column.
+// It handles the fixed-width types expressions produce; anything else
+// reports false so the caller can fall back.
+func concatChunks(chunks []colstore.Column, n int) (colstore.Column, bool) {
+	switch chunks[0].(type) {
+	case *colstore.Float64s:
+		out := make([]float64, 0, n)
+		for _, c := range chunks {
+			f, ok := c.(*colstore.Float64s)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, f.V...)
+		}
+		return &colstore.Float64s{V: out}, true
+	case *colstore.Int64s:
+		out := make([]int64, 0, n)
+		for _, c := range chunks {
+			f, ok := c.(*colstore.Int64s)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, f.V...)
+		}
+		return &colstore.Int64s{V: out}, true
+	case *colstore.Dates:
+		out := make([]int32, 0, n)
+		for _, c := range chunks {
+			f, ok := c.(*colstore.Dates)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, f.V...)
+		}
+		return &colstore.Dates{V: out}, true
+	case *colstore.Bools:
+		out := make([]bool, 0, n)
+		for _, c := range chunks {
+			f, ok := c.(*colstore.Bools)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, f.V...)
+		}
+		return &colstore.Bools{V: out}, true
+	default:
+		return nil, false
+	}
 }

@@ -31,13 +31,39 @@ type Context struct {
 	Ctr *exec.Counters
 	// Workers bounds intra-query parallelism; values < 1 mean one.
 	Workers int
+	// MinParallelRows is the smallest input split across workers; below
+	// it coordination overhead dominates. Values < 1 select
+	// DefaultMinParallelRows.
+	MinParallelRows int
+	// MorselRows is the fixed morsel granularity for parallel operators.
+	// Values < 1 select exec.DefaultMorselRows. Morsel boundaries depend
+	// only on input size, never on Workers, so results are bit-identical
+	// at every degree of parallelism.
+	MorselRows int
 }
+
+// DefaultMinParallelRows is the default parallelism threshold.
+const DefaultMinParallelRows = 1 << 15
 
 func (c *Context) workers() int {
 	if c.Workers < 1 {
 		return 1
 	}
 	return c.Workers
+}
+
+func (c *Context) parallelMinRows() int {
+	if c.MinParallelRows < 1 {
+		return DefaultMinParallelRows
+	}
+	return c.MinParallelRows
+}
+
+func (c *Context) morselRows() int {
+	if c.MorselRows < 1 {
+		return exec.DefaultMorselRows
+	}
+	return c.MorselRows
 }
 
 // Node is one operator of a physical plan.
@@ -182,7 +208,7 @@ func (p *Project) Execute(ctx *Context) (*colstore.Table, error) {
 	schema := make(colstore.Schema, len(p.Cols))
 	cols := make([]colstore.Column, len(p.Cols))
 	for i, ne := range p.Cols {
-		c, err := ne.Expr.Eval(in, ctx.Ctr)
+		c, err := evalExprParallel(ctx, in, ne.Expr)
 		if err != nil {
 			return nil, fmt.Errorf("plan: project %s: %w", ne.Name, err)
 		}
@@ -284,9 +310,9 @@ func (o *OrderBy) Execute(ctx *Context) (*colstore.Table, error) {
 	}
 	var out *colstore.Table
 	if o.N > 0 {
-		out, err = exec.TopN(in, o.Keys, o.N, ctx.Ctr)
+		out, err = exec.TopNParallel(in, o.Keys, o.N, ctx.workers(), ctx.morselRows(), ctx.Ctr)
 	} else {
-		out, err = exec.SortTable(in, o.Keys, ctx.Ctr)
+		out, err = exec.SortTableParallel(in, o.Keys, ctx.workers(), ctx.morselRows(), ctx.Ctr)
 	}
 	if err != nil {
 		return nil, err
@@ -313,7 +339,7 @@ func (o *OrderBy) Explain(depth int) string {
 
 // gather materializes t's rows named by sel and charges the write.
 func gather(ctx *Context, t *colstore.Table, sel []int32) *colstore.Table {
-	out := t.Gather(sel)
+	out := exec.GatherTable(t, sel, ctx.workers(), ctx.morselRows())
 	ctx.Ctr.TuplesMaterialized += int64(len(sel))
 	ctx.Ctr.BytesMaterialized += out.SizeBytes()
 	ctx.Ctr.SeqBytes += out.SizeBytes()

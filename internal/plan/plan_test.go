@@ -443,7 +443,7 @@ func TestExplainCoversAllNodes(t *testing.T) {
 
 func TestParallelSelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	n := parallelMinRows * 3
+	n := DefaultMinParallelRows * 3
 	b := colstore.NewTableBuilder("big", colstore.Schema{{Name: "v", Type: colstore.Int64}})
 	b.Grow(n)
 	for i := 0; i < n; i++ {
