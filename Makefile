@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-scaling
+.PHONY: build test race chaos bench-scaling
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,11 @@ test: build
 # Race-detector pass over every package that runs parallel kernels.
 race:
 	$(GO) test -race ./internal/exec/... ./internal/plan/... ./internal/engine/... ./internal/cluster/...
+
+# Fault-injection suite: chaos tests, wire-protocol hardening, and the
+# faultconn package itself, all under the race detector.
+chaos:
+	$(GO) test -race -timeout 120s -run 'Chaos|Fault|Frame|Close|Worker' ./internal/cluster/...
 
 # Parallel speedup on Q1/Q3/Q6/Q18 at 1/2/4/8 workers (SF via WIMPI_BENCH_SF).
 bench-scaling:

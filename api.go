@@ -100,6 +100,16 @@ type (
 	WorkerConfig = cluster.WorkerConfig
 	// DistResult is a distributed query outcome.
 	DistResult = cluster.DistResult
+	// ClusterConfig configures the coordinator: addresses, deadlines,
+	// retry policy, and fault-tolerance knobs.
+	ClusterConfig = cluster.Config
+	// RetryPolicy shapes the capped exponential backoff for RPCs.
+	RetryPolicy = cluster.RetryPolicy
+	// PartialClusterError reports a degraded load or query, with the
+	// failed nodes and (under AllowPartial) the partial merged result.
+	PartialClusterError = cluster.PartialClusterError
+	// NodeError is one node's terminal failure inside a cluster error.
+	NodeError = cluster.NodeError
 )
 
 // StartLocalCluster launches n in-process workers on loopback TCP and

@@ -5,15 +5,18 @@
 //
 // Worker:
 //
-//	wimpi-cluster -mode worker -listen 127.0.0.1:9101 [-throttle 220e6]
+//	wimpi-cluster -mode worker -listen 127.0.0.1:9101 [-throttle 220e6] \
+//	    [-fault 'node=0 op=write phase=query kind=reset times=1' -fault-node 0]
 //
 // Coordinator:
 //
 //	wimpi-cluster -mode coord -addrs 127.0.0.1:9101,127.0.0.1:9102 \
-//	    -sf 0.1 -q 1,3,4,5,6,13,14,19 [-simulate]
+//	    -sf 0.1 -q 1,3,4,5,6,13,14,19 [-simulate] \
+//	    [-retries 3 -rpc-timeout 60s -redispatch -allow-partial]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"wimpi/internal/cluster"
+	"wimpi/internal/cluster/faultconn"
 	"wimpi/internal/engine"
 )
 
@@ -30,45 +34,67 @@ func main() {
 	mode := flag.String("mode", "", "worker or coord")
 	listen := flag.String("listen", "127.0.0.1:0", "worker listen address")
 	throttle := flag.Float64("throttle", cluster.PiLinkBandwidthBps, "worker outbound link bits/s (0 = unthrottled)")
+	fault := flag.String("fault", "", "worker: fault-injection plan (see faultconn.ParsePlan)")
+	faultSeed := flag.Int64("fault-seed", 1, "worker: seed for fault corruption masks")
+	faultNode := flag.Int("fault-node", -1, "worker: node index for node= rule filtering (-1 = match all)")
 	addrs := flag.String("addrs", "", "coordinator: comma-separated worker addresses")
 	sf := flag.Float64("sf", 0.1, "coordinator: TPC-H scale factor")
 	seed := flag.Uint64("seed", 42, "coordinator: dataset seed")
 	queries := flag.String("q", "1,3,4,5,6,13,14,19", "coordinator: distributed queries to run")
 	simulate := flag.Bool("simulate", false, "coordinator: print simulated WimPi wall-clock per query")
 	rows := flag.Int("rows", 5, "coordinator: result rows to print")
+	rpcTimeout := flag.Duration("rpc-timeout", 60*time.Second, "coordinator: per-RPC deadline")
+	retries := flag.Int("retries", 3, "coordinator: attempts per RPC (1 disables retries)")
+	allowPartial := flag.Bool("allow-partial", false, "coordinator: return partial results over surviving partitions")
+	redispatch := flag.Bool("redispatch", false, "coordinator: re-issue failed/straggling partitions to healthy peers")
+	stragglerMult := flag.Float64("straggler-mult", 4, "coordinator: straggler threshold as multiple of median response time")
 	flag.Parse()
 
 	switch *mode {
 	case "worker":
-		runWorker(*listen, *throttle)
+		runWorker(*listen, *throttle, *fault, *faultSeed, *faultNode)
 	case "coord":
-		runCoordinator(*addrs, *sf, *seed, *queries, *simulate, *rows)
+		cfg := cluster.Config{
+			WorkersPerNode:    4,
+			RPCTimeout:        *rpcTimeout,
+			Retry:             cluster.RetryPolicy{MaxAttempts: *retries},
+			AllowPartial:      *allowPartial,
+			Redispatch:        *redispatch,
+			StragglerMultiple: *stragglerMult,
+		}
+		runCoordinator(cfg, *addrs, *sf, *seed, *queries, *simulate, *rows)
 	default:
 		fatalf("-mode must be worker or coord")
 	}
 }
 
-func runWorker(listen string, throttle float64) {
+func runWorker(listen string, throttle float64, fault string, faultSeed int64, faultNode int) {
+	var inj *faultconn.Injector
+	if fault != "" {
+		plan, err := faultconn.ParsePlan(fault, faultSeed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		inj = plan.Injector(faultNode)
+	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		fatalf("listen: %v", err)
 	}
 	fmt.Printf("wimpi worker listening on %s (link %.0f Mbit/s)\n",
 		ln.Addr(), throttle/1e6)
-	w := cluster.NewWorker(cluster.WorkerConfig{LinkBandwidthBps: throttle})
+	w := cluster.NewWorker(cluster.WorkerConfig{LinkBandwidthBps: throttle, Faults: inj})
 	if err := w.Serve(ln); err != nil {
 		fatalf("serve: %v", err)
 	}
 }
 
-func runCoordinator(addrList string, sf float64, seed uint64, queryList string, simulate bool, rows int) {
+func runCoordinator(cfg cluster.Config, addrList string, sf float64, seed uint64, queryList string, simulate bool, rows int) {
 	if addrList == "" {
 		fatalf("coordinator needs -addrs")
 	}
-	coord, err := cluster.Dial(cluster.Config{
-		Addrs:          strings.Split(addrList, ","),
-		WorkersPerNode: 4,
-	})
+	cfg.Addrs = strings.Split(addrList, ",")
+	coord, err := cluster.Dial(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -88,11 +114,21 @@ func runCoordinator(addrList string, sf float64, seed uint64, queryList string, 
 		}
 		res, err := coord.Run(q)
 		if err != nil {
-			fatalf("Q%d: %v", q, err)
+			var perr *cluster.PartialClusterError
+			if errors.As(err, &perr) && perr.Result != nil {
+				fmt.Fprintf(os.Stderr, "Q%d degraded: %v\n", q, perr)
+				res = perr.Result
+			} else {
+				fatalf("Q%d: %v", q, err)
+			}
 		}
-		fmt.Printf("-- Q%d: %d rows, %d nodes, %.1f KB transferred, %v (host) --\n",
+		coverage := ""
+		if res.Partial {
+			coverage = fmt.Sprintf(" PARTIAL (failed nodes %v)", res.FailedNodes)
+		}
+		fmt.Printf("-- Q%d: %d rows, %d nodes, %.1f KB transferred, %v (host)%s --\n",
 			q, res.Table.NumRows(), res.NodesUsed,
-			float64(res.BytesReceived)/1024, res.HostDuration.Round(time.Microsecond))
+			float64(res.BytesReceived)/1024, res.HostDuration.Round(time.Microsecond), coverage)
 		if rows > 0 {
 			fmt.Print(engine.FormatTable(res.Table, rows))
 		}

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,35 +21,100 @@ type Config struct {
 	// WorkersPerNode is each node's intra-query parallelism (a Pi 3B+
 	// has four cores).
 	WorkersPerNode int
+
+	// DialTimeout bounds each TCP connect (default 10s).
+	DialTimeout time.Duration
+	// RPCTimeout bounds each individual RPC attempt — connection reads
+	// and writes carry this deadline (default 60s).
+	RPCTimeout time.Duration
+	// ShutdownTimeout bounds the per-node shutdown exchange in Close,
+	// so a dead worker cannot hang teardown (default 2s).
+	ShutdownTimeout time.Duration
+	// Retry shapes the backoff for idempotent RPCs (ping, load, query,
+	// iperf). Zero values take defaults; MaxAttempts 1 disables retry.
+	Retry RetryPolicy
+	// Seed drives the retry-jitter RNG, keeping chaos runs
+	// reproducible (default 1).
+	Seed int64
+
+	// AllowPartial makes Run return a merged result over the surviving
+	// partitions (flagged via DistResult.Partial plus a
+	// *PartialClusterError) instead of failing outright when nodes die.
+	AllowPartial bool
+	// Redispatch re-issues a failed or straggling node's partition
+	// query to a healthy peer, which regenerates that partition and
+	// produces a byte-identical partial.
+	Redispatch bool
+	// StragglerMultiple: a node is a straggler once its in-flight query
+	// exceeds this multiple of the median completed-node response time
+	// (default 4; only meaningful with Redispatch).
+	StragglerMultiple float64
+	// StragglerMin is the floor under the straggler threshold, so tiny
+	// medians don't trigger spurious re-dispatch (default 250ms).
+	StragglerMin time.Duration
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.WorkersPerNode < 1 {
+		cfg.WorkersPerNode = 4
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 60 * time.Second
+	}
+	if cfg.ShutdownTimeout <= 0 {
+		cfg.ShutdownTimeout = 2 * time.Second
+	}
+	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.StragglerMultiple <= 1 {
+		cfg.StragglerMultiple = 4
+	}
+	if cfg.StragglerMin <= 0 {
+		cfg.StragglerMin = 250 * time.Millisecond
+	}
+	return cfg
 }
 
 // Coordinator drives a WimPi cluster: it loads partitions, fans out
 // partial plans, and merges partial results (the role of the paper's
-// Python driver program, Section III-C.3).
+// Python driver program, Section III-C.3), tolerating slow links, hung
+// boards, and partial failures via per-RPC deadlines, retry with capped
+// backoff, reconnect, and straggler re-dispatch.
 type Coordinator struct {
 	cfg   Config
 	conns []*rpcConn
+	rng   *lockedRand
 }
 
 // Dial connects to every worker.
 func Dial(cfg Config) (*Coordinator, error) {
+	return DialContext(context.Background(), cfg)
+}
+
+// DialContext connects to every worker and pings it, honoring ctx and
+// the config's dial/RPC deadlines.
+func DialContext(ctx context.Context, cfg Config) (*Coordinator, error) {
 	if len(cfg.Addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no worker addresses")
 	}
-	if cfg.WorkersPerNode < 1 {
-		cfg.WorkersPerNode = 4
-	}
-	c := &Coordinator{cfg: cfg}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{cfg: cfg, rng: newLockedRand(cfg.Seed)}
 	for _, addr := range cfg.Addrs {
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
-		}
-		c.conns = append(c.conns, newRPCConn(conn))
+		c.conns = append(c.conns, newRPCConn(addr, cfg.DialTimeout))
 	}
 	for i := range c.conns {
-		if _, _, err := c.conns[i].call(&Request{Type: "ping"}); err != nil {
+		if _, _, err := c.conns[i].ensure(ctx); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	for i := range c.conns {
+		if _, _, err := c.callRetry(ctx, i, &Request{Type: "ping", ForNode: -1}); err != nil {
 			c.Close()
 			return nil, err
 		}
@@ -55,16 +122,65 @@ func Dial(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
+// callRetry performs one idempotent RPC with per-attempt deadlines and
+// capped exponential backoff + seeded jitter. Worker-reported
+// application errors are deterministic and never retried; transport
+// errors (timeouts, resets, corrupt frames) reconnect and retry.
+func (c *Coordinator) callRetry(ctx context.Context, node int, req *Request) (*Response, int64, error) {
+	policy := c.cfg.Retry
+	var lastErr error
+	for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			d := policy.backoff(attempt-1, c.rng)
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, 0, fmt.Errorf("cluster: %s to node %d: %w (last: %v)", req.Type, node, ctx.Err(), lastErr)
+			}
+		}
+		attemptCtx := ctx
+		var cancel context.CancelFunc = func() {}
+		if c.cfg.RPCTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, c.cfg.RPCTimeout)
+		}
+		resp, n, err := c.conns[node].call(attemptCtx, req)
+		cancel()
+		if err == nil {
+			return resp, n, nil
+		}
+		lastErr = err
+		var we *WorkerError
+		if errors.As(err, &we) {
+			return nil, 0, err // deterministic application failure
+		}
+		if ctx.Err() != nil {
+			return nil, 0, lastErr
+		}
+	}
+	return nil, 0, fmt.Errorf("cluster: %s to node %d failed after %d attempts: %w",
+		req.Type, node, policy.MaxAttempts, lastErr)
+}
+
 // NumNodes reports the cluster size.
 func (c *Coordinator) NumNodes() int { return len(c.conns) }
 
-// Close tells workers to shut down their session and closes connections.
+// Close tells workers to shut down their session and closes
+// connections. Each shutdown exchange is bounded by
+// Config.ShutdownTimeout, so a dead or stalled worker cannot hang
+// teardown; broken connections are closed without the courtesy call.
 func (c *Coordinator) Close() {
 	for _, conn := range c.conns {
-		if conn != nil {
-			conn.call(&Request{Type: "shutdown"})
-			conn.close()
+		if conn == nil {
+			continue
 		}
+		if conn.connected() {
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ShutdownTimeout)
+			conn.call(ctx, &Request{Type: "shutdown", ForNode: -1})
+			cancel()
+		}
+		conn.close()
 	}
 }
 
@@ -78,6 +194,14 @@ type LoadStats struct {
 
 // Load makes every worker generate and register its partition.
 func (c *Coordinator) Load(sf float64, seed uint64) (*LoadStats, error) {
+	return c.LoadContext(context.Background(), sf, seed)
+}
+
+// LoadContext is Load with cancellation and deadlines. Per-node loads
+// are retried on transport failure; a terminally failed node yields a
+// *PartialClusterError (a load cannot be partial — every partition is
+// needed).
+func (c *Coordinator) LoadContext(ctx context.Context, sf float64, seed uint64) (*LoadStats, error) {
 	start := time.Now()
 	stats := &LoadStats{NodeBytes: make([]int64, len(c.conns))}
 	errs := make([]error, len(c.conns))
@@ -86,7 +210,7 @@ func (c *Coordinator) Load(sf float64, seed uint64) (*LoadStats, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, _, err := c.conns[i].call(&Request{Type: "load", Load: &LoadRequest{
+			resp, _, err := c.callRetry(ctx, i, &Request{Type: "load", ForNode: -1, Load: &LoadRequest{
 				SF: sf, Seed: seed, Node: i, NumNodes: len(c.conns),
 				Workers: c.cfg.WorkersPerNode,
 			}})
@@ -98,10 +222,14 @@ func (c *Coordinator) Load(sf float64, seed uint64) (*LoadStats, error) {
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	var failed []NodeError
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			failed = append(failed, NodeError{Node: i, Addr: c.cfg.Addrs[i], Err: err})
 		}
+	}
+	if len(failed) > 0 {
+		return nil, &PartialClusterError{Op: "load", Failed: failed, Total: len(c.conns)}
 	}
 	stats.Duration = time.Since(start)
 	return stats, nil
@@ -125,58 +253,232 @@ type DistResult struct {
 	NodesUsed int
 	// HostDuration is the real wall-clock time of the distributed run.
 	HostDuration time.Duration
+	// Partial is set when the result covers only surviving partitions
+	// (Config.AllowPartial after node failures).
+	Partial bool
+	// FailedNodes lists partitions missing from a partial result.
+	FailedNodes []int
+	// Redispatches counts partition queries re-issued to healthy peers
+	// (straggler handling or failure re-dispatch).
+	Redispatches int
 }
 
 // Run executes the distributed form of query q across the cluster.
 func (c *Coordinator) Run(q int) (*DistResult, error) {
+	return c.RunContext(context.Background(), q)
+}
+
+// part is one partition's successful partial result.
+type part struct {
+	table *colstore.Table
+	ctr   exec.Counters
+	bytes int64
+	db    int64
+}
+
+// outcome is one completed (or failed) partition query attempt.
+type outcome struct {
+	node   int // partition index
+	conn   int // conn the attempt ran on
+	part   part
+	err    error
+	backup bool
+}
+
+// RunContext executes the distributed form of query q with
+// cancellation, per-RPC deadlines, retry, and — when enabled —
+// straggler/failure re-dispatch and graceful degradation. On node
+// failure it returns a *PartialClusterError; with Config.AllowPartial
+// the error additionally carries the merged result over surviving
+// partitions.
+func (c *Coordinator) RunContext(ctx context.Context, q int) (*DistResult, error) {
 	dq, err := tpch.DistQueryFor(q)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	conns := c.conns
-	if dq.SingleNode {
-		conns = c.conns[:1]
-	}
-	type part struct {
-		table *colstore.Table
-		ctr   exec.Counters
-		bytes int64
-		db    int64
-		err   error
-	}
-	parts := make([]part, len(conns))
-	var wg sync.WaitGroup
-	for i := range conns {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			resp, n, err := conns[i].call(&Request{Type: "query", Query: q})
-			if err != nil {
-				parts[i].err = err
-				return
-			}
-			t, err := resp.Table.Table()
-			if err != nil {
-				parts[i].err = err
-				return
-			}
-			parts[i] = part{table: t, ctr: resp.Counters, bytes: n, db: resp.DBBytes}
-		}(i)
-	}
-	wg.Wait()
+	// Cancel stragglers' in-flight RPCs when we return early.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
-	res := &DistResult{Query: q, NodesUsed: len(conns)}
-	tables := make([]*colstore.Table, len(conns))
-	for i := range parts {
-		if parts[i].err != nil {
-			return nil, fmt.Errorf("cluster: node %d: %w", i, parts[i].err)
+	start := time.Now()
+	participants := len(c.conns)
+	if dq.SingleNode {
+		participants = 1
+	}
+
+	ch := make(chan outcome, 4*participants+4)
+	issue := func(target, partition int, backup bool) {
+		go func() {
+			forNode := -1
+			if backup {
+				forNode = partition
+			}
+			resp, n, err := c.callRetry(ctx, target, &Request{Type: "query", Query: q, ForNode: forNode})
+			o := outcome{node: partition, conn: target, err: err, backup: backup}
+			if err == nil {
+				t, terr := resp.Table.Table()
+				if terr != nil {
+					o.err = terr
+				} else {
+					o.part = part{table: t, ctr: resp.Counters, bytes: n, db: resp.DBBytes}
+				}
+			}
+			ch <- o
+		}()
+	}
+	for i := 0; i < participants; i++ {
+		issue(i, i, false)
+	}
+
+	parts := make([]part, participants)
+	done := make([]bool, participants)
+	failedAt := make([]error, participants)
+	inflight := make([]int, participants)
+	redispatched := make([]bool, participants)
+	for i := range inflight {
+		inflight[i] = 1
+	}
+	var durations []time.Duration
+	var healthy []int // conn indexes that answered successfully
+	redispatches := 0
+
+	// pickPeer returns a conn to re-dispatch partition i's query to:
+	// the first healthy responder that isn't the partition's primary,
+	// else round-robin over the other conns.
+	pickPeer := func(i int) (int, bool) {
+		for _, h := range healthy {
+			if h != i {
+				return h, true
+			}
 		}
-		tables[i] = parts[i].table
+		if len(c.conns) > 1 {
+			return (i + 1) % len(c.conns), true
+		}
+		return 0, false
+	}
+	redispatch := func(i int) bool {
+		if !c.cfg.Redispatch || redispatched[i] {
+			return false
+		}
+		peer, ok := pickPeer(i)
+		if !ok {
+			return false
+		}
+		redispatched[i] = true
+		redispatches++
+		inflight[i]++
+		issue(peer, i, true)
+		return true
+	}
+
+	var stragglerC <-chan time.Time
+	var stragglerTimer *time.Timer
+	defer func() {
+		if stragglerTimer != nil {
+			stragglerTimer.Stop()
+		}
+	}()
+	armStraggler := func() {
+		if !c.cfg.Redispatch || stragglerTimer != nil || len(durations) < (participants+1)/2 {
+			return
+		}
+		ds := append([]time.Duration(nil), durations...)
+		sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+		thr := time.Duration(float64(ds[len(ds)/2]) * c.cfg.StragglerMultiple)
+		if thr < c.cfg.StragglerMin {
+			thr = c.cfg.StragglerMin
+		}
+		wait := time.Until(start.Add(thr))
+		if wait < 0 {
+			wait = 0
+		}
+		stragglerTimer = time.NewTimer(wait)
+		stragglerC = stragglerTimer.C
+	}
+
+	remaining := participants
+collect:
+	for remaining > 0 {
+		select {
+		case o := <-ch:
+			if done[o.node] {
+				continue // a slower duplicate already superseded
+			}
+			if o.err != nil {
+				inflight[o.node]--
+				if redispatch(o.node) {
+					continue
+				}
+				if inflight[o.node] > 0 {
+					continue // a backup is still in flight
+				}
+				done[o.node] = true
+				failedAt[o.node] = o.err
+				remaining--
+				continue
+			}
+			done[o.node] = true
+			parts[o.node] = o.part
+			healthy = append(healthy, o.conn)
+			durations = append(durations, time.Since(start))
+			remaining--
+			armStraggler()
+		case <-stragglerC:
+			stragglerC = nil
+			for i := 0; i < participants; i++ {
+				if !done[i] {
+					redispatch(i)
+				}
+			}
+		case <-ctx.Done():
+			for i := 0; i < participants; i++ {
+				if !done[i] {
+					done[i] = true
+					failedAt[i] = fmt.Errorf("cluster: Q%d node %d: %w", q, i, ctx.Err())
+					remaining--
+				}
+			}
+			break collect
+		}
+	}
+
+	var failed []NodeError
+	for i, err := range failedAt {
+		if err != nil {
+			failed = append(failed, NodeError{Node: i, Addr: c.cfg.Addrs[i], Err: err})
+		}
+	}
+
+	res := &DistResult{Query: q, NodesUsed: participants - len(failed), Redispatches: redispatches}
+	var tables []*colstore.Table
+	for i := range parts {
+		if failedAt[i] != nil {
+			res.FailedNodes = append(res.FailedNodes, i)
+			continue
+		}
+		tables = append(tables, parts[i].table)
 		res.NodeCounters = append(res.NodeCounters, parts[i].ctr)
 		res.NodeDBBytes = append(res.NodeDBBytes, parts[i].db)
 		res.BytesReceived += parts[i].bytes
 	}
+
+	if len(failed) > 0 {
+		perr := &PartialClusterError{Op: "query", Query: q, Failed: failed, Total: participants}
+		if !c.cfg.AllowPartial || len(tables) == 0 {
+			return nil, perr
+		}
+		res.Partial = true
+		merged, mergeCtr, err := dq.MergePartials(tables, c.cfg.WorkersPerNode)
+		if err != nil {
+			return nil, perr
+		}
+		res.Table = merged
+		res.MergeCounters = mergeCtr
+		res.HostDuration = time.Since(start)
+		perr.Result = res
+		return res, perr
+	}
+
 	merged, mergeCtr, err := dq.MergePartials(tables, c.cfg.WorkersPerNode)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Typed wire-level errors. All are transport errors: the framing layer
+// detected a malformed or corrupted stream, the connection is broken,
+// and the operation is safe to retry on a fresh connection.
+var (
+	// ErrBadMagic means a frame did not start with the protocol magic —
+	// the stream is desynchronized or carrying garbage.
+	ErrBadMagic = errors.New("cluster: bad frame magic")
+	// ErrFrameTooLarge means a frame header announced a payload beyond
+	// maxFrameBytes; it is rejected before any payload allocation.
+	ErrFrameTooLarge = errors.New("cluster: frame exceeds size limit")
+	// ErrChecksum means a frame arrived intact in length but with a
+	// payload CRC mismatch — silent corruption on the wire.
+	ErrChecksum = errors.New("cluster: frame checksum mismatch")
+)
+
+// WorkerError is an application-level failure reported by a worker
+// (e.g. "no data loaded", an unknown query). The connection stays
+// healthy and the error is deterministic, so it is never retried.
+type WorkerError struct {
+	// Msg is the worker's error text.
+	Msg string
+}
+
+func (e *WorkerError) Error() string { return "cluster: worker: " + e.Msg }
+
+// NodeError records one node's terminal failure within a cluster
+// operation, after retries and (if enabled) re-dispatch were exhausted.
+type NodeError struct {
+	// Node is the partition/node index.
+	Node int
+	// Addr is the worker's address.
+	Addr string
+	// Err is the final error.
+	Err error
+}
+
+func (e NodeError) Error() string {
+	return fmt.Sprintf("node %d (%s): %v", e.Node, e.Addr, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e NodeError) Unwrap() error { return e.Err }
+
+// PartialClusterError is returned by Load and Run when one or more
+// nodes failed terminally. When Config.AllowPartial is set and at least
+// one partition survived a query, Result carries the merged result over
+// the surviving partitions (with DistResult.Partial and
+// DistResult.FailedNodes set as coverage metadata); otherwise Result is
+// nil.
+type PartialClusterError struct {
+	// Op is the operation that degraded: "load" or "query".
+	Op string
+	// Query is the TPC-H query number (0 for loads).
+	Query int
+	// Failed lists each failed node with its final error.
+	Failed []NodeError
+	// Total is how many nodes the operation targeted.
+	Total int
+	// Result is the partial merged result (query + AllowPartial only).
+	Result *DistResult
+}
+
+func (e *PartialClusterError) Error() string {
+	var b strings.Builder
+	if e.Op == "load" {
+		fmt.Fprintf(&b, "cluster: load: %d/%d nodes failed", len(e.Failed), e.Total)
+	} else {
+		fmt.Fprintf(&b, "cluster: Q%d: %d/%d nodes failed", e.Query, len(e.Failed), e.Total)
+	}
+	for _, f := range e.Failed {
+		fmt.Fprintf(&b, "; %v", f)
+	}
+	if e.Result != nil {
+		fmt.Fprintf(&b, " (partial result over %d surviving partitions)", e.Result.NodesUsed)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the first node failure to errors.Is/As chains.
+func (e *PartialClusterError) Unwrap() error {
+	if len(e.Failed) > 0 {
+		return e.Failed[0].Err
+	}
+	return nil
+}
+
+// RetryPolicy shapes the capped exponential backoff applied to
+// idempotent RPCs (ping, load, query, iperf — all read-only or
+// regenerate-identical operations). Jitter comes from the coordinator's
+// seeded RNG so chaos runs are reproducible.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// Zero means the default (3); 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 20ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 500ms).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per attempt (default 2).
+	Multiplier float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 20 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 500 * time.Millisecond
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// backoff returns the sleep before attempt n+2 (n = 0 after the first
+// failure): base*mult^n capped at MaxDelay, plus up to 50% jitter.
+func (p RetryPolicy) backoff(n int, rng *lockedRand) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 0; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d + rng.Float64()*d/2)
+}
+
+// lockedRand is a mutex-guarded seeded RNG shared across the
+// coordinator's goroutines (retry jitter).
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}

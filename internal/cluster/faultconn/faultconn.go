@@ -1,0 +1,418 @@
+// Package faultconn injects deterministic, seeded faults into
+// net.Conn traffic: delays, dropped bytes, connection resets, truncated
+// frames, byte corruption, and full stalls. It exists to prove the
+// cluster runtime's fault tolerance — every chaos test in
+// internal/cluster drives its failures through this package, so a
+// failing run is reproducible from its fault plan alone.
+//
+// A Plan is a list of Rules. Each rule names a worker node (-1 = any),
+// a direction (read or write, from the wrapped side's point of view), a
+// phase (the request type being served: "load", "query", "shutdown"; ""
+// = any), a byte offset within that phase's traffic at which to
+// trigger, a fault kind, and how many times to fire. An Injector is a
+// Plan instantiated for one node; it accumulates byte counters across
+// every connection it wraps (reconnects included), so a once-only rule
+// stays spent after the peer redials — exactly the behavior needed to
+// test retry-then-succeed paths.
+//
+// The wrapper composes with any other net.Conn wrapper; the cluster
+// package layers its token-bucket link throttle on top of it.
+package faultconn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op is a traffic direction, from the wrapped connection's side.
+type Op int
+
+const (
+	// OpRead faults inbound traffic.
+	OpRead Op = iota
+	// OpWrite faults outbound traffic.
+	OpWrite
+)
+
+func (o Op) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Kind is a fault class.
+type Kind int
+
+const (
+	// Delay sleeps Rule.Delay before the matching operation proceeds.
+	Delay Kind = iota
+	// Drop silently discards the rest of the buffer from the trigger
+	// offset on (the caller sees success), desynchronizing the stream.
+	Drop
+	// Reset closes the connection immediately; the operation fails.
+	Reset
+	// Truncate transmits the buffer up to the trigger offset, then
+	// closes the connection — a frame cut mid-payload.
+	Truncate
+	// Corrupt XORs the byte at the trigger offset with a seeded mask.
+	Corrupt
+	// Stall blocks the operation until the connection is closed.
+	Stall
+)
+
+var kindNames = map[Kind]string{
+	Delay: "delay", Drop: "drop", Reset: "reset",
+	Truncate: "truncate", Corrupt: "corrupt", Stall: "stall",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule is one deterministic fault trigger.
+type Rule struct {
+	// Node is the worker index this rule applies to; -1 matches any.
+	Node int
+	// Op is the faulted direction.
+	Op Op
+	// Phase restricts the rule to traffic while serving a given request
+	// type ("load", "query", "shutdown", ...); empty matches any phase
+	// and counts bytes from connection-set start.
+	Phase string
+	// After is the byte offset (cumulative for the matching phase and
+	// direction, across reconnects) at which the rule triggers.
+	After int64
+	// Kind selects the fault.
+	Kind Kind
+	// Delay is the sleep for Delay rules.
+	Delay time.Duration
+	// Times is how many times the rule fires; 0 means once, -1 means
+	// unlimited.
+	Times int
+}
+
+// Plan is a seeded set of fault rules, shareable across a whole cluster.
+type Plan struct {
+	// Seed drives the corruption masks; runs with the same plan are
+	// byte-for-byte reproducible.
+	Seed int64
+	// Rules are evaluated in order; the first match per operation wins.
+	Rules []Rule
+}
+
+// Injector instantiates a plan's rules for one node. It is safe for
+// concurrent use and shared across every connection of that node.
+type Injector struct {
+	mu     sync.Mutex
+	rules  []Rule
+	fired  []int
+	rng    *rand.Rand
+	phase  string
+	counts map[string][2]int64 // phase -> {read, write} bytes
+	global [2]int64
+	conns  []*Conn
+}
+
+// Injector builds the node's injector: rules whose Node is -1 or equals
+// node. A node of -1 (a standalone CLI worker) takes every rule.
+func (p *Plan) Injector(node int) *Injector {
+	if p == nil {
+		return nil
+	}
+	in := &Injector{rng: rand.New(rand.NewSource(p.Seed + 1)), counts: map[string][2]int64{}}
+	for _, r := range p.Rules {
+		if r.Node < 0 || node < 0 || r.Node == node {
+			in.rules = append(in.rules, r)
+		}
+	}
+	in.fired = make([]int, len(in.rules))
+	return in
+}
+
+// SetPhase tells the injector which request type the wrapped worker is
+// currently serving; phase-scoped rules count bytes per phase.
+func (in *Injector) SetPhase(phase string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.phase = phase
+	in.mu.Unlock()
+}
+
+// Wrap returns conn with the injector's faults applied. The injector
+// tracks the connection so CloseAll can release stalled operations.
+func (in *Injector) Wrap(conn net.Conn) net.Conn {
+	if in == nil || len(in.rules) == 0 {
+		return conn
+	}
+	c := &Conn{Conn: conn, in: in, closeCh: make(chan struct{})}
+	in.mu.Lock()
+	in.conns = append(in.conns, c)
+	in.mu.Unlock()
+	return c
+}
+
+// CloseAll closes every connection the injector has wrapped, releasing
+// Stall faults. LocalCluster calls it on shutdown.
+func (in *Injector) CloseAll() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	conns := append([]*Conn(nil), in.conns...)
+	in.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// trigger describes one matched rule application within a buffer.
+type trigger struct {
+	rule Rule
+	off  int // offset within the current buffer
+	mask byte
+}
+
+// match consumes n bytes of op-direction traffic and returns the first
+// firing rule, if any. Counters advance regardless of matches.
+func (in *Injector) match(op Op, n int) *trigger {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	phase := in.phase
+	pc := in.counts[phase]
+	base := pc[op]
+	gbase := in.global[op]
+
+	var tr *trigger
+	for i, r := range in.rules {
+		if r.Op != op {
+			continue
+		}
+		times := r.Times
+		if times == 0 {
+			times = 1
+		}
+		if times > 0 && in.fired[i] >= times {
+			continue
+		}
+		b := gbase
+		if r.Phase != "" {
+			if r.Phase != phase {
+				continue
+			}
+			b = base
+		}
+		if b+int64(n) <= r.After {
+			continue
+		}
+		off := int(r.After - b)
+		if off < 0 {
+			off = 0
+		}
+		in.fired[i]++
+		tr = &trigger{rule: r, off: off, mask: byte(in.rng.Intn(255) + 1)}
+		break
+	}
+	pc[op] += int64(n)
+	in.counts[phase] = pc
+	in.global[op] += int64(n)
+	return tr
+}
+
+// Conn is a fault-injecting net.Conn wrapper.
+type Conn struct {
+	net.Conn
+	in        *Injector
+	closeOnce sync.Once
+	closeCh   chan struct{}
+}
+
+// errInjected marks faults the injector manufactured itself.
+var errInjected = errors.New("faultconn: injected fault")
+
+// Close closes the underlying connection and releases any Stall.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closeCh)
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+// sleep waits d or until the connection closes, whichever first.
+func (c *Conn) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closeCh:
+	}
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	tr := c.in.match(OpWrite, len(p))
+	if tr == nil {
+		return c.Conn.Write(p)
+	}
+	switch tr.rule.Kind {
+	case Delay:
+		c.sleep(tr.rule.Delay)
+		return c.Conn.Write(p)
+	case Drop:
+		n, err := c.Conn.Write(p[:tr.off])
+		if err != nil {
+			return n, err
+		}
+		return len(p), nil // rest silently vanishes
+	case Reset:
+		c.Close()
+		return 0, fmt.Errorf("%w: reset on write", errInjected)
+	case Truncate:
+		n, _ := c.Conn.Write(p[:tr.off])
+		c.Close()
+		return n, fmt.Errorf("%w: truncated after %d bytes", errInjected, n)
+	case Corrupt:
+		q := append([]byte(nil), p...)
+		if tr.off < len(q) {
+			q[tr.off] ^= tr.mask
+		}
+		return c.Conn.Write(q)
+	case Stall:
+		<-c.closeCh
+		return 0, fmt.Errorf("%w: stalled write", errInjected)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	tr := c.in.match(OpRead, len(p))
+	if tr == nil {
+		return c.Conn.Read(p)
+	}
+	switch tr.rule.Kind {
+	case Delay:
+		c.sleep(tr.rule.Delay)
+		return c.Conn.Read(p)
+	case Reset, Drop, Truncate:
+		c.Close()
+		return 0, fmt.Errorf("%w: reset on read", errInjected)
+	case Corrupt:
+		n, err := c.Conn.Read(p)
+		if n > 0 && tr.off < n {
+			p[tr.off] ^= tr.mask
+		}
+		return n, err
+	case Stall:
+		<-c.closeCh
+		return 0, fmt.Errorf("%w: stalled read", errInjected)
+	}
+	return c.Conn.Read(p)
+}
+
+// ---------------------------------------------------------------------------
+// Plan parsing (CLI)
+
+var kindByName = func() map[string]Kind {
+	m := map[string]Kind{}
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// ParsePlan parses a CLI fault plan: rules separated by ';', each a
+// space-separated list of key=value fields. Keys: node, op (read|write),
+// phase, after (bytes), kind (delay|drop|reset|truncate|corrupt|stall),
+// delay (Go duration), times (-1 = unlimited). Example:
+//
+//	node=1 op=write phase=query after=4096 kind=reset;
+//	node=2 op=write phase=query kind=delay delay=500ms times=-1
+func ParsePlan(s string, seed int64) (*Plan, error) {
+	p := &Plan{Seed: seed}
+	for _, rs := range strings.Split(s, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		r := Rule{Node: -1, Op: OpWrite}
+		for _, f := range strings.Fields(rs) {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultconn: field %q is not key=value", f)
+			}
+			var err error
+			switch k {
+			case "node":
+				r.Node, err = strconv.Atoi(v)
+			case "op":
+				switch v {
+				case "read":
+					r.Op = OpRead
+				case "write":
+					r.Op = OpWrite
+				default:
+					err = fmt.Errorf("bad op %q", v)
+				}
+			case "phase":
+				r.Phase = v
+			case "after":
+				r.After, err = strconv.ParseInt(v, 10, 64)
+			case "kind":
+				kind, ok := kindByName[v]
+				if !ok {
+					err = fmt.Errorf("bad kind %q", v)
+				}
+				r.Kind = kind
+			case "delay":
+				r.Delay, err = time.ParseDuration(v)
+			case "times":
+				r.Times, err = strconv.Atoi(v)
+			default:
+				err = fmt.Errorf("unknown key %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultconn: rule %q: %v", rs, err)
+			}
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if len(p.Rules) == 0 {
+		return nil, errors.New("faultconn: empty plan")
+	}
+	return p, nil
+}
+
+// String renders the plan back into ParsePlan's format.
+func (p *Plan) String() string {
+	var parts []string
+	for _, r := range p.Rules {
+		fs := []string{
+			"node=" + strconv.Itoa(r.Node),
+			"op=" + r.Op.String(),
+		}
+		if r.Phase != "" {
+			fs = append(fs, "phase="+r.Phase)
+		}
+		fs = append(fs, "after="+strconv.FormatInt(r.After, 10), "kind="+r.Kind.String())
+		if r.Delay > 0 {
+			fs = append(fs, "delay="+r.Delay.String())
+		}
+		if r.Times != 0 {
+			fs = append(fs, "times="+strconv.Itoa(r.Times))
+		}
+		parts = append(parts, strings.Join(fs, " "))
+	}
+	return strings.Join(parts, "; ")
+}

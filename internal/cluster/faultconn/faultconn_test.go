@@ -1,0 +1,184 @@
+package faultconn
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pipeConn returns a wrapped side and the peer of an in-memory duplex.
+func pipeConn(t *testing.T, in *Injector) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return in.Wrap(a), b
+}
+
+func TestCorruptIsDeterministic(t *testing.T) {
+	msg := []byte("hello fault injection world")
+	run := func() []byte {
+		plan := &Plan{Seed: 7, Rules: []Rule{{Node: -1, Op: OpWrite, After: 6, Kind: Corrupt}}}
+		w, peer := pipeConn(t, plan.Injector(0))
+		got := make([]byte, len(msg))
+		done := make(chan error, 1)
+		go func() {
+			_, err := w.Write(msg)
+			done <- err
+		}()
+		if _, err := peer.Read(got); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different corruption: %q vs %q", a, b)
+	}
+	if bytes.Equal(a, msg) {
+		t.Fatal("corruption did not change the payload")
+	}
+	if bytes.Equal(a[:6], msg[:6]) && a[6] == msg[6] {
+		t.Fatal("corruption missed the rule offset")
+	}
+}
+
+func TestRuleFiresOncePerTimes(t *testing.T) {
+	plan := &Plan{Rules: []Rule{{Node: -1, Op: OpWrite, After: 0, Kind: Reset, Times: 1}}}
+	in := plan.Injector(0)
+	w1, _ := pipeConn(t, in)
+	if _, err := w1.Write([]byte("x")); err == nil {
+		t.Fatal("first write should be reset")
+	}
+	// A reconnect (new wrapped conn, same injector) is clean: the rule
+	// is spent.
+	w2, peer := pipeConn(t, in)
+	go func() {
+		buf := make([]byte, 1)
+		peer.Read(buf)
+	}()
+	if _, err := w2.Write([]byte("y")); err != nil {
+		t.Fatalf("rule fired twice: %v", err)
+	}
+}
+
+func TestPhaseScoping(t *testing.T) {
+	plan := &Plan{Rules: []Rule{{Node: -1, Op: OpWrite, Phase: "query", After: 0, Kind: Reset}}}
+	in := plan.Injector(0)
+	w, peer := pipeConn(t, in)
+	go func() {
+		buf := make([]byte, 16)
+		peer.Read(buf)
+	}()
+	in.SetPhase("load")
+	if _, err := w.Write([]byte("load bytes")); err != nil {
+		t.Fatalf("load phase should pass: %v", err)
+	}
+	in.SetPhase("query")
+	if _, err := w.Write([]byte("q")); err == nil {
+		t.Fatal("query phase should reset")
+	}
+}
+
+func TestNodeFiltering(t *testing.T) {
+	plan := &Plan{Rules: []Rule{{Node: 2, Op: OpWrite, Kind: Reset}}}
+	if in := plan.Injector(1); in != nil && len(in.rules) != 0 {
+		t.Fatal("node 1 should have no rules")
+	}
+	if in := plan.Injector(2); len(in.rules) != 1 {
+		t.Fatal("node 2 should have the rule")
+	}
+	// A standalone worker (-1) takes every rule.
+	if in := plan.Injector(-1); len(in.rules) != 1 {
+		t.Fatal("node -1 should take all rules")
+	}
+}
+
+func TestStallReleasedByCloseAll(t *testing.T) {
+	plan := &Plan{Rules: []Rule{{Node: -1, Op: OpWrite, Kind: Stall}}}
+	in := plan.Injector(0)
+	w, _ := pipeConn(t, in)
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Write([]byte("never"))
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("stalled write returned before close")
+	case <-time.After(50 * time.Millisecond):
+	}
+	in.CloseAll()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stalled write should error after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("CloseAll did not release the stall")
+	}
+}
+
+func TestTruncateClosesShort(t *testing.T) {
+	plan := &Plan{Rules: []Rule{{Node: -1, Op: OpWrite, After: 4, Kind: Truncate}}}
+	w, peer := pipeConn(t, plan.Injector(0))
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, _ := peer.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := w.Write([]byte("0123456789"))
+	if err == nil {
+		t.Fatal("truncate should error the writer")
+	}
+	if n != 4 {
+		t.Fatalf("wrote %d bytes, want 4", n)
+	}
+	if b := <-got; string(b) != "0123" {
+		t.Fatalf("peer saw %q, want %q", b, "0123")
+	}
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	src := "node=1 op=write phase=query after=4096 kind=reset times=1; node=2 op=read kind=delay delay=500ms times=-1"
+	p, err := ParsePlan(src, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 || p.Seed != 42 {
+		t.Fatalf("bad plan: %+v", p)
+	}
+	r := p.Rules[0]
+	if r.Node != 1 || r.Op != OpWrite || r.Phase != "query" || r.After != 4096 || r.Kind != Reset || r.Times != 1 {
+		t.Fatalf("rule 0 mis-parsed: %+v", r)
+	}
+	if p.Rules[1].Delay != 500*time.Millisecond || p.Rules[1].Times != -1 {
+		t.Fatalf("rule 1 mis-parsed: %+v", p.Rules[1])
+	}
+	// String() re-parses to the same rules.
+	p2, err := ParsePlan(p.String(), 42)
+	if err != nil {
+		t.Fatalf("round trip: %v (%q)", err, p.String())
+	}
+	if len(p2.Rules) != len(p.Rules) || p2.Rules[0] != p.Rules[0] || p2.Rules[1] != p.Rules[1] {
+		t.Fatalf("round trip changed rules: %+v vs %+v", p2.Rules, p.Rules)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "op=sideways", "kind=explode", "after=many", "notakv", "times=x", "bogus=1",
+	} {
+		if _, err := ParsePlan(bad, 0); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+	if _, err := ParsePlan("kind=delay delay=oops", 0); err == nil || !strings.Contains(err.Error(), "rule") {
+		t.Errorf("bad delay should fail with rule context, got %v", err)
+	}
+}

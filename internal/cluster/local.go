@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"net"
+
+	"wimpi/internal/cluster/faultconn"
 )
 
 // LocalCluster is an in-process WimPi cluster: n workers listening on
@@ -14,10 +16,19 @@ type LocalCluster struct {
 	Coordinator *Coordinator
 
 	listeners []net.Listener
+	injectors []*faultconn.Injector
 }
 
 // StartLocal launches n workers on loopback and dials them.
 func StartLocal(n int, wcfg WorkerConfig, workersPerNode int) (*LocalCluster, error) {
+	return StartLocalFaulty(n, wcfg, Config{WorkersPerNode: workersPerNode}, nil)
+}
+
+// StartLocalFaulty launches n workers on loopback with a fault plan
+// (nil for none) and a custom coordinator config — the chaos-testing
+// entry point. Node i's worker gets plan.Injector(i), so rules target
+// specific nodes; ccfg.Addrs is filled in.
+func StartLocalFaulty(n int, wcfg WorkerConfig, ccfg Config, plan *faultconn.Plan) (*LocalCluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
 	}
@@ -31,10 +42,17 @@ func StartLocal(n int, wcfg WorkerConfig, workersPerNode int) (*LocalCluster, er
 		}
 		lc.listeners = append(lc.listeners, ln)
 		addrs[i] = ln.Addr().String()
-		w := NewWorker(wcfg)
+		nodeCfg := wcfg
+		if plan != nil {
+			inj := plan.Injector(i)
+			nodeCfg.Faults = inj
+			lc.injectors = append(lc.injectors, inj)
+		}
+		w := NewWorker(nodeCfg)
 		go w.Serve(ln)
 	}
-	coord, err := Dial(Config{Addrs: addrs, WorkersPerNode: workersPerNode})
+	ccfg.Addrs = addrs
+	coord, err := Dial(ccfg)
 	if err != nil {
 		lc.Close()
 		return nil, err
@@ -43,12 +61,16 @@ func StartLocal(n int, wcfg WorkerConfig, workersPerNode int) (*LocalCluster, er
 	return lc, nil
 }
 
-// Close shuts down the coordinator and all workers.
+// Close shuts down the coordinator and all workers, releasing any
+// fault-stalled connections.
 func (lc *LocalCluster) Close() {
 	if lc.Coordinator != nil {
 		lc.Coordinator.Close()
 	}
 	for _, ln := range lc.listeners {
 		ln.Close()
+	}
+	for _, inj := range lc.injectors {
+		inj.CloseAll()
 	}
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"net"
 	"sync"
 	"time"
@@ -84,10 +85,13 @@ func (t *throttledConn) Write(p []byte) (int, error) {
 
 // MeasureLinkBandwidth reproduces the paper's iperf check: it transfers
 // payloadBytes from a worker over its throttled link and returns the
-// observed bits per second.
+// observed bits per second. The exchange is not retried (a retry would
+// skew the measurement) but is bounded by a generous deadline.
 func MeasureLinkBandwidth(c *Coordinator, node int, payloadBytes int64) (float64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
 	start := time.Now()
-	resp, _, err := c.conns[node].call(&Request{Type: "iperf", IperfBytes: payloadBytes})
+	resp, _, err := c.conns[node].call(ctx, &Request{Type: "iperf", IperfBytes: payloadBytes, ForNode: -1})
 	if err != nil {
 		return 0, err
 	}

@@ -8,13 +8,26 @@
 // Links are throttled to the Pi 3B+'s effective Ethernet bandwidth
 // (~220 Mbit/s — the GbE port shares a USB 2.0 bus), and the iperf
 // measurement of Section II-C.3 is reproduced by MeasureLinkBandwidth.
+//
+// The wire protocol is framed: every message is one self-contained
+// gob-encoded payload behind a fixed header (magic, length, CRC32).
+// Self-contained frames make the protocol restartable — after a
+// timeout, reset, or corrupted frame the coordinator can reconnect and
+// resume mid-session — and the checksum turns silent byte corruption
+// into a typed, retryable error. See DESIGN.md "Fault model".
 package cluster
 
 import (
+	"bytes"
+	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"wimpi/internal/colstore"
 	"wimpi/internal/exec"
@@ -105,6 +118,13 @@ type Request struct {
 	Load *LoadRequest
 	// Query is the TPC-H query number for a "query" request.
 	Query int
+	// ForNode, when >= 0, asks the worker to run the query over
+	// partition ForNode instead of its own — the straggler/failure
+	// re-dispatch path. Workers regenerate (or fetch via their Source)
+	// the foreign partition on first use and cache it, so the re-issued
+	// partial is byte-identical to what the original node would have
+	// produced. -1 (the coordinator's default) means "your partition".
+	ForNode int
 	// IperfBytes is the payload size for an "iperf" request.
 	IperfBytes int64
 }
@@ -134,46 +154,232 @@ type Response struct {
 	Payload []byte
 }
 
-// rpcConn is a mutex-guarded gob session over one TCP connection, with
-// transfer accounting.
-type rpcConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	cw   *countingRW
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+// ---------------------------------------------------------------------------
+// Framing
+
+// frameMagic opens every frame ("WPF2" — WimPi Frame v2).
+const frameMagic = 0x57504632
+
+// frameHeaderLen is magic(4) + length(4) + crc32(4).
+const frameHeaderLen = 12
+
+// maxFrameBytes bounds a frame payload. A peer announcing more is
+// rejected before any payload allocation happens.
+const maxFrameBytes = 1 << 30
+
+// writeFrame sends one framed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], frameMagic)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
 }
 
-func newRPCConn(conn net.Conn) *rpcConn {
-	cw := &countingRW{inner: conn}
-	return &rpcConn{
-		conn: conn,
-		cw:   cw,
-		enc:  gob.NewEncoder(cw),
-		dec:  gob.NewDecoder(cw),
+// readFrame reads one framed payload. It validates magic and length
+// before allocating, and the checksum after; corruption surfaces as
+// ErrBadMagic/ErrFrameTooLarge/ErrChecksum, truncation as
+// io.ErrUnexpectedEOF-wrapping errors — all retryable transport errors.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean close between frames
+		}
+		return nil, fmt.Errorf("cluster: truncated frame header: %w", err)
+	}
+	if m := binary.BigEndian.Uint32(hdr[0:4]); m != frameMagic {
+		return nil, fmt.Errorf("%w: got 0x%08x", ErrBadMagic, m)
+	}
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	// Below the trust threshold allocate once; above it, grow the
+	// buffer as bytes arrive instead of trusting the announced length
+	// up front — a lying peer costs us at most ~2x what it actually
+	// sends, not a 1 GB allocation for a 12-byte header.
+	const trustBytes = 16 << 20
+	var payload []byte
+	if n <= trustBytes {
+		payload = make([]byte, n)
+		if m, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("cluster: mid-frame EOF after %d/%d bytes: %w", m, n, err)
+		}
+	} else {
+		var buf bytes.Buffer
+		buf.Grow(trustBytes)
+		if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+			return nil, fmt.Errorf("cluster: mid-frame EOF after %d/%d bytes: %w", buf.Len(), n, err)
+		}
+		payload = buf.Bytes()
+	}
+	if got := crc32.ChecksumIEEE(payload); got != binary.BigEndian.Uint32(hdr[8:12]) {
+		return nil, fmt.Errorf("%w: payload crc 0x%08x", ErrChecksum, got)
+	}
+	return payload, nil
+}
+
+// writeMsg frames one gob-encoded message. Each frame carries its own
+// gob stream so frames are self-contained and the session restartable.
+func writeMsg(w io.Writer, v any) error {
+	var b bytes.Buffer
+	// Presize for bulk payloads so the encoder doesn't regrow the
+	// buffer through megabytes of iperf filler.
+	if r, ok := v.(*Response); ok && len(r.Payload) > 0 {
+		b.Grow(len(r.Payload) + 512)
+	}
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return fmt.Errorf("cluster: encode: %w", err)
+	}
+	return writeFrame(w, b.Bytes())
+}
+
+// readMsg reads one framed gob message into v.
+func readMsg(r io.Reader, v any) error {
+	payload, err := readFrame(r)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("cluster: decode: %w", err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator-side connection
+
+// rpcConn is a mutex-serialized framed RPC session to one worker, with
+// transfer accounting, per-call deadlines, and reconnect-on-failure.
+// Any transport error marks the connection broken; the next call
+// redials. Frames are self-contained, so a fresh TCP connection resumes
+// the session with no handshake.
+type rpcConn struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu sync.Mutex // serializes calls
+
+	sm     sync.Mutex // guards conn/cw/broken (also touched by abort)
+	conn   net.Conn
+	cw     *countingRW
+	broken bool
+}
+
+func newRPCConn(addr string, dialTimeout time.Duration) *rpcConn {
+	return &rpcConn{addr: addr, dialTimeout: dialTimeout}
+}
+
+// ensure returns a live connection, redialing if the previous one broke.
+func (c *rpcConn) ensure(ctx context.Context) (net.Conn, *countingRW, error) {
+	c.sm.Lock()
+	defer c.sm.Unlock()
+	if c.conn != nil && !c.broken {
+		return c.conn, c.cw, nil
+	}
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	d := net.Dialer{Timeout: c.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.cw = &countingRW{inner: conn}
+	c.broken = false
+	return c.conn, c.cw, nil
+}
+
+// abort breaks the connection from outside an in-flight call, unblocking
+// any pending read/write immediately.
+func (c *rpcConn) abort() {
+	c.sm.Lock()
+	defer c.sm.Unlock()
+	c.broken = true
+	if c.conn != nil {
+		c.conn.Close()
 	}
 }
 
-// call performs one request/response exchange and reports the bytes read
-// off the wire for it.
-func (c *rpcConn) call(req *Request) (*Response, int64, error) {
+// connected reports whether a healthy connection is open.
+func (c *rpcConn) connected() bool {
+	c.sm.Lock()
+	defer c.sm.Unlock()
+	return c.conn != nil && !c.broken
+}
+
+// call performs one request/response exchange under the deadline carried
+// by ctx and reports the bytes read off the wire for it. Transport
+// errors (including deadline expiry and checksum mismatches) break the
+// connection; worker-reported errors come back as *WorkerError and leave
+// the connection healthy.
+func (c *rpcConn) call(ctx context.Context, req *Request) (*Response, int64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	before := c.cw.read
-	if err := c.enc.Encode(req); err != nil {
-		return nil, 0, fmt.Errorf("cluster: send %s: %w", req.Type, err)
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	conn, cw, err := c.ensure(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	if d, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(d)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	// Unblock the exchange promptly if ctx is canceled mid-IO.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.abort()
+		case <-stop:
+		}
+	}()
+	defer close(stop)
+
+	before := cw.read
+	if err := writeMsg(cw, req); err != nil {
+		c.abort()
+		return nil, 0, transportErr(ctx, "send", req.Type, err)
 	}
 	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, 0, fmt.Errorf("cluster: recv %s: %w", req.Type, err)
+	if err := readMsg(cw, &resp); err != nil {
+		c.abort()
+		return nil, 0, transportErr(ctx, "recv", req.Type, err)
 	}
 	if resp.Err != "" {
-		return nil, 0, fmt.Errorf("cluster: worker: %s", resp.Err)
+		return nil, 0, &WorkerError{Msg: resp.Err}
 	}
-	return &resp, c.cw.read - before, nil
+	return &resp, cw.read - before, nil
 }
 
-func (c *rpcConn) close() error { return c.conn.Close() }
+// transportErr prefers the context's error when the exchange died
+// because the deadline passed or the call was canceled.
+func transportErr(ctx context.Context, verb, typ string, err error) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("cluster: %s %s: %w", verb, typ, ctx.Err())
+	}
+	return fmt.Errorf("cluster: %s %s: %w", verb, typ, err)
+}
+
+func (c *rpcConn) close() {
+	c.sm.Lock()
+	defer c.sm.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.broken = true
+}
 
 // countingRW tallies bytes moved through a connection.
 type countingRW struct {

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"wimpi/internal/cluster/faultconn"
 	"wimpi/internal/engine"
 	"wimpi/internal/tpch"
 )
@@ -19,6 +20,10 @@ type WorkerConfig struct {
 	// generating it (in-process clusters share one full dataset this
 	// way). Nil means generate with tpch.GeneratePartition.
 	Source func(*LoadRequest) (*tpch.Dataset, error)
+	// Faults optionally injects deterministic faults into every
+	// accepted connection (chaos testing). The injector layers under
+	// the link throttle and is shared across reconnects.
+	Faults *faultconn.Injector
 }
 
 // SharedSource adapts a pre-generated full dataset into a WorkerConfig
@@ -39,12 +44,20 @@ func SharedSource(full *tpch.Dataset) func(*LoadRequest) (*tpch.Dataset, error) 
 type Worker struct {
 	cfg WorkerConfig
 
-	mu      sync.Mutex
-	db      *engine.DB
-	node    int
-	nodes   int
-	loaded  bool
-	dbBytes int64
+	mu       sync.Mutex
+	db       *engine.DB
+	node     int
+	nodes    int
+	loaded   bool
+	dbBytes  int64
+	lastLoad *LoadRequest
+
+	// spare holds engines over foreign partitions, built on demand when
+	// the coordinator re-dispatches another node's partition query here
+	// (straggler handling). Regeneration is deterministic, so a spare
+	// partial is byte-identical to the original node's.
+	spareMu sync.Mutex
+	spare   map[int]*engine.DB
 }
 
 // NewWorker returns an empty worker.
@@ -66,15 +79,23 @@ func (w *Worker) Serve(ln net.Listener) error {
 }
 
 func (w *Worker) serveConn(conn net.Conn) {
-	rc := newRPCConn(newThrottledConn(conn, w.cfg.LinkBandwidthBps))
-	defer rc.conn.Close()
+	var c net.Conn = conn
+	if w.cfg.Faults != nil {
+		c = w.cfg.Faults.Wrap(c)
+	}
+	c = newThrottledConn(c, w.cfg.LinkBandwidthBps)
+	defer c.Close()
 	for {
 		var req Request
-		if err := rc.dec.Decode(&req); err != nil {
+		// A malformed frame (bad magic, oversized length, truncation,
+		// checksum mismatch) poisons the stream; drop the connection
+		// and let the coordinator reconnect with a clean session.
+		if err := readMsg(c, &req); err != nil {
 			return
 		}
+		w.cfg.Faults.SetPhase(req.Type)
 		resp := w.handle(&req)
-		if err := rc.enc.Encode(resp); err != nil {
+		if err := writeMsg(c, resp); err != nil {
 			return
 		}
 		if req.Type == "shutdown" {
@@ -96,7 +117,7 @@ func (w *Worker) handle(req *Request) *Response {
 	case "load":
 		return w.handleLoad(req.Load)
 	case "query":
-		return w.handleQuery(req.Query)
+		return w.handleQuery(req.Query, req.ForNode)
 	default:
 		return &Response{Err: fmt.Sprintf("unknown request type %q", req.Type)}
 	}
@@ -123,23 +144,79 @@ func (w *Worker) handleLoad(l *LoadRequest) *Response {
 	db := engine.NewDB(engine.Config{Workers: workers})
 	d.RegisterAll(db)
 
+	lcopy := *l
 	w.mu.Lock()
 	w.db = db
 	w.node = l.Node
 	w.nodes = l.NumNodes
 	w.loaded = true
 	w.dbBytes = db.SizeBytes()
+	w.lastLoad = &lcopy
 	w.mu.Unlock()
+
+	// A reload invalidates any cached foreign partitions.
+	w.spareMu.Lock()
+	w.spare = nil
+	w.spareMu.Unlock()
 	return &Response{DBBytes: db.SizeBytes()}
 }
 
-func (w *Worker) handleQuery(q int) *Response {
+// spareDB returns an engine over partition `node`, regenerating it (or
+// fetching it from Source) with the last load's parameters. Spares are
+// cached: a re-dispatch storm rebuilds each partition at most once.
+func (w *Worker) spareDB(node int) (*engine.DB, error) {
+	w.mu.Lock()
+	last := w.lastLoad
+	w.mu.Unlock()
+	if last == nil {
+		return nil, fmt.Errorf("no data loaded")
+	}
+	if node < 0 || node >= last.NumNodes {
+		return nil, fmt.Errorf("partition %d out of range (cluster of %d)", node, last.NumNodes)
+	}
+
+	w.spareMu.Lock()
+	defer w.spareMu.Unlock()
+	if db, ok := w.spare[node]; ok {
+		return db, nil
+	}
+	l := *last
+	l.Node = node
+	var d *tpch.Dataset
+	var err error
+	if w.cfg.Source != nil {
+		d, err = w.cfg.Source(&l)
+	} else {
+		d, err = tpch.GeneratePartition(tpch.Config{SF: l.SF, Seed: l.Seed}, l.Node, l.NumNodes)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("regenerate partition %d: %v", node, err)
+	}
+	db := engine.NewDB(engine.Config{Workers: l.Workers})
+	d.RegisterAll(db)
+	if w.spare == nil {
+		w.spare = map[int]*engine.DB{}
+	}
+	w.spare[node] = db
+	return db, nil
+}
+
+func (w *Worker) handleQuery(q, forNode int) *Response {
 	w.mu.Lock()
 	db := w.db
 	loaded := w.loaded
+	node := w.node
+	dbBytes := w.dbBytes
 	w.mu.Unlock()
 	if !loaded {
 		return &Response{Err: "no data loaded"}
+	}
+	if forNode >= 0 && forNode != node {
+		sdb, err := w.spareDB(forNode)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+		db = sdb
 	}
 	dq, err := tpch.DistQueryFor(q)
 	if err != nil {
@@ -152,6 +229,6 @@ func (w *Worker) handleQuery(q int) *Response {
 	return &Response{
 		Table:    ToWire(res.Table),
 		Counters: res.Counters,
-		DBBytes:  w.dbBytes,
+		DBBytes:  dbBytes,
 	}
 }

@@ -7,7 +7,6 @@ package engine_test
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"testing"
 
@@ -32,77 +31,10 @@ func determinismDB(t *testing.T) *engine.DB {
 	return detDB
 }
 
-// equalColumns reports whether two columns are byte-identical:
-// float64 values are compared by bit pattern, strings by value.
-func equalColumns(a, b colstore.Column) (bool, string) {
-	switch ca := a.(type) {
-	case *colstore.Float64s:
-		cb, ok := b.(*colstore.Float64s)
-		if !ok || len(ca.V) != len(cb.V) {
-			return false, "type/length mismatch"
-		}
-		for i := range ca.V {
-			if math.Float64bits(ca.V[i]) != math.Float64bits(cb.V[i]) {
-				return false, fmt.Sprintf("row %d: %v (%x) vs %v (%x)",
-					i, ca.V[i], math.Float64bits(ca.V[i]), cb.V[i], math.Float64bits(cb.V[i]))
-			}
-		}
-	case *colstore.Int64s:
-		cb, ok := b.(*colstore.Int64s)
-		if !ok || len(ca.V) != len(cb.V) {
-			return false, "type/length mismatch"
-		}
-		for i := range ca.V {
-			if ca.V[i] != cb.V[i] {
-				return false, fmt.Sprintf("row %d: %d vs %d", i, ca.V[i], cb.V[i])
-			}
-		}
-	case *colstore.Dates:
-		cb, ok := b.(*colstore.Dates)
-		if !ok || len(ca.V) != len(cb.V) {
-			return false, "type/length mismatch"
-		}
-		for i := range ca.V {
-			if ca.V[i] != cb.V[i] {
-				return false, fmt.Sprintf("row %d: %d vs %d", i, ca.V[i], cb.V[i])
-			}
-		}
-	case *colstore.Bools:
-		cb, ok := b.(*colstore.Bools)
-		if !ok || len(ca.V) != len(cb.V) {
-			return false, "type/length mismatch"
-		}
-		for i := range ca.V {
-			if ca.V[i] != cb.V[i] {
-				return false, fmt.Sprintf("row %d: %t vs %t", i, ca.V[i], cb.V[i])
-			}
-		}
-	case *colstore.Strings:
-		cb, ok := b.(*colstore.Strings)
-		if !ok || len(ca.Codes) != len(cb.Codes) {
-			return false, "type/length mismatch"
-		}
-		for i := range ca.Codes {
-			if ca.Value(i) != cb.Value(i) {
-				return false, fmt.Sprintf("row %d: %q vs %q", i, ca.Value(i), cb.Value(i))
-			}
-		}
-	default:
-		return false, fmt.Sprintf("unhandled column type %T", a)
-	}
-	return true, ""
-}
-
 func assertTablesIdentical(t *testing.T, want, got *colstore.Table, label string) {
 	t.Helper()
-	if want.NumRows() != got.NumRows() || want.NumCols() != got.NumCols() {
-		t.Fatalf("%s: shape %dx%d vs %dx%d", label,
-			got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
-	}
-	for c := 0; c < want.NumCols(); c++ {
-		if ok, why := equalColumns(want.Col(c), got.Col(c)); !ok {
-			t.Fatalf("%s: column %s differs: %s", label, want.Schema[c].Name, why)
-		}
+	if ok, why := colstore.TablesIdentical(want, got); !ok {
+		t.Fatalf("%s: %s", label, why)
 	}
 }
 
