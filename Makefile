@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race chaos bench-scaling
+# Per-target fuzz budget for `make fuzz`. Keep it short by default; CI
+# and soak runs override it (FUZZTIME=2m make fuzz).
+FUZZTIME ?= 10s
+
+.PHONY: build test vet lint race chaos fuzz check bench-scaling
 
 build:
 	$(GO) build ./...
@@ -8,14 +12,34 @@ build:
 test: build
 	$(GO) test ./...
 
-# Race-detector pass over every package that runs parallel kernels.
+# Stock go vet passes.
+vet:
+	$(GO) vet ./...
+
+# wimpi-lint: the custom invariant suite (determinism, cost accounting,
+# context discipline, goroutine hygiene, wire-protocol error handling).
+# -novet because the stock passes run under `make vet`.
+lint:
+	$(GO) run ./cmd/wimpi-lint -novet ./...
+
+# Race-detector pass over every package.
 race:
-	$(GO) test -race ./internal/exec/... ./internal/plan/... ./internal/engine/... ./internal/cluster/...
+	$(GO) test -race ./...
 
 # Fault-injection suite: chaos tests, wire-protocol hardening, and the
 # faultconn package itself, all under the race detector.
 chaos:
 	$(GO) test -race -timeout 120s -run 'Chaos|Fault|Frame|Close|Worker' ./internal/cluster/...
+
+# Native Go fuzzing over the wire decoder and the fault-plan parser.
+# Targets run one at a time (the fuzz engine's requirement).
+fuzz:
+	$(GO) test -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) -run '^$$' ./internal/cluster/
+	$(GO) test -fuzz FuzzReadMsg -fuzztime $(FUZZTIME) -run '^$$' ./internal/cluster/
+	$(GO) test -fuzz FuzzParsePlan -fuzztime $(FUZZTIME) -run '^$$' ./internal/cluster/
+
+# The tier-1 gate: everything a change must pass before merging.
+check: build test vet lint race
 
 # Parallel speedup on Q1/Q3/Q6/Q18 at 1/2/4/8 workers (SF via WIMPI_BENCH_SF).
 bench-scaling:

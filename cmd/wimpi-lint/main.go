@@ -1,0 +1,90 @@
+// Command wimpi-lint is the multichecker for the wimpi invariant suite:
+// determinism, cost accounting, context discipline, goroutine hygiene,
+// and wire-protocol error handling (see internal/lint). It also runs
+// the stock `go vet` passes alongside the custom analyzers, so one
+// invocation gives the full static gate:
+//
+//	wimpi-lint ./...
+//
+// Flags:
+//
+//	-C dir    run as if started in dir (the module root)
+//	-novet    skip the stock go vet passes
+//	-list     print the suite and exit
+//
+// The exit status is non-zero if any analyzer (or vet) reports a
+// finding. Findings are suppressed only by an audited
+// `//lint:allow <analyzer> -- reason` directive at the offending site.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"wimpi/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	dir := flag.String("C", ".", "directory to run in (module root)")
+	noVet := flag.Bool("novet", false, "skip the stock go vet passes")
+	list := flag.Bool("list", false, "list the analyzer suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, sa := range lint.Suite() {
+			fmt.Printf("%-16s %s\n", sa.Analyzer.Name, sa.Analyzer.Doc)
+			for _, p := range sa.Packages {
+				fmt.Printf("%-16s   scope %s\n", "", p)
+			}
+		}
+		return 0
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		analyzers := lint.AnalyzersFor(pkg.PkgPath)
+		if len(analyzers) == 0 {
+			continue
+		}
+		for _, d := range lint.Run(pkg, analyzers...) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+
+	vetFailed := false
+	if !*noVet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Dir = *dir
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			vetFailed = true
+		}
+	}
+
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "wimpi-lint: %d finding(s)\n", findings)
+	}
+	if findings > 0 || vetFailed {
+		return 1
+	}
+	return 0
+}

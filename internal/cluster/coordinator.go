@@ -202,6 +202,7 @@ func (c *Coordinator) Load(sf float64, seed uint64) (*LoadStats, error) {
 // *PartialClusterError (a load cannot be partial — every partition is
 // needed).
 func (c *Coordinator) LoadContext(ctx context.Context, sf float64, seed uint64) (*LoadStats, error) {
+	//lint:allow determinism -- measured wall clock for LoadStats reporting; results never depend on it
 	start := time.Now()
 	stats := &LoadStats{NodeBytes: make([]int64, len(c.conns))}
 	errs := make([]error, len(c.conns))
@@ -300,6 +301,7 @@ func (c *Coordinator) RunContext(ctx context.Context, q int) (*DistResult, error
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	//lint:allow determinism -- measured wall clock for DistResult reporting; merged results never depend on it
 	start := time.Now()
 	participants := len(c.conns)
 	if dq.SingleNode {

@@ -173,7 +173,7 @@ func (in *Injector) CloseAll() {
 	conns := append([]*Conn(nil), in.conns...)
 	in.mu.Unlock()
 	for _, c := range conns {
-		c.Close()
+		_ = c.Close() // best-effort shutdown sweep
 	}
 }
 
@@ -261,6 +261,10 @@ func (c *Conn) sleep(d time.Duration) {
 	}
 }
 
+// Write applies any matching write-side fault rule before (or instead
+// of) forwarding to the real conn.
+//
+//lint:allow ctxcheck -- fault-injection wrapper: deadlines and cancellation belong to the wrapped conn's caller
 func (c *Conn) Write(p []byte) (int, error) {
 	tr := c.in.match(OpWrite, len(p))
 	if tr == nil {
@@ -277,11 +281,11 @@ func (c *Conn) Write(p []byte) (int, error) {
 		}
 		return len(p), nil // rest silently vanishes
 	case Reset:
-		c.Close()
+		_ = c.Close() // the injected fault IS the teardown
 		return 0, fmt.Errorf("%w: reset on write", errInjected)
 	case Truncate:
 		n, _ := c.Conn.Write(p[:tr.off])
-		c.Close()
+		_ = c.Close() // the injected fault IS the teardown
 		return n, fmt.Errorf("%w: truncated after %d bytes", errInjected, n)
 	case Corrupt:
 		q := append([]byte(nil), p...)
@@ -296,6 +300,10 @@ func (c *Conn) Write(p []byte) (int, error) {
 	return c.Conn.Write(p)
 }
 
+// Read applies any matching read-side fault rule before (or instead
+// of) forwarding to the real conn.
+//
+//lint:allow ctxcheck -- fault-injection wrapper: deadlines and cancellation belong to the wrapped conn's caller
 func (c *Conn) Read(p []byte) (int, error) {
 	tr := c.in.match(OpRead, len(p))
 	if tr == nil {
@@ -306,7 +314,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 		c.sleep(tr.rule.Delay)
 		return c.Conn.Read(p)
 	case Reset, Drop, Truncate:
-		c.Close()
+		_ = c.Close() // the injected fault IS the teardown
 		return 0, fmt.Errorf("%w: reset on read", errInjected)
 	case Corrupt:
 		n, err := c.Conn.Read(p)
@@ -326,6 +334,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 
 var kindByName = func() map[string]Kind {
 	m := map[string]Kind{}
+	//lint:allow determinism -- inverting one map into another; iteration order is invisible
 	for k, n := range kindNames {
 		m[n] = k
 	}

@@ -34,6 +34,7 @@ func NewHybrid(c *Coordinator, full *tpch.Dataset, workers int) (*HybridCoordina
 		workers = 1
 	}
 	db := engine.NewDB(engine.Config{Workers: workers})
+	//lint:allow determinism -- registration into the DB's table map; iteration order is invisible
 	for name, t := range full.Tables {
 		if name == "lineitem" {
 			continue

@@ -68,7 +68,7 @@ func (lc *LocalCluster) Close() {
 		lc.Coordinator.Close()
 	}
 	for _, ln := range lc.listeners {
-		ln.Close()
+		_ = ln.Close() // shutdown path; listener close errors are unactionable
 	}
 	for _, inj := range lc.injectors {
 		inj.CloseAll()

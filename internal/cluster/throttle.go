@@ -24,6 +24,7 @@ type tokenBucket struct {
 
 func newTokenBucket(bitsPerSec float64) *tokenBucket {
 	rate := bitsPerSec / 8
+	//lint:allow determinism -- a pacing token bucket is inherently wall-clock-driven; it throttles bytes, never reorders them
 	return &tokenBucket{rate: rate, burst: 64 << 10, tokens: 64 << 10, last: time.Now()}
 }
 
@@ -31,6 +32,7 @@ func newTokenBucket(bitsPerSec float64) *tokenBucket {
 func (b *tokenBucket) wait(n int) {
 	for {
 		b.mu.Lock()
+		//lint:allow determinism -- pacing needs real elapsed time; only throughput is affected
 		now := time.Now()
 		b.tokens += now.Sub(b.last).Seconds() * b.rate
 		b.last = now
@@ -64,6 +66,9 @@ func newThrottledConn(conn net.Conn, bitsPerSec float64) net.Conn {
 	return &throttledConn{Conn: conn, bucket: newTokenBucket(bitsPerSec)}
 }
 
+// Write paces p through the token bucket in link-MTU-sized chunks.
+//
+//lint:allow ctxcheck -- pacing wrapper: deadlines are inherited from the wrapped conn, cancellation via rpcConn.abort
 func (t *throttledConn) Write(p []byte) (int, error) {
 	const chunk = 32 << 10
 	written := 0
@@ -90,6 +95,7 @@ func (t *throttledConn) Write(p []byte) (int, error) {
 func MeasureLinkBandwidth(c *Coordinator, node int, payloadBytes int64) (float64, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
+	//lint:allow determinism -- the iperf reproduction measures real elapsed transfer time by definition
 	start := time.Now()
 	resp, _, err := c.conns[node].call(ctx, &Request{Type: "iperf", IperfBytes: payloadBytes, ForNode: -1})
 	if err != nil {

@@ -283,7 +283,7 @@ func (c *rpcConn) ensure(ctx context.Context) (net.Conn, *countingRW, error) {
 		return c.conn, c.cw, nil
 	}
 	if c.conn != nil {
-		c.conn.Close()
+		_ = c.conn.Close() // stale conn; its close error is uninteresting
 		c.conn = nil
 	}
 	d := net.Dialer{Timeout: c.dialTimeout}
@@ -304,7 +304,7 @@ func (c *rpcConn) abort() {
 	defer c.sm.Unlock()
 	c.broken = true
 	if c.conn != nil {
-		c.conn.Close()
+		_ = c.conn.Close() // tearing down a conn we just declared broken
 	}
 }
 
@@ -330,10 +330,15 @@ func (c *rpcConn) call(ctx context.Context, req *Request) (*Response, int64, err
 	if err != nil {
 		return nil, 0, err
 	}
+	deadline := time.Time{}
 	if d, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(d)
-	} else {
-		conn.SetDeadline(time.Time{})
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		// A conn that refuses a deadline cannot be bounded; treat it as
+		// broken rather than risk an unbounded exchange.
+		c.abort()
+		return nil, 0, transportErr(ctx, "deadline", req.Type, err)
 	}
 	// Unblock the exchange promptly if ctx is canceled mid-IO.
 	stop := make(chan struct{})
@@ -375,7 +380,7 @@ func (c *rpcConn) close() {
 	c.sm.Lock()
 	defer c.sm.Unlock()
 	if c.conn != nil {
-		c.conn.Close()
+		_ = c.conn.Close() // final teardown; nothing can act on the error
 		c.conn = nil
 	}
 	c.broken = true
@@ -388,12 +393,18 @@ type countingRW struct {
 	wrote int64
 }
 
+// Read counts bytes received.
+//
+//lint:allow ctxcheck -- counting wrapper: call() sets the deadline and aborts on cancellation before any I/O here
 func (c *countingRW) Read(p []byte) (int, error) {
 	n, err := c.inner.Read(p)
 	c.read += int64(n)
 	return n, err
 }
 
+// Write counts bytes sent.
+//
+//lint:allow ctxcheck -- counting wrapper: call() sets the deadline and aborts on cancellation before any I/O here
 func (c *countingRW) Write(p []byte) (int, error) {
 	n, err := c.inner.Write(p)
 	c.wrote += int64(n)

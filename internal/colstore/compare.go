@@ -29,9 +29,36 @@ func TablesIdentical(a, b *Table) (bool, string) {
 	return true, ""
 }
 
+// int64Reader returns a row accessor for plain or run-length-encoded
+// int64 columns, so comparisons see logical values regardless of
+// encoding.
+func int64Reader(c Column) (func(i int) int64, int, bool) {
+	switch cc := c.(type) {
+	case *Int64s:
+		return func(i int) int64 { return cc.V[i] }, len(cc.V), true
+	case *RLEInt64:
+		return func(i int) int64 { return cc.Value(int32(i)) }, cc.Len(), true
+	}
+	return nil, 0, false
+}
+
 // ColumnsIdentical reports whether two columns hold bit-identical
-// values (see TablesIdentical).
+// values (see TablesIdentical). Like strings (compared by value across
+// dictionary layouts), int64 columns compare by logical value across
+// encodings: an RLE column equals the plain column it decodes to.
 func ColumnsIdentical(a, b Column) (bool, string) {
+	if ra, na, ok := int64Reader(a); ok {
+		rb, nb, okB := int64Reader(b)
+		if !okB || na != nb {
+			return false, "type/length mismatch"
+		}
+		for i := 0; i < na; i++ {
+			if ra(i) != rb(i) {
+				return false, fmt.Sprintf("row %d: %d vs %d", i, ra(i), rb(i))
+			}
+		}
+		return true, ""
+	}
 	switch ca := a.(type) {
 	case *Float64s:
 		cb, ok := b.(*Float64s)
@@ -42,16 +69,6 @@ func ColumnsIdentical(a, b Column) (bool, string) {
 			if math.Float64bits(ca.V[i]) != math.Float64bits(cb.V[i]) {
 				return false, fmt.Sprintf("row %d: %v (%x) vs %v (%x)",
 					i, ca.V[i], math.Float64bits(ca.V[i]), cb.V[i], math.Float64bits(cb.V[i]))
-			}
-		}
-	case *Int64s:
-		cb, ok := b.(*Int64s)
-		if !ok || len(ca.V) != len(cb.V) {
-			return false, "type/length mismatch"
-		}
-		for i := range ca.V {
-			if ca.V[i] != cb.V[i] {
-				return false, fmt.Sprintf("row %d: %d vs %d", i, ca.V[i], cb.V[i])
 			}
 		}
 	case *Dates:

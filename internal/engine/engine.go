@@ -62,6 +62,7 @@ func (db *DB) TableNames() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.tables))
+	//lint:allow determinism -- keys are sorted immediately below
 	for n := range db.tables {
 		names = append(names, n)
 	}
@@ -76,6 +77,7 @@ func (db *DB) SizeBytes() int64 {
 	defer db.mu.RUnlock()
 	var n int64
 	seen := map[*colstore.Dict]bool{}
+	//lint:allow determinism -- commutative integer sum; iteration order cannot change the result
 	for _, t := range db.tables {
 		n += t.SizeBytes()
 		for _, c := range t.Cols {
@@ -121,6 +123,7 @@ func (db *DB) RunWith(p plan.Node, workers int) (*Result, error) {
 	if workers < 1 {
 		workers = db.Workers()
 	}
+	//lint:allow determinism -- measured wall clock, reported as HostDuration; results never depend on it
 	start := time.Now()
 	t, ctr, err := plan.Run(db, workers, p)
 	if err != nil {

@@ -12,6 +12,8 @@ type Grouper struct {
 
 // NewGrouper returns a Grouper with capacity for roughly hint groups
 // before growing.
+//
+//lint:allow costaccounting -- table setup; per-tuple work is charged in GroupIDs and the footprint via ObserveHashBytes
 func NewGrouper(hint int) *Grouper {
 	capacity := nextPow2(hint*2 + 1)
 	g := &Grouper{

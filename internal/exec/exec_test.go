@@ -169,11 +169,11 @@ func TestStringMasks(t *testing.T) {
 	if m := EqMask(d, "absent"); anyTrue(m) {
 		t.Error("EqMask(absent) should be all false")
 	}
-	ne := NeMask(d, "green")
+	ne := NeMask(d, "green", &ctr)
 	if ne[codes[1]] || !ne[codes[0]] {
 		t.Errorf("NeMask wrong: %v", ne)
 	}
-	in := InMask(d, "red", "blue", "absent")
+	in := InMask(d, &ctr, "red", "blue", "absent")
 	if !in[codes[0]] || !in[codes[3]] || in[codes[1]] {
 		t.Errorf("InMask wrong: %v", in)
 	}

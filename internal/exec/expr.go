@@ -36,12 +36,14 @@ type ConstF struct {
 	V float64
 }
 
-// Eval implements Expr.
+// Eval implements Expr. Materializing the constant column is charged
+// like any other expression output (see Arith.Eval).
 func (e ConstF) Eval(t *colstore.Table, ctr *Counters) (colstore.Column, error) {
 	v := make([]float64, t.NumRows())
 	for i := range v {
 		v[i] = e.V
 	}
+	ctr.SeqBytes += int64(len(v)) * 8
 	return &colstore.Float64s{V: v}, nil
 }
 

@@ -11,6 +11,8 @@ const gatherParallelMinRows = 1 << 14
 // of every output column, so the result is identical to t.Gather(sel).
 // Callers charge materialization counters themselves, exactly as they
 // would for the sequential Gather.
+//
+//lint:allow costaccounting -- documented contract: callers charge materialization, same as t.Gather
 func GatherTable(t *colstore.Table, sel []int32, workers, morselRows int) *colstore.Table {
 	if workers <= 1 || len(sel) < gatherParallelMinRows {
 		return t.Gather(sel)

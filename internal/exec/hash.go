@@ -83,6 +83,8 @@ func (jt *JoinTable) Lookup(k int64) int32 { return jt.lookup(k) }
 func (jt *JoinTable) Next(row int32) int32 { return jt.next[row] }
 
 // CountMatches returns the number of build rows with key k.
+//
+//lint:allow costaccounting -- per-key helper; CountPerProbe charges the whole probe batch
 func (jt *JoinTable) CountMatches(k int64) int64 {
 	var n int64
 	for b := jt.lookup(k); b >= 0; b = jt.next[b] {

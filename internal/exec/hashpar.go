@@ -183,6 +183,8 @@ func buildPartitionedJoinTable(keys []int64, workers, morselRows int, ctr *Count
 }
 
 // SizeBytes reports the table's memory footprint.
+//
+//lint:allow costaccounting -- metadata sum over the fixed partition count, not data-path work
 func (pt *PartitionedJoinTable) SizeBytes() int64 {
 	n := int64(len(pt.next)) * 4
 	for i := range pt.parts {

@@ -161,7 +161,7 @@ func (p StrEq) Sel(t *colstore.Table, in []int32, ctr *Counters) ([]int32, error
 	}
 	var mask []bool
 	if p.Negate {
-		mask = NeMask(sc.Dict, p.V)
+		mask = NeMask(sc.Dict, p.V, ctr)
 	} else {
 		mask = EqMask(sc.Dict, p.V)
 	}
@@ -190,7 +190,7 @@ func (p StrIn) Sel(t *colstore.Table, in []int32, ctr *Counters) ([]int32, error
 	if err != nil {
 		return nil, err
 	}
-	return SelStrMask(sc, InMask(sc.Dict, p.Vals...), in, ctr), nil
+	return SelStrMask(sc, InMask(sc.Dict, ctr, p.Vals...), in, ctr), nil
 }
 
 // String implements Pred.

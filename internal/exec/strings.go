@@ -47,8 +47,10 @@ func EqMask(d *colstore.Dict, s string) []bool {
 	return mask
 }
 
-// NeMask returns a code mask matching every value except s.
-func NeMask(d *colstore.Dict, s string) []bool {
+// NeMask returns a code mask matching every value except s. The kernel
+// charges one flag write per dictionary entry.
+func NeMask(d *colstore.Dict, s string, ctr *Counters) []bool {
+	ctr.IntOps += int64(d.Len())
 	mask := make([]bool, d.Len())
 	for i := range mask {
 		mask[i] = true
@@ -59,8 +61,10 @@ func NeMask(d *colstore.Dict, s string) []bool {
 	return mask
 }
 
-// InMask returns a code mask matching any of vals.
-func InMask(d *colstore.Dict, vals ...string) []bool {
+// InMask returns a code mask matching any of vals, charging one probe
+// per candidate value.
+func InMask(d *colstore.Dict, ctr *Counters, vals ...string) []bool {
+	ctr.RandomAccesses += int64(len(vals))
 	mask := make([]bool, d.Len())
 	for _, v := range vals {
 		if c, ok := d.Lookup(v); ok {

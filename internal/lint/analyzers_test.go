@@ -1,0 +1,62 @@
+package lint_test
+
+import (
+	"testing"
+
+	"wimpi/internal/lint"
+	"wimpi/internal/lint/linttest"
+)
+
+// Each fixture contains intentional violations (proving the analyzer
+// catches them) and allowlisted or conforming negatives (proving the
+// directive and the happy paths stay silent).
+
+func TestDeterminismFixture(t *testing.T) {
+	linttest.Run(t, "testdata/determinism", lint.Determinism)
+}
+
+func TestCostAccountingFixture(t *testing.T) {
+	linttest.Run(t, "testdata/costaccounting", lint.CostAccounting)
+}
+
+func TestCtxCheckFixture(t *testing.T) {
+	linttest.Run(t, "testdata/ctxcheck", lint.CtxCheck)
+}
+
+func TestGoroutinesFixture(t *testing.T) {
+	linttest.Run(t, "testdata/goroutines", lint.Goroutines)
+}
+
+func TestCloseCheckFixture(t *testing.T) {
+	linttest.Run(t, "testdata/closecheck", lint.CloseCheck)
+}
+
+func TestSuiteScoping(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		want []string
+	}{
+		{"wimpi/internal/exec", []string{"determinism", "costaccounting", "goroutines"}},
+		{"wimpi/internal/cluster", []string{"determinism", "ctxcheck", "closecheck"}},
+		{"wimpi/internal/cluster/faultconn", []string{"determinism", "ctxcheck", "closecheck"}},
+		{"wimpi/internal/plan", []string{"determinism", "goroutines"}},
+		{"wimpi/internal/hardware", nil},
+		{"wimpi/cmd/wimpi-bench", nil},
+	}
+	for _, c := range cases {
+		var got []string
+		for _, a := range lint.AnalyzersFor(c.pkg) {
+			got = append(got, a.Name)
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("%s: analyzers %v, want %v", c.pkg, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: analyzers %v, want %v", c.pkg, got, c.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CloseCheck flags silently discarded errors at the wire-protocol
+// boundary: Close, SetDeadline/SetReadDeadline/SetWriteDeadline, and
+// the frame/message helpers (writeFrame, readMsg, ...) all return
+// errors that encode real fault-model events — a checksum mismatch, a
+// torn connection, a missed deadline. Dropping one turns a typed,
+// retryable transport error into a silent hang or a half-closed
+// session.
+//
+// Deferred Close calls are exempt (last-resort cleanup where no
+// recovery is possible), and an explicit `_ =` assignment documents a
+// deliberate discard, which is exactly the audit trail we want at
+// call sites that tear down already-broken connections.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "errors from Close/SetDeadline/frame helpers must be handled or explicitly discarded",
+	Run:  runCloseCheck,
+}
+
+// wireHelper matches the frame/message codec helpers by name.
+func wireHelper(name string) bool {
+	return strings.Contains(name, "Frame") || strings.Contains(name, "frame") ||
+		strings.Contains(name, "Msg") || strings.Contains(name, "msg")
+}
+
+// deadlineMethods are the conn deadline setters whose errors are
+// routinely (and wrongly) dropped.
+var deadlineMethods = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+func runCloseCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(pass.Info, call)
+			if obj == nil || !returnsError(obj) {
+				return true
+			}
+			name := obj.Name()
+			switch {
+			case name == "Close":
+				pass.Reportf(call.Pos(), "error from %s is discarded: handle it or write `_ = ...` to record the deliberate drop", callLabel(call, name))
+			case deadlineMethods[name]:
+				pass.Reportf(call.Pos(), "error from %s is discarded: a failed deadline set leaves the conn unbounded", callLabel(call, name))
+			case wireHelper(name):
+				pass.Reportf(call.Pos(), "error from %s is discarded: frame errors are the fault model's signal and must propagate", callLabel(call, name))
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether obj is a func whose final result is an
+// error.
+func returnsError(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	res := fn.Type().(*types.Signature).Results()
+	if res.Len() == 0 {
+		return false
+	}
+	t := res.At(res.Len() - 1).Type()
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// callLabel renders "recv.Method" or "fn" for the diagnostic.
+func callLabel(call *ast.CallExpr, name string) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return id.Name + "." + name
+		}
+	}
+	return name
+}

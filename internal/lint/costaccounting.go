@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// countersPkg is the home of the work-counter type every kernel must
+// charge.
+const countersPkg = "wimpi/internal/exec"
+
+// CostAccounting enforces the bridge between real execution and the
+// simulated hardware model: every exported kernel in internal/exec that
+// loops over column data must charge (or at least forward) a
+// *exec.Counters. The simulated runtimes in the paper's comparison are
+// derived entirely from these counters, so a kernel that does work
+// without charging it silently makes the wimpy nodes look faster than
+// they are — exactly the unaccounted-work skew Sirin & Ailamaki warn
+// about for OLAP cost attribution.
+//
+// Two violations are reported: a loop-bearing exported function with no
+// Counters value in scope at all, and a Counters parameter that is
+// accepted but never referenced in the body. fmt.Stringer's String()
+// is exempt; per-element helpers whose callers charge in bulk opt out
+// with `//lint:allow costaccounting -- <reason>`.
+var CostAccounting = &Analyzer{
+	Name: "costaccounting",
+	Doc:  "exported kernels that loop over data must charge *exec.Counters",
+	Run:  runCostAccounting,
+}
+
+func runCostAccounting(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if isStringer(pass, fd) {
+				continue
+			}
+			if !containsLoop(fd.Body) {
+				continue
+			}
+			ctrParams := countersParamNames(pass, fd)
+			if used := countersUsedInBody(pass, fd.Body); used {
+				continue
+			}
+			if len(ctrParams) > 0 {
+				pass.Reportf(fd.Name.Pos(), "kernel %s accepts a *exec.Counters (%s) but never charges or forwards it", fd.Name.Name, ctrParams[0])
+			} else {
+				pass.Reportf(fd.Name.Pos(), "exported kernel %s loops over data but has no *exec.Counters to charge: the hardware model will under-count this work", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// isStringer reports whether fd is a fmt.Stringer String() string
+// method — formatting loops are not kernel work.
+func isStringer(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "String" || fd.Recv == nil {
+		return false
+	}
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	return sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), types.Typ[types.String])
+}
+
+// containsLoop reports whether body has any for/range statement,
+// including inside function literals (morsel callbacks count as the
+// kernel's own loop).
+func containsLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// countersParamNames returns the names of fd's parameters (and
+// receiver) whose type is (*)exec.Counters.
+func countersParamNames(pass *Pass, fd *ast.FuncDecl) []string {
+	var names []string
+	fields := []*ast.FieldList{fd.Recv, fd.Type.Params}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := pass.Info.Defs[name]
+				if obj != nil && isNamed(obj.Type(), countersPkg, "Counters") {
+					names = append(names, name.Name)
+				}
+			}
+		}
+	}
+	return names
+}
+
+// countersUsedInBody reports whether any identifier of type
+// (*)exec.Counters is referenced in the body — charging a field,
+// calling a method, or forwarding it to a callee all count.
+func countersUsedInBody(pass *Pass, body *ast.BlockStmt) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Info.Uses[id]; obj != nil && isNamed(obj.Type(), countersPkg, "Counters") {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxCheck enforces context discipline in the cluster layer: network
+// I/O must be cancelable. Two rules:
+//
+//  1. Never call net.Dial / net.DialTimeout / (*net.Dialer).Dial —
+//     they ignore cancellation entirely; use (*net.Dialer).DialContext.
+//  2. A function that reads or writes a net.Conn directly must take a
+//     context.Context as its first parameter, so the caller's deadline
+//     or cancellation can bound the blocking I/O.
+//
+// PR 2's fault model depends on this: re-dispatch after a straggler or
+// failure only works because every RPC leg is bounded by a per-call
+// deadline and abortable mid-flight. A single unbounded read reopens
+// the coordinator to hanging forever on a stalled peer. Pure byte-
+// counting wrappers whose deadlines are set by the caller opt out with
+// `//lint:allow ctxcheck -- <reason>`.
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "network I/O must honor context: no ctx-less dials, conn I/O under a ctx first-arg",
+	Run:  runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasCtx := declFirstParamIsContext(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeObj(pass.Info, call)
+				if obj == nil {
+					return true
+				}
+				if isPkgFunc(obj, "net", "Dial") || isPkgFunc(obj, "net", "DialTimeout") {
+					pass.Reportf(call.Pos(), "%s ignores cancellation: use (*net.Dialer).DialContext", obj.Name())
+					return true
+				}
+				if isDialerDial(obj) {
+					pass.Reportf(call.Pos(), "(*net.Dialer).Dial ignores cancellation: use DialContext")
+					return true
+				}
+				if !hasCtx && isConnIO(pass, call, obj) {
+					pass.Reportf(call.Pos(), "%s on a net.Conn in a function without a context.Context first parameter: the I/O cannot be canceled", obj.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// declFirstParamIsContext reports whether fd's first parameter is a
+// context.Context.
+func declFirstParamIsContext(pass *Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	return funcFirstParamIsContext(obj.Type().(*types.Signature))
+}
+
+// isDialerDial matches the non-context (*net.Dialer).Dial method.
+func isDialerDial(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != "Dial" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && isNamed(sig.Recv().Type(), "net", "Dialer")
+}
+
+// isConnIO reports whether call is a direct Read/Write on a value whose
+// type is a net connection (the net.Conn interface or a net.*Conn
+// concrete type).
+func isConnIO(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	if obj.Name() != "Read" && obj.Name() != "Write" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	n := namedType(pass.TypeOf(sel.X))
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "net" && strings.HasSuffix(n.Obj().Name(), "Conn")
+}

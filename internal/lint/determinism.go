@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags sources of run-to-run nondeterminism in
+// result-producing packages: wall-clock reads (time.Now), draws from
+// the global math/rand source (unseeded, and shared across goroutines),
+// and iteration over maps (whose order Go randomizes on purpose).
+//
+// The paper's distributed strategies are only comparable because every
+// node — and every re-dispatch of a failed node's partition — produces
+// byte-identical partial results, and the hardware simulation is only
+// trustworthy because repeated runs charge identical work. A single
+// unsorted map walk in a kernel is enough to reorder floating-point
+// sums and break both. Measured-wall-clock sites (throttles, timing
+// reports) opt out with `//lint:allow determinism -- <reason>`.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag time.Now, global math/rand draws, and map iteration in deterministic packages",
+	Run:  runDeterminism,
+}
+
+// seededRandConstructors are the math/rand entry points that do not
+// touch the global source and therefore stay reproducible when given a
+// fixed seed.
+var seededRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				obj := calleeObj(pass.Info, n)
+				if obj == nil {
+					return true
+				}
+				if isPkgFunc(obj, "time", "Now") {
+					pass.Reportf(n.Pos(), "time.Now in a deterministic package: simulated time must come from charged counters, not the wall clock")
+					return true
+				}
+				if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+					path := fn.Pkg().Path()
+					if (path == "math/rand" || path == "math/rand/v2") &&
+						fn.Type().(*types.Signature).Recv() == nil &&
+						!seededRandConstructors[fn.Name()] {
+						pass.Reportf(n.Pos(), "global %s.%s draws from the shared unseeded source: use a rand.New(rand.NewSource(seed)) local generator", path, fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "range over map iterates in randomized order: sort the keys first (or justify with an allow directive)")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

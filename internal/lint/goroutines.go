@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Goroutines enforces structured concurrency in the kernel layer: a
+// `go` statement in internal/exec or internal/plan must be joined
+// before the spawning function returns — a sync.WaitGroup whose Wait()
+// is called in the same function, or a channel receive the function
+// blocks on. A kernel that leaks workers past RunMorsels breaks the
+// morsel scheduler's contract that per-morsel counters are fully merged
+// when it returns — leaked goroutines race on Counters and corrupt the
+// work profile the whole simulation is built from.
+var Goroutines = &Analyzer{
+	Name: "goroutines",
+	Doc:  "go statements in kernel packages must be joined (WaitGroup.Wait or channel receive) in the same function",
+	Run:  runGoroutines,
+}
+
+func runGoroutines(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var spawns []*ast.GoStmt
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					spawns = append(spawns, g)
+				}
+				return true
+			})
+			if len(spawns) == 0 {
+				continue
+			}
+			if hasJoin(pass, fd.Body) {
+				continue
+			}
+			for _, g := range spawns {
+				pass.Reportf(g.Pos(), "goroutine is never joined in %s: add a sync.WaitGroup Wait (or block on a channel) before returning so no worker outlives the kernel", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// hasJoin reports whether body contains a WaitGroup.Wait call or a
+// channel receive (either form blocks until spawned work signals
+// completion). Joins inside the spawned goroutines themselves do not
+// count — only the spawning function blocking does.
+func hasJoin(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := calleeObj(pass.Info, n); obj != nil && obj.Name() == "Wait" {
+				if fn, ok := obj.(*types.Func); ok {
+					sig := fn.Type().(*types.Signature)
+					if sig.Recv() != nil && isNamed(sig.Recv().Type(), "sync", "WaitGroup") {
+						found = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

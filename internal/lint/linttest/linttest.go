@@ -1,0 +1,163 @@
+// Package linttest runs an analyzer over a testdata fixture package and
+// compares the findings against `// want "..."` expectations embedded in
+// the fixture source — a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Each `// want` comment names one expected diagnostic on its line; the
+// quoted string must be a substring of the reported message. Lines with
+// no want comment must produce no diagnostics, so allowlisted-negative
+// cases are proven simply by carrying a `//lint:allow` directive and no
+// want.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"wimpi/internal/lint"
+)
+
+var (
+	loadOnce   sync.Once
+	loadErr    error
+	sharedImp  types.Importer
+	sharedFset *token.FileSet
+)
+
+// importerForModule builds one export-data importer for the whole
+// module's dependency closure, so every fixture can import stdlib
+// packages and wimpi/internal/... types. Loading export data compiles
+// the module once; the importer is shared across all fixture tests in
+// the process.
+func importerForModule(t *testing.T) (*token.FileSet, types.Importer) {
+	t.Helper()
+	loadOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		exports, err := lint.LoadExportMap(root, "./...")
+		if err != nil {
+			loadErr = err
+			return
+		}
+		sharedFset = token.NewFileSet()
+		sharedImp = exports.Importer(sharedFset)
+	})
+	if loadErr != nil {
+		t.Fatalf("linttest: loading export data: %v", loadErr)
+	}
+	return sharedFset, sharedImp
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// wantRE extracts the quoted expectations from a // want comment.
+var wantRE = regexp.MustCompile(`// want (".*")\s*$`)
+
+// quotedRE splits a want payload into its quoted strings.
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want entry.
+type expectation struct {
+	line    int
+	substr  string
+	matched bool
+}
+
+// Run type-checks the fixture package in dir, applies the analyzer, and
+// reports any mismatch between findings and // want expectations.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	fset, imp := importerForModule(t)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	expects := map[string][]*expectation{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+				expects[path] = append(expects[path], &expectation{line: i + 1, substr: q[1]})
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+
+	pkg, err := lint.CheckFiles(fset, imp, "fixture/"+filepath.Base(dir), dir, files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	for _, d := range lint.Run(pkg, a) {
+		if !matchExpectation(expects[d.Pos.Filename], d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, exps := range expects {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic containing %q, got none", file, e.line, e.substr)
+			}
+		}
+	}
+}
+
+// matchExpectation marks and returns whether some unmatched expectation
+// covers d.
+func matchExpectation(exps []*expectation, d lint.Diagnostic) bool {
+	for _, e := range exps {
+		if !e.matched && e.line == d.Pos.Line && strings.Contains(d.Message, e.substr) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

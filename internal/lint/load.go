@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed, and type-checked package ready for
+// analysis.
+type Package struct {
+	// PkgPath is the import path ("wimpi/internal/exec").
+	PkgPath string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset positions every file in the package.
+	Fset *token.FileSet
+	// Files holds the parsed non-test Go files.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the use/def/type maps produced by the checker.
+	Info *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs the go command and decodes its JSON package stream.
+func goList(dir string, extra ...string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-e", "-json"}, extra...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %v: %v\n%s", args, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPkg
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportMap maps import paths to compiled export-data files, produced by
+// `go list -export`. It backs the type-checker's importer so analysis
+// needs no out-of-module dependencies (the x/tools loader is
+// intentionally not used; the toolchain itself provides export data).
+type ExportMap map[string]string
+
+// LoadExportMap builds the export-data map for the dependency closure of
+// the given patterns, compiling anything stale along the way.
+func LoadExportMap(dir string, patterns ...string) (ExportMap, error) {
+	args := append([]string{"-deps", "-export", "--"}, patterns...)
+	pkgs, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	m := ExportMap{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m, nil
+}
+
+// Importer returns a go/types importer that resolves imports through the
+// export map.
+func (m ExportMap) Importer(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := m[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Load parses and type-checks the packages matched by patterns, rooted
+// at dir (typically the module root). Test files are excluded, matching
+// the invariant scope: shipped code must satisfy the analyzers; tests
+// may use wall clocks and ad-hoc goroutines freely.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := LoadExportMap(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := exports.Importer(fset)
+	var out []*Package
+	for _, t := range targets {
+		if t.Standard || t.Error != nil && len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typecheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// typecheck parses and checks one listed package.
+func typecheck(fset *token.FileSet, imp types.Importer, t *listedPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	return CheckFiles(fset, imp, t.ImportPath, t.Dir, files)
+}
+
+// CheckFiles type-checks an already-parsed file set as one package. It
+// is the shared core of Load and the fixture runner in linttest.
+func CheckFiles(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var firstErr error
+	cfg := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := cfg.Check(pkgPath, fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %v", pkgPath, firstErr)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot locates the repo root relative to this source file.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func TestLoadTypechecksRepoPackages(t *testing.T) {
+	pkgs, err := Load(moduleRoot(t), "wimpi/internal/exec", "wimpi/internal/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || !p.Types.Complete() {
+			t.Errorf("%s: incomplete type info", p.PkgPath)
+		}
+		if len(p.Files) == 0 {
+			t.Errorf("%s: no files parsed", p.PkgPath)
+		}
+		if len(p.Info.Uses) == 0 {
+			t.Errorf("%s: no use info recorded", p.PkgPath)
+		}
+	}
+}

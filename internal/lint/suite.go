@@ -1,0 +1,65 @@
+package lint
+
+import "strings"
+
+// ScopedAnalyzer binds an analyzer to the package paths whose
+// invariants it guards. Scoping lives here — not inside the analyzers —
+// so fixtures can exercise an analyzer directly while the multichecker
+// applies it only where the invariant is meaningful (wall clocks are
+// fine in a benchmark harness; they are a bug in a kernel).
+type ScopedAnalyzer struct {
+	Analyzer *Analyzer
+	// Packages lists exact import paths; a trailing "/..." matches the
+	// subtree.
+	Packages []string
+}
+
+// Suite is the wimpi-lint analyzer suite with its package scopes:
+//
+//   - determinism guards every package that produces (or partitions)
+//     query results: kernels, the engine, the column store, plan
+//     operators, and the cluster layer whose partition generation and
+//     merges must be byte-identical across nodes and re-dispatches.
+//   - costaccounting guards internal/exec, the only place kernels
+//     charge the counters the hardware simulation consumes.
+//   - ctxcheck and closecheck guard the cluster layer's RPC and wire
+//     protocol.
+//   - goroutines guards the kernel and plan layers, where a leaked
+//     worker races on Counters past RunMorsels.
+func Suite() []ScopedAnalyzer {
+	return []ScopedAnalyzer{
+		{Determinism, []string{
+			"wimpi/internal/exec",
+			"wimpi/internal/engine",
+			"wimpi/internal/colstore",
+			"wimpi/internal/plan",
+			"wimpi/internal/cluster/...",
+		}},
+		{CostAccounting, []string{"wimpi/internal/exec"}},
+		{CtxCheck, []string{"wimpi/internal/cluster/..."}},
+		{Goroutines, []string{"wimpi/internal/exec", "wimpi/internal/plan"}},
+		{CloseCheck, []string{"wimpi/internal/cluster/..."}},
+	}
+}
+
+// AnalyzersFor returns the suite analyzers scoped to pkgPath.
+func AnalyzersFor(pkgPath string) []*Analyzer {
+	var out []*Analyzer
+	for _, sa := range Suite() {
+		for _, pat := range sa.Packages {
+			if matchScope(pkgPath, pat) {
+				out = append(out, sa.Analyzer)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// matchScope implements exact and subtree ("pkg/...") matching.
+func matchScope(pkgPath, pat string) bool {
+	if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+		return pkgPath == sub || strings.HasPrefix(pkgPath, sub+"/")
+	}
+	return pkgPath == pat
+}

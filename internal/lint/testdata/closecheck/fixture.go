@@ -1,0 +1,52 @@
+// Package fixture holds intentional discarded-error violations at the
+// wire boundary plus handled, deferred, and allowlisted negatives.
+package fixture
+
+import (
+	"net"
+	"time"
+)
+
+// writeFrame stands in for the wire codec helpers.
+func writeFrame(w net.Conn, p []byte) error {
+	_, err := w.Write(p)
+	return err
+}
+
+// Teardown drops the Close error on the floor.
+func Teardown(conn net.Conn) {
+	conn.Close() // want "error from conn.Close is discarded"
+}
+
+// TeardownExplicit records the deliberate discard — no finding.
+func TeardownExplicit(conn net.Conn) {
+	_ = conn.Close()
+}
+
+// TeardownDeferred uses the idiomatic last-resort cleanup — no finding.
+func TeardownDeferred(conn net.Conn) error {
+	defer conn.Close()
+	return nil
+}
+
+// Deadline ignores a failed deadline set, leaving the conn unbounded.
+func Deadline(conn net.Conn, t time.Time) {
+	conn.SetDeadline(t) // want "a failed deadline set leaves the conn unbounded"
+}
+
+// Send drops a frame error — the fault model's signal.
+func Send(conn net.Conn, p []byte) {
+	writeFrame(conn, p) // want "frame errors are the fault model's signal"
+}
+
+// SendChecked propagates — no finding.
+func SendChecked(conn net.Conn, p []byte) error {
+	return writeFrame(conn, p)
+}
+
+// AbortConn tears down an already-broken conn; nothing to recover.
+//
+//lint:allow closecheck -- fixture: best-effort teardown of an already-broken conn
+func AbortConn(conn net.Conn) {
+	conn.Close()
+}

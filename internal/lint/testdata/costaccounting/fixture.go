@@ -1,0 +1,90 @@
+// Package fixture holds intentional cost-accounting violations plus
+// charged, forwarded, and allowlisted negatives.
+package fixture
+
+import "wimpi/internal/exec"
+
+// Uncharged loops over data with no counters anywhere in scope.
+func Uncharged(vals []int64) int64 { // want "loops over data but has no *exec.Counters"
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Ignored accepts counters and silently drops them.
+func Ignored(vals []int64, ctr *exec.Counters) int64 { // want "never charges or forwards it"
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Charged is the happy path: the loop's work is recorded.
+func Charged(vals []int64, ctr *exec.Counters) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	ctr.SeqBytes += int64(len(vals)) * 8
+	ctr.IntOps += int64(len(vals))
+	return s
+}
+
+// Forwarded passes its counters to a charging callee — also fine.
+func Forwarded(blocks [][]int64, ctr *exec.Counters) int64 {
+	var s int64
+	for _, b := range blocks {
+		s += Charged(b, ctr)
+	}
+	return s
+}
+
+// MorselLoop charges through the per-morsel callback counters.
+func MorselLoop(vals []int64, workers int, ctr *exec.Counters) error {
+	return exec.RunMorsels(workers, len(vals), 0, ctr, func(m, lo, hi int, c *exec.Counters) error {
+		for i := lo; i < hi; i++ {
+			c.IntOps++
+		}
+		return nil
+	})
+}
+
+// PerElement is a per-element helper whose callers charge in bulk.
+//
+//lint:allow costaccounting -- fixture: per-element helper, callers charge per batch
+func PerElement(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+// Metadata has no loop: summing two fields is not kernel work.
+func Metadata(ctr *exec.Counters) int64 {
+	return ctr.SeqBytes + ctr.BytesMaterialized
+}
+
+// Scratch is a loop-bearing stringer stand-in: exempt as fmt.Stringer.
+type Scratch struct{ V []int64 }
+
+// String is exempt without any directive.
+func (s Scratch) String() string {
+	out := ""
+	for range s.V {
+		out += "."
+	}
+	return out
+}
+
+// unexportedHelper is out of the invariant's scope.
+func unexportedHelper(vals []int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}

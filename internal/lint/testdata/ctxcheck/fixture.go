@@ -1,0 +1,51 @@
+// Package fixture holds intentional context-discipline violations plus
+// ctx-threaded and allowlisted negatives.
+package fixture
+
+import (
+	"context"
+	"net"
+)
+
+// DialNoCtx uses the uncancelable package-level dial.
+func DialNoCtx(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want "ignores cancellation"
+}
+
+// DialTimeoutNoCtx bounds the dial but still cannot be canceled.
+func DialTimeoutNoCtx(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 0) // want "ignores cancellation"
+}
+
+// DialerDial uses the Dialer but skips the context variant.
+func DialerDial(addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.Dial("tcp", addr) // want "use DialContext"
+}
+
+// DialCtx is the sanctioned pattern.
+func DialCtx(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// ReadNoCtx performs blocking conn I/O with no way to cancel it.
+func ReadNoCtx(conn net.Conn, buf []byte) (int, error) {
+	return conn.Read(buf) // want "cannot be canceled"
+}
+
+// WriteCtx threads a context first, so the caller can bound the I/O.
+func WriteCtx(ctx context.Context, conn net.Conn, p []byte) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return conn.Write(p)
+}
+
+// CountingRead is a byte-counting wrapper; deadlines are the caller's
+// job.
+//
+//lint:allow ctxcheck -- fixture: counting wrapper, deadline set by caller before each call
+func CountingRead(conn net.Conn, p []byte) (int, error) {
+	return conn.Read(p)
+}

@@ -1,0 +1,69 @@
+// Package fixture holds intentional determinism violations plus
+// allowlisted negatives for the determinism analyzer.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// WallClock reads the wall clock in a deterministic package.
+func WallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic package"
+}
+
+// MeasuredSection is a legitimate measured-wall-clock site.
+//
+//lint:allow determinism -- fixture: measured wall-clock section
+func MeasuredSection() time.Time {
+	return time.Now()
+}
+
+// InlineAllowed carries its directive on the preceding line.
+func InlineAllowed() int64 {
+	//lint:allow determinism -- fixture: timing report, not a result
+	return time.Now().UnixNano()
+}
+
+// GlobalRand draws from the shared unseeded source.
+func GlobalRand() int {
+	return rand.Intn(10) // want "shared unseeded source"
+}
+
+// GlobalShuffle permutes through the global source.
+func GlobalShuffle(v []int) {
+	rand.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] }) // want "shared unseeded source"
+}
+
+// SeededRand uses a locally seeded generator: reproducible, no finding.
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// MapOrder iterates a map in randomized order.
+func MapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map iterates in randomized order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// MapOrderSorted collects then sorts — order-insensitive, allowlisted.
+func MapOrderSorted(m map[string]int) []string {
+	var keys []string
+	//lint:allow determinism -- fixture: keys are sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MissingReason exercises the mandatory-reason rule.
+func MissingReason() int {
+	//lint:allow determinism // want "missing its mandatory"
+	return 0
+}

@@ -1,0 +1,44 @@
+// Package fixture holds intentional goroutine-hygiene violations plus
+// joined and allowlisted negatives.
+package fixture
+
+import "sync"
+
+// Leaky spawns workers and returns without joining them.
+func Leaky(work []int) {
+	for range work {
+		go func() {}() // want "never joined in Leaky"
+	}
+}
+
+// LeakySingle leaks one fire-and-forget goroutine.
+func LeakySingle(f func()) {
+	go f() // want "never joined in LeakySingle"
+}
+
+// Joined is the morsel-scheduler pattern: WaitGroup joins every worker.
+func Joined(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// ChannelJoined blocks on a result channel, which is also a join.
+func ChannelJoined() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// Watcher's goroutine exits when stop closes; the join lives with the
+// owner of stop, not here.
+//
+//lint:allow goroutines -- fixture: watcher exits when stop closes; joined by the stop owner
+func Watcher(stop chan struct{}) {
+	go func() { <-stop }()
+}

@@ -46,6 +46,7 @@ func (a *analyzeNode) Execute(ctx *Context) (*colstore.Table, error) {
 		Depth: a.depth,
 	})
 	before := *ctx.Ctr
+	//lint:allow determinism -- EXPLAIN ANALYZE measures host wall time; results never depend on it
 	start := time.Now()
 	out, err := a.inner.Execute(ctx)
 	if err != nil {
