@@ -4,7 +4,7 @@ GO ?= go
 # and soak runs override it (FUZZTIME=2m make fuzz).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race chaos fuzz check bench-scaling
+.PHONY: build test vet lint race chaos fuzz explain-smoke check bench-scaling
 
 build:
 	$(GO) build ./...
@@ -38,8 +38,15 @@ fuzz:
 	$(GO) test -fuzz FuzzReadMsg -fuzztime $(FUZZTIME) -run '^$$' ./internal/cluster/
 	$(GO) test -fuzz FuzzParsePlan -fuzztime $(FUZZTIME) -run '^$$' ./internal/cluster/
 
+# EXPLAIN ANALYZE smoke test: run Q1 with -explain and assert the span
+# tree came back non-empty (the scan operator must appear with its sim
+# column). Catches wiring regressions between engine.RunTraced, the
+# plan-layer spans, and the obs renderer that unit tests can miss.
+explain-smoke:
+	$(GO) run ./cmd/wimpi -sf 0.01 -q 1 -explain | tee /dev/stderr | grep -q 'scan lineitem'
+
 # The tier-1 gate: everything a change must pass before merging.
-check: build test vet lint race
+check: build test vet lint race explain-smoke
 
 # Parallel speedup on Q1/Q3/Q6/Q18 at 1/2/4/8 workers (SF via WIMPI_BENCH_SF).
 bench-scaling:

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"wimpi/internal/cluster"
 	"wimpi/internal/cluster/faultconn"
 	"wimpi/internal/engine"
+	"wimpi/internal/obs"
 )
 
 func main() {
@@ -48,7 +50,14 @@ func main() {
 	allowPartial := flag.Bool("allow-partial", false, "coordinator: return partial results over surviving partitions")
 	redispatch := flag.Bool("redispatch", false, "coordinator: re-issue failed/straggling partitions to healthy peers")
 	stragglerMult := flag.Float64("straggler-mult", 4, "coordinator: straggler threshold as multiple of median response time")
+	explain := flag.Bool("explain", false, "coordinator: print each query's exchange span tree (per-node partials + merge)")
+	metricsOut := flag.String("metrics-out", "", "coordinator: write Prometheus-text metrics to this file before exiting")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics over HTTP at this address (GET /metrics)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		go serveMetrics(*metricsAddr)
+	}
 
 	switch *mode {
 	case "worker":
@@ -62,10 +71,43 @@ func main() {
 			Redispatch:        *redispatch,
 			StragglerMultiple: *stragglerMult,
 		}
-		runCoordinator(cfg, *addrs, *sf, *seed, *queries, *simulate, *rows)
+		runCoordinator(cfg, *addrs, *sf, *seed, *queries, *simulate, *rows, *explain)
+		if *metricsOut != "" {
+			if err := writeMetrics(*metricsOut); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
+		}
 	default:
 		fatalf("-mode must be worker or coord")
 	}
+}
+
+// serveMetrics exposes the default registry at /metrics, Prometheus
+// text format.
+func serveMetrics(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.Default.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "wimpi-cluster: metrics endpoint: %v\n", err)
+	}
+}
+
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runWorker(listen string, throttle float64, fault string, faultSeed int64, faultNode int) {
@@ -89,7 +131,7 @@ func runWorker(listen string, throttle float64, fault string, faultSeed int64, f
 	}
 }
 
-func runCoordinator(cfg cluster.Config, addrList string, sf float64, seed uint64, queryList string, simulate bool, rows int) {
+func runCoordinator(cfg cluster.Config, addrList string, sf float64, seed uint64, queryList string, simulate bool, rows int, explain bool) {
 	if addrList == "" {
 		fatalf("coordinator needs -addrs")
 	}
@@ -131,6 +173,12 @@ func runCoordinator(cfg cluster.Config, addrList string, sf float64, seed uint64
 			float64(res.BytesReceived)/1024, res.HostDuration.Round(time.Microsecond), coverage)
 		if rows > 0 {
 			fmt.Print(engine.FormatTable(res.Table, rows))
+		}
+		if explain && res.Root != nil {
+			opt := cluster.DefaultSimOptions()
+			fmt.Print(obs.ExplainAnalyze(res.Root, obs.ExplainOptions{
+				Profile: &opt.NodeProfile, Model: opt.Model,
+			}))
 		}
 		if simulate {
 			b := cluster.Simulate(res, cluster.DefaultSimOptions())

@@ -5,7 +5,8 @@
 //
 //	wimpi -sf 0.1 -q 6             # run one query
 //	wimpi -sf 0.1 -q all           # run all 22
-//	wimpi -sf 0.1 -q 3 -explain    # print the physical plan
+//	wimpi -sf 0.1 -q 3 -plan       # print the physical plan
+//	wimpi -sf 0.1 -q 1 -explain    # EXPLAIN ANALYZE: span tree + simulated time
 //	wimpi -sf 0.1 -q 1 -simulate   # show simulated per-hardware times
 package main
 
@@ -18,6 +19,7 @@ import (
 
 	"wimpi/internal/engine"
 	"wimpi/internal/hardware"
+	"wimpi/internal/obs"
 	"wimpi/internal/snapshot"
 	"wimpi/internal/tpch"
 )
@@ -27,12 +29,15 @@ func main() {
 	seed := flag.Uint64("seed", 42, "dataset seed")
 	query := flag.String("q", "all", "query number (1-22) or 'all'")
 	workers := flag.Int("workers", 0, "engine parallelism (0 = one per core)")
-	explain := flag.Bool("explain", false, "print the plan instead of executing")
-	analyze := flag.Bool("analyze", false, "execute with per-operator instrumentation (EXPLAIN ANALYZE)")
+	planOnly := flag.Bool("plan", false, "print the physical plan instead of executing")
+	explain := flag.Bool("explain", false, "EXPLAIN ANALYZE: execute, then print the operator span tree with wall and simulated time")
+	profileName := flag.String("profile", "Pi 3B+", "hardware profile attributed in -explain output (see hardware.Profiles)")
+	analyze := flag.Bool("analyze", false, "execute with per-operator instrumentation (legacy tabular EXPLAIN ANALYZE)")
 	simulate := flag.Bool("simulate", false, "print simulated runtimes for every Table I profile")
 	rows := flag.Int("rows", 10, "result rows to print")
 	save := flag.String("save", "", "after generating, snapshot the dataset to this directory")
 	load := flag.String("load", "", "load the dataset from a snapshot directory instead of generating")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics to this file before exiting")
 	flag.Parse()
 
 	var queries []int
@@ -46,7 +51,7 @@ func main() {
 		queries = []int{n}
 	}
 
-	if *explain {
+	if *planOnly {
 		for _, q := range queries {
 			node, err := tpch.Query(q)
 			if err != nil {
@@ -55,6 +60,14 @@ func main() {
 			fmt.Printf("-- Q%d --\n%s\n", q, engine.NewDB(engine.Config{}).Explain(node))
 		}
 		return
+	}
+
+	var explainProfile hardware.Profile
+	if *explain {
+		var err error
+		if explainProfile, err = hardware.ByName(*profileName); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	start := time.Now()
@@ -88,6 +101,18 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		if *explain {
+			res, err := db.RunTraced(node)
+			if err != nil {
+				fatalf("Q%d: %v", q, err)
+			}
+			out := obs.ExplainAnalyze(res.Root, obs.ExplainOptions{
+				Profile: &explainProfile, Model: model,
+			})
+			fmt.Printf("-- Q%d (explain analyze): %d rows in %v (host) --\n%s\n",
+				q, res.Table.NumRows(), res.HostDuration.Round(time.Microsecond), out)
+			continue
+		}
 		if *analyze {
 			an, err := db.Analyze(node)
 			if err != nil {
@@ -115,6 +140,25 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
+	}
+}
+
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...any) {

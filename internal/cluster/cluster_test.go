@@ -124,6 +124,17 @@ func TestDistributedMatchesSingleNode(t *testing.T) {
 		if res.HostDuration <= 0 {
 			t.Errorf("Q%d: no duration", q)
 		}
+		// The exchange span tree covers every node plus the merge.
+		if res.Root == nil || res.Root.Op != "exchange" {
+			t.Fatalf("Q%d: missing exchange span: %+v", q, res.Root)
+		}
+		if got := len(res.Root.Children); got != wantNodes+1 {
+			t.Errorf("Q%d: exchange has %d child spans, want %d nodes + 1 merge", q, got, wantNodes)
+		}
+		last := res.Root.Children[len(res.Root.Children)-1]
+		if last.Op != "merge" || last.Rows != int64(res.Table.NumRows()) {
+			t.Errorf("Q%d: merge span wrong: %+v", q, last)
+		}
 	}
 }
 

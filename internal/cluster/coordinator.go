@@ -11,7 +11,15 @@ import (
 	"wimpi/internal/colstore"
 	"wimpi/internal/exec"
 	"wimpi/internal/hardware"
+	"wimpi/internal/obs"
 	"wimpi/internal/tpch"
+)
+
+// Coordinator-side metrics on the shared default registry.
+var (
+	metricRPCLatency   = obs.Default.Histogram("wimpi_cluster_rpc_latency_seconds", obs.DefaultLatencyBuckets)
+	metricRPCRetries   = obs.Default.Counter("wimpi_cluster_rpc_retries_total")
+	metricRedispatches = obs.Default.Counter("wimpi_cluster_redispatches_total")
 )
 
 // Config parameterizes a coordinator.
@@ -140,12 +148,18 @@ func (c *Coordinator) callRetry(ctx context.Context, node int, req *Request) (*R
 				return nil, 0, fmt.Errorf("cluster: %s to node %d: %w (last: %v)", req.Type, node, ctx.Err(), lastErr)
 			}
 		}
+		if attempt > 0 {
+			metricRPCRetries.Inc()
+		}
 		attemptCtx := ctx
 		var cancel context.CancelFunc = func() {}
 		if c.cfg.RPCTimeout > 0 {
 			attemptCtx, cancel = context.WithTimeout(ctx, c.cfg.RPCTimeout)
 		}
+		//lint:allow determinism -- RPC latency is measured for the metrics histogram only
+		attemptStart := time.Now()
 		resp, n, err := c.conns[node].call(attemptCtx, req)
+		metricRPCLatency.Observe(time.Since(attemptStart).Seconds())
 		cancel()
 		if err == nil {
 			return resp, n, nil
@@ -262,6 +276,55 @@ type DistResult struct {
 	// Redispatches counts partition queries re-issued to healthy peers
 	// (straggler handling or failure re-dispatch).
 	Redispatches int
+	// Root is the distributed run's span tree: an exchange span over the
+	// per-node partial executions plus the coordinator-side merge. Node
+	// counters are the workers' deterministic work profiles; wall times
+	// are measured round-trips.
+	Root *obs.Span
+}
+
+// buildSpans assembles the exchange span tree from the surviving
+// partitions' partials and the merge work.
+func (res *DistResult) buildSpans(parts []part, failedAt []error, mergeCtr exec.Counters, mergeDur time.Duration) {
+	root := &obs.Span{
+		Op:    "exchange",
+		Label: fmt.Sprintf("exchange Q%d over %d nodes", res.Query, res.NodesUsed),
+		Bytes: res.BytesReceived,
+		Wall:  res.HostDuration,
+		Err:   res.Partial,
+	}
+	for i := range parts {
+		if failedAt[i] != nil {
+			root.Children = append(root.Children, &obs.Span{
+				Op: "node", Label: fmt.Sprintf("node %d partial", i), Err: true,
+			})
+			continue
+		}
+		sp := &obs.Span{
+			Op:       "node",
+			Label:    fmt.Sprintf("node %d partial", i),
+			Rows:     int64(parts[i].table.NumRows()),
+			Bytes:    parts[i].bytes,
+			Wall:     parts[i].dur,
+			Counters: parts[i].ctr,
+		}
+		root.Counters.Add(sp.Counters)
+		root.Children = append(root.Children, sp)
+	}
+	if res.Table != nil {
+		merge := &obs.Span{
+			Op:       "merge",
+			Label:    "merge partials",
+			Rows:     int64(res.Table.NumRows()),
+			Bytes:    res.Table.SizeBytes(),
+			Wall:     mergeDur,
+			Counters: mergeCtr,
+		}
+		root.Counters.Add(merge.Counters)
+		root.Children = append(root.Children, merge)
+		root.Rows = merge.Rows
+	}
+	res.Root = root
 }
 
 // Run executes the distributed form of query q across the cluster.
@@ -275,6 +338,7 @@ type part struct {
 	ctr   exec.Counters
 	bytes int64
 	db    int64
+	dur   time.Duration // round-trip wall time of the winning attempt
 }
 
 // outcome is one completed (or failed) partition query attempt.
@@ -315,6 +379,8 @@ func (c *Coordinator) RunContext(ctx context.Context, q int) (*DistResult, error
 			if backup {
 				forNode = partition
 			}
+			//lint:allow determinism -- round-trip wall time feeds the node span only, never the merged result
+			issueStart := time.Now()
 			resp, n, err := c.callRetry(ctx, target, &Request{Type: "query", Query: q, ForNode: forNode})
 			o := outcome{node: partition, conn: target, err: err, backup: backup}
 			if err == nil {
@@ -322,7 +388,7 @@ func (c *Coordinator) RunContext(ctx context.Context, q int) (*DistResult, error
 				if terr != nil {
 					o.err = terr
 				} else {
-					o.part = part{table: t, ctr: resp.Counters, bytes: n, db: resp.DBBytes}
+					o.part = part{table: t, ctr: resp.Counters, bytes: n, db: resp.DBBytes, dur: time.Since(issueStart)}
 				}
 			}
 			ch <- o
@@ -368,6 +434,7 @@ func (c *Coordinator) RunContext(ctx context.Context, q int) (*DistResult, error
 		}
 		redispatched[i] = true
 		redispatches++
+		metricRedispatches.Inc()
 		inflight[i]++
 		issue(peer, i, true)
 		return true
@@ -470,6 +537,8 @@ collect:
 			return nil, perr
 		}
 		res.Partial = true
+		//lint:allow determinism -- merge wall time feeds the merge span only
+		mergeStart := time.Now()
 		merged, mergeCtr, err := dq.MergePartials(tables, c.cfg.WorkersPerNode)
 		if err != nil {
 			return nil, perr
@@ -477,10 +546,13 @@ collect:
 		res.Table = merged
 		res.MergeCounters = mergeCtr
 		res.HostDuration = time.Since(start)
+		res.buildSpans(parts, failedAt, mergeCtr, time.Since(mergeStart))
 		perr.Result = res
 		return res, perr
 	}
 
+	//lint:allow determinism -- merge wall time feeds the merge span only
+	mergeStart := time.Now()
 	merged, mergeCtr, err := dq.MergePartials(tables, c.cfg.WorkersPerNode)
 	if err != nil {
 		return nil, err
@@ -488,6 +560,7 @@ collect:
 	res.Table = merged
 	res.MergeCounters = mergeCtr
 	res.HostDuration = time.Since(start)
+	res.buildSpans(parts, failedAt, mergeCtr, time.Since(mergeStart))
 	return res, nil
 }
 

@@ -28,7 +28,13 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"wimpi/internal/obs"
 )
+
+// metricInjections counts every fired fault rule, so a chaos run's
+// metrics dump shows how much failure it actually survived.
+var metricInjections = obs.Default.Counter("wimpi_cluster_fault_injections_total")
 
 // Op is a traffic direction, from the wrapped connection's side.
 type Op int
@@ -221,6 +227,7 @@ func (in *Injector) match(op Op, n int) *trigger {
 			off = 0
 		}
 		in.fired[i]++
+		metricInjections.Inc()
 		tr = &trigger{rule: r, off: off, mask: byte(in.rng.Intn(255) + 1)}
 		break
 	}

@@ -31,6 +31,7 @@ import (
 
 	"wimpi/internal/colstore"
 	"wimpi/internal/exec"
+	"wimpi/internal/obs"
 )
 
 // wireColumn is the gob representation of one column.
@@ -167,8 +168,20 @@ const frameHeaderLen = 12
 // rejected before any payload allocation happens.
 const maxFrameBytes = 1 << 30
 
+// Wire metrics, shared by coordinator and worker (a process embedding
+// both, like the in-process test cluster, counts traffic from each
+// side).
+var (
+	metricFramesSent     = obs.Default.Counter("wimpi_cluster_frames_sent_total")
+	metricFramesReceived = obs.Default.Counter("wimpi_cluster_frames_received_total")
+	metricFrameBytesSent = obs.Default.Counter("wimpi_cluster_frame_bytes_sent_total")
+	metricFrameBytesRecv = obs.Default.Counter("wimpi_cluster_frame_bytes_received_total")
+)
+
 // writeFrame sends one framed payload.
 func writeFrame(w io.Writer, payload []byte) error {
+	metricFramesSent.Inc()
+	metricFrameBytesSent.Add(frameHeaderLen + int64(len(payload)))
 	var hdr [frameHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[0:4], frameMagic)
 	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
@@ -221,6 +234,8 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if got := crc32.ChecksumIEEE(payload); got != binary.BigEndian.Uint32(hdr[8:12]) {
 		return nil, fmt.Errorf("%w: payload crc 0x%08x", ErrChecksum, got)
 	}
+	metricFramesReceived.Inc()
+	metricFrameBytesRecv.Add(frameHeaderLen + int64(len(payload)))
 	return payload, nil
 }
 

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"runtime/pprof"
 	"sync"
 
 	"wimpi/internal/cluster/faultconn"
@@ -74,7 +76,9 @@ func (w *Worker) Serve(ln net.Listener) error {
 		if err != nil {
 			return err
 		}
-		go w.serveConn(conn)
+		go pprof.Do(context.Background(), pprof.Labels("wimpi", "cluster-conn"), func(context.Context) {
+			w.serveConn(conn)
+		})
 	}
 }
 

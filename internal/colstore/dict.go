@@ -52,6 +52,20 @@ func (d *Dict) SizeBytes() int64 {
 	return n
 }
 
+// CodeOrdered reports whether codes are assigned in ascending value
+// order, i.e. comparing two codes as integers is equivalent to
+// comparing their string values. Sort kernels use it to skip decoding
+// dictionary entries per comparison. The scan is O(distinct values) and
+// takes no lock, so it is safe under concurrent read-only use.
+func (d *Dict) CodeOrdered() bool {
+	for i := 1; i < len(d.vals); i++ {
+		if d.vals[i] < d.vals[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
 // MatchMask returns a boolean mask over codes where mask[c] reports
 // whether pred holds for the value with code c. Evaluating a string
 // predicate once per distinct value instead of once per row is the main

@@ -14,8 +14,26 @@ import (
 
 	"wimpi/internal/colstore"
 	"wimpi/internal/exec"
+	"wimpi/internal/obs"
 	"wimpi/internal/plan"
 )
+
+// Engine-level metrics, registered on the shared default registry so the
+// CLI tools can dump one coherent snapshot.
+var (
+	metricQueries     = obs.Default.Counter("wimpi_engine_queries_total")
+	metricMorsels     = obs.Default.Counter("wimpi_exec_morsels_total")
+	metricMorselDepth = obs.Default.Gauge("wimpi_exec_morsel_queue_depth")
+)
+
+func init() {
+	// exec cannot import obs (obs stores exec.Counters in spans), so the
+	// morsel dispatch metrics are fed through a hook installed here.
+	exec.MorselHook = func(workers, morsels int) {
+		metricMorsels.Add(int64(morsels))
+		metricMorselDepth.Set(int64(morsels))
+	}
+}
 
 // Config controls an engine instance.
 type Config struct {
@@ -123,6 +141,7 @@ func (db *DB) RunWith(p plan.Node, workers int) (*Result, error) {
 	if workers < 1 {
 		workers = db.Workers()
 	}
+	metricQueries.Inc()
 	//lint:allow determinism -- measured wall clock, reported as HostDuration; results never depend on it
 	start := time.Now()
 	t, ctr, err := plan.Run(db, workers, p)
@@ -130,6 +149,40 @@ func (db *DB) RunWith(p plan.Node, workers int) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Table: t, Counters: ctr, HostDuration: time.Since(start)}, nil
+}
+
+// TracedResult is a Result plus the operator span tree recorded while
+// the query ran.
+type TracedResult struct {
+	Result
+	// Root is the root operator span.
+	Root *obs.Span
+}
+
+// RunTraced executes a plan with operator span tracing (the machinery
+// behind EXPLAIN ANALYZE). The result table and counters are
+// bit-identical to Run's.
+func (db *DB) RunTraced(p plan.Node) (*TracedResult, error) {
+	return db.RunTracedWith(p, 0)
+}
+
+// RunTracedWith is RunTraced with an explicit worker count; workers < 1
+// selects the database default.
+func (db *DB) RunTracedWith(p plan.Node, workers int) (*TracedResult, error) {
+	if workers < 1 {
+		workers = db.Workers()
+	}
+	metricQueries.Inc()
+	//lint:allow determinism -- measured wall clock, reported as HostDuration; results never depend on it
+	start := time.Now()
+	res, err := plan.RunTraced(db, workers, p)
+	if err != nil {
+		return nil, err
+	}
+	return &TracedResult{
+		Result: Result{Table: res.Table, Counters: res.Counters, HostDuration: time.Since(start)},
+		Root:   res.Root,
+	}, nil
 }
 
 // Explain renders a plan without executing it.

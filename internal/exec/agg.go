@@ -138,6 +138,14 @@ func ScatterCount(gids []int32, acc *[]int64, ngroups int, ctr *Counters) {
 
 // ScatterMinF64 folds vals[i] into (*acc)[gids[i]] with min. New groups
 // start at +Inf supplied by the caller via fill.
+//
+// NaN handling (audited with cmpOrderF's total order): `v < acc` is
+// false whenever v is NaN, so NaN inputs are skipped and — because the
+// accumulator starts at a non-NaN fill — NaN can never become the
+// accumulator and poison later comparisons. Min and Max skip NaN
+// symmetrically, so both are independent of input order and of the
+// morsel decomposition; an all-NaN group deterministically reports its
+// fill. See TestScatterMinMaxF64NaNOrderIndependent.
 func ScatterMinF64(gids []int32, vals []float64, acc *[]float64, ngroups int, fill float64, ctr *Counters) {
 	growF64(acc, ngroups, fill)
 	a := *acc
@@ -150,7 +158,8 @@ func ScatterMinF64(gids []int32, vals []float64, acc *[]float64, ngroups int, fi
 	ctr.FloatOps += int64(len(gids))
 }
 
-// ScatterMaxF64 folds vals[i] into (*acc)[gids[i]] with max.
+// ScatterMaxF64 folds vals[i] into (*acc)[gids[i]] with max. NaN inputs
+// are skipped, mirroring ScatterMinF64 (see its NaN note).
 func ScatterMaxF64(gids []int32, vals []float64, acc *[]float64, ngroups int, fill float64, ctr *Counters) {
 	growF64(acc, ngroups, fill)
 	a := *acc

@@ -81,6 +81,30 @@ func (c *Counters) Add(o Counters) {
 	}
 }
 
+// DiffCounters returns the work charged between two snapshots of the
+// same counter set: additive fields subtract (after - before), while
+// max-style fields (MaxHashBytes, PeakLiveBytes) are high-water marks
+// and keep the after value. It is the snapshot delta used by operator
+// spans and EXPLAIN ANALYZE.
+func DiffCounters(before, after Counters) Counters {
+	return Counters{
+		TuplesScanned:      after.TuplesScanned - before.TuplesScanned,
+		SeqBytes:           after.SeqBytes - before.SeqBytes,
+		RandomAccesses:     after.RandomAccesses - before.RandomAccesses,
+		IntOps:             after.IntOps - before.IntOps,
+		FloatOps:           after.FloatOps - before.FloatOps,
+		HashBuildTuples:    after.HashBuildTuples - before.HashBuildTuples,
+		HashProbeTuples:    after.HashProbeTuples - before.HashProbeTuples,
+		AggUpdates:         after.AggUpdates - before.AggUpdates,
+		TuplesMaterialized: after.TuplesMaterialized - before.TuplesMaterialized,
+		BytesMaterialized:  after.BytesMaterialized - before.BytesMaterialized,
+		TouchedBaseBytes:   after.TouchedBaseBytes - before.TouchedBaseBytes,
+		MergeBytes:         after.MergeBytes - before.MergeBytes,
+		MaxHashBytes:       after.MaxHashBytes,
+		PeakLiveBytes:      after.PeakLiveBytes,
+	}
+}
+
 // ObserveHashBytes records a hash-table footprint.
 func (c *Counters) ObserveHashBytes(n int64) {
 	if n > c.MaxHashBytes {

@@ -1,9 +1,20 @@
 package exec
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
+
+// MorselHook, when non-nil, observes every morsel dispatch: the worker
+// count actually used and the number of morsels queued. The obs layer
+// installs a hook feeding its metrics registry; the indirection exists
+// because exec cannot import obs (obs records exec.Counters in spans).
+// Set it once at startup, before queries run — it is read without
+// synchronization.
+var MorselHook func(workers, morsels int)
 
 // DefaultMorselRows is the fixed morsel granularity used by parallel
 // kernels when the caller does not override it. Morsel boundaries depend
@@ -51,6 +62,9 @@ func RunMorsels(workers, n, morselRows int, ctr *Counters, fn func(m, lo, hi int
 	if w > nm {
 		w = nm
 	}
+	if hook := MorselHook; hook != nil {
+		hook(w, nm)
+	}
 	if nm == 1 {
 		return fn(0, 0, n, ctr)
 	}
@@ -73,16 +87,20 @@ func RunMorsels(workers, n, morselRows int, ctr *Counters, fn func(m, lo, hi int
 		var wg sync.WaitGroup
 		for i := 0; i < w; i++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
-				for {
-					m := int(next.Add(1)) - 1
-					if m >= nm {
-						return
+				// Label the goroutine so CPU profiles attribute samples to
+				// morsel workers rather than an anonymous spawn site.
+				pprof.Do(context.Background(), pprof.Labels("wimpi", "morsel-worker", "worker", strconv.Itoa(worker)), func(context.Context) {
+					for {
+						m := int(next.Add(1)) - 1
+						if m >= nm {
+							return
+						}
+						run(m)
 					}
-					run(m)
-				}
-			}()
+				})
+			}(i)
 		}
 		wg.Wait()
 	}

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"wimpi/internal/colstore"
@@ -18,9 +19,17 @@ type SortKey struct {
 
 type rowCmp func(a, b int32) int
 
-// sortComparators builds one comparator per sort key. The closures read
-// shared immutable column data, so they are safe to call concurrently.
-func sortComparators(t *colstore.Table, keys []SortKey) ([]rowCmp, error) {
+// sortComparators builds one comparator per sort key, charging any
+// one-time comparator setup work (string materialization) to ctr. The
+// closures read shared immutable data, so they are safe to call
+// concurrently.
+//
+// String keys never decode dictionary entries per comparison: when the
+// column's dictionary assigns codes in value order, codes compare
+// directly as integers; otherwise the column's values are materialized
+// once (O(n) decodes) and comparisons index the materialized slice —
+// instead of the O(n log n) Value calls a per-comparison decode costs.
+func sortComparators(t *colstore.Table, keys []SortKey, ctr *Counters) ([]rowCmp, error) {
 	cmps := make([]rowCmp, len(keys))
 	for ki, k := range keys {
 		c, err := t.ColByName(k.Column)
@@ -37,7 +46,24 @@ func sortComparators(t *colstore.Table, keys []SortKey) ([]rowCmp, error) {
 		case *colstore.Dates:
 			f = func(a, b int32) int { return cmpOrder(int64(col.V[a]), int64(col.V[b])) }
 		case *colstore.Strings:
-			f = func(a, b int32) int { return cmpOrderS(col.Value(int(a)), col.Value(int(b))) }
+			if col.Dict.CodeOrdered() {
+				codes := col.Codes
+				f = func(a, b int32) int { return cmpOrder(int64(codes[a]), int64(codes[b])) }
+			} else {
+				vals := make([]string, col.Len())
+				var bytes int64
+				for i := range vals {
+					vals[i] = col.Value(i)
+					bytes += int64(len(vals[i]))
+				}
+				// One dictionary gather per row plus the write of the
+				// materialized values (string headers included).
+				ctr.RandomAccesses += int64(len(vals))
+				bytes += int64(len(vals)) * 16
+				ctr.BytesMaterialized += bytes
+				ctr.SeqBytes += bytes
+				f = func(a, b int32) int { return cmpOrderS(vals[a], vals[b]) }
+			}
 		case *colstore.Bools:
 			f = func(a, b int32) int { return cmpOrder(boolInt(col.V[a]), boolInt(col.V[b])) }
 		default:
@@ -64,11 +90,16 @@ func lessRows(cmps []rowCmp, a, b int32) bool {
 	return a < b
 }
 
-// chargeSort records the comparison work of sorting n rows by keys.
+// chargeSort records the comparison work of sorting n rows by keys:
+// n * (floor(log2 n)+1) comparisons, each touching keys+1 values.
+// bits.Len64(n) is exactly floor(log2 n)+1 for n >= 1 and 0 for n == 0,
+// with no float round-trip (math.Ilogb(0) is undefined — a guard change
+// would silently charge garbage).
 func chargeSort(ctr *Counters, n int64, keys int) {
 	if n > 1 {
-		ctr.IntOps += n * int64(math.Ilogb(float64(n))+1) * int64(keys+1)
-		ctr.RandomAccesses += n * int64(math.Ilogb(float64(n))+1)
+		depth := int64(bits.Len64(uint64(n)))
+		ctr.IntOps += n * depth * int64(keys+1)
+		ctr.RandomAccesses += n * depth
 	}
 }
 
@@ -76,7 +107,7 @@ func chargeSort(ctr *Counters, n int64, keys int) {
 // sort is stable, so ties preserve input order. String columns sort by
 // value (not dictionary code).
 func ArgSort(t *colstore.Table, keys []SortKey, ctr *Counters) ([]int32, error) {
-	cmps, err := sortComparators(t, keys)
+	cmps, err := sortComparators(t, keys, ctr)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +145,7 @@ func ArgSortParallel(t *colstore.Table, keys []SortKey, workers, morselRows int,
 // size threshold, so tests can force it on small inputs.
 func argSortMerge(t *colstore.Table, keys []SortKey, workers, morselRows int, ctr *Counters) ([]int32, error) {
 	n := t.NumRows()
-	cmps, err := sortComparators(t, keys)
+	cmps, err := sortComparators(t, keys, ctr)
 	if err != nil {
 		return nil, err
 	}
@@ -262,14 +293,29 @@ func cmpOrder(a, b int64) int {
 	}
 }
 
+// cmpOrderF is a total order over float64: NaN compares equal to NaN
+// and greater than everything else (NaN sorts last ascending), and
+// -0 == +0. IEEE comparisons alone are not a strict weak ordering —
+// `<` and `>` are both false when either side is NaN, so a
+// NaN-oblivious comparator reports NaN "equal" to every value, and the
+// run-sort + k-way merge's output then depends on which morsel a NaN
+// landed in. A total order makes parallel sorts byte-identical at every
+// worker count.
 func cmpOrderF(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
 	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	case bn:
+		return -1
 	case a < b:
 		return -1
 	case a > b:
 		return 1
 	default:
-		return 0
+		return 0 // equal, including -0 == +0
 	}
 }
 

@@ -137,6 +137,38 @@ func (m Model) Explain(p *Profile, c exec.Counters, dop int) Breakdown {
 	return b
 }
 
+// Dominant names the resource that dominated the breakdown: "cpu",
+// "mem-seq", "mem-rand", "merge", or "swap". Breakdowns with no work
+// report "-". EXPLAIN ANALYZE uses it to label each operator with the
+// bound the paper argues about (memory- vs CPU-bound).
+func (b Breakdown) Dominant() string {
+	name, best := "-", 0.0
+	for _, r := range []struct {
+		name string
+		sec  float64
+	}{
+		{"cpu", b.CPUSeconds},
+		{"mem-seq", b.MemSeqSeconds},
+		{"mem-rand", b.MemRandSeconds},
+		{"merge", b.MergeSeconds},
+		{"swap", b.SwapSeconds},
+	} {
+		if r.sec > best {
+			name, best = r.name, r.sec
+		}
+	}
+	return name
+}
+
+// OperatorTime is QueryTime without the fixed per-query overhead: the
+// simulated cost attributable to one operator's recorded work. EXPLAIN
+// ANALYZE uses it to attribute a query's simulated time across the span
+// tree (the per-query overhead belongs to the query, not any operator).
+func (m Model) OperatorTime(p *Profile, c exec.Counters, dop int) time.Duration {
+	b := m.Explain(p, c, dop)
+	return time.Duration((b.Total - b.OverheadSeconds) * float64(time.Second))
+}
+
 // EnergyJoules estimates the energy consumed running at full load for
 // the given simulated duration: TDP × time, the paper's methodology
 // (Section III-B.1). Profiles without a public TDP return 0.

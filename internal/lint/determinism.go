@@ -17,9 +17,17 @@ import (
 // unsorted map walk in a kernel is enough to reorder floating-point
 // sums and break both. Measured-wall-clock sites (throttles, timing
 // reports) opt out with `//lint:allow determinism -- <reason>`.
+//
+// It also flags float comparators that are not a total order: a
+// function taking float parameters and returning an int ordering that
+// contains `return 0` but never consults math.IsNaN. IEEE `<` and `>`
+// are both false when either operand is NaN, so such a comparator
+// reports NaN "equal" to every value — not a strict weak ordering — and
+// a parallel run-sort + merge built on it emits NaNs wherever their
+// morsel happened to land, varying with the worker count.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "flag time.Now, global math/rand draws, and map iteration in deterministic packages",
+	Doc:  "flag time.Now, global math/rand draws, map iteration, and NaN-oblivious float comparators in deterministic packages",
 	Run:  runDeterminism,
 }
 
@@ -59,8 +67,77 @@ func runDeterminism(pass *Pass) {
 						pass.Reportf(n.Pos(), "range over map iterates in randomized order: sort the keys first (or justify with an allow directive)")
 					}
 				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFloatComparator(pass, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFloatComparator(pass, n.Type, n.Body)
 			}
 			return true
 		})
 	}
+}
+
+// checkFloatComparator flags int-returning functions over float
+// operands whose body can `return 0` without ever asking math.IsNaN:
+// with IEEE semantics such a comparator calls NaN equal to everything,
+// which is not a total order, and sorted output then depends on the
+// parallel decomposition.
+func checkFloatComparator(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	if !isOrderingSig(pass, ft) {
+		return
+	}
+	var zeroReturns []*ast.ReturnStmt
+	checksNaN := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // nested functions judged on their own
+		case *ast.ReturnStmt:
+			if len(n.Results) == 1 {
+				if lit, ok := n.Results[0].(*ast.BasicLit); ok && lit.Value == "0" {
+					zeroReturns = append(zeroReturns, n)
+				}
+			}
+		case *ast.CallExpr:
+			if obj := calleeObj(pass.Info, n); obj != nil && isPkgFunc(obj, "math", "IsNaN") {
+				checksNaN = true
+			}
+		}
+		return true
+	})
+	if checksNaN {
+		return
+	}
+	for _, r := range zeroReturns {
+		pass.Reportf(r.Pos(), "float comparator returns 0 without a math.IsNaN check: IEEE < and > are both false for NaN, so this is not a total order and parallel sorts using it diverge by worker count")
+	}
+}
+
+// isOrderingSig reports whether ft takes at least one float operand and
+// returns exactly one int — the shape of a three-way comparator.
+func isOrderingSig(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Results == nil || len(ft.Results.List) != 1 || len(ft.Results.List[0].Names) > 1 {
+		return false
+	}
+	rt := pass.TypeOf(ft.Results.List[0].Type)
+	if rt == nil {
+		return false
+	}
+	rb, ok := rt.Underlying().(*types.Basic)
+	if !ok || rb.Kind() != types.Int {
+		return false
+	}
+	if ft.Params == nil {
+		return false
+	}
+	for _, p := range ft.Params.List {
+		if t := pass.TypeOf(p.Type); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				return true
+			}
+		}
+	}
+	return false
 }

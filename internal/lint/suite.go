@@ -18,8 +18,9 @@ type ScopedAnalyzer struct {
 //
 //   - determinism guards every package that produces (or partitions)
 //     query results: kernels, the engine, the column store, plan
-//     operators, and the cluster layer whose partition generation and
-//     merges must be byte-identical across nodes and re-dispatches.
+//     operators, the cluster layer whose partition generation and
+//     merges must be byte-identical across nodes and re-dispatches, and
+//     the obs layer whose span counters feed EXPLAIN ANALYZE.
 //   - costaccounting guards internal/exec, the only place kernels
 //     charge the counters the hardware simulation consumes.
 //   - ctxcheck and closecheck guard the cluster layer's RPC and wire
@@ -34,6 +35,7 @@ func Suite() []ScopedAnalyzer {
 			"wimpi/internal/colstore",
 			"wimpi/internal/plan",
 			"wimpi/internal/cluster/...",
+			"wimpi/internal/obs",
 		}},
 		{CostAccounting, []string{"wimpi/internal/exec"}},
 		{CtxCheck, []string{"wimpi/internal/cluster/..."}},

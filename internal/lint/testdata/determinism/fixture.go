@@ -3,6 +3,7 @@
 package fixture
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -66,4 +67,69 @@ func MapOrderSorted(m map[string]int) []string {
 func MissingReason() int {
 	//lint:allow determinism // want "missing its mandatory"
 	return 0
+}
+
+// CmpFloatNaive is a float comparator with IEEE semantics only: NaN
+// compares "equal" to everything, so it is not a total order.
+func CmpFloatNaive(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0 // want "float comparator returns 0 without a math.IsNaN check"
+	}
+}
+
+// CmpFloatLitNaive triggers inside a function literal too.
+var CmpFloatLitNaive = func(a, b float32) int {
+	if a < b {
+		return -1
+	}
+	if a > b {
+		return 1
+	}
+	return 0 // want "float comparator returns 0 without a math.IsNaN check"
+}
+
+// CmpFloatTotal orders NaN explicitly (after everything else), so the
+// equality branch is reachable only for genuinely tied non-NaN values.
+func CmpFloatTotal(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	case bn:
+		return -1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CmpIntTies is an integer comparator: ties are exact, no finding.
+func CmpIntTies(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// FloatBuckets takes a float but is not a comparator (no int result
+// carrying an ordering — it returns a count), so returning 0 is fine.
+func FloatBuckets(x float64) (n int, ok bool) {
+	if x > 0 {
+		return 1, true
+	}
+	return 0, false
 }

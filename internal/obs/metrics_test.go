@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersGaugesConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("wimpi_test_events_total")
+	g := r.Gauge("wimpi_test_depth")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Set(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() < 0 || g.Value() > 999 {
+		t.Errorf("gauge = %d, want in [0,999]", g.Value())
+	}
+	// Same name returns the same instrument.
+	if r.Counter("wimpi_test_events_total") != c {
+		t.Error("Counter did not return the cached instrument")
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wimpi_test_x")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a gauge under a counter name should panic")
+		}
+	}()
+	r.Gauge("wimpi_test_x")
+}
+
+func TestHistogramBucketsAndExport(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wimpi_test_latency_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got != 5.555 {
+		t.Errorf("sum = %g, want 5.555", got)
+	}
+	r.Counter("wimpi_test_a_total").Add(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE wimpi_test_a_total counter",
+		"wimpi_test_a_total 3",
+		"# TYPE wimpi_test_latency_seconds histogram",
+		`wimpi_test_latency_seconds_bucket{le="0.01"} 1`,
+		`wimpi_test_latency_seconds_bucket{le="0.1"} 2`,
+		`wimpi_test_latency_seconds_bucket{le="1"} 3`,
+		`wimpi_test_latency_seconds_bucket{le="+Inf"} 4`,
+		"wimpi_test_latency_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted output: a_total must precede latency_seconds.
+	if strings.Index(out, "wimpi_test_a_total") > strings.Index(out, "wimpi_test_latency_seconds") {
+		t.Errorf("export not sorted by name:\n%s", out)
+	}
+}

@@ -7,14 +7,131 @@ import (
 
 	"wimpi/internal/colstore"
 	"wimpi/internal/exec"
+	"wimpi/internal/obs"
 )
+
+// spanNode wraps a node so its execution opens an operator span on the
+// context's tracer. Phase-level spans (join build/probe, gathers) are
+// opened by the operators themselves and nest inside this one.
+type spanNode struct {
+	inner Node
+	op    string
+}
+
+// Execute implements Node.
+func (a *spanNode) Execute(ctx *Context) (*colstore.Table, error) {
+	sp := ctx.Trace.Begin(a.op, firstLine(strings.TrimSpace(a.inner.Explain(0))))
+	out, err := a.inner.Execute(ctx)
+	if err != nil {
+		ctx.Trace.EndErr(sp)
+		return nil, err
+	}
+	ctx.Trace.End(sp, int64(out.NumRows()), out.SizeBytes())
+	return out, nil
+}
+
+// Explain implements Node.
+func (a *spanNode) Explain(depth int) string { return a.inner.Explain(depth) }
+
+// opName maps a node to its span operator kind.
+func opName(n Node) string {
+	switch n.(type) {
+	case *Scan:
+		return "scan"
+	case *Filter:
+		return "select"
+	case *Project:
+		return "project"
+	case *Rename:
+		return "rename"
+	case *Limit:
+		return "limit"
+	case *OrderBy:
+		return "sort"
+	case *GroupBy:
+		return "group-by"
+	case *HashJoin:
+		return "hash-join"
+	default:
+		return "node"
+	}
+}
+
+// instrument returns a deep copy of the plan with every node wrapped in
+// a spanNode. It understands all node types defined in this package;
+// unknown nodes (e.g. query-defined function nodes) are wrapped without
+// descending into their internals.
+func instrument(n Node) Node {
+	wrap := func(inner Node) Node { return &spanNode{inner: inner, op: opName(n)} }
+	switch v := n.(type) {
+	case *Scan:
+		c := *v
+		return wrap(&c)
+	case *Filter:
+		c := *v
+		c.Input = instrument(v.Input)
+		return wrap(&c)
+	case *Project:
+		c := *v
+		c.Input = instrument(v.Input)
+		return wrap(&c)
+	case *Rename:
+		c := *v
+		c.Input = instrument(v.Input)
+		return wrap(&c)
+	case *Limit:
+		c := *v
+		c.Input = instrument(v.Input)
+		return wrap(&c)
+	case *OrderBy:
+		c := *v
+		c.Input = instrument(v.Input)
+		return wrap(&c)
+	case *GroupBy:
+		c := *v
+		c.Input = instrument(v.Input)
+		return wrap(&c)
+	case *HashJoin:
+		c := *v
+		c.Build = instrument(v.Build)
+		c.Probe = instrument(v.Probe)
+		return wrap(&c)
+	default:
+		return wrap(n)
+	}
+}
+
+// Traced is the outcome of a traced execution.
+type Traced struct {
+	// Table is the query result.
+	Table *colstore.Table
+	// Counters is the total work.
+	Counters exec.Counters
+	// Root is the operator span tree.
+	Root *obs.Span
+}
+
+// RunTraced executes a plan with operator span tracing. The result table
+// and counters are bit-identical to Run's — tracing only snapshots the
+// counters the kernels charge anyway, plus wall clocks that never feed
+// back into execution.
+func RunTraced(cat Catalog, workers int, n Node) (*Traced, error) {
+	ctr := &exec.Counters{}
+	tr := obs.NewTracer(ctr)
+	ctx := &Context{Cat: cat, Ctr: ctr, Workers: workers, Trace: tr}
+	out, err := instrument(n).Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Traced{Table: out, Counters: *ctr, Root: tr.Root()}, nil
+}
 
 // NodeStats records one operator's contribution during an analyzed
 // execution.
 type NodeStats struct {
 	// Label is the operator's one-line description.
 	Label string
-	// Depth is the operator's depth in the plan tree.
+	// Depth is the operator's depth in the span tree.
 	Depth int
 	// Rows is the operator's output cardinality.
 	Rows int
@@ -28,127 +145,6 @@ type NodeStats struct {
 	Counters exec.Counters
 }
 
-// analyzeNode wraps a node, timing it and diffing the context counters
-// around its execution.
-type analyzeNode struct {
-	inner Node
-	stats *[]NodeStats
-	depth int
-}
-
-// Execute implements Node.
-func (a *analyzeNode) Execute(ctx *Context) (*colstore.Table, error) {
-	// Record an entry eagerly so parents appear before children and the
-	// child-inclusive measurements can be corrected afterwards.
-	idx := len(*a.stats)
-	*a.stats = append(*a.stats, NodeStats{
-		Label: strings.TrimSpace(a.inner.Explain(0)),
-		Depth: a.depth,
-	})
-	before := *ctx.Ctr
-	//lint:allow determinism -- EXPLAIN ANALYZE measures host wall time; results never depend on it
-	start := time.Now()
-	out, err := a.inner.Execute(ctx)
-	if err != nil {
-		return nil, err
-	}
-	elapsed := time.Since(start)
-	st := &(*a.stats)[idx]
-	st.Rows = out.NumRows()
-	st.OutputBytes = out.SizeBytes()
-	// Inclusive measurements; Analyze converts them to exclusive in a
-	// post-pass once all children are recorded.
-	st.HostDuration = elapsed
-	st.Counters = diffCounters(before, *ctx.Ctr)
-	return out, nil
-}
-
-// exclusiveStats converts inclusive pre-order measurements to exclusive
-// ones by subtracting each node's direct children (which, in pre-order,
-// are the following entries one level deeper, up to the next entry at
-// the node's own depth or shallower).
-func exclusiveStats(stats []NodeStats) {
-	// Process parents before their children (ascending pre-order), so a
-	// parent always subtracts its children's still-inclusive values.
-	for i := 0; i < len(stats); i++ {
-		for j := i + 1; j < len(stats); j++ {
-			if stats[j].Depth <= stats[i].Depth {
-				break
-			}
-			if stats[j].Depth == stats[i].Depth+1 {
-				stats[i].HostDuration -= stats[j].HostDuration
-				stats[i].Counters = diffCounters(stats[j].Counters, stats[i].Counters)
-			}
-		}
-	}
-}
-
-// Explain implements Node.
-func (a *analyzeNode) Explain(depth int) string { return a.inner.Explain(depth) }
-
-func diffCounters(before, after exec.Counters) exec.Counters {
-	return exec.Counters{
-		TuplesScanned:      after.TuplesScanned - before.TuplesScanned,
-		SeqBytes:           after.SeqBytes - before.SeqBytes,
-		RandomAccesses:     after.RandomAccesses - before.RandomAccesses,
-		IntOps:             after.IntOps - before.IntOps,
-		FloatOps:           after.FloatOps - before.FloatOps,
-		HashBuildTuples:    after.HashBuildTuples - before.HashBuildTuples,
-		HashProbeTuples:    after.HashProbeTuples - before.HashProbeTuples,
-		AggUpdates:         after.AggUpdates - before.AggUpdates,
-		TuplesMaterialized: after.TuplesMaterialized - before.TuplesMaterialized,
-		BytesMaterialized:  after.BytesMaterialized - before.BytesMaterialized,
-		TouchedBaseBytes:   after.TouchedBaseBytes - before.TouchedBaseBytes,
-		MergeBytes:         after.MergeBytes - before.MergeBytes,
-		MaxHashBytes:       after.MaxHashBytes,
-		PeakLiveBytes:      after.PeakLiveBytes,
-	}
-}
-
-// instrument returns a deep copy of the plan with every node wrapped for
-// analysis. It understands all node types defined in this package;
-// unknown nodes (e.g. query-defined function nodes) are wrapped without
-// descending into their internals.
-func instrument(n Node, stats *[]NodeStats, depth int) Node {
-	wrap := func(inner Node) Node { return &analyzeNode{inner: inner, stats: stats, depth: depth} }
-	switch v := n.(type) {
-	case *Scan:
-		c := *v
-		return wrap(&c)
-	case *Filter:
-		c := *v
-		c.Input = instrument(v.Input, stats, depth+1)
-		return wrap(&c)
-	case *Project:
-		c := *v
-		c.Input = instrument(v.Input, stats, depth+1)
-		return wrap(&c)
-	case *Rename:
-		c := *v
-		c.Input = instrument(v.Input, stats, depth+1)
-		return wrap(&c)
-	case *Limit:
-		c := *v
-		c.Input = instrument(v.Input, stats, depth+1)
-		return wrap(&c)
-	case *OrderBy:
-		c := *v
-		c.Input = instrument(v.Input, stats, depth+1)
-		return wrap(&c)
-	case *GroupBy:
-		c := *v
-		c.Input = instrument(v.Input, stats, depth+1)
-		return wrap(&c)
-	case *HashJoin:
-		c := *v
-		c.Build = instrument(v.Build, stats, depth+1)
-		c.Probe = instrument(v.Probe, stats, depth+1)
-		return wrap(&c)
-	default:
-		return wrap(n)
-	}
-}
-
 // Analysis is the outcome of an analyzed execution.
 type Analysis struct {
 	// Table is the query result.
@@ -157,19 +153,31 @@ type Analysis struct {
 	Counters exec.Counters
 	// Stats holds per-operator measurements in pre-order.
 	Stats []NodeStats
+	// Root is the underlying span tree (also flattened into Stats).
+	Root *obs.Span
 }
 
 // Analyze executes a plan with per-operator instrumentation — the
-// engine's EXPLAIN ANALYZE.
+// engine's EXPLAIN ANALYZE. It is RunTraced plus a flattening of the
+// span tree into pre-order per-operator rows with exclusive (children
+// subtracted) measurements.
 func Analyze(cat Catalog, workers int, n Node) (*Analysis, error) {
-	var stats []NodeStats
-	wrapped := instrument(n, &stats, 0)
-	out, ctr, err := Run(cat, workers, wrapped)
+	res, err := RunTraced(cat, workers, n)
 	if err != nil {
 		return nil, err
 	}
-	exclusiveStats(stats)
-	return &Analysis{Table: out, Counters: ctr, Stats: stats}, nil
+	var stats []NodeStats
+	res.Root.Walk(func(sp *obs.Span, depth int) {
+		stats = append(stats, NodeStats{
+			Label:        sp.Label,
+			Depth:        depth,
+			Rows:         int(sp.Rows),
+			OutputBytes:  sp.Bytes,
+			HostDuration: sp.SelfWall(),
+			Counters:     sp.SelfCounters(),
+		})
+	})
+	return &Analysis{Table: res.Table, Counters: res.Counters, Stats: stats, Root: res.Root}, nil
 }
 
 // Render formats the analysis as an annotated plan tree.

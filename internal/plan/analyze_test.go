@@ -36,9 +36,22 @@ func TestAnalyzeMatchesRunAndAttributesWork(t *testing.T) {
 		an.Counters.SeqBytes != plainCtr.SeqBytes {
 		t.Errorf("analyzed counters diverge: %+v vs %+v", an.Counters, plainCtr)
 	}
-	// One stats row per operator: groupby, join, 2 scans.
-	if len(an.Stats) != 4 {
-		t.Fatalf("stats rows = %d, want 4", len(an.Stats))
+	// One stats row per span: groupby, join, 2 scans, the join's
+	// build and probe phases, and 3 gathers (filtered scan, and the
+	// inner join's two output gathers).
+	if len(an.Stats) != 9 {
+		t.Fatalf("stats rows = %d, want 9:\n%s", len(an.Stats), an.Render())
+	}
+	for _, op := range []string{"build [c_id]", "probe [o_cust]"} {
+		found := false
+		for _, st := range an.Stats {
+			if st.Label == op {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %q phase span:\n%s", op, an.Render())
+		}
 	}
 	// Pre-order: the root is first and has depth 0.
 	if an.Stats[0].Depth != 0 || !strings.Contains(an.Stats[0].Label, "group by") {

@@ -68,18 +68,35 @@ func (j *HashJoin) Execute(ctx *Context) (*colstore.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	w := ctx.workers()
+	mr := ctx.morselRows()
+
+	// Build phase: key extraction plus hash table construction.
+	bsp := ctx.Trace.Begin("join-build", fmt.Sprintf("build [%s]", strings.Join(j.BuildKeys, ",")))
 	bk, err := joinKeysParallel(ctx, build, j.BuildKeys)
 	if err != nil {
+		ctx.Trace.EndErr(bsp)
 		return nil, err
 	}
+	jt := exec.BuildJoinTableParallel(bk, w, mr, ctx.Ctr)
+	ctx.Trace.End(bsp, int64(build.NumRows()), build.SizeBytes())
+
+	// Probe phase: key extraction, probe kernel, and output gathers.
+	psp := ctx.Trace.Begin("join-probe", fmt.Sprintf("probe [%s]", strings.Join(j.ProbeKeys, ",")))
+	out, err := j.probePhase(ctx, jt, build, probe, w, mr)
+	if err != nil {
+		ctx.Trace.EndErr(psp)
+		return nil, err
+	}
+	ctx.Trace.End(psp, int64(out.NumRows()), out.SizeBytes())
+	return out, nil
+}
+
+func (j *HashJoin) probePhase(ctx *Context, jt exec.JoinIndex, build, probe *colstore.Table, w, mr int) (*colstore.Table, error) {
 	pk, err := joinKeysParallel(ctx, probe, j.ProbeKeys)
 	if err != nil {
 		return nil, err
 	}
-	w := ctx.workers()
-	mr := ctx.morselRows()
-	jt := exec.BuildJoinTableParallel(bk, w, mr, ctx.Ctr)
-
 	switch j.Kind {
 	case Inner:
 		bi, pi := exec.InnerJoinParallel(jt, pk, w, mr, ctx.Ctr)

@@ -15,6 +15,7 @@ import (
 
 	"wimpi/internal/colstore"
 	"wimpi/internal/exec"
+	"wimpi/internal/obs"
 )
 
 // Catalog resolves table names to tables. *engine.DB implements Catalog.
@@ -40,6 +41,10 @@ type Context struct {
 	// only on input size, never on Workers, so results are bit-identical
 	// at every degree of parallelism.
 	MorselRows int
+	// Trace, when non-nil, collects an operator span tree during
+	// execution. A nil tracer is a valid no-op, so operators call it
+	// unconditionally.
+	Trace *obs.Tracer
 }
 
 // DefaultMinParallelRows is the default parallelism threshold.
@@ -337,12 +342,16 @@ func (o *OrderBy) Explain(depth int) string {
 	return s + "\n" + o.Input.Explain(depth+1)
 }
 
-// gather materializes t's rows named by sel and charges the write.
+// gather materializes t's rows named by sel and charges the write. When
+// tracing, the materialization gets its own child span — it is usually
+// the memory-bandwidth-bound part of a filter or join.
 func gather(ctx *Context, t *colstore.Table, sel []int32) *colstore.Table {
+	sp := ctx.Trace.Begin("gather", fmt.Sprintf("gather %d rows x %d cols", len(sel), t.NumCols()))
 	out := exec.GatherTable(t, sel, ctx.workers(), ctx.morselRows())
 	ctx.Ctr.TuplesMaterialized += int64(len(sel))
 	ctx.Ctr.BytesMaterialized += out.SizeBytes()
 	ctx.Ctr.SeqBytes += out.SizeBytes()
 	ctx.Ctr.RandomAccesses += int64(len(sel)) * int64(t.NumCols())
+	ctx.Trace.End(sp, int64(len(sel)), out.SizeBytes())
 	return out
 }
