@@ -4,7 +4,7 @@ GO ?= go
 # and soak runs override it (FUZZTIME=2m make fuzz).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race chaos fuzz explain-smoke check bench-scaling
+.PHONY: build test vet lint race chaos fuzz explain-smoke check bench-scaling bench-smoke
 
 build:
 	$(GO) build ./...
@@ -51,3 +51,9 @@ check: build test vet lint race explain-smoke
 # Parallel speedup on Q1/Q3/Q6/Q18 at 1/2/4/8 workers (SF via WIMPI_BENCH_SF).
 bench-scaling:
 	$(GO) test -run '^$$' -bench BenchmarkParallelScaling -benchtime 3x .
+
+# Radix-partitioned vs chained hash join sweep; regenerates
+# BENCH_join.json. WIMPI_BENCH_BIG=1 adds a build side that also
+# overflows a server-class host LLC.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkJoinRadixVsChained -benchtime 3x .

@@ -29,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "dataset seed")
 	query := flag.String("q", "all", "query number (1-22) or 'all'")
 	workers := flag.Int("workers", 0, "engine parallelism (0 = one per core)")
+	llc := flag.Int64("llc", 0, "LLC budget in bytes for radix-partitioned plans (0 = Pi-sized default, negative disables)")
 	planOnly := flag.Bool("plan", false, "print the physical plan instead of executing")
 	explain := flag.Bool("explain", false, "EXPLAIN ANALYZE: execute, then print the operator span tree with wall and simulated time")
 	profileName := flag.String("profile", "Pi 3B+", "hardware profile attributed in -explain output (see hardware.Profiles)")
@@ -89,7 +90,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "(snapshot written to %s) ", *save)
 	}
-	db := engine.NewDB(engine.Config{Workers: *workers})
+	db := engine.NewDB(engine.Config{Workers: *workers, TargetLLCBytes: *llc})
 	data.RegisterAll(db)
 	fmt.Fprintf(os.Stderr, "done in %v (%.1f MB, %d workers)\n", time.Since(start).Round(time.Millisecond),
 		float64(db.SizeBytes())/(1<<20), db.Workers())

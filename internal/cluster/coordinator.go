@@ -29,6 +29,11 @@ type Config struct {
 	// WorkersPerNode is each node's intra-query parallelism (a Pi 3B+
 	// has four cores).
 	WorkersPerNode int
+	// TargetLLCBytes is each node's planning cache budget for
+	// radix-partitioned operators (see engine.Config.TargetLLCBytes). It
+	// is shipped with every load so re-dispatched partitions plan — and
+	// answer — identically on whichever node ends up running them.
+	TargetLLCBytes int64
 
 	// DialTimeout bounds each TCP connect (default 10s).
 	DialTimeout time.Duration
@@ -227,7 +232,7 @@ func (c *Coordinator) LoadContext(ctx context.Context, sf float64, seed uint64) 
 			defer wg.Done()
 			resp, _, err := c.callRetry(ctx, i, &Request{Type: "load", ForNode: -1, Load: &LoadRequest{
 				SF: sf, Seed: seed, Node: i, NumNodes: len(c.conns),
-				Workers: c.cfg.WorkersPerNode,
+				Workers: c.cfg.WorkersPerNode, TargetLLCBytes: c.cfg.TargetLLCBytes,
 			}})
 			if err != nil {
 				errs[i] = err

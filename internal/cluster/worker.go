@@ -145,7 +145,7 @@ func (w *Worker) handleLoad(l *LoadRequest) *Response {
 	if workers < 1 {
 		workers = 1
 	}
-	db := engine.NewDB(engine.Config{Workers: workers})
+	db := engine.NewDB(engine.Config{Workers: workers, TargetLLCBytes: l.TargetLLCBytes})
 	d.RegisterAll(db)
 
 	lcopy := *l
@@ -196,7 +196,7 @@ func (w *Worker) spareDB(node int) (*engine.DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("regenerate partition %d: %v", node, err)
 	}
-	db := engine.NewDB(engine.Config{Workers: l.Workers})
+	db := engine.NewDB(engine.Config{Workers: l.Workers, TargetLLCBytes: l.TargetLLCBytes})
 	d.RegisterAll(db)
 	if w.spare == nil {
 		w.spare = map[int]*engine.DB{}

@@ -40,6 +40,13 @@ type Config struct {
 	// Workers bounds intra-query parallelism. Values < 1 select the
 	// runtime default, runtime.GOMAXPROCS(0).
 	Workers int
+	// TargetLLCBytes is the last-level-cache budget the planner sizes
+	// radix-partitioned joins and aggregations against. Zero selects
+	// plan.DefaultLLCBytes (the smallest LLC among the paper's hardware
+	// profiles); negative disables the partitioned paths. Unlike Workers
+	// it changes which plan runs, never its result: partitioned and
+	// direct paths are byte-identical.
+	TargetLLCBytes int64
 }
 
 // DB is an in-memory database: a named set of columnar tables. It is safe
@@ -144,11 +151,16 @@ func (db *DB) RunWith(p plan.Node, workers int) (*Result, error) {
 	metricQueries.Inc()
 	//lint:allow determinism -- measured wall clock, reported as HostDuration; results never depend on it
 	start := time.Now()
-	t, ctr, err := plan.Run(db, workers, p)
+	t, ctr, err := plan.RunContext(db.planCtx(workers), p)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Table: t, Counters: ctr, HostDuration: time.Since(start)}, nil
+}
+
+// planCtx builds the execution context for one query.
+func (db *DB) planCtx(workers int) *plan.Context {
+	return &plan.Context{Cat: db, Workers: workers, LLCBytes: db.cfg.TargetLLCBytes}
 }
 
 // TracedResult is a Result plus the operator span tree recorded while
@@ -175,7 +187,7 @@ func (db *DB) RunTracedWith(p plan.Node, workers int) (*TracedResult, error) {
 	metricQueries.Inc()
 	//lint:allow determinism -- measured wall clock, reported as HostDuration; results never depend on it
 	start := time.Now()
-	res, err := plan.RunTraced(db, workers, p)
+	res, err := plan.RunTracedContext(db.planCtx(workers), p)
 	if err != nil {
 		return nil, err
 	}
@@ -253,5 +265,5 @@ func formatCell(c colstore.Column, row int) string {
 // ANALYZE): each operator's output cardinality, footprint, wall-clock
 // time, and work profile.
 func (db *DB) Analyze(p plan.Node) (*plan.Analysis, error) {
-	return plan.Analyze(db, db.Workers(), p)
+	return plan.AnalyzeContext(db.planCtx(db.Workers()), p)
 }

@@ -40,6 +40,29 @@ func (g *Grouper) GroupIDs(keys []int64, ctr *Counters) []int32 {
 	return out
 }
 
+// GroupIDsCacheResident is GroupIDs for groupers deliberately sized to
+// stay cache-resident — the radix group-by's per-partition tables. The
+// per-tuple accesses charge CacheRandomAccesses instead of
+// RandomAccesses, and the footprint is recorded as a partition footprint
+// so the hardware model can check it really fits the LLC.
+func (g *Grouper) GroupIDsCacheResident(keys []int64, ctr *Counters) []int32 {
+	out := make([]int32, len(keys))
+	for i, k := range keys {
+		out[i] = g.groupID(k)
+	}
+	ctr.CacheRandomAccesses += int64(len(keys))
+	ctr.AggUpdates += int64(len(keys))
+	ctr.ObservePartitionBytes(int64(len(g.slotKeys)) * 12)
+	return out
+}
+
+// GrouperBytes predicts a Grouper's table footprint once n distinct keys
+// are resident (capacity stays at least twice the group count), letting
+// the planner compare an aggregation hash table against the LLC.
+func GrouperBytes(n int) int64 {
+	return int64(nextPow2(n*2+1)) * 12
+}
+
 func (g *Grouper) groupID(k int64) int32 {
 	mask := uint64(len(g.slotKeys) - 1)
 	slot := hashKey(k, g.shift) & mask

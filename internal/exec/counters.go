@@ -57,6 +57,23 @@ type Counters struct {
 	// simulated parallel speedups stay sub-linear instead of assuming
 	// perfect scaling.
 	MergeBytes int64
+	// CacheRandomAccesses counts data-dependent accesses into structures
+	// deliberately sized to stay cache-resident — the per-partition hash
+	// tables and Bloom blocks of the radix join and group-by paths. The
+	// hardware model charges them at LLC rather than DRAM latency (as
+	// long as MaxPartitionBytes fits the profile's LLC), which is the
+	// whole point of radix partitioning on wimpy nodes.
+	CacheRandomAccesses int64
+	// PartitionBytes counts bytes streamed by radix partition passes:
+	// sequential reads plus bounded-fanout scattered writes. The model
+	// charges them at full-parallel sequential bandwidth — the price paid
+	// up front to turn DRAM random accesses into CacheRandomAccesses.
+	PartitionBytes int64
+	// MaxPartitionBytes tracks the footprint of the largest cache-sized
+	// structure (per-partition table, Bloom filter) a partitioned path
+	// built. The hardware model compares it against the profile LLC to
+	// decide whether CacheRandomAccesses really hit cache.
+	MaxPartitionBytes int64
 }
 
 // Add accumulates o into c. Max-like fields take the maximum.
@@ -73,6 +90,11 @@ func (c *Counters) Add(o Counters) {
 	c.BytesMaterialized += o.BytesMaterialized
 	c.TouchedBaseBytes += o.TouchedBaseBytes
 	c.MergeBytes += o.MergeBytes
+	c.CacheRandomAccesses += o.CacheRandomAccesses
+	c.PartitionBytes += o.PartitionBytes
+	if o.MaxPartitionBytes > c.MaxPartitionBytes {
+		c.MaxPartitionBytes = o.MaxPartitionBytes
+	}
 	if o.MaxHashBytes > c.MaxHashBytes {
 		c.MaxHashBytes = o.MaxHashBytes
 	}
@@ -83,25 +105,28 @@ func (c *Counters) Add(o Counters) {
 
 // DiffCounters returns the work charged between two snapshots of the
 // same counter set: additive fields subtract (after - before), while
-// max-style fields (MaxHashBytes, PeakLiveBytes) are high-water marks
-// and keep the after value. It is the snapshot delta used by operator
+// max-style fields (MaxHashBytes, PeakLiveBytes, MaxPartitionBytes) are
+// high-water marks and keep the after value. It is the snapshot delta used by operator
 // spans and EXPLAIN ANALYZE.
 func DiffCounters(before, after Counters) Counters {
 	return Counters{
-		TuplesScanned:      after.TuplesScanned - before.TuplesScanned,
-		SeqBytes:           after.SeqBytes - before.SeqBytes,
-		RandomAccesses:     after.RandomAccesses - before.RandomAccesses,
-		IntOps:             after.IntOps - before.IntOps,
-		FloatOps:           after.FloatOps - before.FloatOps,
-		HashBuildTuples:    after.HashBuildTuples - before.HashBuildTuples,
-		HashProbeTuples:    after.HashProbeTuples - before.HashProbeTuples,
-		AggUpdates:         after.AggUpdates - before.AggUpdates,
-		TuplesMaterialized: after.TuplesMaterialized - before.TuplesMaterialized,
-		BytesMaterialized:  after.BytesMaterialized - before.BytesMaterialized,
-		TouchedBaseBytes:   after.TouchedBaseBytes - before.TouchedBaseBytes,
-		MergeBytes:         after.MergeBytes - before.MergeBytes,
-		MaxHashBytes:       after.MaxHashBytes,
-		PeakLiveBytes:      after.PeakLiveBytes,
+		TuplesScanned:       after.TuplesScanned - before.TuplesScanned,
+		SeqBytes:            after.SeqBytes - before.SeqBytes,
+		RandomAccesses:      after.RandomAccesses - before.RandomAccesses,
+		IntOps:              after.IntOps - before.IntOps,
+		FloatOps:            after.FloatOps - before.FloatOps,
+		HashBuildTuples:     after.HashBuildTuples - before.HashBuildTuples,
+		HashProbeTuples:     after.HashProbeTuples - before.HashProbeTuples,
+		AggUpdates:          after.AggUpdates - before.AggUpdates,
+		TuplesMaterialized:  after.TuplesMaterialized - before.TuplesMaterialized,
+		BytesMaterialized:   after.BytesMaterialized - before.BytesMaterialized,
+		TouchedBaseBytes:    after.TouchedBaseBytes - before.TouchedBaseBytes,
+		MergeBytes:          after.MergeBytes - before.MergeBytes,
+		CacheRandomAccesses: after.CacheRandomAccesses - before.CacheRandomAccesses,
+		PartitionBytes:      after.PartitionBytes - before.PartitionBytes,
+		MaxHashBytes:        after.MaxHashBytes,
+		PeakLiveBytes:       after.PeakLiveBytes,
+		MaxPartitionBytes:   after.MaxPartitionBytes,
 	}
 }
 
@@ -109,6 +134,14 @@ func DiffCounters(before, after Counters) Counters {
 func (c *Counters) ObserveHashBytes(n int64) {
 	if n > c.MaxHashBytes {
 		c.MaxHashBytes = n
+	}
+}
+
+// ObservePartitionBytes records the footprint of a cache-sized structure
+// built by a partitioned path (per-partition hash table, Bloom filter).
+func (c *Counters) ObservePartitionBytes(n int64) {
+	if n > c.MaxPartitionBytes {
+		c.MaxPartitionBytes = n
 	}
 }
 

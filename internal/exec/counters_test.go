@@ -6,20 +6,23 @@ import "testing"
 // value, so merge tests notice any field that Add forgets.
 func fullCounters(base int64) Counters {
 	return Counters{
-		TuplesScanned:      base + 1,
-		SeqBytes:           base + 2,
-		RandomAccesses:     base + 3,
-		IntOps:             base + 4,
-		FloatOps:           base + 5,
-		HashBuildTuples:    base + 6,
-		HashProbeTuples:    base + 7,
-		AggUpdates:         base + 8,
-		TuplesMaterialized: base + 9,
-		BytesMaterialized:  base + 10,
-		MaxHashBytes:       base + 11,
-		PeakLiveBytes:      base + 12,
-		TouchedBaseBytes:   base + 13,
-		MergeBytes:         base + 14,
+		TuplesScanned:       base + 1,
+		SeqBytes:            base + 2,
+		RandomAccesses:      base + 3,
+		IntOps:              base + 4,
+		FloatOps:            base + 5,
+		HashBuildTuples:     base + 6,
+		HashProbeTuples:     base + 7,
+		AggUpdates:          base + 8,
+		TuplesMaterialized:  base + 9,
+		BytesMaterialized:   base + 10,
+		MaxHashBytes:        base + 11,
+		PeakLiveBytes:       base + 12,
+		TouchedBaseBytes:    base + 13,
+		MergeBytes:          base + 14,
+		CacheRandomAccesses: base + 15,
+		PartitionBytes:      base + 16,
+		MaxPartitionBytes:   base + 17,
 	}
 }
 
@@ -46,6 +49,8 @@ func TestCountersAddSumsEveryAdditiveField(t *testing.T) {
 		{"BytesMaterialized", got.BytesMaterialized, a.BytesMaterialized + b.BytesMaterialized},
 		{"TouchedBaseBytes", got.TouchedBaseBytes, a.TouchedBaseBytes + b.TouchedBaseBytes},
 		{"MergeBytes", got.MergeBytes, a.MergeBytes + b.MergeBytes},
+		{"CacheRandomAccesses", got.CacheRandomAccesses, a.CacheRandomAccesses + b.CacheRandomAccesses},
+		{"PartitionBytes", got.PartitionBytes, a.PartitionBytes + b.PartitionBytes},
 	}
 	for _, s := range sums {
 		if s.got != s.wantSum {
@@ -55,8 +60,8 @@ func TestCountersAddSumsEveryAdditiveField(t *testing.T) {
 }
 
 func TestCountersAddTakesMaxOfPeakFields(t *testing.T) {
-	small := Counters{MaxHashBytes: 10, PeakLiveBytes: 20}
-	large := Counters{MaxHashBytes: 100, PeakLiveBytes: 5}
+	small := Counters{MaxHashBytes: 10, PeakLiveBytes: 20, MaxPartitionBytes: 7}
+	large := Counters{MaxHashBytes: 100, PeakLiveBytes: 5, MaxPartitionBytes: 70}
 
 	got := small
 	got.Add(large)
@@ -66,13 +71,17 @@ func TestCountersAddTakesMaxOfPeakFields(t *testing.T) {
 	if got.PeakLiveBytes != 20 {
 		t.Errorf("PeakLiveBytes = %d, want max(20,5)=20", got.PeakLiveBytes)
 	}
+	if got.MaxPartitionBytes != 70 {
+		t.Errorf("MaxPartitionBytes = %d, want max(7,70)=70", got.MaxPartitionBytes)
+	}
 
 	// The other direction must agree: max is commutative even though
 	// sums are not order-sensitive either.
 	got = large
 	got.Add(small)
-	if got.MaxHashBytes != 100 || got.PeakLiveBytes != 20 {
-		t.Errorf("reversed Add: MaxHashBytes=%d PeakLiveBytes=%d, want 100, 20", got.MaxHashBytes, got.PeakLiveBytes)
+	if got.MaxHashBytes != 100 || got.PeakLiveBytes != 20 || got.MaxPartitionBytes != 70 {
+		t.Errorf("reversed Add: MaxHashBytes=%d PeakLiveBytes=%d MaxPartitionBytes=%d, want 100, 20, 70",
+			got.MaxHashBytes, got.PeakLiveBytes, got.MaxPartitionBytes)
 	}
 }
 

@@ -1,17 +1,45 @@
 package exec
 
-// hashKey mixes a 64-bit key with a Fibonacci multiplier. The low bits of
-// the product are poorly mixed, so slots are derived from the high bits.
+import "math/bits"
+
+// hashKey mixes a 64-bit key with a full multiply-shift (Fibonacci)
+// finalizer: xor-shifts fold the high half of the state into the low
+// bits between two golden-ratio multiplies, so every input bit diffuses
+// into the high output bits that slots are derived from. A bare
+// multiply-shift maps keys sharing low-order structure (power-of-two
+// strides, packed multi-column keys) onto clustered slots and linear
+// probing degenerates into long scans; TestHashKeyDistribution pins the
+// fixed behaviour on sequential, strided, and skewed key sets.
 func hashKey(k int64, shift uint) uint64 {
-	return (uint64(k) * 0x9E3779B97F4A7C15) >> shift
+	h := uint64(k)
+	h ^= h >> 32
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 28
+	return h >> shift
 }
 
+// nextPow2 returns the smallest power of two >= n, floored at 16. Inputs
+// beyond the largest int power of two clamp to it instead of shifting
+// into a negative (and then panicking) capacity.
 func nextPow2(n int) int {
-	c := 16
-	for c < n {
-		c <<= 1
+	if n <= 16 {
+		return 16
 	}
-	return c
+	const maxPow2 = 1 << (bits.UintSize - 2)
+	if n > maxPow2 {
+		return maxPow2
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// JoinTableBytes predicts the footprint of BuildJoinTable's result for n
+// build rows, letting the planner compare a chained table against the
+// LLC before building anything.
+func JoinTableBytes(n int) int64 {
+	capacity := nextPow2(n*2 + 1)
+	return int64(capacity)*12 + int64(n)*4
 }
 
 // JoinTable is a hash table over the build side of an equi-join. Slots use
@@ -113,16 +141,61 @@ func (jt *JoinTable) lookup(k int64) int32 {
 // of matching (build row, probe row) pairs. Probe rows are visited in
 // order, so probeIdx is non-decreasing.
 func (jt *JoinTable) InnerJoin(probeKeys []int64, ctr *Counters) (buildIdx, probeIdx []int32) {
-	buildIdx = make([]int32, 0, len(probeKeys))
-	probeIdx = make([]int32, 0, len(probeKeys))
-	for p, k := range probeKeys {
-		for b := jt.lookup(k); b >= 0; b = jt.next[b] {
-			buildIdx = append(buildIdx, b)
-			probeIdx = append(probeIdx, int32(p))
-		}
-	}
+	buildIdx, probeIdx = innerJoinChunked(jt.lookup, jt.next, probeKeys, ctr)
 	ctr.HashProbeTuples += int64(len(probeKeys))
 	ctr.RandomAccesses += int64(len(probeKeys)) + int64(len(buildIdx))
+	return buildIdx, probeIdx
+}
+
+// joinEmitChunkRows bounds the match buffers innerJoinChunked fills
+// before assembling the exact-size result.
+const joinEmitChunkRows = 1 << 16
+
+// innerJoinChunked emits (build row, probe row) matches into fixed-size
+// chunks, then assembles an exact-size result in one pass. The naive
+// append-doubling emit recopies the whole match set on every growth —
+// O(matches) hidden, uncharged traffic on large probes; chunking bounds
+// the live buffer, copies each pair exactly once, and charges that copy.
+// Output order is identical to the append path: probe rows ascending,
+// duplicate build rows in chain (descending row) order.
+func innerJoinChunked(lookup func(int64) int32, next []int32, probeKeys []int64, ctr *Counters) (buildIdx, probeIdx []int32) {
+	first := len(probeKeys)
+	if first > joinEmitChunkRows {
+		first = joinEmitChunkRows
+	}
+	cb := make([]int32, 0, first)
+	cp := make([]int32, 0, first)
+	var doneB, doneP [][]int32
+	for p, k := range probeKeys {
+		for b := lookup(k); b >= 0; b = next[b] {
+			if len(cb) == cap(cb) {
+				doneB = append(doneB, cb)
+				doneP = append(doneP, cp)
+				cb = make([]int32, 0, joinEmitChunkRows)
+				cp = make([]int32, 0, joinEmitChunkRows)
+			}
+			cb = append(cb, b)
+			cp = append(cp, int32(p))
+		}
+	}
+	if len(doneB) == 0 {
+		// Single chunk: it is the result, no assembly copy needed.
+		return cb, cp
+	}
+	doneB = append(doneB, cb)
+	doneP = append(doneP, cp)
+	total := 0
+	for _, c := range doneB {
+		total += len(c)
+	}
+	buildIdx = make([]int32, 0, total)
+	probeIdx = make([]int32, 0, total)
+	for i := range doneB {
+		buildIdx = append(buildIdx, doneB[i]...)
+		probeIdx = append(probeIdx, doneP[i]...)
+	}
+	// The assembly streams every emitted pair exactly once.
+	ctr.SeqBytes += int64(total) * 8
 	return buildIdx, probeIdx
 }
 

@@ -220,14 +220,7 @@ func (pt *PartitionedJoinTable) lookup(k int64) int32 {
 
 // InnerJoin implements JoinIndex; see JoinTable.InnerJoin.
 func (pt *PartitionedJoinTable) InnerJoin(probeKeys []int64, ctr *Counters) (buildIdx, probeIdx []int32) {
-	buildIdx = make([]int32, 0, len(probeKeys))
-	probeIdx = make([]int32, 0, len(probeKeys))
-	for p, k := range probeKeys {
-		for b := pt.lookup(k); b >= 0; b = pt.next[b] {
-			buildIdx = append(buildIdx, b)
-			probeIdx = append(probeIdx, int32(p))
-		}
-	}
+	buildIdx, probeIdx = innerJoinChunked(pt.lookup, pt.next, probeKeys, ctr)
 	ctr.HashProbeTuples += int64(len(probeKeys))
 	ctr.RandomAccesses += int64(len(probeKeys)) + int64(len(buildIdx))
 	return buildIdx, probeIdx

@@ -1,0 +1,280 @@
+package exec
+
+// Multi-pass radix partitioner. Keys are scattered into 2^bits
+// partitions by the high bits of an independent hash, at most
+// RadixBitsPerPass bits per pass, so one pass never keeps more than 64
+// write streams live — small enough that every stream's tail stays in
+// the TLB and store buffers even on a wimpy core. Partitioning converts
+// the DRAM-latency random probes of a big hash join or aggregation into
+// a few sequential passes plus cache-resident work per partition, which
+// is the access-aware execution style the paper argues wimpy nodes need.
+//
+// Determinism: partition assignment is a pure function of the key, every
+// scatter pass is stable (parallel first passes write per-(morsel,
+// bucket) windows in morsel order; refinement passes run one segment per
+// morsel), and segment boundaries depend only on the data — so the
+// output permutation is byte-identical at any worker count.
+
+const (
+	// RadixBitsPerPass bounds one scatter pass's fan-out to 64 write
+	// streams.
+	RadixBitsPerPass = 6
+	// MaxRadixBits caps the total fan-out at 4096 partitions (two
+	// passes); beyond that, pass overhead beats locality gains.
+	MaxRadixBits = 12
+	// radixElemBytes is the footprint of one scattered element: an
+	// 8-byte key plus a 4-byte row index.
+	radixElemBytes = 8 + 4
+)
+
+// mix64 is the splitmix64 finalizer — full-avalanche, and independent of
+// hashKey's Fibonacci finalizer so partitioning does not drain entropy
+// from the open addressing inside each partition.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// RadixOf returns key k's partition under a bits-bit fan-out. It is the
+// single definition of partition assignment: every pass of the
+// partitioner refines toward it, and probe sides route with it.
+func RadixOf(k int64, bits uint) int {
+	if bits == 0 {
+		return 0
+	}
+	return int(mix64(uint64(k)) >> (64 - bits))
+}
+
+// RadixBits returns the fan-out (in bits) that brings a per-partition
+// structure of rows*bytesPerRow total bytes under targetBytes, capped at
+// MaxRadixBits.
+//
+//lint:allow costaccounting -- fan-out arithmetic over at most MaxRadixBits iterations, not data-path work
+func RadixBits(rows int, bytesPerRow, targetBytes int64) uint {
+	if rows <= 0 || targetBytes <= 0 {
+		return 0
+	}
+	need := int64(rows) * bytesPerRow
+	var bits uint
+	for need > targetBytes && bits < MaxRadixBits {
+		need >>= 1
+		bits++
+	}
+	return bits
+}
+
+// RadixPasses returns the number of scatter passes a bits-bit fan-out
+// takes.
+func RadixPasses(bits uint) int {
+	return int((bits + RadixBitsPerPass - 1) / RadixBitsPerPass)
+}
+
+// RadixPartitions is a key vector scattered into 2^Bits partitions.
+type RadixPartitions struct {
+	// Keys holds the permuted keys; partition p occupies
+	// Keys[Off[p]:Off[p+1]].
+	Keys []int64
+	// Rows holds each permuted key's original row index, parallel to
+	// Keys. Within a partition, rows are ascending (the scatter is
+	// stable).
+	Rows []int32
+	// Off holds the partition boundaries; len(Off) == 2^Bits + 1.
+	Off []int32
+	// Bits is the fan-out in bits.
+	Bits uint
+	// Passes is the number of scatter passes taken.
+	Passes int
+}
+
+// NumPartitions reports the partition count.
+func (rp *RadixPartitions) NumPartitions() int { return len(rp.Off) - 1 }
+
+// RadixPartitionKeys scatters keys into 2^bits partitions. rows gives
+// each key's original row index; nil means the identity (keys[i] is row
+// i). The input slices are never modified. The first pass runs
+// morsel-parallel over the input; later passes refine one segment per
+// morsel. ctr is charged one streaming read per histogram pass and a
+// read+write stream per scatter pass (PartitionBytes).
+func RadixPartitionKeys(keys []int64, rows []int32, bits uint, workers, morselRows int, ctr *Counters) *RadixPartitions {
+	n := len(keys)
+	if bits == 0 {
+		if rows == nil {
+			rows = make([]int32, n)
+			_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+				for i := lo; i < hi; i++ {
+					rows[i] = int32(i)
+				}
+				c.IntOps += int64(hi - lo)
+				return nil
+			})
+		}
+		return &RadixPartitions{Keys: keys, Rows: rows, Off: []int32{0, int32(n)}, Bits: 0}
+	}
+
+	rp := &RadixPartitions{Bits: bits}
+	srcK, srcR := keys, rows // srcR may be nil on the first pass (identity)
+	dstK := make([]int64, n)
+	dstR := make([]int32, n)
+	off := []int32{0, int32(n)}
+	var done uint
+	for done < bits {
+		b := bits - done
+		if b > RadixBitsPerPass {
+			b = RadixBitsPerPass
+		}
+		fan := 1 << b
+		newOff := make([]int32, (len(off)-1)*fan+1)
+		if done == 0 {
+			radixFirstPass(srcK, srcR, dstK, dstR, newOff, b, workers, morselRows, ctr)
+		} else {
+			radixRefinePass(srcK, srcR, dstK, dstR, off, newOff, done, b, workers, ctr)
+		}
+		newOff[len(newOff)-1] = int32(n)
+		off = newOff
+		done += b
+		rp.Passes++
+		if done < bits {
+			if rp.Passes == 1 {
+				// Never scatter back into the caller's slices.
+				srcK = make([]int64, n)
+				srcR = make([]int32, n)
+			}
+			srcK, dstK = dstK, srcK
+			srcR, dstR = dstR, srcR
+		}
+	}
+	rp.Keys, rp.Rows, rp.Off = dstK, dstR, off
+	return rp
+}
+
+// radixFirstPass scatters the whole input by its top b partition bits,
+// morsel-parallel: a histogram pass gives every (morsel, bucket) pair a
+// disjoint write window, and filling windows in morsel order keeps the
+// scatter stable. srcR == nil means identity row indexes.
+func radixFirstPass(srcK []int64, srcR []int32, dstK []int64, dstR, newOff []int32, b uint, workers, morselRows int, ctr *Counters) {
+	n := len(srcK)
+	fan := 1 << b
+	shift := 64 - b
+	nm := NumMorsels(n, morselRows)
+	counts := make([][]int32, nm)
+	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+		cnt := make([]int32, fan)
+		for _, k := range srcK[lo:hi] {
+			cnt[mix64(uint64(k))>>shift]++
+		}
+		counts[m] = cnt
+		c.IntOps += int64(hi - lo)
+		c.PartitionBytes += int64(hi-lo) * radixElemBytes
+		return nil
+	})
+	// Bucket bases, then per-(morsel, bucket) windows within each bucket.
+	within := make([][]int32, nm)
+	perBucket := make([]int32, fan)
+	for m := 0; m < nm; m++ {
+		w := make([]int32, fan)
+		copy(w, perBucket)
+		within[m] = w
+		for t := 0; t < fan; t++ {
+			perBucket[t] += counts[m][t]
+		}
+	}
+	var base int32
+	for t := 0; t < fan; t++ {
+		newOff[t] = base
+		base += perBucket[t]
+	}
+	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+		pos := make([]int32, fan)
+		for t := 0; t < fan; t++ {
+			pos[t] = newOff[t] + within[m][t]
+		}
+		for i := lo; i < hi; i++ {
+			t := mix64(uint64(srcK[i])) >> shift
+			dstK[pos[t]] = srcK[i]
+			if srcR == nil {
+				dstR[pos[t]] = int32(i)
+			} else {
+				dstR[pos[t]] = srcR[i]
+			}
+			pos[t]++
+		}
+		c.IntOps += int64(hi - lo)
+		c.PartitionBytes += int64(hi-lo) * radixElemBytes * 2
+		return nil
+	})
+}
+
+// radixRefinePass splits every existing segment by its next b partition
+// bits. Segments are independent, so each runs as one morsel; the
+// sequential per-segment scatter is stable.
+func radixRefinePass(srcK []int64, srcR []int32, dstK []int64, dstR, off, newOff []int32, done, b uint, workers int, ctr *Counters) {
+	fan := 1 << b
+	shift := 64 - done - b
+	mask := uint64(fan - 1)
+	nseg := len(off) - 1
+	_ = RunMorsels(workers, nseg, 1, ctr, func(s, _, _ int, c *Counters) error {
+		lo, hi := int(off[s]), int(off[s+1])
+		cnt := make([]int32, fan)
+		for _, k := range srcK[lo:hi] {
+			cnt[(mix64(uint64(k))>>shift)&mask]++
+		}
+		base := int32(lo)
+		for t := 0; t < fan; t++ {
+			newOff[s*fan+t] = base
+			base += cnt[t]
+		}
+		pos := make([]int32, fan)
+		copy(pos, newOff[s*fan:s*fan+fan])
+		for i := lo; i < hi; i++ {
+			t := (mix64(uint64(srcK[i])) >> shift) & mask
+			dstK[pos[t]] = srcK[i]
+			dstR[pos[t]] = srcR[i]
+			pos[t]++
+		}
+		c.IntOps += int64(hi-lo) * 2
+		c.PartitionBytes += int64(hi-lo) * radixElemBytes * 3
+		return nil
+	})
+}
+
+// GatherF64 permutes vals into partition order (out[i] =
+// vals[rp.Rows[i]]). Aggregate arguments are carried to their partitions
+// this way; the charge models the values riding along the partition
+// passes (one read+write stream per pass), which is how a
+// payload-carrying radix scatter behaves.
+func (rp *RadixPartitions) GatherF64(vals []float64, workers, morselRows int, ctr *Counters) []float64 {
+	out := make([]float64, len(rp.Rows))
+	passes := int64(rp.Passes)
+	if passes < 1 {
+		passes = 1
+	}
+	_ = RunMorsels(workers, len(rp.Rows), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+		for i := lo; i < hi; i++ {
+			out[i] = vals[rp.Rows[i]]
+		}
+		c.PartitionBytes += int64(hi-lo) * 16 * passes
+		return nil
+	})
+	return out
+}
+
+// GatherI64 is GatherF64 for int64 payloads.
+func (rp *RadixPartitions) GatherI64(vals []int64, workers, morselRows int, ctr *Counters) []int64 {
+	out := make([]int64, len(rp.Rows))
+	passes := int64(rp.Passes)
+	if passes < 1 {
+		passes = 1
+	}
+	_ = RunMorsels(workers, len(rp.Rows), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+		for i := lo; i < hi; i++ {
+			out[i] = vals[rp.Rows[i]]
+		}
+		c.PartitionBytes += int64(hi-lo) * 16 * passes
+		return nil
+	})
+	return out
+}

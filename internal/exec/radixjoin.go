@@ -1,0 +1,371 @@
+package exec
+
+// Radix-partitioned hash join. The build side is radix-partitioned and
+// each partition gets a compact open-addressing linear-probe table —
+// slots map a key to a dense group whose duplicate build rows sit
+// contiguously in a payload array — sized to stay cache-resident. Probe
+// sides are partitioned with the same fan-out, so every table access is
+// a CacheRandomAccess instead of the chained JoinTable's DRAM pointer
+// chase.
+//
+// Probe results are byte-identical to JoinTable's: the chained table
+// visits a key's duplicates in descending build-row order (inserts
+// prepend), and the payload here stores them ascending and emits them
+// reversed. Inner-join output positions come from a count pass plus a
+// prefix sum over probe rows, so parallel per-partition fills land every
+// match exactly where the sequential probe would have appended it.
+
+// RadixBuildBytesPerRow estimates the per-build-row footprint of a
+// partition's table (2x slots of key+group, payload row, amortized group
+// arrays); RadixBits uses it to pick the fan-out.
+const RadixBuildBytesPerRow = 32
+
+// RadixJoinConfig controls BuildRadixTables.
+type RadixJoinConfig struct {
+	// Bloom adds a probe-side pre-filter built over the build keys.
+	// Worth it only for selective joins (large probe, small hit rate);
+	// the planner decides.
+	Bloom bool
+}
+
+// radixPart is one partition's compact table: open addressing over
+// distinct keys, each mapping to a dense group whose build rows are
+// contiguous in the shared payload.
+type radixPart struct {
+	slotKeys []int64
+	slotGrp  []int32 // slot -> group, or -1
+	start    []int32 // group -> first payload index (global)
+	cnt      []int32 // group -> number of build rows
+	shift    uint
+}
+
+func (jp *radixPart) sizeBytes() int64 {
+	return int64(len(jp.slotKeys))*12 + int64(len(jp.start))*8
+}
+
+// lookup returns the group of key k, or -1.
+func (jp *radixPart) lookup(k int64) int32 {
+	mask := uint64(len(jp.slotKeys) - 1)
+	slot := hashKey(k, jp.shift) & mask
+	for {
+		g := jp.slotGrp[slot]
+		if g < 0 {
+			return -1
+		}
+		if jp.slotKeys[slot] == k {
+			return g
+		}
+		slot = (slot + 1) & mask
+	}
+}
+
+// RadixJoinTable is the radix-partitioned build side of an equi-join.
+// Unlike JoinIndex implementations, its probe methods take the worker
+// count: probe sides are partitioned before probing, and partitions run
+// as morsels.
+type RadixJoinTable struct {
+	rp      *RadixPartitions
+	parts   []radixPart
+	payload []int32 // build rows grouped by key, ascending per key
+	bloom   *Bloom
+	n       int
+}
+
+// BuildRadixJoinTable partitions keys so each partition's table fits
+// targetPartBytes, then builds the per-partition tables. It is the
+// convenience entry; the planner calls RadixPartitionKeys and
+// BuildRadixTables separately so the partition phase gets its own span.
+func BuildRadixJoinTable(keys []int64, targetPartBytes int64, cfg RadixJoinConfig, workers, morselRows int, ctr *Counters) *RadixJoinTable {
+	bits := RadixBits(len(keys), RadixBuildBytesPerRow, targetPartBytes)
+	rp := RadixPartitionKeys(keys, nil, bits, workers, morselRows, ctr)
+	return BuildRadixTables(rp, cfg, workers, morselRows, ctr)
+}
+
+// BuildRadixTables builds one compact table per partition of the
+// already-partitioned build side. Partitions are independent morsels;
+// each table's inserts and payload writes stay within its own
+// cache-sized range.
+func BuildRadixTables(rp *RadixPartitions, cfg RadixJoinConfig, workers, morselRows int, ctr *Counters) *RadixJoinTable {
+	np := rp.NumPartitions()
+	n := len(rp.Rows)
+	rt := &RadixJoinTable{
+		rp:      rp,
+		parts:   make([]radixPart, np),
+		payload: make([]int32, n),
+		n:       n,
+	}
+	_ = RunMorsels(workers, np, 1, ctr, func(p, _, _ int, c *Counters) error {
+		lo, hi := int(rp.Off[p]), int(rp.Off[p+1])
+		buildRadixPart(&rt.parts[p], rp.Keys[lo:hi], rp.Rows[lo:hi], rt.payload[lo:hi], int32(lo), c)
+		return nil
+	})
+	if cfg.Bloom {
+		rt.bloom = NewBloom(rp.Keys, ctr)
+	}
+	ctr.HashBuildTuples += int64(n)
+	ctr.ObserveHashBytes(rt.SizeBytes())
+	return rt
+}
+
+// buildRadixPart builds one partition's table. Keys arrive in ascending
+// original-row order (the scatter is stable); groups are numbered by
+// first occurrence and a second ascending pass packs each group's rows
+// contiguously — ascending within the group, so probes emitting the
+// payload reversed reproduce the chained table's descending duplicate
+// order.
+func buildRadixPart(jp *radixPart, keys []int64, rows, payload []int32, base int32, c *Counters) {
+	capacity := nextPow2(len(keys)*2 + 1)
+	jp.slotKeys = make([]int64, capacity)
+	jp.slotGrp = make([]int32, capacity)
+	jp.shift = uint(64 - log2(capacity))
+	for i := range jp.slotGrp {
+		jp.slotGrp[i] = -1
+	}
+	mask := uint64(capacity - 1)
+	grp := make([]int32, len(keys))
+	var cnt []int32
+	for i, k := range keys {
+		slot := hashKey(k, jp.shift) & mask
+		for {
+			g := jp.slotGrp[slot]
+			if g < 0 {
+				g = int32(len(cnt))
+				jp.slotKeys[slot] = k
+				jp.slotGrp[slot] = g
+				cnt = append(cnt, 1)
+				grp[i] = g
+				break
+			}
+			if jp.slotKeys[slot] == k {
+				cnt[g]++
+				grp[i] = g
+				break
+			}
+			slot = (slot + 1) & mask
+		}
+	}
+	start := make([]int32, len(cnt))
+	pos := base
+	for g, n := range cnt {
+		start[g] = pos
+		pos += n
+	}
+	jp.start, jp.cnt = start, cnt
+	fill := make([]int32, len(cnt))
+	for i := range keys {
+		g := grp[i]
+		payload[start[g]-base+fill[g]] = rows[i]
+		fill[g]++
+	}
+	c.CacheRandomAccesses += 2 * int64(len(keys))
+	c.IntOps += int64(len(keys))
+	c.ObservePartitionBytes(jp.sizeBytes() + int64(len(keys))*4)
+}
+
+// SizeBytes reports the table's total memory footprint.
+//
+//lint:allow costaccounting -- metadata sum over the fixed partition count, not data-path work
+func (rt *RadixJoinTable) SizeBytes() int64 {
+	n := int64(len(rt.payload))*4 + int64(len(rt.rp.Keys))*8 + int64(len(rt.rp.Rows))*4
+	for i := range rt.parts {
+		n += rt.parts[i].sizeBytes()
+	}
+	if rt.bloom != nil {
+		n += rt.bloom.SizeBytes()
+	}
+	return n
+}
+
+// NumBuildRows reports the number of indexed build rows.
+func (rt *RadixJoinTable) NumBuildRows() int { return rt.n }
+
+// NumPartitions reports the build fan-out.
+func (rt *RadixJoinTable) NumPartitions() int { return len(rt.parts) }
+
+// partitionProbe routes the probe side through the Bloom pre-filter (if
+// any) and radix-partitions it with the build's fan-out. Rows rejected
+// by the filter have no match by construction, so dropping them before
+// partitioning changes no output.
+func (rt *RadixJoinTable) partitionProbe(probeKeys []int64, workers, morselRows int, ctr *Counters) *RadixPartitions {
+	keys, rows := probeKeys, []int32(nil)
+	if rt.bloom != nil {
+		sel := rt.bloom.FilterKeys(probeKeys, workers, morselRows, ctr)
+		if len(sel) < len(probeKeys) {
+			keys = gatherKeysAt(probeKeys, sel, workers, morselRows, ctr)
+			rows = sel
+		}
+	}
+	return RadixPartitionKeys(keys, rows, rt.rp.Bits, workers, morselRows, ctr)
+}
+
+// gatherKeysAt compacts keys down to the selected rows (ascending sel,
+// so the reads stream forward).
+func gatherKeysAt(keys []int64, sel []int32, workers, morselRows int, ctr *Counters) []int64 {
+	out := make([]int64, len(sel))
+	_ = RunMorsels(workers, len(sel), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+		for i := lo; i < hi; i++ {
+			out[i] = keys[sel[i]]
+		}
+		c.SeqBytes += int64(hi-lo) * 12
+		return nil
+	})
+	return out
+}
+
+// InnerJoin returns matching (build row, probe row) pairs, byte-identical
+// to JoinTable.InnerJoin on the same keys: probe rows ascending,
+// duplicates in descending build-row order. A per-partition count pass
+// sizes the output exactly; a prefix sum over probe rows assigns every
+// row its window; a second per-partition pass fills the windows.
+func (rt *RadixJoinTable) InnerJoin(probeKeys []int64, workers, morselRows int, ctr *Counters) (buildIdx, probeIdx []int32) {
+	pp := rt.partitionProbe(probeKeys, workers, morselRows, ctr)
+	np := rt.NumPartitions()
+	counts := make([]int32, len(probeKeys))
+	grpOf := make([]int32, len(pp.Rows))
+	_ = RunMorsels(workers, np, 1, ctr, func(p, _, _ int, c *Counters) error {
+		jp := &rt.parts[p]
+		lo, hi := int(pp.Off[p]), int(pp.Off[p+1])
+		for i := lo; i < hi; i++ {
+			g := jp.lookup(pp.Keys[i])
+			grpOf[i] = g
+			if g >= 0 {
+				counts[pp.Rows[i]] = jp.cnt[g]
+			}
+		}
+		c.HashProbeTuples += int64(hi - lo)
+		c.CacheRandomAccesses += int64(hi - lo)
+		return nil
+	})
+
+	// Exclusive prefix sum: offs[p] is probe row p's first output slot.
+	// Sequential, but pure streaming arithmetic.
+	offs := make([]int32, len(probeKeys))
+	var total int32
+	for i, n := range counts {
+		offs[i] = total
+		total += n
+	}
+	ctr.IntOps += int64(len(probeKeys))
+	ctr.SeqBytes += int64(len(probeKeys)) * 8
+
+	buildIdx = make([]int32, total)
+	probeIdx = make([]int32, total)
+	_ = RunMorsels(workers, np, 1, ctr, func(p, _, _ int, c *Counters) error {
+		jp := &rt.parts[p]
+		lo, hi := int(pp.Off[p]), int(pp.Off[p+1])
+		var emitted int64
+		for i := lo; i < hi; i++ {
+			g := grpOf[i]
+			if g < 0 {
+				continue
+			}
+			pr := pp.Rows[i]
+			o := int(offs[pr])
+			n := int(jp.cnt[g])
+			s := int(jp.start[g])
+			for d := 0; d < n; d++ {
+				buildIdx[o+d] = rt.payload[s+n-1-d]
+				probeIdx[o+d] = pr
+			}
+			emitted += int64(n)
+		}
+		c.CacheRandomAccesses += emitted
+		c.SeqBytes += emitted * 8
+		return nil
+	})
+	return buildIdx, probeIdx
+}
+
+// SemiJoin returns the probe rows with at least one match (ascending),
+// byte-identical to JoinTable.SemiJoin.
+func (rt *RadixJoinTable) SemiJoin(probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+	hit := rt.matchFlags(probeKeys, workers, morselRows, ctr)
+	return collectFlags(hit, true, ctr)
+}
+
+// AntiJoin returns the probe rows with no match (ascending),
+// byte-identical to JoinTable.AntiJoin. Bloom-rejected rows are correct
+// anti matches: the filter has no false negatives.
+func (rt *RadixJoinTable) AntiJoin(probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+	hit := rt.matchFlags(probeKeys, workers, morselRows, ctr)
+	return collectFlags(hit, false, ctr)
+}
+
+// matchFlags probes every partition and marks the probe rows that match.
+func (rt *RadixJoinTable) matchFlags(probeKeys []int64, workers, morselRows int, ctr *Counters) []bool {
+	pp := rt.partitionProbe(probeKeys, workers, morselRows, ctr)
+	hit := make([]bool, len(probeKeys))
+	_ = RunMorsels(workers, rt.NumPartitions(), 1, ctr, func(p, _, _ int, c *Counters) error {
+		jp := &rt.parts[p]
+		lo, hi := int(pp.Off[p]), int(pp.Off[p+1])
+		for i := lo; i < hi; i++ {
+			if jp.lookup(pp.Keys[i]) >= 0 {
+				hit[pp.Rows[i]] = true
+			}
+		}
+		c.HashProbeTuples += int64(hi - lo)
+		c.CacheRandomAccesses += int64(hi - lo)
+		return nil
+	})
+	return hit
+}
+
+// collectFlags gathers the rows whose flag equals want, in ascending
+// order.
+func collectFlags(flags []bool, want bool, ctr *Counters) []int32 {
+	out := make([]int32, 0, len(flags))
+	for i, f := range flags {
+		if f == want {
+			out = append(out, int32(i))
+		}
+	}
+	ctr.SeqBytes += int64(len(flags))
+	ctr.IntOps += int64(len(flags))
+	return out
+}
+
+// CountPerProbe returns each probe row's match count, byte-identical to
+// JoinTable.CountPerProbe.
+func (rt *RadixJoinTable) CountPerProbe(probeKeys []int64, workers, morselRows int, ctr *Counters) []int64 {
+	pp := rt.partitionProbe(probeKeys, workers, morselRows, ctr)
+	out := make([]int64, len(probeKeys))
+	_ = RunMorsels(workers, rt.NumPartitions(), 1, ctr, func(p, _, _ int, c *Counters) error {
+		jp := &rt.parts[p]
+		lo, hi := int(pp.Off[p]), int(pp.Off[p+1])
+		for i := lo; i < hi; i++ {
+			if g := jp.lookup(pp.Keys[i]); g >= 0 {
+				out[pp.Rows[i]] = int64(jp.cnt[g])
+			}
+		}
+		c.HashProbeTuples += int64(hi - lo)
+		c.CacheRandomAccesses += int64(hi - lo)
+		return nil
+	})
+	ctr.SeqBytes += int64(len(probeKeys)) * 8
+	return out
+}
+
+// FirstMatch returns each probe row's first matching build row or -1,
+// byte-identical to JoinTable.FirstMatch (the chained table's head is
+// the largest build row — the payload's last entry).
+func (rt *RadixJoinTable) FirstMatch(probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+	pp := rt.partitionProbe(probeKeys, workers, morselRows, ctr)
+	out := make([]int32, len(probeKeys))
+	for i := range out {
+		out[i] = -1
+	}
+	_ = RunMorsels(workers, rt.NumPartitions(), 1, ctr, func(p, _, _ int, c *Counters) error {
+		jp := &rt.parts[p]
+		lo, hi := int(pp.Off[p]), int(pp.Off[p+1])
+		for i := lo; i < hi; i++ {
+			if g := jp.lookup(pp.Keys[i]); g >= 0 {
+				out[pp.Rows[i]] = rt.payload[jp.start[g]+jp.cnt[g]-1]
+			}
+		}
+		c.HashProbeTuples += int64(hi - lo)
+		c.CacheRandomAccesses += int64(hi - lo)
+		return nil
+	})
+	ctr.SeqBytes += int64(len(probeKeys)) * 4
+	return out
+}

@@ -1,0 +1,190 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// probeKeysFor derives a probe side over the same key space as build:
+// roughly half hits, half misses, with heavy duplication.
+func probeKeysFor(build []int64, n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		if rng.Intn(2) == 0 && len(build) > 0 {
+			out[i] = build[rng.Intn(len(build))]
+		} else {
+			out[i] = rng.Int63()
+		}
+	}
+	return out
+}
+
+func eqI32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqI64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRadixJoinByteIdenticalToChained is the core identity property:
+// every probe kernel of the radix-partitioned table must produce
+// byte-identical output to the chained JoinTable, for duplicate-heavy,
+// skewed, sequential, and uniform keys, at 1/2/4/8 workers, with and
+// without the Bloom pre-filter. The partition target is tiny so the
+// build fans out across many partitions and two passes.
+func TestRadixJoinByteIdenticalToChained(t *testing.T) {
+	const nBuild, nProbe = 12000, 30000
+	// 12000 rows x 32 B/row = 384 KiB over a 2 KiB target needs 8 radix
+	// bits: more than one pass worth of fan-out.
+	const target = 2 << 10
+	for name, build := range radixKeySets(nBuild) {
+		probe := probeKeysFor(build, nProbe, 99)
+
+		var refCtr Counters
+		jt := BuildJoinTable(build, &refCtr)
+		wantBI, wantPI := jt.InnerJoin(probe, &refCtr)
+		wantSemi := jt.SemiJoin(probe, &refCtr)
+		wantAnti := jt.AntiJoin(probe, &refCtr)
+		wantCnt := jt.CountPerProbe(probe, &refCtr)
+		wantFirst := jt.FirstMatch(probe, &refCtr)
+
+		for _, bloom := range []bool{false, true} {
+			for _, w := range []int{1, 2, 4, 8} {
+				label := fmt.Sprintf("%s bloom=%t workers=%d", name, bloom, w)
+				var ctr Counters
+				rt := BuildRadixJoinTable(build, target, RadixJoinConfig{Bloom: bloom}, w, 1024, &ctr)
+				if rt.NumPartitions() < 2 {
+					t.Fatalf("%s: expected multi-partition build, got %d", label, rt.NumPartitions())
+				}
+				if rt.NumBuildRows() != nBuild {
+					t.Fatalf("%s: NumBuildRows = %d", label, rt.NumBuildRows())
+				}
+
+				bi, pi := rt.InnerJoin(probe, w, 1024, &ctr)
+				if !eqI32(bi, wantBI) || !eqI32(pi, wantPI) {
+					t.Fatalf("%s: InnerJoin diverges (%d vs %d pairs)", label, len(bi), len(wantBI))
+				}
+				if got := rt.SemiJoin(probe, w, 1024, &ctr); !eqI32(got, wantSemi) {
+					t.Fatalf("%s: SemiJoin diverges", label)
+				}
+				if got := rt.AntiJoin(probe, w, 1024, &ctr); !eqI32(got, wantAnti) {
+					t.Fatalf("%s: AntiJoin diverges", label)
+				}
+				if got := rt.CountPerProbe(probe, w, 1024, &ctr); !eqI64(got, wantCnt) {
+					t.Fatalf("%s: CountPerProbe diverges", label)
+				}
+				if got := rt.FirstMatch(probe, w, 1024, &ctr); !eqI32(got, wantFirst) {
+					t.Fatalf("%s: FirstMatch diverges", label)
+				}
+				if ctr.CacheRandomAccesses == 0 {
+					t.Fatalf("%s: radix probes charged no CacheRandomAccesses", label)
+				}
+				if ctr.MaxPartitionBytes == 0 {
+					t.Fatalf("%s: no partition footprint observed", label)
+				}
+			}
+		}
+	}
+}
+
+// TestRadixJoinEmptySides mirrors TestJoinEmptySides for the radix path.
+func TestRadixJoinEmptySides(t *testing.T) {
+	var ctr Counters
+	rt := BuildRadixJoinTable(nil, 1<<10, RadixJoinConfig{}, 4, 512, &ctr)
+	bi, pi := rt.InnerJoin([]int64{1, 2, 3}, 4, 512, &ctr)
+	if len(bi) != 0 || len(pi) != 0 {
+		t.Fatalf("join against empty build produced %d pairs", len(bi))
+	}
+	if got := rt.AntiJoin([]int64{7, 8}, 4, 512, &ctr); len(got) != 2 {
+		t.Fatalf("anti join against empty build kept %d of 2 rows", len(got))
+	}
+
+	rt2 := BuildRadixJoinTable([]int64{1, 2, 3}, 1<<10, RadixJoinConfig{Bloom: true}, 4, 512, &ctr)
+	bi, pi = rt2.InnerJoin(nil, 4, 512, &ctr)
+	if len(bi) != 0 || len(pi) != 0 {
+		t.Fatalf("empty probe produced %d pairs", len(bi))
+	}
+	if got := rt2.SemiJoin(nil, 4, 512, &ctr); len(got) != 0 {
+		t.Fatalf("empty probe semi join kept %d rows", len(got))
+	}
+}
+
+// TestBloomNoFalseNegatives: every inserted key must pass MayContain,
+// and FilterKeys must keep every row whose key was inserted — the
+// property that makes the pre-filter output-invisible.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	keys := make([]int64, 5000)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 45)
+	}
+	var ctr Counters
+	b := NewBloom(keys, &ctr)
+	for _, k := range keys {
+		if !b.MayContain(k) {
+			t.Fatalf("false negative for inserted key %d", k)
+		}
+	}
+
+	probe := probeKeysFor(keys, 20000, 31)
+	inBuild := map[int64]bool{}
+	for _, k := range keys {
+		inBuild[k] = true
+	}
+	sel := b.FilterKeys(probe, 4, 1024, &ctr)
+	kept := map[int32]bool{}
+	prev := int32(-1)
+	for _, r := range sel {
+		if r <= prev {
+			t.Fatalf("FilterKeys selection not ascending: %d after %d", r, prev)
+		}
+		prev = r
+		kept[r] = true
+	}
+	for i, k := range probe {
+		if inBuild[k] && !kept[int32(i)] {
+			t.Fatalf("FilterKeys dropped matching row %d (key %d)", i, k)
+		}
+	}
+}
+
+// TestBloomFilterPrunes checks the filter actually rejects a decent
+// fraction of misses — it must prune, not merely pass everything.
+func TestBloomFilterPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	keys := make([]int64, 4096)
+	for i := range keys {
+		keys[i] = rng.Int63()
+	}
+	var ctr Counters
+	b := NewBloom(keys, &ctr)
+	misses := make([]int64, 20000)
+	for i := range misses {
+		misses[i] = -rng.Int63() - 1 // disjoint from build keys (all >= 0)
+	}
+	sel := b.FilterKeys(misses, 1, 1024, &ctr)
+	// ~10 bits/key, 2 probes: false positive rate should be far below
+	// 20%; fail only on gross breakage.
+	if len(sel) > len(misses)/5 {
+		t.Fatalf("bloom kept %d of %d misses — not pruning", len(sel), len(misses))
+	}
+}

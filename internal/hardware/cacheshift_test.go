@@ -1,0 +1,103 @@
+package hardware_test
+
+// Acceptance test for the cache-conscious execution layer: on the Pi
+// profile, the join work of a join-heavy TPC-H query whose build side
+// exceeds the 512 KiB LLC must shift its simulated breakdown from
+// DRAM-random-latency dominated to cache-resident accesses under the
+// partitioned plan — and come out faster for it.
+
+import (
+	"strings"
+	"testing"
+
+	"wimpi/internal/engine"
+	"wimpi/internal/exec"
+	"wimpi/internal/hardware"
+	"wimpi/internal/obs"
+	"wimpi/internal/tpch"
+)
+
+// joinWorkQ12 executes Q12 (lineitem ⋈ orders — the orders build is ~75k
+// rows at SF 0.05, several MB of hash table) under the given LLC budget
+// and returns the work charged by the join operators themselves: the
+// join-partition, join-build, and join-probe spans, excluding scans and
+// aggregation.
+func joinWorkQ12(t *testing.T, data *tpch.Dataset, llcBytes int64) exec.Counters {
+	t.Helper()
+	db := engine.NewDB(engine.Config{Workers: 4, TargetLLCBytes: llcBytes})
+	data.RegisterAll(db)
+	p, err := tpch.Query(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.RunTraced(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var join exec.Counters
+	res.Root.Walk(func(sp *obs.Span, _ int) {
+		if strings.HasPrefix(sp.Op, "join-") {
+			join.Add(sp.SelfCounters())
+		}
+	})
+	if join.HashProbeTuples == 0 {
+		t.Fatal("no join spans found in Q12 trace")
+	}
+	return join
+}
+
+func TestPiBreakdownShiftsToCacheResident(t *testing.T) {
+	data := tpch.Generate(tpch.Config{SF: 0.05, Seed: 42})
+	direct := joinWorkQ12(t, data, -1) // partitioned paths disabled
+	radix := joinWorkQ12(t, data, 0)   // plan.DefaultLLCBytes = Pi LLC
+	m := hardware.DefaultModel()
+	pi := hardware.Pi()
+	bDirect := m.Explain(&pi, direct, 0)
+	bRadix := m.Explain(&pi, radix, 0)
+
+	// The direct plan's probes are DRAM random accesses: the build hash
+	// table overflows the Pi LLC, and nothing is cache-resident.
+	if direct.CacheRandomAccesses != 0 || direct.PartitionBytes != 0 {
+		t.Fatalf("direct plan recorded partitioned-path counters: %+v", direct)
+	}
+	if direct.MaxHashBytes <= pi.LLCBytes {
+		t.Fatalf("fixture lost its point: build table %d bytes fits LLC %d",
+			direct.MaxHashBytes, pi.LLCBytes)
+	}
+	if bDirect.MemCacheSeconds != 0 {
+		t.Fatalf("direct plan charged cache-resident time: %+v", bDirect)
+	}
+	if bDirect.MemRandSeconds <= bDirect.MemCacheSeconds {
+		t.Fatalf("direct join work not DRAM-latency dominated: %+v", bDirect)
+	}
+
+	// The partitioned plan moves the probe work into LLC-resident
+	// structures: cache-resident latency now outweighs what remains of
+	// DRAM random latency, and the promise is honored (max partition
+	// footprint fits the Pi LLC).
+	if radix.CacheRandomAccesses == 0 || radix.PartitionBytes == 0 {
+		t.Fatalf("partitioned plan recorded no partitioned-path work: %+v", radix)
+	}
+	if radix.MaxPartitionBytes > pi.LLCBytes {
+		t.Fatalf("partition footprint %d overflows Pi LLC %d",
+			radix.MaxPartitionBytes, pi.LLCBytes)
+	}
+	if bRadix.MemCacheSeconds <= bRadix.MemRandSeconds {
+		t.Fatalf("partitioned join work still DRAM-latency dominated: cache %.6fs vs rand %.6fs",
+			bRadix.MemCacheSeconds, bRadix.MemRandSeconds)
+	}
+	if bRadix.MemRandSeconds >= bDirect.MemRandSeconds {
+		t.Fatalf("DRAM random latency did not shrink: %.6fs vs %.6fs",
+			bRadix.MemRandSeconds, bDirect.MemRandSeconds)
+	}
+
+	// And the shift has to pay: the join's simulated Pi time must improve
+	// even after the partition passes' streaming cost.
+	if bRadix.Total >= bDirect.Total {
+		t.Fatalf("partitioned join not faster on Pi: %.6fs vs %.6fs",
+			bRadix.Total, bDirect.Total)
+	}
+	t.Logf("Pi Q12 join work: direct %.4fs (rand %.4fs) -> radix %.4fs (cache %.4fs, rand %.4fs, partition %.4fs)",
+		bDirect.Total, bDirect.MemRandSeconds,
+		bRadix.Total, bRadix.MemCacheSeconds, bRadix.MemRandSeconds, bRadix.PartitionSeconds)
+}

@@ -187,6 +187,66 @@ func TestModelBreakdownConsistency(t *testing.T) {
 	}
 }
 
+// TestModelCacheResidentAccounting pins the pricing of the partitioned
+// paths' counters: CacheRandomAccesses run at LLC latency while the
+// largest partition structure fits the profile LLC, and degrade to DRAM
+// latency when it overflows (the cache promise is void).
+func TestModelCacheResidentAccounting(t *testing.T) {
+	m := DefaultModel()
+	pi := Pi()
+	base := exec.Counters{CacheRandomAccesses: 1e8, TuplesScanned: 1e8}
+
+	resident := base
+	resident.MaxPartitionBytes = 256 << 10 // fits the Pi's 512 KiB LLC
+	overflow := base
+	overflow.MaxPartitionBytes = 4 << 20 // does not
+
+	bRes := m.Explain(&pi, resident, 0)
+	bOver := m.Explain(&pi, overflow, 0)
+	if bRes.MemCacheSeconds >= bOver.MemCacheSeconds {
+		t.Errorf("LLC-resident partitions should be cheaper: %g vs %g",
+			bRes.MemCacheSeconds, bOver.MemCacheSeconds)
+	}
+	wantRatio := pi.DRAMLatency / pi.LLCLatency
+	if ratio := bOver.MemCacheSeconds / bRes.MemCacheSeconds; ratio < wantRatio*0.99 || ratio > wantRatio*1.01 {
+		t.Errorf("overflow penalty ratio %g, want DRAM/LLC latency ratio %g", ratio, wantRatio)
+	}
+	if bRes.Dominant() != "mem-cache" {
+		t.Errorf("Dominant() = %q, want mem-cache", bRes.Dominant())
+	}
+
+	// Cache-resident probes must be priced below the same number of DRAM
+	// random accesses — the whole point of partitioning.
+	dram := exec.Counters{RandomAccesses: 1e8, TuplesScanned: 1e8, MaxHashBytes: 64 << 20}
+	bDram := m.Explain(&pi, dram, 0)
+	if bRes.Total >= bDram.Total {
+		t.Errorf("cache-resident total %g not below DRAM total %g", bRes.Total, bDram.Total)
+	}
+}
+
+// TestModelPartitionStreaming: partition-pass bytes are streaming
+// traffic — they join MemSeqSeconds on the bandwidth side of the
+// overlap model and scale with cores like any sequential pass.
+func TestModelPartitionStreaming(t *testing.T) {
+	m := DefaultModel()
+	pi := Pi()
+	c := exec.Counters{PartitionBytes: 1 << 30, TuplesScanned: 1e6}
+	b := m.Explain(&pi, c, 0)
+	if b.PartitionSeconds <= 0 {
+		t.Fatal("partition bytes priced at zero")
+	}
+	if b.Dominant() != "partition" {
+		t.Errorf("Dominant() = %q, want partition", b.Dominant())
+	}
+	if !b.MemoryBound {
+		t.Error("pure partition streaming should be memory-bound")
+	}
+	want := float64(c.PartitionBytes)/pi.MemBW(pi.TotalCores()) + b.OverheadSeconds
+	if diff := b.Total - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("total %g != streaming recomposition %g", b.Total, want)
+	}
+}
+
 func TestEnergy(t *testing.T) {
 	pi := Pi()
 	if e := EnergyJoules(&pi, 10*time.Second); e != 51 {

@@ -47,8 +47,17 @@ type Breakdown struct {
 	CPUSeconds float64
 	// MemSeqSeconds is sequential-bandwidth time.
 	MemSeqSeconds float64
-	// MemRandSeconds is random-access latency time.
+	// MemRandSeconds is random-access latency time (DRAM, unless the
+	// whole hash working set fits the LLC).
 	MemRandSeconds float64
+	// MemCacheSeconds is latency time of random accesses into structures
+	// the partitioned paths sized to stay cache-resident; it is charged
+	// at LLC latency as long as MaxPartitionBytes fits the profile LLC.
+	MemCacheSeconds float64
+	// PartitionSeconds is streaming time of radix partition passes,
+	// charged at full-parallel sequential bandwidth alongside
+	// MemSeqSeconds.
+	PartitionSeconds float64
 	// MergeSeconds is time spent combining per-worker partial results
 	// (partitioning builds, folding thread-local aggregates, merging
 	// sort runs). It is charged at single-core bandwidth and does not
@@ -94,6 +103,19 @@ func (m Model) Explain(p *Profile, c exec.Counters, dop int) Breakdown {
 	}
 	memRand := float64(c.RandomAccesses) * lat / (fcores * m.MLP)
 
+	// Accesses the partitioned paths promised to keep cache-resident hit
+	// LLC latency — unless the largest partition structure actually
+	// overflowed this profile's LLC, in which case the promise is void
+	// and they degrade to DRAM latency.
+	cacheLat := p.LLCLatency
+	if c.MaxPartitionBytes > p.LLCBytes {
+		cacheLat = p.DRAMLatency
+	}
+	memCache := float64(c.CacheRandomAccesses) * cacheLat / (fcores * m.MLP)
+
+	// Partition passes are pure streaming and scale with cores.
+	memPart := float64(c.PartitionBytes) / p.MemBW(cores)
+
 	// Merge work is the serial fraction of parallel execution: it runs
 	// on one core at single-core bandwidth regardless of dop.
 	var memMerge float64
@@ -113,19 +135,23 @@ func (m Model) Explain(p *Profile, c exec.Counters, dop int) Breakdown {
 	}
 
 	b := Breakdown{
-		CPUSeconds:      cpu,
-		MemSeqSeconds:   memSeq,
-		MemRandSeconds:  memRand,
-		MergeSeconds:    memMerge,
-		SwapSeconds:     swap,
-		OverheadSeconds: p.QueryOverheadSec,
+		CPUSeconds:       cpu,
+		MemSeqSeconds:    memSeq,
+		MemRandSeconds:   memRand,
+		MemCacheSeconds:  memCache,
+		PartitionSeconds: memPart,
+		MergeSeconds:     memMerge,
+		SwapSeconds:      swap,
+		OverheadSeconds:  p.QueryOverheadSec,
 	}
-	// Sequential streaming overlaps with compute (column-at-a-time
-	// kernels are either bandwidth- or compute-limited); random access
-	// latency and the serial merge phase overlap only partially.
-	busy := cpu + memRand + memMerge
-	if memSeq > busy {
-		b.Total = memSeq
+	// Sequential streaming (base scans and partition passes alike)
+	// overlaps with compute (column-at-a-time kernels are either
+	// bandwidth- or compute-limited); random access latency and the
+	// serial merge phase overlap only partially.
+	streaming := memSeq + memPart
+	busy := cpu + memRand + memCache + memMerge
+	if streaming > busy {
+		b.Total = streaming
 		b.MemoryBound = true
 	} else {
 		b.Total = busy
@@ -150,6 +176,8 @@ func (b Breakdown) Dominant() string {
 		{"cpu", b.CPUSeconds},
 		{"mem-seq", b.MemSeqSeconds},
 		{"mem-rand", b.MemRandSeconds},
+		{"mem-cache", b.MemCacheSeconds},
+		{"partition", b.PartitionSeconds},
 		{"merge", b.MergeSeconds},
 		{"swap", b.SwapSeconds},
 	} {

@@ -80,6 +80,85 @@ func (s Scratch) String() string {
 	return out
 }
 
+// The radix-partitioned execution kernels have three characteristic
+// loop shapes — histogram+scatter partition passes, table builds, and
+// open-addressing probe loops. Each shape appears here as an uncharged
+// violation and as a properly charged negative, so the checker keeps
+// covering the cache-conscious layer as it evolves.
+
+// PartitionUncharged is a histogram+scatter partition pass whose
+// streaming traffic is never recorded: the hardware model would price
+// the pass at zero.
+func PartitionUncharged(keys []int64, bits uint) []int64 { // want "loops over data but has no *exec.Counters"
+	np := 1 << bits
+	hist := make([]int64, np)
+	for _, k := range keys {
+		hist[int(uint64(k)>>(64-bits))]++
+	}
+	out := make([]int64, len(keys))
+	off := make([]int64, np)
+	for i := 1; i < np; i++ {
+		off[i] = off[i-1] + hist[i-1]
+	}
+	for _, k := range keys {
+		p := int(uint64(k) >> (64 - bits))
+		out[off[p]] = k
+		off[p]++
+	}
+	return out
+}
+
+// PartitionCharged records the scatter as streaming partition traffic
+// and observes the resulting partition footprint.
+func PartitionCharged(keys []int64, bits uint, ctr *exec.Counters) []int64 {
+	np := 1 << bits
+	hist := make([]int64, np)
+	for _, k := range keys {
+		hist[int(uint64(k)>>(64-bits))]++
+	}
+	out := make([]int64, len(keys))
+	off := make([]int64, np)
+	var maxPart int64
+	for i := 1; i < np; i++ {
+		off[i] = off[i-1] + hist[i-1]
+		if hist[i] > maxPart {
+			maxPart = hist[i]
+		}
+	}
+	for _, k := range keys {
+		p := int(uint64(k) >> (64 - bits))
+		out[off[p]] = k
+		off[p]++
+	}
+	ctr.PartitionBytes += int64(len(keys)) * 8
+	ctr.ObservePartitionBytes(maxPart * 8)
+	return out
+}
+
+// BuildIgnored is a table-build loop that accepts counters but drops
+// them — the insert work vanishes from the simulation.
+func BuildIgnored(keys []int64, ctr *exec.Counters) map[int64]int32 { // want "never charges or forwards it"
+	m := make(map[int64]int32, len(keys))
+	for i, k := range keys {
+		m[k] = int32(i)
+	}
+	return m
+}
+
+// ProbeCharged is an open-addressing probe loop over a cache-resident
+// partition table, charging each lookup at LLC latency.
+func ProbeCharged(table map[int64]int32, probe []int64, ctr *exec.Counters) []int32 {
+	out := make([]int32, 0, len(probe))
+	for _, k := range probe {
+		if v, ok := table[k]; ok {
+			out = append(out, v)
+		}
+	}
+	ctr.HashProbeTuples += int64(len(probe))
+	ctr.CacheRandomAccesses += int64(len(probe))
+	return out
+}
+
 // unexportedHelper is out of the invariant's scope.
 func unexportedHelper(vals []int64) int64 {
 	var s int64

@@ -116,14 +116,23 @@ type Traced struct {
 // counters the kernels charge anyway, plus wall clocks that never feed
 // back into execution.
 func RunTraced(cat Catalog, workers int, n Node) (*Traced, error) {
-	ctr := &exec.Counters{}
-	tr := obs.NewTracer(ctr)
-	ctx := &Context{Cat: cat, Ctr: ctr, Workers: workers, Trace: tr}
+	return RunTracedContext(&Context{Cat: cat, Workers: workers}, n)
+}
+
+// RunTracedContext is RunTraced under a caller-configured context. A nil
+// Ctr gets fresh counters; any Trace already set is replaced by the
+// tracer whose span tree the result reports.
+func RunTracedContext(ctx *Context, n Node) (*Traced, error) {
+	if ctx.Ctr == nil {
+		ctx.Ctr = &exec.Counters{}
+	}
+	tr := obs.NewTracer(ctx.Ctr)
+	ctx.Trace = tr
 	out, err := instrument(n).Execute(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &Traced{Table: out, Counters: *ctr, Root: tr.Root()}, nil
+	return &Traced{Table: out, Counters: *ctx.Ctr, Root: tr.Root()}, nil
 }
 
 // NodeStats records one operator's contribution during an analyzed
@@ -162,7 +171,12 @@ type Analysis struct {
 // span tree into pre-order per-operator rows with exclusive (children
 // subtracted) measurements.
 func Analyze(cat Catalog, workers int, n Node) (*Analysis, error) {
-	res, err := RunTraced(cat, workers, n)
+	return AnalyzeContext(&Context{Cat: cat, Workers: workers}, n)
+}
+
+// AnalyzeContext is Analyze under a caller-configured context.
+func AnalyzeContext(ctx *Context, n Node) (*Analysis, error) {
+	res, err := RunTracedContext(ctx, n)
 	if err != nil {
 		return nil, err
 	}

@@ -86,9 +86,20 @@ func (g *GroupBy) Execute(ctx *Context) (*colstore.Table, error) {
 	// regardless of worker count. Morsel boundaries depend only on input
 	// size, and partial aggregates merge in morsel order, so the result
 	// (floating-point sums included) is bit-identical at every degree of
-	// parallelism.
+	// parallelism. When the estimated group count would blow the LLC
+	// budget, the radix-partitioned variant (byte-identical by
+	// construction) keeps every grouper cache-resident.
 	if in.NumRows() >= ctx.parallelMinRows() {
-		return g.groupedMorsel(ctx, in)
+		packed, err := packKeysParallel(ctx, in, g.Keys)
+		if err != nil {
+			return nil, err
+		}
+		if target := ctx.llcBytes(); target > 0 {
+			if est := estimateGroups(packed, ctx.Ctr); useRadixGroupBy(est, target) {
+				return g.groupedRadix(ctx, in, packed, est, target)
+			}
+		}
+		return g.groupedMorsel(ctx, in, packed)
 	}
 	packed, err := packKeys(in, g.Keys, ctx.Ctr)
 	if err != nil {
@@ -391,18 +402,15 @@ type groupPart struct {
 	aggs     []aggState
 }
 
-// groupedMorsel is the morsel-parallel grouped aggregation: keys are
-// packed in parallel, each morsel aggregates into a thread-local hash
+// groupedMorsel is the morsel-parallel grouped aggregation over
+// already-packed keys: each morsel aggregates into a thread-local hash
 // table, and the locals are folded into the global table in a final
 // single pass, in morsel order. Because global group IDs are assigned in
 // order of first key occurrence across morsels processed in order, group
 // order matches the sequential Grouper exactly.
-func (g *GroupBy) groupedMorsel(ctx *Context, in *colstore.Table) (*colstore.Table, error) {
-	packed, err := packKeysParallel(ctx, in, g.Keys)
-	if err != nil {
-		return nil, err
-	}
+func (g *GroupBy) groupedMorsel(ctx *Context, in *colstore.Table, packed []int64) (*colstore.Table, error) {
 	n := in.NumRows()
+	var err error
 	nm := exec.NumMorsels(n, ctx.morselRows())
 	parts := make([]*groupPart, nm)
 	err = exec.RunMorsels(ctx.workers(), n, ctx.morselRows(), ctx.Ctr, func(m, lo, hi int, ctr *exec.Counters) error {

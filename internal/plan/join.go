@@ -71,19 +71,34 @@ func (j *HashJoin) Execute(ctx *Context) (*colstore.Table, error) {
 	w := ctx.workers()
 	mr := ctx.morselRows()
 
-	// Build phase: key extraction plus hash table construction.
+	// Build phase: key extraction plus hash table construction. When the
+	// chained table would blow the LLC budget, switch to the radix-
+	// partitioned build: the partition pass gets its own span because it
+	// is the streaming price paid to keep every probe cache-resident.
 	bsp := ctx.Trace.Begin("join-build", fmt.Sprintf("build [%s]", strings.Join(j.BuildKeys, ",")))
 	bk, err := joinKeysParallel(ctx, build, j.BuildKeys)
 	if err != nil {
 		ctx.Trace.EndErr(bsp)
 		return nil, err
 	}
-	jt := exec.BuildJoinTableParallel(bk, w, mr, ctx.Ctr)
+	var jt exec.JoinIndex
+	var rt *exec.RadixJoinTable
+	if target := ctx.llcBytes(); useRadixJoin(len(bk), target) {
+		bits := exec.RadixBits(len(bk), exec.RadixBuildBytesPerRow, target/2)
+		ksp := ctx.Trace.Begin("join-partition",
+			fmt.Sprintf("radix %d-way, %d pass(es)", 1<<bits, exec.RadixPasses(bits)))
+		rp := exec.RadixPartitionKeys(bk, nil, bits, w, mr, ctx.Ctr)
+		ctx.Trace.End(ksp, int64(len(bk)), int64(len(bk))*12)
+		cfg := exec.RadixJoinConfig{Bloom: useBloom(len(bk), probe.NumRows(), target)}
+		rt = exec.BuildRadixTables(rp, cfg, w, mr, ctx.Ctr)
+	} else {
+		jt = exec.BuildJoinTableParallel(bk, w, mr, ctx.Ctr)
+	}
 	ctx.Trace.End(bsp, int64(build.NumRows()), build.SizeBytes())
 
 	// Probe phase: key extraction, probe kernel, and output gathers.
 	psp := ctx.Trace.Begin("join-probe", fmt.Sprintf("probe [%s]", strings.Join(j.ProbeKeys, ",")))
-	out, err := j.probePhase(ctx, jt, build, probe, w, mr)
+	out, err := j.probePhase(ctx, jt, rt, build, probe, w, mr)
 	if err != nil {
 		ctx.Trace.EndErr(psp)
 		return nil, err
@@ -92,14 +107,45 @@ func (j *HashJoin) Execute(ctx *Context) (*colstore.Table, error) {
 	return out, nil
 }
 
-func (j *HashJoin) probePhase(ctx *Context, jt exec.JoinIndex, build, probe *colstore.Table, w, mr int) (*colstore.Table, error) {
+// radixMinBuildRows is the smallest build side worth partitioning; below
+// it the chained table fits comfortably in cache anyway and the pass
+// setup would dominate.
+const radixMinBuildRows = 1 << 12
+
+// useRadixJoin decides build strategy from build cardinality and the LLC
+// budget alone — never from the worker count — so the choice (and the
+// byte-exact output) is identical on one core, eight cores, and a
+// re-dispatched cluster worker.
+func useRadixJoin(buildRows int, llcBytes int64) bool {
+	return llcBytes > 0 &&
+		buildRows >= radixMinBuildRows &&
+		exec.JoinTableBytes(buildRows) > llcBytes
+}
+
+// useBloom enables the probe-side Bloom pre-filter when the probe side
+// dwarfs the build side (so most probes miss and the filter prunes them
+// before partitioning) and the filter itself respects the cache budget.
+func useBloom(buildRows, probeRows int, llcBytes int64) bool {
+	return probeRows >= 4*buildRows && exec.BloomBytes(buildRows) <= llcBytes
+}
+
+// probePhase extracts probe keys and dispatches the probe kernel.
+// Exactly one of jt (chained/direct) and rt (radix-partitioned) is
+// non-nil; both produce byte-identical match sets, so everything
+// downstream of the kernel is shared.
+func (j *HashJoin) probePhase(ctx *Context, jt exec.JoinIndex, rt *exec.RadixJoinTable, build, probe *colstore.Table, w, mr int) (*colstore.Table, error) {
 	pk, err := joinKeysParallel(ctx, probe, j.ProbeKeys)
 	if err != nil {
 		return nil, err
 	}
 	switch j.Kind {
 	case Inner:
-		bi, pi := exec.InnerJoinParallel(jt, pk, w, mr, ctx.Ctr)
+		var bi, pi []int32
+		if rt != nil {
+			bi, pi = rt.InnerJoin(pk, w, mr, ctx.Ctr)
+		} else {
+			bi, pi = exec.InnerJoinParallel(jt, pk, w, mr, ctx.Ctr)
+		}
 		left := gather(ctx, probe, pi)
 		right := gather(ctx, build, bi)
 		out, err := concatTables(left, right)
@@ -109,17 +155,32 @@ func (j *HashJoin) probePhase(ctx *Context, jt exec.JoinIndex, build, probe *col
 		observe(ctx, build, probe, out)
 		return out, nil
 	case Semi:
-		sel := exec.SemiJoinParallel(jt, pk, w, mr, ctx.Ctr)
+		var sel []int32
+		if rt != nil {
+			sel = rt.SemiJoin(pk, w, mr, ctx.Ctr)
+		} else {
+			sel = exec.SemiJoinParallel(jt, pk, w, mr, ctx.Ctr)
+		}
 		out := gather(ctx, probe, sel)
 		observe(ctx, build, probe, out)
 		return out, nil
 	case Anti:
-		sel := exec.AntiJoinParallel(jt, pk, w, mr, ctx.Ctr)
+		var sel []int32
+		if rt != nil {
+			sel = rt.AntiJoin(pk, w, mr, ctx.Ctr)
+		} else {
+			sel = exec.AntiJoinParallel(jt, pk, w, mr, ctx.Ctr)
+		}
 		out := gather(ctx, probe, sel)
 		observe(ctx, build, probe, out)
 		return out, nil
 	case LeftCount:
-		counts := exec.CountPerProbeParallel(jt, pk, w, mr, ctx.Ctr)
+		var counts []int64
+		if rt != nil {
+			counts = rt.CountPerProbe(pk, w, mr, ctx.Ctr)
+		} else {
+			counts = exec.CountPerProbeParallel(jt, pk, w, mr, ctx.Ctr)
+		}
 		name := j.CountAs
 		if name == "" {
 			name = "match_count"

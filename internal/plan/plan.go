@@ -41,6 +41,14 @@ type Context struct {
 	// only on input size, never on Workers, so results are bit-identical
 	// at every degree of parallelism.
 	MorselRows int
+	// LLCBytes is the last-level-cache budget the planner sizes
+	// partitioned joins and aggregations against. Zero selects
+	// DefaultLLCBytes; negative disables the partitioned paths entirely.
+	// Like MorselRows it must never vary with Workers: the partitioned
+	// vs. direct decision depends only on input cardinalities and this
+	// budget, so results stay bit-identical at every degree of
+	// parallelism, including cluster re-dispatch.
+	LLCBytes int64
 	// Trace, when non-nil, collects an operator span tree during
 	// execution. A nil tracer is a valid no-op, so operators call it
 	// unconditionally.
@@ -49,6 +57,12 @@ type Context struct {
 
 // DefaultMinParallelRows is the default parallelism threshold.
 const DefaultMinParallelRows = 1 << 15
+
+// DefaultLLCBytes is the planning cache budget when Context.LLCBytes is
+// zero: the Raspberry Pi 3B+'s 512 KiB shared L2, the smallest LLC among
+// the paper's comparison points. Sizing partitions for the smallest
+// cache keeps partitioned plans cache-resident on every profile.
+const DefaultLLCBytes = 512 << 10
 
 func (c *Context) workers() int {
 	if c.Workers < 1 {
@@ -71,6 +85,19 @@ func (c *Context) morselRows() int {
 	return c.MorselRows
 }
 
+// llcBytes resolves the planning cache budget; 0 means the partitioned
+// paths are disabled.
+func (c *Context) llcBytes() int64 {
+	switch {
+	case c.LLCBytes < 0:
+		return 0
+	case c.LLCBytes == 0:
+		return DefaultLLCBytes
+	default:
+		return c.LLCBytes
+	}
+}
+
 // Node is one operator of a physical plan.
 type Node interface {
 	// Execute materializes the operator's result.
@@ -88,7 +115,15 @@ func pad(depth int) string { return strings.Repeat("  ", depth) }
 // Run executes a plan against a catalog with fresh counters, returning
 // the result table and the recorded work.
 func Run(cat Catalog, workers int, n Node) (*colstore.Table, exec.Counters, error) {
-	ctx := &Context{Cat: cat, Ctr: &exec.Counters{}, Workers: workers}
+	return RunContext(&Context{Cat: cat, Workers: workers}, n)
+}
+
+// RunContext executes a plan under a caller-configured context (worker
+// count, morsel granularity, LLC budget). A nil Ctr gets fresh counters.
+func RunContext(ctx *Context, n Node) (*colstore.Table, exec.Counters, error) {
+	if ctx.Ctr == nil {
+		ctx.Ctr = &exec.Counters{}
+	}
 	t, err := n.Execute(ctx)
 	if err != nil {
 		return nil, exec.Counters{}, err

@@ -1,0 +1,322 @@
+package plan
+
+// Radix-partitioned grouped aggregation. When the estimated group count
+// would blow the LLC budget, the packed keys are radix-partitioned first
+// so each partition's grouper stays cache-resident; partitions aggregate
+// independently as morsels.
+//
+// The output is byte-identical to groupedMorsel's. Group order: within a
+// partition rows arrive in ascending original order (the radix scatter
+// is stable), so each partition-local group's first occurrence is the
+// key's global first occurrence; sorting all partition-local groups by
+// first-occurrence row reproduces the global first-occurrence order both
+// existing paths emit. Float sums: groupedMorsel folds rows left-to-right
+// within each morsel and then folds the per-morsel partials in morsel
+// order, so the radix path reproduces that exact association by cutting
+// its per-group fold at every morsel boundary.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+)
+
+// estimateGroups estimates the distinct count of keys from a strided
+// sample pushed through a small grouper. The stride depends only on the
+// input size, so the estimate — and the plan choice it feeds — is
+// deterministic and worker-independent. The estimate only sizes the
+// radix fan-out; an underestimate costs cache residency (and is caught
+// by the hardware model via MaxPartitionBytes), never correctness.
+func estimateGroups(keys []int64, ctr *exec.Counters) int {
+	n := len(keys)
+	stride := n / 4096
+	if stride < 1 {
+		stride = 1
+	}
+	sample := make([]int64, 0, n/stride+1)
+	for i := 0; i < n; i += stride {
+		sample = append(sample, keys[i])
+	}
+	g := exec.NewGrouper(1024)
+	g.GroupIDs(sample, ctr)
+	d := g.NumGroups()
+	if d*2 < len(sample) {
+		// Keys repeat heavily inside the sample: the sample has likely
+		// seen most groups, so the sample's distinct count is the
+		// estimate.
+		return d
+	}
+	// Mostly-unique sample: distinct count scales with the stride.
+	est := d * stride
+	if est > n {
+		est = n
+	}
+	return est
+}
+
+// radixGroupBytesPerRow estimates the per-group partition footprint for
+// sizing the fan-out: grouper slots (2x occupancy, key+gid) plus
+// first-row and accumulator state.
+func radixGroupBytesPerRow(naggs int) int64 {
+	return int64(24 + 4 + 16*naggs)
+}
+
+// useRadixGroupBy mirrors useRadixJoin: the decision depends only on the
+// estimated group count and the LLC budget, never the worker count.
+func useRadixGroupBy(estGroups int, llcBytes int64) bool {
+	return llcBytes > 0 && exec.GrouperBytes(estGroups) > llcBytes
+}
+
+// radixGroupPart is one partition's aggregation state.
+type radixGroupPart struct {
+	firstRow []int32 // local gid -> global row of first occurrence
+	aggs     []aggState
+}
+
+// groupRef locates one partition-local group for the global merge.
+type groupRef struct {
+	row  int32 // global first-occurrence row (unique: the sort key)
+	part int32
+	lg   int32
+}
+
+// groupedRadix is the radix-partitioned grouped aggregation path.
+func (g *GroupBy) groupedRadix(ctx *Context, in *colstore.Table, packed []int64, estGroups int, target int64) (*colstore.Table, error) {
+	w, mr := ctx.workers(), ctx.morselRows()
+
+	bits := exec.RadixBits(estGroups, radixGroupBytesPerRow(len(g.Aggs)), target/2)
+	sp := ctx.Trace.Begin("group-partition",
+		fmt.Sprintf("radix %d-way, %d pass(es)", 1<<bits, exec.RadixPasses(bits)))
+	rp := exec.RadixPartitionKeys(packed, nil, bits, w, mr, ctx.Ctr)
+	ctx.Trace.End(sp, int64(len(packed)), int64(len(packed))*12)
+
+	// Evaluate aggregate arguments once over the unpartitioned input
+	// (elementwise, so values match the per-morsel evaluation of the
+	// direct path), then route them through the same partition order as
+	// the keys.
+	fargs := make([][]float64, len(g.Aggs))
+	iargs := make([][]int64, len(g.Aggs))
+	for si, spec := range g.Aggs {
+		switch spec.Func {
+		case Count:
+			// Pure row count; the argument (if any) is not evaluated,
+			// matching aggMorsel.
+		case SumI:
+			iv, err := aggArgI(ctx, in, spec)
+			if err != nil {
+				return nil, err
+			}
+			iargs[si] = rp.GatherI64(iv, w, mr, ctx.Ctr)
+		case Sum, Avg, Min, Max:
+			fv, err := aggArg(ctx, in, spec)
+			if err != nil {
+				return nil, err
+			}
+			fargs[si] = rp.GatherF64(fv, w, mr, ctx.Ctr)
+		default:
+			return nil, fmt.Errorf("plan: unknown aggregate %d", spec.Func)
+		}
+	}
+
+	// Each partition aggregates independently into a cache-sized grouper;
+	// partitions are morsels, so worker count never changes results.
+	np := rp.NumPartitions()
+	parts := make([]*radixGroupPart, np)
+	err := exec.RunMorsels(w, np, 1, ctx.Ctr, func(p, _, _ int, c *exec.Counters) error {
+		lo, hi := int(rp.Off[p]), int(rp.Off[p+1])
+		keys := rp.Keys[lo:hi]
+		rows := rp.Rows[lo:hi]
+		gr := exec.NewGrouper(256)
+		gids := gr.GroupIDsCacheResident(keys, c)
+		ng := gr.NumGroups()
+		part := &radixGroupPart{firstRow: make([]int32, ng), aggs: make([]aggState, len(g.Aggs))}
+		for i := range part.firstRow {
+			part.firstRow[i] = -1
+		}
+		for i, gid := range gids {
+			if part.firstRow[gid] < 0 {
+				part.firstRow[gid] = rows[i]
+			}
+		}
+		for si, spec := range g.Aggs {
+			st := &part.aggs[si]
+			switch spec.Func {
+			case Count:
+				st.i = foldCount(gids, ng, c)
+			case SumI:
+				st.i = foldSumI64(gids, iargs[si][lo:hi], ng, c)
+			case Sum:
+				st.f = foldSumF64Morsels(gids, rows, fargs[si][lo:hi], ng, mr, c)
+			case Avg:
+				st.f = foldSumF64Morsels(gids, rows, fargs[si][lo:hi], ng, mr, c)
+				st.i = foldCount(gids, ng, c)
+			case Min:
+				st.f = foldMinMaxF64(gids, fargs[si][lo:hi], ng, false, c)
+			case Max:
+				st.f = foldMinMaxF64(gids, fargs[si][lo:hi], ng, true, c)
+			}
+		}
+		parts[p] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Global merge: order every partition-local group by its (unique)
+	// first-occurrence row. That is exactly the first-occurrence order
+	// the direct paths assign group IDs in.
+	var refs []groupRef
+	for p, part := range parts {
+		for lg, fr := range part.firstRow {
+			refs = append(refs, groupRef{row: fr, part: int32(p), lg: int32(lg)})
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].row < refs[j].row })
+	ngroups := len(refs)
+	firstRow := make([]int32, ngroups)
+	for i, r := range refs {
+		firstRow[i] = r.row
+	}
+	ctx.Ctr.AggUpdates += int64(ngroups) * int64(len(g.Aggs))
+	ctx.Ctr.MergeBytes += int64(ngroups) * int64(12+16*len(g.Aggs))
+
+	schema := make(colstore.Schema, 0, len(g.Keys)+len(g.Aggs))
+	cols := make([]colstore.Column, 0, len(g.Keys)+len(g.Aggs))
+	for _, k := range g.Keys {
+		c, err := in.ColByName(k)
+		if err != nil {
+			return nil, err
+		}
+		schema = append(schema, colstore.Field{Name: k, Type: c.Type()})
+		cols = append(cols, c.Gather(firstRow))
+	}
+	ctx.Ctr.RandomAccesses += int64(ngroups) * int64(len(g.Keys))
+
+	for si, spec := range g.Aggs {
+		var col colstore.Column
+		switch spec.Func {
+		case Count, SumI:
+			out := make([]int64, ngroups)
+			for i, r := range refs {
+				out[i] = parts[r.part].aggs[si].i[r.lg]
+			}
+			col = &colstore.Int64s{V: out}
+		case Sum, Min, Max:
+			out := make([]float64, ngroups)
+			for i, r := range refs {
+				out[i] = parts[r.part].aggs[si].f[r.lg]
+			}
+			col = &colstore.Float64s{V: out}
+		case Avg:
+			out := make([]float64, ngroups)
+			for i, r := range refs {
+				st := &parts[r.part].aggs[si]
+				if st.i[r.lg] > 0 {
+					out[i] = st.f[r.lg] / float64(st.i[r.lg])
+				}
+			}
+			ctx.Ctr.FloatOps += int64(ngroups)
+			col = &colstore.Float64s{V: out}
+		}
+		schema = append(schema, colstore.Field{Name: spec.Name, Type: col.Type()})
+		cols = append(cols, col)
+	}
+	out, err := colstore.NewTable("", schema, cols)
+	if err != nil {
+		return nil, err
+	}
+	ctx.Ctr.TuplesMaterialized += int64(ngroups)
+	ctx.Ctr.BytesMaterialized += out.SizeBytes()
+	observe(ctx, in, out)
+	return out, nil
+}
+
+// foldSumF64Morsels sums vals per group, cutting the fold at every morsel
+// boundary of the original row numbers: within a morsel values add left
+// to right, and completed morsel partials add in morsel order. That is
+// bit-for-bit the association groupedMorsel produces with per-morsel
+// ScatterSumF64 partials merged in morsel order.
+func foldSumF64Morsels(gids, rows []int32, vals []float64, ng, morselRows int, ctr *exec.Counters) []float64 {
+	tot := make([]float64, ng)
+	cur := make([]float64, ng)
+	lastM := make([]int32, ng)
+	for i := range lastM {
+		lastM[i] = -1
+	}
+	for i, gid := range gids {
+		m := int32(int(rows[i]) / morselRows)
+		if m != lastM[gid] {
+			if lastM[gid] >= 0 {
+				tot[gid] += cur[gid]
+				cur[gid] = 0
+			}
+			lastM[gid] = m
+		}
+		cur[gid] += vals[i]
+	}
+	for gid := range tot {
+		if lastM[gid] >= 0 {
+			tot[gid] += cur[gid]
+		}
+	}
+	ctr.AggUpdates += int64(len(gids))
+	ctr.FloatOps += int64(len(gids)) + int64(ng)
+	return tot
+}
+
+// foldCount counts rows per group.
+func foldCount(gids []int32, ng int, ctr *exec.Counters) []int64 {
+	out := make([]int64, ng)
+	for _, gid := range gids {
+		out[gid]++
+	}
+	ctr.AggUpdates += int64(len(gids))
+	ctr.IntOps += int64(len(gids))
+	return out
+}
+
+// foldSumI64 sums int64 vals per group (exact, so no morsel cuts needed).
+func foldSumI64(gids []int32, vals []int64, ng int, ctr *exec.Counters) []int64 {
+	out := make([]int64, ng)
+	for i, gid := range gids {
+		out[gid] += vals[i]
+	}
+	ctr.AggUpdates += int64(len(gids))
+	ctr.IntOps += int64(len(gids))
+	return out
+}
+
+// foldMinMaxF64 folds min (or max) per group with the strict comparison
+// the Scatter kernels use: NaN inputs are skipped and equal-comparing
+// values keep the first in row order, so the result is independent of
+// the morsel decomposition.
+func foldMinMaxF64(gids []int32, vals []float64, ng int, max bool, ctr *exec.Counters) []float64 {
+	fill := math.Inf(1)
+	if max {
+		fill = math.Inf(-1)
+	}
+	out := make([]float64, ng)
+	for i := range out {
+		out[i] = fill
+	}
+	if max {
+		for i, gid := range gids {
+			if vals[i] > out[gid] {
+				out[gid] = vals[i]
+			}
+		}
+	} else {
+		for i, gid := range gids {
+			if vals[i] < out[gid] {
+				out[gid] = vals[i]
+			}
+		}
+	}
+	ctr.AggUpdates += int64(len(gids))
+	ctr.FloatOps += int64(len(gids))
+	return out
+}

@@ -184,6 +184,7 @@ func prepQ3(d *tpch.Dataset) *Prepared {
 			{
 				Name:        "lookup qualifying order",
 				BytesPerRow: 8 + lookupBytes, OpsPerRow: 2, IsLookup: true,
+				TableBytes: exec.JoinTableBytes(len(keys)),
 				Row: func(r int, s []float64) bool {
 					b := jt.Lookup(lok[r])
 					if b < 0 {
@@ -264,6 +265,7 @@ func prepQ4(d *tpch.Dataset) *Prepared {
 			{
 				Name:        "exists late line",
 				BytesPerRow: 8 + lookupBytes, OpsPerRow: 1, IsLookup: true,
+				TableBytes: exec.JoinTableBytes(len(lateKeys)),
 				Row: func(r int, s []float64) bool {
 					s[0] = float64(prio.Codes[r])
 					return jt.Lookup(ok[r]) >= 0
@@ -363,6 +365,7 @@ func prepQ5(d *tpch.Dataset) *Prepared {
 			{
 				Name:        "lookup asian order",
 				BytesPerRow: 8 + lookupBytes, OpsPerRow: 2, IsLookup: true,
+				TableBytes: exec.JoinTableBytes(len(keys)),
 				Row: func(r int, s []float64) bool {
 					b := jt.Lookup(lok[r])
 					if b < 0 {
@@ -376,6 +379,7 @@ func prepQ5(d *tpch.Dataset) *Prepared {
 			{
 				Name:        "lookup supplier nation",
 				BytesPerRow: 8 + lookupBytes, OpsPerRow: 1, IsLookup: true,
+				TableBytes: int64(len(suppNation)) * 8,
 				Row: func(r int, s []float64) bool {
 					s[1] = float64(suppNation[lsk[r]])
 					return true
@@ -487,6 +491,7 @@ func prepQ13(d *tpch.Dataset) *Prepared {
 			{
 				Name:        "count orders",
 				BytesPerRow: 8 + lookupBytes, OpsPerRow: 2, IsLookup: true,
+				TableBytes: exec.JoinTableBytes(len(keys)),
 				Row: func(r int, s []float64) bool {
 					s[0] = float64(jt.CountMatches(ck[r]))
 					return true
@@ -551,6 +556,7 @@ func prepQ14(d *tpch.Dataset) *Prepared {
 			{
 				Name:        "lookup promo flag + revenue",
 				BytesPerRow: 24 + lookupBytes, OpsPerRow: 4, IsLookup: true,
+				TableBytes: int64(len(promo)) * 8,
 				Row: func(r int, s []float64) bool {
 					v := ext[r] * (1 - disc[r])
 					s[0] = v * promo[lpk[r]]
@@ -643,6 +649,7 @@ func prepQ19(d *tpch.Dataset) *Prepared {
 			{
 				Name:        "lookup part block",
 				BytesPerRow: 8 + lookupBytes, OpsPerRow: 2, IsLookup: true,
+				TableBytes: int64(len(blockOf)) * 8,
 				Row: func(r int, s []float64) bool {
 					s[0] = blockOf[lpk[r]]
 					return s[0] > 0

@@ -66,6 +66,11 @@ const (
 	blockSize = 1024
 	// lookupBytes approximates the memory touched by one hash probe.
 	lookupBytes = 16
+	// cacheResidentBytes is the lookup-table footprint below which
+	// probes count as cache-resident: the Pi 3B+'s 512 KiB LLC, matching
+	// plan.DefaultLLCBytes (not imported — plan depends on exec, which
+	// this package shares).
+	cacheResidentBytes = 512 << 10
 )
 
 // Stage is one step of a probe pipeline: it may filter rows and may
@@ -84,6 +89,13 @@ type Stage struct {
 	OpsPerRow int64
 	// IsLookup marks hash-probe stages, which charge a random access.
 	IsLookup bool
+	// TableBytes is the footprint of the structure a lookup stage probes
+	// (exec.JoinTableBytes of the build side). Probes into tables small
+	// enough to stay resident in even the smallest profile's LLC charge
+	// cache-resident accesses instead of DRAM-latency ones — the access
+	// distinction the hardware model prices. Zero means unknown and is
+	// charged conservatively as DRAM.
+	TableBytes int64
 	// NeedsSlots marks stages that read slots written by earlier lookup
 	// stages; such stages cannot be pulled up by the access-aware
 	// interpreter.
@@ -143,6 +155,19 @@ func newResult() *Result {
 	return &Result{Groups: make(map[GroupKey]*AggState)}
 }
 
+// chargeLookup records n hash probes against a table of the given
+// footprint: cache-resident accesses when the table fits the smallest
+// LLC, DRAM random accesses otherwise.
+func chargeLookup(ctr *exec.Counters, n, tableBytes int64) {
+	ctr.HashProbeTuples += n
+	if tableBytes > 0 && tableBytes <= cacheResidentBytes {
+		ctr.CacheRandomAccesses += n
+		ctr.ObservePartitionBytes(tableBytes)
+	} else {
+		ctr.RandomAccesses += n
+	}
+}
+
 func (r *Result) update(p *Pipeline, slots []float64) {
 	var k GroupKey
 	for i, s := range p.Keys {
@@ -175,8 +200,7 @@ func runDataCentric(p *Pipeline) *Result {
 			ctr.SeqBytes += st.BytesPerRow
 			ctr.IntOps += st.OpsPerRow + branchPenaltyOps
 			if st.IsLookup {
-				ctr.RandomAccesses++
-				ctr.HashProbeTuples++
+				chargeLookup(ctr, 1, st.TableBytes)
 			}
 			if !st.Row(row, slots) {
 				survived = false
@@ -220,8 +244,7 @@ func runHybrid(p *Pipeline) *Result {
 				ctr.SeqBytes += st.BytesPerRow
 				ctr.IntOps += st.OpsPerRow + vecPenaltyOps
 				if st.IsLookup {
-					ctr.RandomAccesses++
-					ctr.HashProbeTuples++
+					chargeLookup(ctr, 1, st.TableBytes)
 				}
 				if st.Row(int(r), slots) {
 					kept = append(kept, r)
@@ -300,8 +323,7 @@ func runAccessAware(p *Pipeline) *Result {
 		ctr.SeqBytes += st.BytesPerRow * n
 		ctr.IntOps += int64(float64(st.OpsPerRow+1) * float64(n) * aaVectorFactor)
 		if st.IsLookup {
-			ctr.RandomAccesses += n
-			ctr.HashProbeTuples += n
+			chargeLookup(ctr, n, st.TableBytes)
 		}
 	}
 
