@@ -52,8 +52,9 @@ check: build test vet lint race explain-smoke
 bench-scaling:
 	$(GO) test -run '^$$' -bench BenchmarkParallelScaling -benchtime 3x .
 
-# Radix-partitioned vs chained hash join sweep; regenerates
-# BENCH_join.json. WIMPI_BENCH_BIG=1 adds a build side that also
-# overflows a server-class host LLC.
+# Radix-partitioned vs chained hash join sweep (BENCH_join.json) plus
+# fused-vs-vector execution on Q1/Q6/Q14 (BENCH_fused.json).
+# WIMPI_BENCH_BIG=1 adds a join build side that also overflows a
+# server-class host LLC.
 bench-smoke:
-	$(GO) test -run '^$$' -bench BenchmarkJoinRadixVsChained -benchtime 3x .
+	$(GO) test -run '^$$' -bench 'BenchmarkJoinRadixVsChained|BenchmarkFusedVsVector' -benchtime 3x .

@@ -51,6 +51,7 @@ func main() {
 	redispatch := flag.Bool("redispatch", false, "coordinator: re-issue failed/straggling partitions to healthy peers")
 	stragglerMult := flag.Float64("straggler-mult", 4, "coordinator: straggler threshold as multiple of median response time")
 	explain := flag.Bool("explain", false, "coordinator: print each query's exchange span tree (per-node partials + merge)")
+	execMode := flag.String("exec", "vector", "coordinator: per-node execution mode (vector, fused, or auto), shipped with every load")
 	metricsOut := flag.String("metrics-out", "", "coordinator: write Prometheus-text metrics to this file before exiting")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics over HTTP at this address (GET /metrics)")
 	flag.Parse()
@@ -70,6 +71,7 @@ func main() {
 			AllowPartial:      *allowPartial,
 			Redispatch:        *redispatch,
 			StragglerMultiple: *stragglerMult,
+			Exec:              *execMode,
 		}
 		runCoordinator(cfg, *addrs, *sf, *seed, *queries, *simulate, *rows, *explain)
 		if *metricsOut != "" {

@@ -8,6 +8,7 @@
 //	wimpi -sf 0.1 -q 3 -plan       # print the physical plan
 //	wimpi -sf 0.1 -q 1 -explain    # EXPLAIN ANALYZE: span tree + simulated time
 //	wimpi -sf 0.1 -q 1 -simulate   # show simulated per-hardware times
+//	wimpi -sf 0.1 -q 6 -exec auto  # cost-model choice of vector vs fused pipelines
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"wimpi/internal/engine"
 	"wimpi/internal/hardware"
 	"wimpi/internal/obs"
+	"wimpi/internal/plan"
 	"wimpi/internal/snapshot"
 	"wimpi/internal/tpch"
 )
@@ -30,6 +32,7 @@ func main() {
 	query := flag.String("q", "all", "query number (1-22) or 'all'")
 	workers := flag.Int("workers", 0, "engine parallelism (0 = one per core)")
 	llc := flag.Int64("llc", 0, "LLC budget in bytes for radix-partitioned plans (0 = Pi-sized default, negative disables)")
+	execMode := flag.String("exec", "vector", "execution mode: vector (operator-at-a-time), fused (compiled pipelines), or auto (cost-model pick per pipeline)")
 	planOnly := flag.Bool("plan", false, "print the physical plan instead of executing")
 	explain := flag.Bool("explain", false, "EXPLAIN ANALYZE: execute, then print the operator span tree with wall and simulated time")
 	profileName := flag.String("profile", "Pi 3B+", "hardware profile attributed in -explain output (see hardware.Profiles)")
@@ -41,6 +44,11 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics to this file before exiting")
 	flag.Parse()
 
+	mode, err := plan.ParseExecMode(*execMode)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	var queries []int
 	if *query == "all" {
 		queries = tpch.QueryNumbers()
@@ -50,17 +58,6 @@ func main() {
 			fatalf("bad query %q", *query)
 		}
 		queries = []int{n}
-	}
-
-	if *planOnly {
-		for _, q := range queries {
-			node, err := tpch.Query(q)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			fmt.Printf("-- Q%d --\n%s\n", q, engine.NewDB(engine.Config{}).Explain(node))
-		}
-		return
 	}
 
 	var explainProfile hardware.Profile
@@ -90,7 +87,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "(snapshot written to %s) ", *save)
 	}
-	db := engine.NewDB(engine.Config{Workers: *workers, TargetLLCBytes: *llc})
+	db := engine.NewDB(engine.Config{Workers: *workers, TargetLLCBytes: *llc, Exec: mode})
 	data.RegisterAll(db)
 	fmt.Fprintf(os.Stderr, "done in %v (%.1f MB, %d workers)\n", time.Since(start).Round(time.Millisecond),
 		float64(db.SizeBytes())/(1<<20), db.Workers())
@@ -101,6 +98,12 @@ func main() {
 		node, err := tpch.Query(q)
 		if err != nil {
 			fatalf("%v", err)
+		}
+		if *planOnly {
+			// Planned against the loaded catalog so auto-mode decisions
+			// (which price pipelines from table statistics) are visible.
+			fmt.Printf("-- Q%d --\n%s\n", q, db.Explain(node))
+			continue
 		}
 		if *explain {
 			res, err := db.RunTraced(node)

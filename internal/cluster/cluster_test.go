@@ -334,3 +334,51 @@ func tpchMini(t *testing.T) *tpch.Dataset {
 	t.Helper()
 	return tpch.Generate(tpch.Config{SF: 0.001, Seed: 42})
 }
+
+// TestDistributedFusedMatchesVector runs a cluster in fused mode — the
+// mode ships inside every LoadRequest, so all workers (and any spare
+// re-executing a foreign partition) compile their partials the same
+// way — and requires byte-identical merged results against a vector
+// cluster of the same shape.
+func TestDistributedFusedMatchesVector(t *testing.T) {
+	vec, err := StartLocalFaulty(2, WorkerConfig{}, Config{WorkersPerNode: 2, Exec: "vector"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(vec.Close)
+	fus, err := StartLocalFaulty(2, WorkerConfig{}, Config{WorkersPerNode: 2, Exec: "fused"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fus.Close)
+	if _, err := vec.Coordinator.Load(testSF, 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fus.Coordinator.Load(testSF, 42); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range tpch.RepresentativeQueries {
+		want, err := vec.Coordinator.Run(q)
+		if err != nil {
+			t.Fatalf("Q%d vector: %v", q, err)
+		}
+		got, err := fus.Coordinator.Run(q)
+		if err != nil {
+			t.Fatalf("Q%d fused: %v", q, err)
+		}
+		compareTables(t, q, got.Table, want.Table)
+	}
+}
+
+// TestLoadRejectsBadExecMode pins the wire validation: a load carrying
+// an unknown exec mode must fail loudly, not silently fall back.
+func TestLoadRejectsBadExecMode(t *testing.T) {
+	lc, err := StartLocalFaulty(1, WorkerConfig{}, Config{WorkersPerNode: 1, Exec: "bogus"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Close)
+	if _, err := lc.Coordinator.Load(testSF, 42); err == nil {
+		t.Fatal("load with unknown exec mode should fail")
+	}
+}

@@ -34,6 +34,10 @@ type Config struct {
 	// is shipped with every load so re-dispatched partitions plan — and
 	// answer — identically on whichever node ends up running them.
 	TargetLLCBytes int64
+	// Exec is each node's execution mode ("vector", "fused", or "auto";
+	// empty selects vector). Like TargetLLCBytes it is shipped with every
+	// load so re-dispatched partitions plan identically everywhere.
+	Exec string
 
 	// DialTimeout bounds each TCP connect (default 10s).
 	DialTimeout time.Duration
@@ -233,6 +237,7 @@ func (c *Coordinator) LoadContext(ctx context.Context, sf float64, seed uint64) 
 			resp, _, err := c.callRetry(ctx, i, &Request{Type: "load", ForNode: -1, Load: &LoadRequest{
 				SF: sf, Seed: seed, Node: i, NumNodes: len(c.conns),
 				Workers: c.cfg.WorkersPerNode, TargetLLCBytes: c.cfg.TargetLLCBytes,
+				Exec: c.cfg.Exec,
 			}})
 			if err != nil {
 				errs[i] = err

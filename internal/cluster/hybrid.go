@@ -6,6 +6,7 @@ import (
 	"wimpi/internal/engine"
 	"wimpi/internal/exec"
 	"wimpi/internal/hardware"
+	"wimpi/internal/plan"
 	"wimpi/internal/tpch"
 )
 
@@ -33,7 +34,13 @@ func NewHybrid(c *Coordinator, full *tpch.Dataset, workers int) (*HybridCoordina
 	if workers < 1 {
 		workers = 1
 	}
-	db := engine.NewDB(engine.Config{Workers: workers})
+	// The front end inherits the coordinator's execution mode so local
+	// and distributed plans are chosen the same way cluster-wide.
+	mode, err := plan.ParseExecMode(c.cfg.Exec)
+	if err != nil {
+		return nil, err
+	}
+	db := engine.NewDB(engine.Config{Workers: workers, Exec: mode})
 	//lint:allow determinism -- registration into the DB's table map; iteration order is invisible
 	for name, t := range full.Tables {
 		if name == "lineitem" {

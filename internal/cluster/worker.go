@@ -9,6 +9,7 @@ import (
 
 	"wimpi/internal/cluster/faultconn"
 	"wimpi/internal/engine"
+	"wimpi/internal/plan"
 	"wimpi/internal/tpch"
 )
 
@@ -145,7 +146,11 @@ func (w *Worker) handleLoad(l *LoadRequest) *Response {
 	if workers < 1 {
 		workers = 1
 	}
-	db := engine.NewDB(engine.Config{Workers: workers, TargetLLCBytes: l.TargetLLCBytes})
+	mode, err := plan.ParseExecMode(l.Exec)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	db := engine.NewDB(engine.Config{Workers: workers, TargetLLCBytes: l.TargetLLCBytes, Exec: mode})
 	d.RegisterAll(db)
 
 	lcopy := *l
@@ -196,7 +201,10 @@ func (w *Worker) spareDB(node int) (*engine.DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("regenerate partition %d: %v", node, err)
 	}
-	db := engine.NewDB(engine.Config{Workers: l.Workers, TargetLLCBytes: l.TargetLLCBytes})
+	// The mode string was validated when the original load was accepted,
+	// so the spare engine plans exactly like the partition's home node.
+	mode, _ := plan.ParseExecMode(l.Exec)
+	db := engine.NewDB(engine.Config{Workers: l.Workers, TargetLLCBytes: l.TargetLLCBytes, Exec: mode})
 	d.RegisterAll(db)
 	if w.spare == nil {
 		w.spare = map[int]*engine.DB{}

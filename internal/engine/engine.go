@@ -47,6 +47,12 @@ type Config struct {
 	// it changes which plan runs, never its result: partitioned and
 	// direct paths are byte-identical.
 	TargetLLCBytes int64
+	// Exec selects the execution strategy: plan.ExecVector (the default)
+	// runs plans operator-at-a-time, plan.ExecFused compiles pipelines
+	// into fused kernels, and plan.ExecAuto lets the hardware cost model
+	// pick per pipeline. Like TargetLLCBytes it changes which code runs,
+	// never the result.
+	Exec plan.ExecMode
 }
 
 // DB is an in-memory database: a named set of columnar tables. It is safe
@@ -160,7 +166,7 @@ func (db *DB) RunWith(p plan.Node, workers int) (*Result, error) {
 
 // planCtx builds the execution context for one query.
 func (db *DB) planCtx(workers int) *plan.Context {
-	return &plan.Context{Cat: db, Workers: workers, LLCBytes: db.cfg.TargetLLCBytes}
+	return &plan.Context{Cat: db, Workers: workers, LLCBytes: db.cfg.TargetLLCBytes, Exec: db.cfg.Exec}
 }
 
 // TracedResult is a Result plus the operator span tree recorded while
@@ -197,8 +203,12 @@ func (db *DB) RunTracedWith(p plan.Node, workers int) (*TracedResult, error) {
 	}, nil
 }
 
-// Explain renders a plan without executing it.
-func (db *DB) Explain(p plan.Node) string { return plan.Explain(p) }
+// Explain renders a plan without executing it, after applying the
+// database's execution-mode compilation so fused pipelines (and the
+// auto decision behind them) are visible.
+func (db *DB) Explain(p plan.Node) string {
+	return plan.Explain(plan.Compile(db.planCtx(db.Workers()), p))
+}
 
 // FormatTable renders a result table as aligned text, up to maxRows rows.
 // It is used by the CLI tools and examples.

@@ -1,0 +1,98 @@
+// Package fused implements the building blocks of data-centric fused
+// pipeline execution: closure-composed row kernels (the paper's
+// tuple-at-a-time paradigm, Figure 4) and the selection-vector state that
+// lets the plan compiler run select→project→probe→aggregate chains
+// without materializing intermediate columns.
+//
+// Two consumers share this package:
+//
+//   - package strategies compiles its Figure 4 pipelines through
+//     CompileRow instead of interpreting a stage list, making the
+//     hand-rolled reproduction a golden cross-check of the compiler;
+//   - package plan compiles query pipelines into fused morsel kernels
+//     that carry Vectors between stages instead of gathered tables.
+//
+// Everything here is pure Go — composition happens with closures, not
+// code generation — and every loop charges an exec.Counters so the
+// hardware model can price fused execution like any other kernel.
+package fused
+
+import "wimpi/internal/exec"
+
+// RowStage is one step of a tuple-at-a-time pipeline: it may filter the
+// row and may read/write payload slots. It mirrors strategies.Stage so
+// the Figure 4 pipelines can be compiled rather than interpreted.
+type RowStage struct {
+	// Name labels the stage in explanations.
+	Name string
+	// Row evaluates the stage for one row, returning whether it survives.
+	Row func(row int, slots []float64) bool
+	// BytesPerRow is the base-column bytes the stage reads per row.
+	BytesPerRow int64
+	// OpsPerRow is the arithmetic/compare work per row.
+	OpsPerRow int64
+	// IsLookup marks hash-probe stages, which charge a random access.
+	IsLookup bool
+	// TableBytes is the probed structure's footprint for lookup stages;
+	// tables within RowConfig.CacheResidentBytes charge cache-resident
+	// accesses, larger (or unknown, zero) ones charge DRAM latency.
+	TableBytes int64
+}
+
+// RowConfig carries the cost constants a compiled row kernel charges.
+// They are parameters, not package constants, so the caller (package
+// strategies) stays the single source of truth for Figure 4 calibration.
+type RowConfig struct {
+	// BranchPenaltyOps is the per-row, per-stage control-flow cost of
+	// fused tuple-at-a-time execution.
+	BranchPenaltyOps int64
+	// CacheResidentBytes is the lookup-table footprint below which probes
+	// count as cache-resident.
+	CacheResidentBytes int64
+}
+
+// RowKernel is a compiled pipeline: it runs the entire stage chain for
+// one row, charging ctr, and reports whether the row survived all
+// stages.
+type RowKernel func(row int, slots []float64, ctr *exec.Counters) bool
+
+// CompileRow fuses the stage chain into a single kernel by closure
+// composition: stages are chained back to front, so the returned closure
+// evaluates stage 0, falls through to stage 1 on survival, and so on —
+// one call, no dispatch loop, short-circuiting exactly like the
+// hand-rolled tuple-at-a-time interpreter. Charging is per stage
+// reached: sequential bytes and ops (plus the branch penalty) before the
+// stage body, a lookup charge for probe stages.
+func CompileRow(stages []RowStage, cfg RowConfig) RowKernel {
+	kernel := func(row int, slots []float64, ctr *exec.Counters) bool { return true }
+	for i := len(stages) - 1; i >= 0; i-- {
+		st := stages[i]
+		next := kernel
+		kernel = func(row int, slots []float64, ctr *exec.Counters) bool {
+			ctr.SeqBytes += st.BytesPerRow
+			ctr.IntOps += st.OpsPerRow + cfg.BranchPenaltyOps
+			if st.IsLookup {
+				ChargeLookup(ctr, 1, st.TableBytes, cfg.CacheResidentBytes)
+			}
+			if !st.Row(row, slots) {
+				return false
+			}
+			return next(row, slots, ctr)
+		}
+	}
+	return kernel
+}
+
+// ChargeLookup records n hash probes against a table of the given
+// footprint: cache-resident accesses when the table fits within
+// cacheResidentBytes, DRAM random accesses otherwise (including unknown
+// footprints, charged conservatively).
+func ChargeLookup(ctr *exec.Counters, n, tableBytes, cacheResidentBytes int64) {
+	ctr.HashProbeTuples += n
+	if tableBytes > 0 && tableBytes <= cacheResidentBytes {
+		ctr.CacheRandomAccesses += n
+		ctr.ObservePartitionBytes(tableBytes)
+	} else {
+		ctr.RandomAccesses += n
+	}
+}

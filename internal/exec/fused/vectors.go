@@ -1,0 +1,136 @@
+package fused
+
+import "wimpi/internal/exec"
+
+// Vectors is the in-flight state of a fused pipeline: instead of
+// materialized intermediate tables, the pipeline carries row-identifier
+// vectors against the driver table and any probed build tables. All
+// vectors are aligned: position i describes one logical output row.
+type Vectors struct {
+	// Sel holds driver-table row ids, in ascending driver order (with
+	// repeats after inner probes that matched multiple build rows). A nil
+	// Sel means the dense identity over [0, N) — the state right after an
+	// unfiltered scan.
+	Sel []int32
+	// Aux holds one build-table row-id vector per inner probe executed so
+	// far, each aligned with Sel.
+	Aux [][]int32
+	// Cnt holds one match-count vector per left-count probe executed so
+	// far, each aligned with Sel.
+	Cnt [][]int64
+
+	// N is the driver row count, defining the dense interpretation of a
+	// nil Sel.
+	N int
+}
+
+// NewVectors returns the dense state over a driver table of n rows.
+func NewVectors(n int) *Vectors { return &Vectors{N: n} }
+
+// Len reports the current logical row count.
+func (v *Vectors) Len() int {
+	if v.Sel == nil {
+		return v.N
+	}
+	return len(v.Sel)
+}
+
+// Dense reports whether the state still selects every driver row.
+func (v *Vectors) Dense() bool { return v.Sel == nil }
+
+// SetSel replaces a dense state with an explicit driver selection (the
+// result of the first filter). It must not be used once Aux or Cnt
+// vectors exist — those need position-aligned narrowing via Narrow.
+func (v *Vectors) SetSel(sel []int32) {
+	v.Sel = sel
+}
+
+// Narrow keeps only the rows at the given positions (indexes into the
+// current alignment, ascending), remapping the driver selection and all
+// aux/count vectors. The index traffic is charged as the sequential
+// selection-vector work it is — this is precisely the materialization
+// the fused path does instead of gathering whole tables.
+func (v *Vectors) Narrow(keep []int32, ctr *exec.Counters) {
+	if v.Sel == nil {
+		// Dense: positions are driver row ids.
+		v.Sel = keep
+	} else {
+		sel := make([]int32, len(keep))
+		for i, p := range keep {
+			sel[i] = v.Sel[p]
+		}
+		v.Sel = sel
+	}
+	for k, aux := range v.Aux {
+		na := make([]int32, len(keep))
+		for i, p := range keep {
+			na[i] = aux[p]
+		}
+		v.Aux[k] = na
+	}
+	for k, cnt := range v.Cnt {
+		nc := make([]int64, len(keep))
+		for i, p := range keep {
+			nc[i] = cnt[p]
+		}
+		v.Cnt[k] = nc
+	}
+	ctr.SeqBytes += int64(len(keep)) * int64(4+4*len(v.Aux)+8*len(v.Cnt))
+	ctr.IntOps += int64(len(keep)) * int64(1+len(v.Aux)+len(v.Cnt))
+}
+
+// ExpandInner applies an inner-probe match set: probePos[i] is a position
+// into the current alignment and buildRow[i] the matching build-table
+// row. Matches arrive in probe order, so ascending driver order is
+// preserved (with repeats for multi-match rows). The matched build rows
+// become a new aux vector.
+func (v *Vectors) ExpandInner(probePos, buildRow []int32, ctr *exec.Counters) {
+	sel := make([]int32, len(probePos))
+	if v.Sel == nil {
+		copy(sel, probePos)
+	} else {
+		for i, p := range probePos {
+			sel[i] = v.Sel[p]
+		}
+	}
+	for k, aux := range v.Aux {
+		na := make([]int32, len(probePos))
+		for i, p := range probePos {
+			na[i] = aux[p]
+		}
+		v.Aux[k] = na
+	}
+	for k, cnt := range v.Cnt {
+		nc := make([]int64, len(probePos))
+		for i, p := range probePos {
+			nc[i] = cnt[p]
+		}
+		v.Cnt[k] = nc
+	}
+	v.Sel = sel
+	v.Aux = append(v.Aux, buildRow)
+	ctr.SeqBytes += int64(len(probePos)) * int64(8+4*len(v.Aux)+8*len(v.Cnt))
+	ctr.IntOps += int64(len(probePos)) * int64(1+len(v.Aux)+len(v.Cnt))
+}
+
+// AppendCounts adds a left-count probe's per-row match counts as a new
+// count vector; counts[i] belongs to alignment position i.
+func (v *Vectors) AppendCounts(counts []int64, ctr *exec.Counters) {
+	v.Cnt = append(v.Cnt, counts)
+	ctr.SeqBytes += int64(len(counts)) * 8
+}
+
+// SelOrDense returns the explicit driver selection, materializing the
+// dense identity if needed (for kernels that require a concrete vector).
+func (v *Vectors) SelOrDense(ctr *exec.Counters) []int32 {
+	if v.Sel != nil {
+		return v.Sel
+	}
+	out := make([]int32, v.N)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	ctr.SeqBytes += int64(v.N) * 4
+	v.Sel = out
+	return out
+}

@@ -37,6 +37,7 @@ func TestSuiteScoping(t *testing.T) {
 		want []string
 	}{
 		{"wimpi/internal/exec", []string{"determinism", "costaccounting", "goroutines"}},
+		{"wimpi/internal/exec/fused", []string{"determinism", "costaccounting", "goroutines"}},
 		{"wimpi/internal/cluster", []string{"determinism", "ctxcheck", "closecheck"}},
 		{"wimpi/internal/cluster/faultconn", []string{"determinism", "ctxcheck", "closecheck"}},
 		{"wimpi/internal/plan", []string{"determinism", "goroutines"}},

@@ -21,8 +21,9 @@ type ScopedAnalyzer struct {
 //     operators, the cluster layer whose partition generation and
 //     merges must be byte-identical across nodes and re-dispatches, and
 //     the obs layer whose span counters feed EXPLAIN ANALYZE.
-//   - costaccounting guards internal/exec, the only place kernels
-//     charge the counters the hardware simulation consumes.
+//   - costaccounting guards the internal/exec subtree (including
+//     exec/fused's compiled row kernels), the only place kernels charge
+//     the counters the hardware simulation consumes.
 //   - ctxcheck and closecheck guard the cluster layer's RPC and wire
 //     protocol.
 //   - goroutines guards the kernel and plan layers, where a leaked
@@ -30,16 +31,16 @@ type ScopedAnalyzer struct {
 func Suite() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
 		{Determinism, []string{
-			"wimpi/internal/exec",
+			"wimpi/internal/exec/...",
 			"wimpi/internal/engine",
 			"wimpi/internal/colstore",
 			"wimpi/internal/plan",
 			"wimpi/internal/cluster/...",
 			"wimpi/internal/obs",
 		}},
-		{CostAccounting, []string{"wimpi/internal/exec"}},
+		{CostAccounting, []string{"wimpi/internal/exec/..."}},
 		{CtxCheck, []string{"wimpi/internal/cluster/..."}},
-		{Goroutines, []string{"wimpi/internal/exec", "wimpi/internal/plan"}},
+		{Goroutines, []string{"wimpi/internal/exec/...", "wimpi/internal/plan"}},
 		{CloseCheck, []string{"wimpi/internal/cluster/..."}},
 	}
 }

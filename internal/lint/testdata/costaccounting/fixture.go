@@ -167,3 +167,69 @@ func unexportedHelper(vals []int64) int64 {
 	}
 	return s
 }
+
+// The fused execution layer adds two more characteristic loop shapes:
+// closure-composed row kernels (a per-stage charge before each stage
+// body) and selection-vector remap loops (the narrow/expand traffic a
+// fused pipeline pays instead of gathering whole tables). Each appears
+// as an uncharged violation and a charged negative.
+
+// FusedKernelUncharged composes stage closures without threading
+// counters — every stage the kernel reaches would run for free.
+func FusedKernelUncharged(stages []func(int) bool, rows int) int { // want "loops over data but has no *exec.Counters"
+	kernel := func(int) bool { return true }
+	for i := len(stages) - 1; i >= 0; i-- {
+		st, next := stages[i], kernel
+		kernel = func(r int) bool { return st(r) && next(r) }
+	}
+	n := 0
+	for r := 0; r < rows; r++ {
+		if kernel(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// FusedKernelCharged is the same composition with the per-stage charge
+// recorded inside each closure, so reached stages price their branch.
+func FusedKernelCharged(stages []func(int) bool, rows int, ctr *exec.Counters) int {
+	kernel := func(int) bool { return true }
+	for i := len(stages) - 1; i >= 0; i-- {
+		st, next := stages[i], kernel
+		kernel = func(r int) bool {
+			ctr.IntOps++
+			return st(r) && next(r)
+		}
+	}
+	n := 0
+	for r := 0; r < rows; r++ {
+		if kernel(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// SelectionRemapIgnored narrows aligned selection vectors but drops the
+// counters — the index traffic the fused path pays instead of a gather
+// would vanish from the simulation.
+func SelectionRemapIgnored(sel, keep []int32, ctr *exec.Counters) []int32 { // want "never charges or forwards it"
+	out := make([]int32, len(keep))
+	for i, p := range keep {
+		out[i] = sel[p]
+	}
+	return out
+}
+
+// SelectionRemapCharged records the remap as the sequential
+// selection-vector traffic it is.
+func SelectionRemapCharged(sel, keep []int32, ctr *exec.Counters) []int32 {
+	out := make([]int32, len(keep))
+	for i, p := range keep {
+		out[i] = sel[p]
+	}
+	ctr.SeqBytes += int64(len(keep)) * 4
+	ctr.IntOps += int64(len(keep))
+	return out
+}

@@ -52,6 +52,8 @@ func opName(n Node) string {
 		return "group-by"
 	case *HashJoin:
 		return "hash-join"
+	case *Fused:
+		return "fused-pipeline"
 	default:
 		return "node"
 	}
@@ -96,6 +98,28 @@ func instrument(n Node) Node {
 		c.Build = instrument(v.Build)
 		c.Probe = instrument(v.Probe)
 		return wrap(&c)
+	case *Fused:
+		c := *v
+		if c.useFused {
+			// Instrument the subplans the fused path actually executes:
+			// the generic driver and every probe's build side. Phase
+			// spans (join-build, fused-probe, gather) come from the
+			// pipeline itself.
+			if c.input != nil {
+				c.input = instrument(v.input)
+			}
+			c.stages = make([]fusedStage, len(v.stages))
+			copy(c.stages, v.stages)
+			for i, st := range c.stages {
+				if ps, ok := st.(probeStage); ok {
+					ps.build = instrument(ps.build)
+					c.stages[i] = ps
+				}
+			}
+		} else {
+			c.fallback = instrument(v.fallback)
+		}
+		return wrap(&c)
 	default:
 		return wrap(n)
 	}
@@ -128,7 +152,7 @@ func RunTracedContext(ctx *Context, n Node) (*Traced, error) {
 	}
 	tr := obs.NewTracer(ctx.Ctr)
 	ctx.Trace = tr
-	out, err := instrument(n).Execute(ctx)
+	out, err := instrument(Compile(ctx, n)).Execute(ctx)
 	if err != nil {
 		return nil, err
 	}

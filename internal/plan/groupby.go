@@ -79,6 +79,16 @@ func (g *GroupBy) Execute(ctx *Context) (*colstore.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return g.aggregate(ctx, in)
+}
+
+// aggregate groups and aggregates an already-materialized input. It is
+// the whole of Execute after the input executes, split out so the fused
+// engine can feed the survivors of a compiled pipeline through the exact
+// same code: identical rows in identical order take identical morsel
+// boundaries and merge order, making the output bit-identical between
+// engines.
+func (g *GroupBy) aggregate(ctx *Context, in *colstore.Table) (*colstore.Table, error) {
 	if len(g.Keys) == 0 {
 		return g.scalar(ctx, in)
 	}

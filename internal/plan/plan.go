@@ -53,6 +53,11 @@ type Context struct {
 	// execution. A nil tracer is a valid no-op, so operators call it
 	// unconditionally.
 	Trace *obs.Tracer
+	// Exec selects the execution style: vector (the default),
+	// fused, or auto (see ExecMode). Like LLCBytes it may change which
+	// code runs but never the result: the fused engine is byte-identical
+	// to the vector engine at every worker count.
+	Exec ExecMode
 }
 
 // DefaultMinParallelRows is the default parallelism threshold.
@@ -119,12 +124,14 @@ func Run(cat Catalog, workers int, n Node) (*colstore.Table, exec.Counters, erro
 }
 
 // RunContext executes a plan under a caller-configured context (worker
-// count, morsel granularity, LLC budget). A nil Ctr gets fresh counters.
+// count, morsel granularity, LLC budget, exec mode). A nil Ctr gets
+// fresh counters. Fused and auto modes compile the plan first; the input
+// tree is never mutated.
 func RunContext(ctx *Context, n Node) (*colstore.Table, exec.Counters, error) {
 	if ctx.Ctr == nil {
 		ctx.Ctr = &exec.Counters{}
 	}
-	t, err := n.Execute(ctx)
+	t, err := Compile(ctx, n).Execute(ctx)
 	if err != nil {
 		return nil, exec.Counters{}, err
 	}

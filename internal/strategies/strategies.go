@@ -27,6 +27,7 @@ import (
 
 	"wimpi/internal/colstore"
 	"wimpi/internal/exec"
+	"wimpi/internal/exec/fused"
 )
 
 // Strategy identifies one execution paradigm.
@@ -186,10 +187,49 @@ func (r *Result) update(p *Pipeline, slots []float64) {
 	r.Counters.FloatOps += int64(len(p.Sums))
 }
 
-// runDataCentric interprets the pipeline tuple at a time: each row runs
-// the full stage chain with short-circuiting, then updates its aggregate
-// directly — no intermediate materialization, maximal branching.
+// rowStages re-expresses the pipeline's stage chain in the fused row
+// compiler's vocabulary.
+func rowStages(p *Pipeline) []fused.RowStage {
+	out := make([]fused.RowStage, len(p.Stages))
+	for i, st := range p.Stages {
+		out[i] = fused.RowStage{
+			Name:        st.Name,
+			Row:         st.Row,
+			BytesPerRow: st.BytesPerRow,
+			OpsPerRow:   st.OpsPerRow,
+			IsLookup:    st.IsLookup,
+			TableBytes:  st.TableBytes,
+		}
+	}
+	return out
+}
+
+// runDataCentric executes the pipeline tuple at a time through the fused
+// row compiler: the stage chain is composed into a single short-
+// circuiting kernel, then every row runs it and surviving rows update
+// their aggregate directly — no intermediate materialization, maximal
+// branching. runDataCentricReference keeps the original interpreter as a
+// golden cross-check; the two are bit- and counter-identical.
 func runDataCentric(p *Pipeline) *Result {
+	res := newResult()
+	slots := make([]float64, p.NSlots)
+	ctr := &res.Counters
+	kernel := fused.CompileRow(rowStages(p), fused.RowConfig{
+		BranchPenaltyOps:   branchPenaltyOps,
+		CacheResidentBytes: cacheResidentBytes,
+	})
+	for row := 0; row < p.Rows; row++ {
+		if kernel(row, slots, ctr) {
+			res.update(p, slots)
+		}
+	}
+	ctr.TuplesScanned += int64(p.Rows)
+	return res
+}
+
+// runDataCentricReference is the original hand-rolled tuple-at-a-time
+// interpreter, retained as the parity baseline for the compiled path.
+func runDataCentricReference(p *Pipeline) *Result {
 	res := newResult()
 	slots := make([]float64, p.NSlots)
 	ctr := &res.Counters

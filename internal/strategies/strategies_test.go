@@ -162,3 +162,39 @@ func TestPrepareAndRunErrors(t *testing.T) {
 		t.Error("bogus query should error")
 	}
 }
+
+// TestCompiledDataCentricParity pins the fused row compiler to the
+// hand-rolled tuple-at-a-time interpreter: for every Figure 4 query the
+// compiled kernel must produce bit-identical aggregate state and an
+// identical work profile.
+func TestCompiledDataCentricParity(t *testing.T) {
+	d, _ := fixture(t)
+	for _, q := range Queries {
+		prep, err := Prepare(q, d)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q, err)
+		}
+		got := runDataCentric(prep.Pipeline)
+		want := runDataCentricReference(prep.Pipeline)
+		if got.Counters != want.Counters {
+			t.Errorf("Q%d: compiled counters diverge:\n got %+v\nwant %+v", q, got.Counters, want.Counters)
+		}
+		if len(got.Groups) != len(want.Groups) {
+			t.Fatalf("Q%d: %d groups compiled vs %d reference", q, len(got.Groups), len(want.Groups))
+		}
+		for k, w := range want.Groups {
+			g, ok := got.Groups[k]
+			if !ok {
+				t.Fatalf("Q%d: group %v missing from compiled result", q, k)
+			}
+			if g.Count != w.Count {
+				t.Errorf("Q%d group %v: count %d vs %d", q, k, g.Count, w.Count)
+			}
+			for i := range w.Sums {
+				if math.Float64bits(g.Sums[i]) != math.Float64bits(w.Sums[i]) {
+					t.Errorf("Q%d group %v sum[%d]: %v vs %v (bits differ)", q, k, i, g.Sums[i], w.Sums[i])
+				}
+			}
+		}
+	}
+}
