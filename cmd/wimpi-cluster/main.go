@@ -13,6 +13,13 @@
 //	wimpi-cluster -mode coord -addrs 127.0.0.1:9101,127.0.0.1:9102 \
 //	    -sf 0.1 -q 1,3,4,5,6,13,14,19 [-simulate] \
 //	    [-retries 3 -rpc-timeout 60s -redispatch -allow-partial]
+//
+// Ad-hoc SQL (the statement is split into per-node partial + merge
+// halves, the partial text ships with the load, and every node plans it
+// locally):
+//
+//	wimpi-cluster -mode coord -addrs ... -sf 0.1 \
+//	    -sql "select count(*) as n from lineitem"
 package main
 
 import (
@@ -43,6 +50,8 @@ func main() {
 	sf := flag.Float64("sf", 0.1, "coordinator: TPC-H scale factor")
 	seed := flag.Uint64("seed", 42, "coordinator: dataset seed")
 	queries := flag.String("q", "1,3,4,5,6,13,14,19", "coordinator: distributed queries to run")
+	sqlText := flag.String("sql", "", "coordinator: run this SQL statement distributed instead of numbered queries")
+	sqlFile := flag.String("sql-file", "", "coordinator: read the SQL statement from this file")
 	simulate := flag.Bool("simulate", false, "coordinator: print simulated WimPi wall-clock per query")
 	rows := flag.Int("rows", 5, "coordinator: result rows to print")
 	rpcTimeout := flag.Duration("rpc-timeout", 60*time.Second, "coordinator: per-RPC deadline")
@@ -73,7 +82,22 @@ func main() {
 			StragglerMultiple: *stragglerMult,
 			Exec:              *execMode,
 		}
-		runCoordinator(cfg, *addrs, *sf, *seed, *queries, *simulate, *rows, *explain)
+		if *sqlText != "" && *sqlFile != "" {
+			fatalf("-sql and -sql-file are mutually exclusive")
+		}
+		statement := *sqlText
+		if *sqlFile != "" {
+			b, err := os.ReadFile(*sqlFile)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			statement = string(b)
+		}
+		if statement != "" {
+			runSQLCoordinator(cfg, *addrs, *sf, *seed, statement, *simulate, *rows, *explain)
+		} else {
+			runCoordinator(cfg, *addrs, *sf, *seed, *queries, *simulate, *rows, *explain)
+		}
 		if *metricsOut != "" {
 			if err := writeMetrics(*metricsOut); err != nil {
 				fatalf("%v", err)
@@ -188,6 +212,64 @@ func runCoordinator(cfg cluster.Config, addrList string, sf float64, seed uint64
 				b.Total, b.NodeSeconds, b.NetworkSeconds, b.MergeSeconds, b.Thrashed)
 		}
 		fmt.Println()
+	}
+}
+
+// runSQLCoordinator runs one ad-hoc SQL statement distributed: the
+// partial half ships with the load, every node plans it locally, and the
+// merge half runs here over the concatenated partials.
+func runSQLCoordinator(cfg cluster.Config, addrList string, sf float64, seed uint64, statement string, simulate bool, rows int, explain bool) {
+	if addrList == "" {
+		fatalf("coordinator needs -addrs")
+	}
+	cfg.Addrs = strings.Split(addrList, ",")
+	coord, err := cluster.Dial(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer coord.Close()
+
+	fmt.Fprintf(os.Stderr, "loading SF %g across %d nodes (with SQL) ... ", sf, coord.NumNodes())
+	stats, err := coord.LoadSQL(sf, seed, map[int]string{0: statement})
+	if err != nil {
+		fatalf("load: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", stats.Duration.Round(time.Millisecond))
+
+	res, err := coord.RunSQL(0)
+	if err != nil {
+		var perr *cluster.PartialClusterError
+		if errors.As(err, &perr) && perr.Result != nil {
+			fmt.Fprintf(os.Stderr, "sql degraded: %v\n", perr)
+			res = perr.Result
+		} else {
+			fatalf("sql: %v", err)
+		}
+	}
+	coverage := ""
+	if res.Partial {
+		coverage = fmt.Sprintf(" PARTIAL (failed nodes %v)", res.FailedNodes)
+	}
+	fmt.Printf("-- sql: %d rows, %d nodes, %.1f KB transferred, %v (host)%s --\n",
+		res.Table.NumRows(), res.NodesUsed,
+		float64(res.BytesReceived)/1024, res.HostDuration.Round(time.Microsecond), coverage)
+	// Per-node plan choices are worker-independent; show node 0's.
+	if len(res.NodePlans) > 0 && res.NodePlans[0] != "" {
+		fmt.Print(res.NodePlans[0])
+	}
+	if rows > 0 {
+		fmt.Print(engine.FormatTable(res.Table, rows))
+	}
+	if explain && res.Root != nil {
+		opt := cluster.DefaultSimOptions()
+		fmt.Print(obs.ExplainAnalyze(res.Root, obs.ExplainOptions{
+			Profile: &opt.NodeProfile, Model: opt.Model,
+		}))
+	}
+	if simulate {
+		b := cluster.Simulate(res, cluster.DefaultSimOptions())
+		fmt.Printf("simulated WimPi wall-clock: %.3fs (node %.3fs, network %.3fs, merge %.3fs, thrash %v)\n",
+			b.Total, b.NodeSeconds, b.NetworkSeconds, b.MergeSeconds, b.Thrashed)
 	}
 }
 

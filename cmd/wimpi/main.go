@@ -9,6 +9,8 @@
 //	wimpi -sf 0.1 -q 1 -explain    # EXPLAIN ANALYZE: span tree + simulated time
 //	wimpi -sf 0.1 -q 1 -simulate   # show simulated per-hardware times
 //	wimpi -sf 0.1 -q 6 -exec auto  # cost-model choice of vector vs fused pipelines
+//	wimpi -sf 0.1 -sql "select count(*) as n from orders"
+//	wimpi -sf 0.1 -sql-file q.sql -plan   # optimizer report + physical plan
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"wimpi/internal/obs"
 	"wimpi/internal/plan"
 	"wimpi/internal/snapshot"
+	"wimpi/internal/sql"
 	"wimpi/internal/tpch"
 )
 
@@ -30,6 +33,8 @@ func main() {
 	sf := flag.Float64("sf", 0.1, "TPC-H scale factor")
 	seed := flag.Uint64("seed", 42, "dataset seed")
 	query := flag.String("q", "all", "query number (1-22) or 'all'")
+	sqlText := flag.String("sql", "", "run this SQL statement instead of a numbered query")
+	sqlFile := flag.String("sql-file", "", "read a SQL statement from this file instead of a numbered query")
 	workers := flag.Int("workers", 0, "engine parallelism (0 = one per core)")
 	llc := flag.Int64("llc", 0, "LLC budget in bytes for radix-partitioned plans (0 = Pi-sized default, negative disables)")
 	execMode := flag.String("exec", "vector", "execution mode: vector (operator-at-a-time), fused (compiled pipelines), or auto (cost-model pick per pipeline)")
@@ -49,15 +54,29 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	var queries []int
-	if *query == "all" {
-		queries = tpch.QueryNumbers()
-	} else {
-		n, err := strconv.Atoi(*query)
+	if *sqlText != "" && *sqlFile != "" {
+		fatalf("-sql and -sql-file are mutually exclusive")
+	}
+	statement := *sqlText
+	if *sqlFile != "" {
+		b, err := os.ReadFile(*sqlFile)
 		if err != nil {
-			fatalf("bad query %q", *query)
+			fatalf("%v", err)
 		}
-		queries = []int{n}
+		statement = string(b)
+	}
+
+	var queries []int
+	if statement == "" {
+		if *query == "all" {
+			queries = tpch.QueryNumbers()
+		} else {
+			n, err := strconv.Atoi(*query)
+			if err != nil {
+				fatalf("bad query %q", *query)
+			}
+			queries = []int{n}
+		}
 	}
 
 	var explainProfile hardware.Profile
@@ -94,42 +113,50 @@ func main() {
 
 	model := hardware.DefaultModel()
 	profiles := hardware.Profiles()
-	for _, q := range queries {
-		node, err := tpch.Query(q)
-		if err != nil {
-			fatalf("%v", err)
-		}
+
+	// runOne drives one plan through whichever output path the flags ask
+	// for. choices is the SQL optimizer's chosen-vs-alternative report
+	// (empty for hand-built plans, which carry no planning report).
+	runOne := func(label string, node plan.Node, choices string) {
 		if *planOnly {
 			// Planned against the loaded catalog so auto-mode decisions
 			// (which price pipelines from table statistics) are visible.
-			fmt.Printf("-- Q%d --\n%s\n", q, db.Explain(node))
-			continue
+			fmt.Printf("-- %s --\n", label)
+			if choices != "" {
+				fmt.Print(choices)
+			}
+			fmt.Printf("%s\n", db.Explain(node))
+			return
 		}
 		if *explain {
 			res, err := db.RunTraced(node)
 			if err != nil {
-				fatalf("Q%d: %v", q, err)
+				fatalf("%s: %v", label, err)
 			}
 			out := obs.ExplainAnalyze(res.Root, obs.ExplainOptions{
 				Profile: &explainProfile, Model: model,
 			})
-			fmt.Printf("-- Q%d (explain analyze): %d rows in %v (host) --\n%s\n",
-				q, res.Table.NumRows(), res.HostDuration.Round(time.Microsecond), out)
-			continue
+			fmt.Printf("-- %s (explain analyze): %d rows in %v (host) --\n",
+				label, res.Table.NumRows(), res.HostDuration.Round(time.Microsecond))
+			if choices != "" {
+				fmt.Print(choices)
+			}
+			fmt.Printf("%s\n", out)
+			return
 		}
 		if *analyze {
 			an, err := db.Analyze(node)
 			if err != nil {
-				fatalf("Q%d: %v", q, err)
+				fatalf("%s: %v", label, err)
 			}
-			fmt.Printf("-- Q%d (analyzed): %d rows --\n%s\n", q, an.Table.NumRows(), an.Render())
-			continue
+			fmt.Printf("-- %s (analyzed): %d rows --\n%s\n", label, an.Table.NumRows(), an.Render())
+			return
 		}
 		res, err := db.Run(node)
 		if err != nil {
-			fatalf("Q%d: %v", q, err)
+			fatalf("%s: %v", label, err)
 		}
-		fmt.Printf("-- Q%d: %d rows in %v (host) --\n", q, res.Table.NumRows(),
+		fmt.Printf("-- %s: %d rows in %v (host) --\n", label, res.Table.NumRows(),
 			res.HostDuration.Round(time.Microsecond))
 		if *rows > 0 {
 			fmt.Print(engine.FormatTable(res.Table, *rows))
@@ -143,6 +170,23 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+
+	if statement != "" {
+		pl, err := sql.Plan(db, statement, sql.Options{
+			LLCBytes: *llc, UniqueKeys: tpch.TableKeys(),
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runOne("sql", pl.Node, obs.RenderPlanChoices(pl.Report.Choices))
+	}
+	for _, q := range queries {
+		node, err := tpch.Query(q)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		runOne(fmt.Sprintf("Q%d", q), node, "")
 	}
 
 	if *metricsOut != "" {

@@ -9,9 +9,11 @@ import (
 	"time"
 
 	"wimpi/internal/colstore"
+	"wimpi/internal/engine"
 	"wimpi/internal/exec"
 	"wimpi/internal/hardware"
 	"wimpi/internal/obs"
+	sqlpkg "wimpi/internal/sql"
 	"wimpi/internal/tpch"
 )
 
@@ -106,6 +108,11 @@ type Coordinator struct {
 	cfg   Config
 	conns []*rpcConn
 	rng   *lockedRand
+
+	// sqlMu guards sqlDist, the merge half of each statement shipped by
+	// the last LoadSQL (the partial half lives on the workers).
+	sqlMu   sync.Mutex
+	sqlDist map[int]*sqlpkg.DistSQL
 }
 
 // Dial connects to every worker.
@@ -225,6 +232,46 @@ func (c *Coordinator) Load(sf float64, seed uint64) (*LoadStats, error) {
 // *PartialClusterError (a load cannot be partial — every partition is
 // needed).
 func (c *Coordinator) LoadContext(ctx context.Context, sf float64, seed uint64) (*LoadStats, error) {
+	return c.loadContext(ctx, sf, seed, nil)
+}
+
+// LoadSQL is Load plus SQL shipping: each statement in stmts is split
+// with sqlpkg.Distribute, the per-node partial halves ride along in
+// every LoadRequest, and the merge halves stay here for RunSQL. Every
+// node receives the same texts, so a re-dispatched partition plans
+// identically wherever it lands.
+func (c *Coordinator) LoadSQL(sf float64, seed uint64, stmts map[int]string) (*LoadStats, error) {
+	return c.LoadSQLContext(context.Background(), sf, seed, stmts)
+}
+
+// LoadSQLContext is LoadSQL with cancellation and deadlines.
+func (c *Coordinator) LoadSQLContext(ctx context.Context, sf float64, seed uint64, stmts map[int]string) (*LoadStats, error) {
+	ids := make([]int, 0, len(stmts))
+	for id := range stmts { //lint:allow determinism -- key collection; sorted before use
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	dist := make(map[int]*sqlpkg.DistSQL, len(stmts))
+	partials := make(map[int]string, len(stmts))
+	for _, id := range ids {
+		d, err := sqlpkg.Distribute(stmts[id])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: distribute statement %d: %w", id, err)
+		}
+		dist[id] = d
+		partials[id] = d.Partial
+	}
+	stats, err := c.loadContext(ctx, sf, seed, partials)
+	if err != nil {
+		return nil, err
+	}
+	c.sqlMu.Lock()
+	c.sqlDist = dist
+	c.sqlMu.Unlock()
+	return stats, nil
+}
+
+func (c *Coordinator) loadContext(ctx context.Context, sf float64, seed uint64, partials map[int]string) (*LoadStats, error) {
 	//lint:allow determinism -- measured wall clock for LoadStats reporting; results never depend on it
 	start := time.Now()
 	stats := &LoadStats{NodeBytes: make([]int64, len(c.conns))}
@@ -237,7 +284,7 @@ func (c *Coordinator) LoadContext(ctx context.Context, sf float64, seed uint64) 
 			resp, _, err := c.callRetry(ctx, i, &Request{Type: "load", ForNode: -1, Load: &LoadRequest{
 				SF: sf, Seed: seed, Node: i, NumNodes: len(c.conns),
 				Workers: c.cfg.WorkersPerNode, TargetLLCBytes: c.cfg.TargetLLCBytes,
-				Exec: c.cfg.Exec,
+				Exec: c.cfg.Exec, SQL: partials,
 			}})
 			if err != nil {
 				errs[i] = err
@@ -268,6 +315,11 @@ type DistResult struct {
 	Table *colstore.Table
 	// NodeCounters holds each participating node's work profile.
 	NodeCounters []exec.Counters
+	// NodePlans holds each participating node's rendered SQL optimizer
+	// report (empty strings for hand-built plans). Planning is
+	// worker-independent, so these are identical across nodes — including
+	// a node that ran a re-dispatched foreign partition.
+	NodePlans []string
 	// NodeDBBytes holds each participating node's resident data size.
 	NodeDBBytes []int64
 	// MergeCounters is the coordinator's merge work.
@@ -348,6 +400,7 @@ type part struct {
 	ctr   exec.Counters
 	bytes int64
 	db    int64
+	plan  string        // rendered optimizer report (SQL partials only)
 	dur   time.Duration // round-trip wall time of the winning attempt
 }
 
@@ -371,6 +424,62 @@ func (c *Coordinator) RunContext(ctx context.Context, q int) (*DistResult, error
 	if err != nil {
 		return nil, err
 	}
+	return c.runDist(ctx, q, dq.SingleNode, false, func(parts []*colstore.Table) (*colstore.Table, exec.Counters, error) {
+		return dq.MergePartials(parts, c.cfg.WorkersPerNode)
+	})
+}
+
+// RunSQL executes a statement shipped by the last LoadSQL: per-node
+// partials planned from the shipped text, merged by planning and
+// running the statement's merge half here.
+func (c *Coordinator) RunSQL(id int) (*DistResult, error) {
+	return c.RunSQLContext(context.Background(), id)
+}
+
+// RunSQLContext is RunSQL with cancellation and deadlines. It shares
+// the fan-out machinery of RunContext, so retry, straggler re-dispatch,
+// and graceful degradation all apply to SQL statements too.
+func (c *Coordinator) RunSQLContext(ctx context.Context, id int) (*DistResult, error) {
+	c.sqlMu.Lock()
+	d := c.sqlDist[id]
+	c.sqlMu.Unlock()
+	if d == nil {
+		return nil, fmt.Errorf("cluster: no SQL loaded for statement %d (use LoadSQL)", id)
+	}
+	return c.runDist(ctx, id, d.SingleNode, true, func(parts []*colstore.Table) (*colstore.Table, exec.Counters, error) {
+		if d.SingleNode {
+			if len(parts) != 1 {
+				return nil, exec.Counters{}, fmt.Errorf("cluster: statement %d is single-node but got %d partials", id, len(parts))
+			}
+			return parts[0], exec.Counters{}, nil
+		}
+		return c.mergeSQLPartials(d.Merge, parts)
+	})
+}
+
+// mergeSQLPartials concatenates the per-node partial tables, exposes
+// them as the table "partials", and plans and runs the merge statement
+// over them.
+func (c *Coordinator) mergeSQLPartials(mergeText string, parts []*colstore.Table) (*colstore.Table, exec.Counters, error) {
+	all, err := colstore.Concat(parts...)
+	if err != nil {
+		return nil, exec.Counters{}, fmt.Errorf("cluster: sql merge: %w", err)
+	}
+	all.Name = "partials"
+	db := engine.NewDB(engine.Config{Workers: c.cfg.WorkersPerNode, TargetLLCBytes: c.cfg.TargetLLCBytes})
+	db.Register(all)
+	pl, err := sqlpkg.Plan(db, mergeText, sqlpkg.Options{LLCBytes: c.cfg.TargetLLCBytes})
+	if err != nil {
+		return nil, exec.Counters{}, fmt.Errorf("cluster: sql merge plan: %w", err)
+	}
+	res, err := db.Run(pl.Node)
+	if err != nil {
+		return nil, exec.Counters{}, fmt.Errorf("cluster: sql merge: %w", err)
+	}
+	return res.Table, res.Counters, nil
+}
+
+func (c *Coordinator) runDist(ctx context.Context, q int, singleNode, useSQL bool, merge func([]*colstore.Table) (*colstore.Table, exec.Counters, error)) (*DistResult, error) {
 	// Cancel stragglers' in-flight RPCs when we return early.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -378,7 +487,7 @@ func (c *Coordinator) RunContext(ctx context.Context, q int) (*DistResult, error
 	//lint:allow determinism -- measured wall clock for DistResult reporting; merged results never depend on it
 	start := time.Now()
 	participants := len(c.conns)
-	if dq.SingleNode {
+	if singleNode {
 		participants = 1
 	}
 
@@ -391,14 +500,14 @@ func (c *Coordinator) RunContext(ctx context.Context, q int) (*DistResult, error
 			}
 			//lint:allow determinism -- round-trip wall time feeds the node span only, never the merged result
 			issueStart := time.Now()
-			resp, n, err := c.callRetry(ctx, target, &Request{Type: "query", Query: q, ForNode: forNode})
+			resp, n, err := c.callRetry(ctx, target, &Request{Type: "query", Query: q, ForNode: forNode, SQL: useSQL})
 			o := outcome{node: partition, conn: target, err: err, backup: backup}
 			if err == nil {
 				t, terr := resp.Table.Table()
 				if terr != nil {
 					o.err = terr
 				} else {
-					o.part = part{table: t, ctr: resp.Counters, bytes: n, db: resp.DBBytes, dur: time.Since(issueStart)}
+					o.part = part{table: t, ctr: resp.Counters, bytes: n, db: resp.DBBytes, plan: resp.Plan, dur: time.Since(issueStart)}
 				}
 			}
 			ch <- o
@@ -537,6 +646,7 @@ collect:
 		}
 		tables = append(tables, parts[i].table)
 		res.NodeCounters = append(res.NodeCounters, parts[i].ctr)
+		res.NodePlans = append(res.NodePlans, parts[i].plan)
 		res.NodeDBBytes = append(res.NodeDBBytes, parts[i].db)
 		res.BytesReceived += parts[i].bytes
 	}
@@ -549,7 +659,7 @@ collect:
 		res.Partial = true
 		//lint:allow determinism -- merge wall time feeds the merge span only
 		mergeStart := time.Now()
-		merged, mergeCtr, err := dq.MergePartials(tables, c.cfg.WorkersPerNode)
+		merged, mergeCtr, err := merge(tables)
 		if err != nil {
 			return nil, perr
 		}
@@ -563,7 +673,7 @@ collect:
 
 	//lint:allow determinism -- merge wall time feeds the merge span only
 	mergeStart := time.Now()
-	merged, mergeCtr, err := dq.MergePartials(tables, c.cfg.WorkersPerNode)
+	merged, mergeCtr, err := merge(tables)
 	if err != nil {
 		return nil, err
 	}

@@ -126,6 +126,10 @@ type Request struct {
 	// partial is byte-identical to what the original node would have
 	// produced. -1 (the coordinator's default) means "your partition".
 	ForNode int
+	// SQL makes a "query" request plan the partial SQL text shipped
+	// with the load (LoadRequest.SQL[Query]) instead of the hand-built
+	// distributed plan registry.
+	SQL bool
 	// IperfBytes is the payload size for an "iperf" request.
 	IperfBytes int64
 }
@@ -149,6 +153,12 @@ type LoadRequest struct {
 	// every node, including one executing a re-dispatched foreign
 	// partition, plans with the same mode.
 	Exec string
+	// SQL maps query ids to per-node partial SQL text (see
+	// sql.Distribute). Shipping the text with the load — not with each
+	// query — means every node holds the same statements up front, so a
+	// re-dispatched partition is planned from identical text with the
+	// same catalog-dependent optimizer and makes identical choices.
+	SQL map[int]string
 }
 
 // Response is one worker-to-coordinator message.
@@ -159,6 +169,10 @@ type Response struct {
 	Table *WireTable
 	// Counters is the work profile of the partial execution.
 	Counters exec.Counters
+	// Plan is the rendered optimizer report of a SQL partial (empty for
+	// hand-built plans) — the coordinator compares these across nodes
+	// and re-dispatches to prove planning is worker-independent.
+	Plan string
 	// DBBytes reports the worker's resident data size after a load.
 	DBBytes int64
 	// Payload carries iperf filler bytes.

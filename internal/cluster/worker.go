@@ -9,7 +9,9 @@ import (
 
 	"wimpi/internal/cluster/faultconn"
 	"wimpi/internal/engine"
+	"wimpi/internal/obs"
 	"wimpi/internal/plan"
+	sqlpkg "wimpi/internal/sql"
 	"wimpi/internal/tpch"
 )
 
@@ -122,7 +124,7 @@ func (w *Worker) handle(req *Request) *Response {
 	case "load":
 		return w.handleLoad(req.Load)
 	case "query":
-		return w.handleQuery(req.Query, req.ForNode)
+		return w.handleQuery(req.Query, req.ForNode, req.SQL)
 	default:
 		return &Response{Err: fmt.Sprintf("unknown request type %q", req.Type)}
 	}
@@ -213,12 +215,13 @@ func (w *Worker) spareDB(node int) (*engine.DB, error) {
 	return db, nil
 }
 
-func (w *Worker) handleQuery(q, forNode int) *Response {
+func (w *Worker) handleQuery(q, forNode int, useSQL bool) *Response {
 	w.mu.Lock()
 	db := w.db
 	loaded := w.loaded
 	node := w.node
 	dbBytes := w.dbBytes
+	last := w.lastLoad
 	w.mu.Unlock()
 	if !loaded {
 		return &Response{Err: "no data loaded"}
@@ -229,6 +232,33 @@ func (w *Worker) handleQuery(q, forNode int) *Response {
 			return &Response{Err: err.Error()}
 		}
 		db = sdb
+	}
+	if useSQL {
+		text, ok := last.SQL[q]
+		if !ok {
+			return &Response{Err: fmt.Sprintf("no SQL shipped for query %d in the last load", q)}
+		}
+		// Planned here, against this node's catalog. The optimizer is
+		// catalog-dependent and worker-independent, and every node holds
+		// the same replicated dimension tables plus an equal-share
+		// lineitem partition, so a foreign partition re-dispatched here
+		// plans — and answers — exactly like its home node.
+		pl, err := sqlpkg.Plan(db, text, sqlpkg.Options{
+			LLCBytes: last.TargetLLCBytes, UniqueKeys: tpch.TableKeys(),
+		})
+		if err != nil {
+			return &Response{Err: fmt.Sprintf("query %d: plan: %v", q, err)}
+		}
+		res, err := db.Run(pl.Node)
+		if err != nil {
+			return &Response{Err: fmt.Sprintf("query %d: %v", q, err)}
+		}
+		return &Response{
+			Table:    ToWire(res.Table),
+			Counters: res.Counters,
+			DBBytes:  dbBytes,
+			Plan:     obs.RenderPlanChoices(pl.Report.Choices),
+		}
 	}
 	dq, err := tpch.DistQueryFor(q)
 	if err != nil {

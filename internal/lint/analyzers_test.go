@@ -41,6 +41,7 @@ func TestSuiteScoping(t *testing.T) {
 		{"wimpi/internal/cluster", []string{"determinism", "ctxcheck", "closecheck"}},
 		{"wimpi/internal/cluster/faultconn", []string{"determinism", "ctxcheck", "closecheck"}},
 		{"wimpi/internal/plan", []string{"determinism", "goroutines"}},
+		{"wimpi/internal/sql", []string{"determinism", "closecheck"}},
 		{"wimpi/internal/hardware", nil},
 		{"wimpi/cmd/wimpi-bench", nil},
 	}

@@ -19,13 +19,17 @@ type ScopedAnalyzer struct {
 //   - determinism guards every package that produces (or partitions)
 //     query results: kernels, the engine, the column store, plan
 //     operators, the cluster layer whose partition generation and
-//     merges must be byte-identical across nodes and re-dispatches, and
-//     the obs layer whose span counters feed EXPLAIN ANALYZE.
+//     merges must be byte-identical across nodes and re-dispatches, the
+//     obs layer whose span counters feed EXPLAIN ANALYZE, and the SQL
+//     frontend whose plan choices must be identical on every node that
+//     plans the same shipped statement.
 //   - costaccounting guards the internal/exec subtree (including
 //     exec/fused's compiled row kernels), the only place kernels charge
 //     the counters the hardware simulation consumes.
 //   - ctxcheck and closecheck guard the cluster layer's RPC and wire
-//     protocol.
+//     protocol; closecheck (the error-discard analyzer) also guards the
+//     SQL frontend, where a swallowed bind or parse error would silently
+//     plan the wrong statement.
 //   - goroutines guards the kernel and plan layers, where a leaked
 //     worker races on Counters past RunMorsels.
 func Suite() []ScopedAnalyzer {
@@ -37,11 +41,12 @@ func Suite() []ScopedAnalyzer {
 			"wimpi/internal/plan",
 			"wimpi/internal/cluster/...",
 			"wimpi/internal/obs",
+			"wimpi/internal/sql/...",
 		}},
 		{CostAccounting, []string{"wimpi/internal/exec/..."}},
 		{CtxCheck, []string{"wimpi/internal/cluster/..."}},
 		{Goroutines, []string{"wimpi/internal/exec/...", "wimpi/internal/plan"}},
-		{CloseCheck, []string{"wimpi/internal/cluster/..."}},
+		{CloseCheck, []string{"wimpi/internal/cluster/...", "wimpi/internal/sql/..."}},
 	}
 }
 

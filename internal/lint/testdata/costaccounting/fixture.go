@@ -233,3 +233,54 @@ func SelectionRemapCharged(sel, keep []int32, ctr *exec.Counters) []int32 {
 	ctr.IntOps += int64(len(keep))
 	return out
 }
+
+// The SQL planner adds one more charged loop shape: cardinality
+// estimation. The cost-based optimizer prices join orders by evaluating
+// predicates over a deterministic strided sample of each table, and that
+// estimation work must land in the query's counters like any operator —
+// a free optimizer would make the wimpy nodes' planning look costless.
+
+// EstimateSelectivityUncharged builds a strided sample and evaluates the
+// predicate over it without charging: the gather traffic and the
+// per-index arithmetic vanish from the hardware model.
+func EstimateSelectivityUncharged(col []int64, pred func(int64) bool) float64 { // want "loops over data but has no *exec.Counters"
+	rows := len(col)
+	if rows == 0 {
+		return 1
+	}
+	k := rows
+	if k > 1024 {
+		k = 1024
+	}
+	hits := 0
+	for i := 0; i < k; i++ {
+		if pred(col[i*rows/k]) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// EstimateSelectivityCharged is the planner's actual shape: the stride
+// arithmetic charges IntOps, each sampled row is a random access, and
+// the sampled bytes stream through SeqBytes.
+func EstimateSelectivityCharged(col []int64, pred func(int64) bool, ctr *exec.Counters) float64 {
+	rows := len(col)
+	if rows == 0 {
+		return 1
+	}
+	k := rows
+	if k > 1024 {
+		k = 1024
+	}
+	hits := 0
+	for i := 0; i < k; i++ {
+		if pred(col[i*rows/k]) {
+			hits++
+		}
+		ctr.IntOps++
+	}
+	ctr.RandomAccesses += int64(k)
+	ctr.SeqBytes += int64(k) * 8
+	return float64(hits) / float64(k)
+}

@@ -1,0 +1,96 @@
+package sql_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wimpi/internal/sql"
+	"wimpi/internal/tpch"
+)
+
+// TestDistributeGolden freezes the two-phase decomposition of Q1 (the
+// aggregate-heavy query: sums re-sum, count becomes sumi, and each avg
+// splits into a hidden sum + count pair recombined at merge) and Q14
+// (arithmetic over aggregates split around hidden partial columns).
+func TestDistributeGolden(t *testing.T) {
+	var b strings.Builder
+	for _, q := range []int{1, 14} {
+		text, err := tpch.SQL(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sql.Distribute(text)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q, err)
+		}
+		if d.SingleNode {
+			t.Fatalf("Q%d distributed as single-node", q)
+		}
+		fmt.Fprintf(&b, "-- Q%d partial --\n%s\n-- Q%d merge --\n%s\n", q, d.Partial, q, d.Merge)
+	}
+	golden(t, "distribute.golden", b.String())
+}
+
+// TestDistributeSingleNode: a statement that never touches the
+// partitioned lineitem table ships verbatim to one node (Q13).
+func TestDistributeSingleNode(t *testing.T) {
+	text, err := tpch.SQL(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sql.Distribute(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.SingleNode || d.Partial != text || d.Merge != "" {
+		t.Fatalf("Q13 should be single-node verbatim, got %+v", d)
+	}
+}
+
+// TestDistributeRepresentative: every representative query decomposes,
+// and both halves are themselves parseable statements.
+func TestDistributeRepresentative(t *testing.T) {
+	for _, q := range tpch.RepresentativeQueries {
+		text, err := tpch.SQL(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sql.Distribute(text)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q, err)
+		}
+		if d.SingleNode {
+			continue
+		}
+		if !strings.Contains(d.Merge, "from partials") {
+			t.Errorf("Q%d merge does not read the partials table: %s", q, d.Merge)
+		}
+	}
+}
+
+// TestDistributeErrors: statements the rewrite cannot distribute fail
+// with positioned, specific errors instead of producing wrong answers.
+func TestDistributeErrors(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"with-clause", `with x as (select l_orderkey from lineitem) select l_orderkey from x`,
+			"WITH clauses are not distributable"},
+		{"having", `select l_orderkey, sum(l_quantity) as s from lineitem group by l_orderkey having s > 5`,
+			"HAVING is not distributable"},
+		{"non-agg-item", `select l_orderkey, l_partkey from lineitem group by l_orderkey`,
+			"no aggregate"},
+		{"parse-error", `select from lineitem`, "sql:"},
+	}
+	for _, c := range cases {
+		_, err := sql.Distribute(c.text)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

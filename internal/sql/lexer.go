@@ -1,0 +1,150 @@
+package sql
+
+import "strings"
+
+// lexer tokenizes SQL text. It never panics on any input: malformed
+// input yields a positioned error.
+type lexer struct {
+	src  string
+	off  int // byte offset
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// lex tokenizes the whole input up front. Any error aborts lexing.
+func lex(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// advance consumes n bytes, tracking line/column.
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n && lx.off < len(lx.src); i++ {
+		if lx.src[lx.off] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.off++
+	}
+}
+
+func (lx *lexer) peek(i int) byte {
+	if lx.off+i < len(lx.src) {
+		return lx.src[lx.off+i]
+	}
+	return 0
+}
+
+func isSpace(b byte) bool  { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+func isDigit(b byte) bool  { return b >= '0' && b <= '9' }
+func isLetter(b byte) bool { return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') }
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	// Skip whitespace and -- line comments.
+	for {
+		for lx.off < len(lx.src) && isSpace(lx.src[lx.off]) {
+			lx.advance(1)
+		}
+		if lx.peek(0) == '-' && lx.peek(1) == '-' {
+			for lx.off < len(lx.src) && lx.src[lx.off] != '\n' {
+				lx.advance(1)
+			}
+			continue
+		}
+		break
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return token{kind: tEOF, pos: pos}, nil
+	}
+	b := lx.src[lx.off]
+	switch {
+	case isLetter(b):
+		start := lx.off
+		for lx.off < len(lx.src) && (isLetter(lx.src[lx.off]) || isDigit(lx.src[lx.off])) {
+			lx.advance(1)
+		}
+		word := lx.src[start:lx.off]
+		lower := strings.ToLower(word)
+		if keywords[lower] {
+			return token{kind: tKeyword, text: lower, pos: pos}, nil
+		}
+		return token{kind: tIdent, text: lower, pos: pos}, nil
+	case isDigit(b), b == '.' && isDigit(lx.peek(1)):
+		start := lx.off
+		for lx.off < len(lx.src) && isDigit(lx.src[lx.off]) {
+			lx.advance(1)
+		}
+		if lx.peek(0) == '.' && isDigit(lx.peek(1)) {
+			lx.advance(1)
+			for lx.off < len(lx.src) && isDigit(lx.src[lx.off]) {
+				lx.advance(1)
+			}
+		}
+		return token{kind: tNumber, text: lx.src[start:lx.off], pos: pos}, nil
+	case b == '\'':
+		lx.advance(1)
+		var sb strings.Builder
+		for {
+			if lx.off >= len(lx.src) {
+				return token{}, errAt(pos, "unterminated string literal")
+			}
+			c := lx.src[lx.off]
+			if c == '\'' {
+				if lx.peek(1) == '\'' { // escaped quote
+					sb.WriteByte('\'')
+					lx.advance(2)
+					continue
+				}
+				lx.advance(1)
+				return token{kind: tString, text: sb.String(), pos: pos}, nil
+			}
+			sb.WriteByte(c)
+			lx.advance(1)
+		}
+	case b == '<':
+		if lx.peek(1) == '>' || lx.peek(1) == '=' {
+			sym := lx.src[lx.off : lx.off+2]
+			lx.advance(2)
+			return token{kind: tSymbol, text: sym, pos: pos}, nil
+		}
+		lx.advance(1)
+		return token{kind: tSymbol, text: "<", pos: pos}, nil
+	case b == '>':
+		if lx.peek(1) == '=' {
+			lx.advance(2)
+			return token{kind: tSymbol, text: ">=", pos: pos}, nil
+		}
+		lx.advance(1)
+		return token{kind: tSymbol, text: ">", pos: pos}, nil
+	case b == '!':
+		if lx.peek(1) == '=' {
+			lx.advance(2)
+			// Normalized to the dialect's canonical not-equal spelling.
+			return token{kind: tSymbol, text: "<>", pos: pos}, nil
+		}
+		return token{}, errAt(pos, "unexpected character %q", string(b))
+	case strings.IndexByte("()*,+-/=.", b) >= 0:
+		lx.advance(1)
+		return token{kind: tSymbol, text: string(b), pos: pos}, nil
+	default:
+		return token{}, errAt(pos, "unexpected character %q", string(b))
+	}
+}

@@ -1,0 +1,432 @@
+package sql
+
+import (
+	"fmt"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+	"wimpi/internal/plan"
+)
+
+// isAggName reports whether name is an aggregate function.
+func isAggName(name string) bool {
+	switch name {
+	case "sum", "count", "avg", "min", "max", "sumi":
+		return true
+	}
+	return false
+}
+
+// lowerOutput lowers everything above the joined relation tree: the
+// aggregation (when present), HAVING, the final projection in
+// select-list order, and ORDER BY / LIMIT.
+func (pl *planner) lowerOutput(b *SelectBlock, node plan.Node, sc scope, outCols []colInfo, resolved map[*SubqueryExpr]float64) (plan.Node, error) {
+	if blockHasAgg(b) || len(b.GroupBy) > 0 {
+		var err error
+		node, err = pl.lowerAggregate(b, node, sc, outCols, resolved)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if b.Having != nil {
+			return nil, errAt(b.Having.pos(), "HAVING needs a GROUP BY or aggregates")
+		}
+		cols := make([]plan.NamedExpr, len(b.Items))
+		for i := range b.Items {
+			e, err := pl.lowerExpr(b.Items[i].Expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = plan.NamedExpr{Name: outCols[i].Name, Expr: e}
+		}
+		node = &plan.Project{Input: node, Cols: cols}
+	}
+	return pl.orderLimit(b, node, outCols)
+}
+
+// lowerAggregate lowers GROUP BY / aggregate select lists: an optional
+// pre-projection for computed keys, the GroupBy itself (aggregate
+// arguments evaluate inline over its input), a HAVING filter, and the
+// final projection computing any arithmetic over aggregates.
+func (pl *planner) lowerAggregate(b *SelectBlock, node plan.Node, sc scope, outCols []colInfo, resolved map[*SubqueryExpr]float64) (plan.Node, error) {
+	keyNames := make([]string, len(b.GroupBy))
+	keyItems := make([]*SelectItem, len(b.GroupBy))
+	needPre := false
+	for gi, g := range b.GroupBy {
+		keyNames[gi] = g.Name
+		for i := range b.Items {
+			if outName(&b.Items[i]) == g.Name {
+				keyItems[gi] = &b.Items[i]
+			}
+		}
+		if keyItems[gi] == nil {
+			return nil, errAt(g.Pos, "GROUP BY column %q is not in the select list", g.Name)
+		}
+		cr, isCol := keyItems[gi].Expr.(*ColRef)
+		if !isCol || cr.Name != g.Name {
+			needPre = true
+		}
+	}
+	isKey := func(name string) bool {
+		for _, k := range keyNames {
+			if k == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	var aggs []plan.AggSpec
+	post := make([]plan.NamedExpr, 0, len(b.Items))
+	hidden := 0
+	for i := range b.Items {
+		it := &b.Items[i]
+		name := outName(it)
+		if isKey(name) {
+			post = append(post, plan.NamedExpr{Name: name, Expr: exec.Col{Name: name}})
+			continue
+		}
+		if fe, ok := it.Expr.(*FuncExpr); ok && isAggName(fe.Name) {
+			spec, err := pl.aggSpec(name, fe, sc)
+			if err != nil {
+				return nil, err
+			}
+			aggs = append(aggs, spec)
+			post = append(post, plan.NamedExpr{Name: name, Expr: exec.Col{Name: name}})
+			continue
+		}
+		if !containsAgg(it.Expr) {
+			return nil, errAt(it.Pos, "column %q must appear in GROUP BY or inside an aggregate", name)
+		}
+		e, err := pl.rewriteAggExpr(it.Expr, sc, &aggs, &hidden)
+		if err != nil {
+			return nil, err
+		}
+		post = append(post, plan.NamedExpr{Name: name, Expr: e})
+	}
+
+	input := node
+	if needPre {
+		pre := make([]plan.NamedExpr, 0, len(keyNames))
+		for gi := range keyNames {
+			e, err := pl.lowerExpr(keyItems[gi].Expr, sc)
+			if err != nil {
+				return nil, err
+			}
+			pre = append(pre, plan.NamedExpr{Name: keyNames[gi], Expr: e})
+		}
+		// Pass through every column the aggregate arguments read.
+		var pass []string
+		for i := range b.Items {
+			if isKey(outName(&b.Items[i])) {
+				continue
+			}
+			for _, n := range walkCols(b.Items[i].Expr, nil) {
+				if !isKey(n) {
+					pass = dedupAppend(pass, n)
+				}
+			}
+		}
+		for _, n := range pass {
+			pre = append(pre, plan.NamedExpr{Name: n, Expr: exec.Col{Name: n}})
+		}
+		input = &plan.Project{Input: node, Cols: pre}
+	}
+
+	var out plan.Node = &plan.GroupBy{Input: input, Keys: keyNames, Aggs: aggs}
+
+	if b.Having != nil {
+		hsc := scope{}
+		for _, c := range outCols {
+			hsc[c.Name] = colBind{typ: c.Type}
+		}
+		for _, a := range aggs {
+			if _, ok := hsc[a.Name]; !ok {
+				typ := colstore.Float64
+				if a.Func == plan.Count || a.Func == plan.SumI {
+					typ = colstore.Int64
+				}
+				hsc[a.Name] = colBind{typ: typ}
+			}
+		}
+		var preds []exec.Pred
+		for _, c := range flattenAnd(b.Having) {
+			if resolved != nil && len(collectScalarSubs(c, nil)) > 0 {
+				cmp, ok := c.(*BinExpr)
+				var col *ColRef
+				okOp := false
+				if ok {
+					col, _ = cmp.L.(*ColRef)
+					_, okOp = cmpOps[cmp.Op]
+				}
+				if col == nil || !okOp {
+					return nil, errAt(c.pos(), "scalar subqueries are supported only as `column <cmp> expression`")
+				}
+				bind, okc := hsc[col.Name]
+				if !okc {
+					return nil, errAt(col.Pos, "unknown column %q", col.Name)
+				}
+				if bind.typ != colstore.Float64 {
+					return nil, errAt(col.Pos, "scalar subquery comparison needs a float column, got %s", bind.typ)
+				}
+				v, err := evalScalar(cmp.R, resolved)
+				if err != nil {
+					return nil, err
+				}
+				preds = append(preds, exec.CmpF{Column: col.Name, Op: cmpOps[cmp.Op], V: v})
+				continue
+			}
+			p, err := pl.lowerPred(c, hsc)
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, p)
+		}
+		var p exec.Pred
+		if len(preds) == 1 {
+			p = preds[0]
+		} else {
+			p = exec.AndOf(preds...)
+		}
+		out = &plan.Filter{Input: out, Pred: p}
+	}
+
+	return &plan.Project{Input: out, Cols: post}, nil
+}
+
+// aggSpec lowers one aggregate call.
+func (pl *planner) aggSpec(name string, fe *FuncExpr, sc scope) (plan.AggSpec, error) {
+	var fn plan.AggFunc
+	switch fe.Name {
+	case "sum":
+		fn = plan.Sum
+	case "avg":
+		fn = plan.Avg
+	case "min":
+		fn = plan.Min
+	case "max":
+		fn = plan.Max
+	case "sumi":
+		fn = plan.SumI
+	case "count":
+		// The dialect has no NULLs, so count(col) == count(*).
+		return plan.AggSpec{Name: name, Func: plan.Count}, nil
+	}
+	arg, err := pl.lowerExpr(fe.Args[0], sc)
+	if err != nil {
+		return plan.AggSpec{}, err
+	}
+	return plan.AggSpec{Name: name, Func: fn, Arg: arg}, nil
+}
+
+// rewriteAggExpr rewrites arithmetic over aggregates (Q8's market share,
+// Q14's promo ratio): each aggregate becomes a hidden __a<i> output of
+// the GroupBy, and the returned expression computes the item from those
+// columns in the final projection.
+func (pl *planner) rewriteAggExpr(e Expr, sc scope, aggs *[]plan.AggSpec, hidden *int) (exec.Expr, error) {
+	switch ex := e.(type) {
+	case *FuncExpr:
+		if isAggName(ex.Name) {
+			name := fmt.Sprintf("__a%d", *hidden)
+			*hidden++
+			spec, err := pl.aggSpec(name, ex, sc)
+			if err != nil {
+				return nil, err
+			}
+			*aggs = append(*aggs, spec)
+			return exec.Col{Name: name}, nil
+		}
+	case *NumLit:
+		return exec.ConstF{V: numValue(ex)}, nil
+	case *BinExpr:
+		l, err := pl.rewriteAggExpr(ex.L, sc, aggs, hidden)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pl.rewriteAggExpr(ex.R, sc, aggs, hidden)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case "+":
+			return exec.Add(l, r), nil
+		case "-":
+			return exec.Sub(l, r), nil
+		case "*":
+			return exec.Mul(l, r), nil
+		case "/":
+			return exec.Div(l, r), nil
+		}
+	}
+	return nil, errAt(e.pos(), "unsupported expression around an aggregate")
+}
+
+// orderLimit applies ORDER BY and LIMIT over the final projection.
+func (pl *planner) orderLimit(b *SelectBlock, node plan.Node, outCols []colInfo) (plan.Node, error) {
+	if len(b.OrderBy) > 0 {
+		keys := make([]exec.SortKey, len(b.OrderBy))
+		for i, k := range b.OrderBy {
+			found := false
+			for _, c := range outCols {
+				if c.Name == k.Name {
+					found = true
+				}
+			}
+			if !found {
+				return nil, errAt(k.Pos, "ORDER BY column %q is not in the select list", k.Name)
+			}
+			keys[i] = exec.SortKey{Column: k.Name, Desc: k.Desc}
+		}
+		n := 0
+		if b.Limit >= 0 {
+			n = b.Limit
+		}
+		return &plan.OrderBy{Input: node, Keys: keys, N: n}, nil
+	}
+	if b.Limit >= 0 {
+		return &plan.Limit{Input: node, N: b.Limit}, nil
+	}
+	return node, nil
+}
+
+// lowerLeftCount lowers the dialect's one outer-join shape — a two-table
+// `left join` grouped by the probe table's unique key with a single
+// count aggregate — directly to the engine's LeftCount join, which
+// emits every probe row plus its match count (Q13).
+func (pl *planner) lowerLeftCount(b *SelectBlock, rels []relInfo, sc scope, outCols []colInfo, outUkey []string) (plan.Node, blockOut, error) {
+	f := &b.From[1]
+	if f.On == nil {
+		return nil, blockOut{}, errAt(f.Pos, "left join needs an ON condition")
+	}
+	if b.Having != nil {
+		return nil, blockOut{}, errAt(b.Having.pos(), "HAVING is not supported with left join")
+	}
+	if rels[0].table == "" || rels[1].table == "" {
+		return nil, blockOut{}, errAt(f.Pos, "left join supports base tables only")
+	}
+
+	var probeKey, buildKey string
+	var relPreds [2][]exec.Pred
+	classify := func(c Expr) error {
+		if a, bcol, ok := colEquality(c, sc); ok {
+			if probeKey != "" {
+				return errAt(c.pos(), "left join supports a single equality join condition")
+			}
+			if sc[a.Name].rel == 0 {
+				probeKey, buildKey = a.Name, bcol.Name
+			} else {
+				probeKey, buildKey = bcol.Name, a.Name
+			}
+			return nil
+		}
+		rs := relsOf(c, sc)
+		if len(rs) > 1 {
+			return errAt(c.pos(), "left join filters must reference a single table")
+		}
+		r := 0
+		if len(rs) == 1 {
+			r = rs[0]
+		}
+		p, err := pl.lowerPred(c, sc)
+		if err != nil {
+			return err
+		}
+		relPreds[r] = append(relPreds[r], p)
+		return nil
+	}
+	for _, c := range flattenAnd(f.On) {
+		if err := classify(c); err != nil {
+			return nil, blockOut{}, err
+		}
+	}
+	if b.Where != nil {
+		for _, c := range flattenAnd(b.Where) {
+			if err := classify(c); err != nil {
+				return nil, blockOut{}, err
+			}
+		}
+	}
+	if probeKey == "" {
+		return nil, blockOut{}, errAt(f.Pos, "left join needs an equality join condition")
+	}
+	if !matchKeySet(groupNames(b), rels[0].ukey) {
+		return nil, blockOut{}, errAt(b.Pos, "left join requires GROUP BY on the probe table's unique key")
+	}
+
+	countAlias := ""
+	post := make([]plan.NamedExpr, 0, len(b.Items))
+	for i := range b.Items {
+		it := &b.Items[i]
+		if fe, ok := it.Expr.(*FuncExpr); ok && fe.Name == "count" {
+			if countAlias != "" {
+				return nil, blockOut{}, errAt(fe.Pos, "left join supports a single count() aggregate")
+			}
+			if len(fe.Args) != 1 {
+				return nil, blockOut{}, errAt(fe.Pos, "left join count() needs the joined table's column as argument")
+			}
+			cr, okc := fe.Args[0].(*ColRef)
+			if !okc || sc[cr.Name].rel != 1 {
+				return nil, blockOut{}, errAt(fe.Pos, "left join count() needs the joined table's column as argument")
+			}
+			countAlias = outName(it)
+			post = append(post, plan.NamedExpr{Name: countAlias, Expr: exec.Col{Name: countAlias}})
+			continue
+		}
+		cr, okc := it.Expr.(*ColRef)
+		if !okc || sc[cr.Name].rel != 0 {
+			return nil, blockOut{}, errAt(it.Pos, "left join select items must be probe columns or one count()")
+		}
+		post = append(post, plan.NamedExpr{Name: outName(it), Expr: exec.Col{Name: cr.Name}})
+	}
+	if countAlias == "" {
+		return nil, blockOut{}, errAt(b.Pos, "left join blocks must aggregate with count()")
+	}
+
+	used := pl.usedCols(b)
+	used = dedupAppend(used, probeKey)
+	used = dedupAppend(used, buildKey)
+	nodes := make([]plan.Node, 2)
+	for i := 0; i < 2; i++ {
+		var colsSel []string
+		for _, c := range rels[i].cols {
+			for _, u := range used {
+				if u == c.Name {
+					colsSel = append(colsSel, c.Name)
+					break
+				}
+			}
+		}
+		preds := fuseDateRanges(relPreds[i])
+		var p exec.Pred
+		if len(preds) == 1 {
+			p = preds[0]
+		} else if len(preds) > 1 {
+			p = exec.AndOf(preds...)
+		}
+		nodes[i] = &plan.Scan{Table: rels[i].table, Columns: colsSel, Pred: p}
+	}
+
+	var node plan.Node = &plan.HashJoin{
+		Kind: plan.LeftCount, Build: nodes[1], Probe: nodes[0],
+		BuildKeys: []string{buildKey}, ProbeKeys: []string{probeKey}, CountAs: countAlias,
+	}
+	node = &plan.Project{Input: node, Cols: post}
+	node, err := pl.orderLimit(b, node, outCols)
+	if err != nil {
+		return nil, blockOut{}, err
+	}
+	rows := pl.st.tableRows(rels[0].table)
+	if rows < 1 {
+		rows = 1
+	}
+	return node, blockOut{cols: outCols, ukey: outUkey, rows: rows}, nil
+}
+
+// groupNames returns the GROUP BY key names.
+func groupNames(b *SelectBlock) []string {
+	out := make([]string, len(b.GroupBy))
+	for i, g := range b.GroupBy {
+		out[i] = g.Name
+	}
+	return out
+}

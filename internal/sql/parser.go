@@ -1,0 +1,650 @@
+package sql
+
+import "strconv"
+
+// maxDepth bounds expression/select nesting so adversarial input fails
+// with a positioned error instead of exhausting the goroutine stack.
+const maxDepth = 200
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks  []token
+	i     int
+	depth int
+}
+
+// Parse parses a statement. It never panics on any input.
+func Parse(text string) (*Stmt, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tEOF {
+		return nil, errAt(t.pos, "unexpected %s %q after statement", t.kind, t.text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tEOF {
+		p.i++
+	}
+	return t
+}
+
+// atKeyword reports whether the next token is the given keyword.
+func (p *parser) atKeyword(k string) bool {
+	t := p.peek()
+	return t.kind == tKeyword && t.text == k
+}
+
+// atSymbol reports whether the next token is the given symbol.
+func (p *parser) atSymbol(s string) bool {
+	t := p.peek()
+	return t.kind == tSymbol && t.text == s
+}
+
+// eatKeyword consumes the keyword if present.
+func (p *parser) eatKeyword(k string) bool {
+	if p.atKeyword(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// eatSymbol consumes the symbol if present.
+func (p *parser) eatSymbol(s string) bool {
+	if p.atSymbol(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(k string) error {
+	t := p.peek()
+	if t.kind != tKeyword || t.text != k {
+		return errAt(t.pos, "expected %q, found %s %q", k, t.kind, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.peek()
+	if t.kind != tSymbol || t.text != s {
+		return errAt(t.pos, "expected %q, found %s %q", s, t.kind, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.peek()
+	if t.kind != tIdent {
+		return token{}, errAt(t.pos, "expected identifier, found %s %q", t.kind, t.text)
+	}
+	p.next()
+	return t, nil
+}
+
+// enter guards recursion depth.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxDepth {
+		return errAt(p.peek().pos, "expression nesting exceeds %d levels", maxDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	stmt := &Stmt{}
+	if p.eatKeyword("with") {
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("as"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			stmt.CTEs = append(stmt.CTEs, CTE{Name: name.text, Sel: sel, Pos: name.pos})
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Sel = sel
+	return stmt, nil
+}
+
+func (p *parser) parseSelect() (*SelectBlock, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	start := p.peek().pos
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	b := &SelectBlock{Limit: -1, Pos: start}
+	for {
+		itemPos := p.peek().pos
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := SelectItem{Expr: e, Pos: itemPos}
+		if p.eatKeyword("as") {
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = id.text
+		}
+		b.Items = append(b.Items, item)
+		if !p.eatSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	first, err := p.parseFromItem()
+	if err != nil {
+		return nil, err
+	}
+	b.From = append(b.From, first)
+	for {
+		if p.eatSymbol(",") {
+			f, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			b.From = append(b.From, f)
+			continue
+		}
+		if p.atKeyword("left") {
+			p.next()
+			if err := p.expectKeyword("join"); err != nil {
+				return nil, err
+			}
+			f, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			f.JoinLeft = true
+			if err := p.expectKeyword("on"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.On = on
+			b.From = append(b.From, f)
+			continue
+		}
+		break
+	}
+	if p.eatKeyword("where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		b.Where = w
+	}
+	if p.eatKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			b.GroupBy = append(b.GroupBy, Ident{Name: id.text, Pos: id.pos})
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.eatKeyword("having") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		b.Having = h
+	}
+	if p.eatKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			k := OrderKey{Name: id.text, Pos: id.pos}
+			if p.eatKeyword("desc") {
+				k.Desc = true
+			} else {
+				p.eatKeyword("asc")
+			}
+			b.OrderBy = append(b.OrderBy, k)
+			if !p.eatSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.eatKeyword("limit") {
+		t := p.peek()
+		if t.kind != tNumber {
+			return nil, errAt(t.pos, "expected row count after limit, found %s %q", t.kind, t.text)
+		}
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, errAt(t.pos, "bad limit %q", t.text)
+		}
+		b.Limit = n
+	}
+	return b, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	t := p.peek()
+	var f FromItem
+	f.Pos = t.pos
+	switch {
+	case t.kind == tIdent:
+		p.next()
+		f.Table = t.text
+	case t.kind == tSymbol && t.text == "(":
+		p.next()
+		sel, err := p.parseSelect()
+		if err != nil {
+			return FromItem{}, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return FromItem{}, err
+		}
+		f.Sub = sel
+	default:
+		return FromItem{}, errAt(t.pos, "expected table name or derived table, found %s %q", t.kind, t.text)
+	}
+	if p.eatKeyword("as") {
+		id, err := p.expectIdent()
+		if err != nil {
+			return FromItem{}, err
+		}
+		f.Alias = id.text
+	} else if p.peek().kind == tIdent {
+		id := p.next()
+		f.Alias = id.text
+	}
+	if f.Sub != nil && f.Alias == "" {
+		return FromItem{}, errAt(f.Pos, "derived table needs an alias")
+	}
+	return f, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		pos := p.next().pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "or", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		pos := p.next().pos
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "and", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKeyword("not") {
+		pos := p.next().pos
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseNot()
+		p.leave()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e, Pos: pos}, nil
+	}
+	return p.parseCmp()
+}
+
+// parseCmp parses comparison, IN, BETWEEN, and LIKE at one level.
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tSymbol {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: t.text, L: l, R: r, Pos: t.pos}, nil
+		}
+	}
+	negate := false
+	notPos := t.pos
+	if p.atKeyword("not") {
+		// `x not in ...` / `x not like ...`
+		save := p.i
+		p.next()
+		if p.atKeyword("in") || p.atKeyword("like") {
+			negate = true
+		} else {
+			p.i = save
+			return l, nil
+		}
+	}
+	switch {
+	case p.atKeyword("in"):
+		pos := p.next().pos
+		if negate {
+			pos = notPos
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{E: l, Negate: negate, Pos: pos}
+		if p.atKeyword("select") {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			in.Sub = sub
+		} else {
+			for {
+				v, err := p.parseAdd()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, v)
+				if !p.eatSymbol(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case p.atKeyword("like"):
+		pos := p.next().pos
+		if negate {
+			pos = notPos
+		}
+		t := p.peek()
+		if t.kind != tString {
+			return nil, errAt(t.pos, "expected pattern string after like, found %s %q", t.kind, t.text)
+		}
+		p.next()
+		return &LikeExpr{E: l, Pattern: t.text, Negate: negate, Pos: pos}, nil
+	case p.atKeyword("between"):
+		pos := p.next().pos
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Pos: pos}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSymbol("+") || p.atSymbol("-") {
+		t := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.text, L: l, R: r, Pos: t.pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atSymbol("*") || p.atSymbol("/") {
+		t := p.next()
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.text, L: l, R: r, Pos: t.pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	t := p.peek()
+	switch t.kind {
+	case tNumber:
+		p.next()
+		return parseNum(t)
+	case tString:
+		p.next()
+		return &StrLit{V: t.text, Pos: t.pos}, nil
+	case tIdent:
+		p.next()
+		if p.atSymbol("(") {
+			// Non-keyword function call (e.g. the distributed-merge
+			// aggregate sumi); the binder validates the name.
+			p.next()
+			fn := &FuncExpr{Name: t.text, Pos: t.pos}
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fn.Args = append(fn.Args, a)
+				if !p.eatSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return fn, nil
+		}
+		return &ColRef{Name: t.text, Pos: t.pos}, nil
+	case tSymbol:
+		if t.text == "(" {
+			p.next()
+			if p.atKeyword("select") {
+				sel, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Sel: sel, Pos: t.pos}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tKeyword:
+		switch t.text {
+		case "date":
+			p.next()
+			v := p.peek()
+			if v.kind != tString {
+				return nil, errAt(v.pos, "expected 'yyyy-mm-dd' after date, found %s %q", v.kind, v.text)
+			}
+			p.next()
+			return &DateLit{V: v.text, Pos: t.pos}, nil
+		case "interval":
+			p.next()
+			v := p.peek()
+			if v.kind != tString {
+				return nil, errAt(v.pos, "expected quoted count after interval, found %s %q", v.kind, v.text)
+			}
+			p.next()
+			n, err := strconv.ParseInt(v.text, 10, 64)
+			if err != nil {
+				return nil, errAt(v.pos, "bad interval count %q", v.text)
+			}
+			u := p.peek()
+			if u.kind != tKeyword || (u.text != "day" && u.text != "month" && u.text != "year") {
+				return nil, errAt(u.pos, "expected day, month or year, found %s %q", u.kind, u.text)
+			}
+			p.next()
+			return &IntervalLit{N: n, Unit: u.text, Pos: t.pos}, nil
+		case "case":
+			p.next()
+			if err := p.expectKeyword("when"); err != nil {
+				return nil, err
+			}
+			when, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("then"); err != nil {
+				return nil, err
+			}
+			then, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("else"); err != nil {
+				return nil, err
+			}
+			els, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("end"); err != nil {
+				return nil, err
+			}
+			return &CaseExpr{When: when, Then: then, Else: els, Pos: t.pos}, nil
+		case "sum", "count", "avg", "min", "max", "year", "substring":
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			fn := &FuncExpr{Name: t.text, Pos: t.pos}
+			if t.text == "count" && p.eatSymbol("*") {
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return fn, nil
+			}
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fn.Args = append(fn.Args, a)
+				if !p.eatSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return fn, nil
+		}
+	}
+	return nil, errAt(t.pos, "expected expression, found %s %q", t.kind, t.text)
+}
+
+// parseNum builds a NumLit from a number token.
+func parseNum(t token) (Expr, error) {
+	if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+		return &NumLit{Text: t.text, IsInt: true, Int: i, Float: float64(i), Pos: t.pos}, nil
+	}
+	f, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return nil, errAt(t.pos, "bad number %q", t.text)
+	}
+	return &NumLit{Text: t.text, Float: f, Pos: t.pos}, nil
+}

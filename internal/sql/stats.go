@@ -1,0 +1,62 @@
+package sql
+
+import (
+	"wimpi/internal/exec"
+	"wimpi/internal/plan"
+)
+
+// statsSampleRows bounds the rows sampled per predicate estimate.
+const statsSampleRows = 1024
+
+// stats estimates cardinalities from the catalog. Estimates depend only
+// on table contents and the statement text — never on the worker count —
+// so every node of a cluster plans its own partition deterministically.
+type stats struct {
+	cat plan.Catalog
+	// ctr accumulates the planner's own estimation work so optimization
+	// cost shows up in query counters like any other operator.
+	ctr *exec.Counters
+}
+
+// tableRows returns the base table's row count.
+func (s *stats) tableRows(name string) float64 {
+	t, err := s.cat.Table(name)
+	if err != nil {
+		return 0
+	}
+	return float64(t.NumRows())
+}
+
+// predSel estimates a scan predicate's selectivity by evaluating it over
+// a deterministic strided sample of the table. Errors degrade to 1.0
+// (no pruning assumed) rather than failing planning.
+func (s *stats) predSel(table string, p exec.Pred) float64 {
+	if p == nil {
+		return 1
+	}
+	t, err := s.cat.Table(table)
+	if err != nil {
+		return 1
+	}
+	rows := t.NumRows()
+	if rows == 0 {
+		return 1
+	}
+	k := rows
+	if k > statsSampleRows {
+		k = statsSampleRows
+	}
+	sel := make([]int32, k)
+	for i := 0; i < k; i++ {
+		sel[i] = int32(i * rows / k)
+		s.ctr.IntOps++
+	}
+	sample := exec.GatherTable(t, sel, 1, exec.DefaultMorselRows)
+	s.ctr.RandomAccesses += int64(k) * int64(t.NumCols())
+	s.ctr.SeqBytes += sample.SizeBytes()
+	hits, err := p.Sel(sample, nil, s.ctr)
+	if err != nil {
+		return 1
+	}
+	return float64(len(hits)) / float64(k)
+}

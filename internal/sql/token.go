@@ -1,0 +1,91 @@
+// Package sql is the declarative frontend of the WimPi engine: a
+// stdlib-only lexer, recursive-descent parser, catalog binder, and
+// planner that lowers SQL text to internal/plan trees, plus a
+// cost-based optimizer that prices join orders with the hardware model.
+//
+// The dialect covers what TPC-H needs: SELECT/FROM/WHERE/LEFT JOIN/
+// GROUP BY/HAVING/ORDER BY/LIMIT, WITH common table expressions,
+// derived tables, IN/NOT IN (list and subquery), scalar subqueries,
+// BETWEEN, LIKE/NOT LIKE, CASE WHEN, date literals and intervals,
+// year()/extract(year), and substring(col, 1, n).
+//
+// Lowering is canonical and deterministic: the first FROM item is the
+// probe spine and later items attach as hash-join builds in text order,
+// so a query's FROM clause reads like its pipeline. The optimizer then
+// permutes attachments only where the result is provably byte-identical
+// (see optimize.go), pricing candidates with hardware.OperatorTime from
+// catalog statistics — never from worker count — so plans are identical
+// across parallelism levels and cluster re-dispatches.
+package sql
+
+import "fmt"
+
+// kind enumerates token kinds.
+type kind int
+
+const (
+	tEOF kind = iota
+	tIdent
+	tNumber // integer or decimal literal
+	tString // 'single quoted'
+	tSymbol // punctuation and operators: ( ) , * / + - = <> < <= > >= .
+	tKeyword
+)
+
+func (k kind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tNumber:
+		return "number"
+	case tString:
+		return "string"
+	case tSymbol:
+		return "symbol"
+	case tKeyword:
+		return "keyword"
+	}
+	return "token"
+}
+
+// Pos is a 1-based line:column source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// token is one lexed token. Text is the canonical form: keywords are
+// lowercased, string literals hold the unquoted value.
+type token struct {
+	kind kind
+	text string
+	pos  Pos
+}
+
+// keywords lists the dialect's reserved words (lowercase).
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true,
+	"by": true, "having": true, "order": true, "limit": true,
+	"as": true, "and": true, "or": true, "not": true, "in": true,
+	"like": true, "between": true, "case": true, "when": true,
+	"then": true, "else": true, "end": true, "asc": true, "desc": true,
+	"date": true, "interval": true, "year": true, "month": true,
+	"day": true, "with": true, "left": true, "join": true, "on": true,
+	"sum": true, "count": true, "avg": true, "min": true, "max": true,
+	"substring": true, "extract": true, "distinct": true,
+}
+
+// Error is a positioned frontend diagnostic (lexer, parser, or binder).
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql:%s: %s", e.Pos, e.Msg) }
+
+func errAt(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
