@@ -4,7 +4,7 @@ GO ?= go
 # and soak runs override it (FUZZTIME=2m make fuzz).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint race chaos fuzz explain-smoke check bench-scaling bench-smoke
+.PHONY: build test vet lint lint-report lint-bench race chaos fuzz explain-smoke check bench-scaling bench-smoke
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,28 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# wimpi-lint: the custom invariant suite (determinism, cost accounting,
-# context discipline, goroutine hygiene, wire-protocol error handling).
+# wimpi-lint: the custom invariant suite — the dataflow-backed v2
+# analyzers (taintflow, pathcost, hotalloc, exhaustive) on top of the
+# original passes (determinism, cost accounting, context discipline,
+# goroutine hygiene, wire-protocol error handling), plus the directive
+# audit that fails on stale `//lint:allow` lines.
 # -novet because the stock passes run under `make vet`.
 lint:
 	$(GO) run ./cmd/wimpi-lint -novet ./...
+
+# Machine-readable lint output for CI: JSON findings on stdout and a
+# SARIF 2.1.0 log for code-scanning upload. Exit status still reflects
+# findings, so `|| true` it when only the artifacts are wanted.
+lint-report:
+	$(GO) run ./cmd/wimpi-lint -novet -json -sarif lint.sarif ./... > lint.json
+
+# Smoke-test the analyzer suite's own cost: the whole-tree run (type
+# check + CFG construction + fixpoint solving for every function) must
+# finish inside the budget, or the lint gate has become too slow to
+# keep in the inner loop. LINT_DEADLINE override for slow machines.
+LINT_DEADLINE ?= 120s
+lint-bench:
+	$(GO) run ./cmd/wimpi-lint -novet -deadline $(LINT_DEADLINE) ./...
 
 # Race-detector pass over every package.
 race:

@@ -247,7 +247,7 @@ func (c *Coordinator) LoadSQL(sf float64, seed uint64, stmts map[int]string) (*L
 // LoadSQLContext is LoadSQL with cancellation and deadlines.
 func (c *Coordinator) LoadSQLContext(ctx context.Context, sf float64, seed uint64, stmts map[int]string) (*LoadStats, error) {
 	ids := make([]int, 0, len(stmts))
-	for id := range stmts { //lint:allow determinism -- key collection; sorted before use
+	for id := range stmts {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
@@ -272,7 +272,7 @@ func (c *Coordinator) LoadSQLContext(ctx context.Context, sf float64, seed uint6
 }
 
 func (c *Coordinator) loadContext(ctx context.Context, sf float64, seed uint64, partials map[int]string) (*LoadStats, error) {
-	//lint:allow determinism -- measured wall clock for LoadStats reporting; results never depend on it
+	//lint:allow determinism,taintflow -- measured wall clock for LoadStats reporting; results never depend on it
 	start := time.Now()
 	stats := &LoadStats{NodeBytes: make([]int64, len(c.conns))}
 	errs := make([]error, len(c.conns))
@@ -484,7 +484,7 @@ func (c *Coordinator) runDist(ctx context.Context, q int, singleNode, useSQL boo
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	//lint:allow determinism -- measured wall clock for DistResult reporting; merged results never depend on it
+	//lint:allow determinism,taintflow -- measured wall clock for DistResult reporting; merged results never depend on it
 	start := time.Now()
 	participants := len(c.conns)
 	if singleNode {
@@ -657,7 +657,7 @@ collect:
 			return nil, perr
 		}
 		res.Partial = true
-		//lint:allow determinism -- merge wall time feeds the merge span only
+		//lint:allow determinism,taintflow -- merge wall time feeds the merge span only
 		mergeStart := time.Now()
 		merged, mergeCtr, err := merge(tables)
 		if err != nil {
@@ -671,7 +671,7 @@ collect:
 		return res, perr
 	}
 
-	//lint:allow determinism -- merge wall time feeds the merge span only
+	//lint:allow determinism,taintflow -- merge wall time feeds the merge span only
 	mergeStart := time.Now()
 	merged, mergeCtr, err := merge(tables)
 	if err != nil {

@@ -341,7 +341,6 @@ func (c *Conn) Read(p []byte) (int, error) {
 
 var kindByName = func() map[string]Kind {
 	m := map[string]Kind{}
-	//lint:allow determinism -- inverting one map into another; iteration order is invisible
 	for k, n := range kindNames {
 		m[n] = k
 	}

@@ -41,7 +41,7 @@ func NewHybrid(c *Coordinator, full *tpch.Dataset, workers int) (*HybridCoordina
 		return nil, err
 	}
 	db := engine.NewDB(engine.Config{Workers: workers, Exec: mode})
-	//lint:allow determinism -- registration into the DB's table map; iteration order is invisible
+	//lint:allow taintflow -- registration into the DB's table map; iteration order is invisible
 	for name, t := range full.Tables {
 		if name == "lineitem" {
 			continue

@@ -24,7 +24,7 @@ type tokenBucket struct {
 
 func newTokenBucket(bitsPerSec float64) *tokenBucket {
 	rate := bitsPerSec / 8
-	//lint:allow determinism -- a pacing token bucket is inherently wall-clock-driven; it throttles bytes, never reorders them
+	//lint:allow determinism,taintflow -- a pacing token bucket is inherently wall-clock-driven; it throttles bytes, never reorders them
 	return &tokenBucket{rate: rate, burst: 64 << 10, tokens: 64 << 10, last: time.Now()}
 }
 
@@ -95,7 +95,7 @@ func (t *throttledConn) Write(p []byte) (int, error) {
 func MeasureLinkBandwidth(c *Coordinator, node int, payloadBytes int64) (float64, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	//lint:allow determinism -- the iperf reproduction measures real elapsed transfer time by definition
+	//lint:allow determinism,taintflow -- the iperf reproduction measures real elapsed transfer time by definition
 	start := time.Now()
 	resp, _, err := c.conns[node].call(ctx, &Request{Type: "iperf", IperfBytes: payloadBytes, ForNode: -1})
 	if err != nil {

@@ -84,7 +84,6 @@ func (d *Dict) Clone() *Dict {
 		vals:  append([]string(nil), d.vals...),
 		index: make(map[string]int32, len(d.index)),
 	}
-	//lint:allow determinism -- map-to-map copy; insertion order is invisible
 	for s, c := range d.index {
 		nd.index[s] = c
 	}

@@ -93,7 +93,6 @@ func (db *DB) TableNames() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.tables))
-	//lint:allow determinism -- keys are sorted immediately below
 	for n := range db.tables {
 		names = append(names, n)
 	}
@@ -108,7 +107,6 @@ func (db *DB) SizeBytes() int64 {
 	defer db.mu.RUnlock()
 	var n int64
 	seen := map[*colstore.Dict]bool{}
-	//lint:allow determinism -- commutative integer sum; iteration order cannot change the result
 	for _, t := range db.tables {
 		n += t.SizeBytes()
 		for _, c := range t.Cols {
@@ -155,7 +153,7 @@ func (db *DB) RunWith(p plan.Node, workers int) (*Result, error) {
 		workers = db.Workers()
 	}
 	metricQueries.Inc()
-	//lint:allow determinism -- measured wall clock, reported as HostDuration; results never depend on it
+	//lint:allow determinism,taintflow -- measured wall clock, reported as HostDuration; results never depend on it
 	start := time.Now()
 	t, ctr, err := plan.RunContext(db.planCtx(workers), p)
 	if err != nil {
@@ -191,7 +189,7 @@ func (db *DB) RunTracedWith(p plan.Node, workers int) (*TracedResult, error) {
 		workers = db.Workers()
 	}
 	metricQueries.Inc()
-	//lint:allow determinism -- measured wall clock, reported as HostDuration; results never depend on it
+	//lint:allow determinism,taintflow -- measured wall clock, reported as HostDuration; results never depend on it
 	start := time.Now()
 	res, err := plan.RunTracedContext(db.planCtx(workers), p)
 	if err != nil {

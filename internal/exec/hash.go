@@ -169,8 +169,8 @@ func innerJoinChunked(lookup func(int64) int32, next []int32, probeKeys []int64,
 	for p, k := range probeKeys {
 		for b := lookup(k); b >= 0; b = next[b] {
 			if len(cb) == cap(cb) {
-				doneB = append(doneB, cb)
-				doneP = append(doneP, cp)
+				doneB = append(doneB, cb) //lint:allow hotalloc -- chunk-list growth, once per 4096 emitted rows
+				doneP = append(doneP, cp) //lint:allow hotalloc -- chunk-list growth, once per 4096 emitted rows
 				cb = make([]int32, 0, joinEmitChunkRows)
 				cp = make([]int32, 0, joinEmitChunkRows)
 			}

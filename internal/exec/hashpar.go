@@ -121,9 +121,12 @@ func buildPartitionedJoinTable(keys []int64, workers, morselRows int, ctr *Count
 		partRows[pi] = make([]int32, cur[pi])
 	}
 
-	// Pass 2: scatter global row indexes into their partitions.
+	// Pass 2: scatter global row indexes into their partitions. Write
+	// cursors live in one flat backing array carved into disjoint
+	// per-morsel windows, so the hot callback allocates nothing.
+	posScratch := make([]int32, nm*p)
 	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
-		pos := make([]int32, p)
+		pos := posScratch[m*p : (m+1)*p]
 		copy(pos, offsets[m])
 		for i := lo; i < hi; i++ {
 			pi := partHash(keys[i], bits)

@@ -95,6 +95,9 @@ func CombineKeys(hi, lo []int64, loBits uint, ctr *Counters) ([]int64, error) {
 	for i := range hi {
 		h, l := hi[i], lo[i]
 		if l < 0 || l >= limitLo || h < 0 || h >= limitHi {
+			// The aborted scan still compared i+1 rows; charge them so
+			// error paths cost what they did.
+			ctr.IntOps += int64(i+1) * 2
 			return nil, fmt.Errorf("exec: CombineKeys value out of range at %d: hi=%d lo=%d loBits=%d", i, h, l, loBits)
 		}
 		out[i] = h<<loBits | l

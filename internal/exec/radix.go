@@ -187,8 +187,11 @@ func radixFirstPass(srcK []int64, srcR []int32, dstK []int64, dstR, newOff []int
 		newOff[t] = base
 		base += perBucket[t]
 	}
+	// One flat cursor array, a disjoint fan-wide window per morsel: the
+	// scatter callback itself stays allocation-free.
+	posScratch := make([]int32, nm*fan)
 	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
-		pos := make([]int32, fan)
+		pos := posScratch[m*fan : (m+1)*fan]
 		for t := 0; t < fan; t++ {
 			pos[t] = newOff[t] + within[m][t]
 		}
@@ -216,9 +219,12 @@ func radixRefinePass(srcK []int64, srcR []int32, dstK []int64, dstR, off, newOff
 	shift := 64 - done - b
 	mask := uint64(fan - 1)
 	nseg := len(off) - 1
+	// Histogram and cursor scratch for all segments up front; each
+	// segment owns two disjoint fan-wide windows of the flat array.
+	scratch := make([]int32, 2*nseg*fan)
 	_ = RunMorsels(workers, nseg, 1, ctr, func(s, _, _ int, c *Counters) error {
 		lo, hi := int(off[s]), int(off[s+1])
-		cnt := make([]int32, fan)
+		cnt := scratch[2*s*fan : (2*s+1)*fan]
 		for _, k := range srcK[lo:hi] {
 			cnt[(mix64(uint64(k))>>shift)&mask]++
 		}
@@ -227,7 +233,7 @@ func radixRefinePass(srcK []int64, srcR []int32, dstK []int64, dstR, off, newOff
 			newOff[s*fan+t] = base
 			base += cnt[t]
 		}
-		pos := make([]int32, fan)
+		pos := scratch[(2*s+1)*fan : (2*s+2)*fan]
 		copy(pos, newOff[s*fan:s*fan+fan])
 		for i := lo; i < hi; i++ {
 			t := (mix64(uint64(srcK[i])) >> shift) & mask

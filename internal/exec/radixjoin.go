@@ -123,7 +123,7 @@ func buildRadixPart(jp *radixPart, keys []int64, rows, payload []int32, base int
 	}
 	mask := uint64(capacity - 1)
 	grp := make([]int32, len(keys))
-	var cnt []int32
+	cnt := make([]int32, 0, len(keys)) // ≤ one group per row; partition is cache-sized
 	for i, k := range keys {
 		slot := hashKey(k, jp.shift) & mask
 		for {

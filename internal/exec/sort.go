@@ -153,6 +153,7 @@ func argSortMerge(t *colstore.Table, keys []SortKey, workers, morselRows int, ct
 	nm := NumMorsels(n, morselRows)
 	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
 		run := idx[lo:hi]
+		//lint:allow hotalloc -- one comparator closure boxed per morsel run-sort, amortized over the run's O(n log n) compares
 		sort.SliceStable(run, func(i, j int) bool {
 			a, b := run[i], run[j]
 			for _, f := range cmps {

@@ -31,17 +31,37 @@ func TestCloseCheckFixture(t *testing.T) {
 	linttest.Run(t, "testdata/closecheck", lint.CloseCheck)
 }
 
+func TestTaintFlowFixture(t *testing.T) {
+	linttest.Run(t, "testdata/taintflow", lint.TaintFlow)
+}
+
+func TestPathCostFixture(t *testing.T) {
+	linttest.Run(t, "testdata/pathcost", lint.PathCost)
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	linttest.Run(t, "testdata/hotalloc", lint.HotAlloc)
+}
+
+func TestExhaustiveFixture(t *testing.T) {
+	linttest.Run(t, "testdata/exhaustive", lint.Exhaustive)
+}
+
+func TestUnusedDirectiveFixture(t *testing.T) {
+	linttest.RunAll(t, "testdata/unuseddirective", lint.Determinism)
+}
+
 func TestSuiteScoping(t *testing.T) {
 	cases := []struct {
 		pkg  string
 		want []string
 	}{
-		{"wimpi/internal/exec", []string{"determinism", "costaccounting", "goroutines"}},
-		{"wimpi/internal/exec/fused", []string{"determinism", "costaccounting", "goroutines"}},
-		{"wimpi/internal/cluster", []string{"determinism", "ctxcheck", "closecheck"}},
-		{"wimpi/internal/cluster/faultconn", []string{"determinism", "ctxcheck", "closecheck"}},
-		{"wimpi/internal/plan", []string{"determinism", "goroutines"}},
-		{"wimpi/internal/sql", []string{"determinism", "closecheck"}},
+		{"wimpi/internal/exec", []string{"determinism", "taintflow", "costaccounting", "pathcost", "hotalloc", "exhaustive", "goroutines"}},
+		{"wimpi/internal/exec/fused", []string{"determinism", "taintflow", "costaccounting", "pathcost", "hotalloc", "exhaustive", "goroutines"}},
+		{"wimpi/internal/cluster", []string{"determinism", "taintflow", "ctxcheck", "closecheck"}},
+		{"wimpi/internal/cluster/faultconn", []string{"determinism", "taintflow", "ctxcheck", "closecheck"}},
+		{"wimpi/internal/plan", []string{"determinism", "taintflow", "hotalloc", "exhaustive", "goroutines"}},
+		{"wimpi/internal/sql", []string{"determinism", "taintflow", "exhaustive", "closecheck"}},
 		{"wimpi/internal/hardware", nil},
 		{"wimpi/cmd/wimpi-bench", nil},
 	}

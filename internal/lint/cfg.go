@@ -1,0 +1,645 @@
+package lint
+
+// Control-flow graph construction over go/ast function bodies. The CFG
+// is the substrate of the dataflow analyzers (taintflow, pathcost): a
+// per-function directed graph of basic blocks whose Nodes lists hold
+// statements and condition expressions in evaluation order.
+//
+// Design notes, in rough order of importance to the analyses built on
+// top:
+//
+//   - Short-circuit operators split: `if a && b` evaluates a in one
+//     block with an edge that skips b entirely, so a fact established
+//     by b (a charge, a taint) is never assumed on the skipping path.
+//   - Defers run on every exit: deferred calls are collected into a
+//     shared "finally" block between every return (or fall-off) and
+//     the exit block. This over-approximates (a defer guarded by a
+//     branch is assumed registered), which is the safe direction for
+//     both may-taint and must-charge questions.
+//   - Function literals are inlined as optional branches at their
+//     declaration site: entry -> closure body -> join, plus a bypass
+//     edge entry -> join. Morsel kernels do their per-row work inside
+//     closures handed to exec.RunMorsels, so excluding closure bodies
+//     would blind the analyzers to exactly the hot code; treating the
+//     body as "may execute here" is sound for may-analyses and close
+//     enough for the immediate-callback patterns the engine uses.
+//     Returns inside a closure exit the closure, not the enclosing
+//     function; blocks built inside a closure carry InClosure.
+//   - panic terminates: a call to panic ends its block with an edge to
+//     the exit that is not a return, so "every path must charge before
+//     returning" does not demand charges on assertion-failure paths.
+//
+// goto, labeled break/continue, switch fallthrough, and select are all
+// supported; the builder is pure syntax (no type information), so
+// analyzers that need types consult the Pass at transfer time.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Entry is executed first; Exit is reached by every terminating
+	// path. Neither holds statements of its own unless the body is
+	// straight-line (then Entry holds them all).
+	Entry, Exit *Block
+	// Finally is the pre-exit block deferred calls run in. Its
+	// predecessors are exactly the function-exiting blocks: those with
+	// a Returns entry returned explicitly, the rest fell off the end.
+	Finally *Block
+	// Blocks lists every block, Entry first, in creation order.
+	Blocks []*Block
+}
+
+// A Block is a straight-line run of statements.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes holds the block's statements and condition expressions in
+	// evaluation order. Conditions appear as bare ast.Expr entries.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs, Preds []*Block
+	// LoopBody marks blocks that execute once per iteration of some
+	// enclosing loop (bodies and post statements, not headers).
+	LoopBody bool
+	// RangeBody, when non-nil, is the range statement whose iteration
+	// this block begins: entering it means one element was drawn.
+	RangeBody *ast.RangeStmt
+	// InClosure marks blocks belonging to an inlined function literal;
+	// return statements there leave the closure, not the function.
+	InClosure bool
+	// Returns lists the return statements ending paths through this
+	// block (at most one; kept as a slice for cheap emptiness tests).
+	Returns []*ast.ReturnStmt
+}
+
+// addEdge wires a -> b.
+func addEdge(a, b *Block) {
+	a.Succs = append(a.Succs, b)
+	b.Preds = append(b.Preds, a)
+}
+
+// branchTarget is one break/continue destination, with the loop or
+// switch label ("" for the innermost).
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+// cfgBuilder holds the state of one build. A fresh builder (sharing the
+// graph) is used for each inlined function literal so that returns,
+// defers, and branch targets stay local to the literal.
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block // nil after a terminator (unreachable code starts fresh)
+
+	breaks    []branchTarget
+	continues []branchTarget
+	labels    map[string]*Block
+	gotos     []pendingGoto
+
+	// finally is the pre-exit block deferred calls run in; returnTo is
+	// where return statements jump (finally, which leads to the local
+	// exit).
+	finally *Block
+	// pendingLabel names the label attached to the next loop or switch
+	// statement, so `break L` / `continue L` resolve.
+	pendingLabel string
+
+	loopDepth int
+	inClosure bool
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	g := &CFG{}
+	b := &cfgBuilder{g: g, labels: map[string]*Block{}}
+	entry := b.newBlock()
+	g.Entry = entry
+	b.cur = entry
+	finally := b.newBlock()
+	b.finally = finally
+	g.Finally = finally
+	exit := b.newBlock()
+	g.Exit = exit
+	addEdge(finally, exit)
+
+	b.stmts(body.List)
+	if b.cur != nil {
+		addEdge(b.cur, finally)
+	}
+	b.resolveGotos()
+	return g
+}
+
+// newBlock appends a block inheriting the builder's loop/closure
+// context.
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{
+		Index:     len(b.g.Blocks),
+		LoopBody:  b.loopDepth > 0,
+		InClosure: b.inClosure,
+	}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// reach returns the current block, resurrecting an unreachable one
+// after a terminator so labels inside dead code still build.
+func (b *cfgBuilder) reach() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+// add appends a node to the current block and inlines any function
+// literals it declares.
+func (b *cfgBuilder) add(n ast.Node) {
+	blk := b.reach()
+	blk.Nodes = append(blk.Nodes, n)
+	b.inlineFuncLits(n)
+}
+
+// inlineFuncLits wires each top-level function literal under n as an
+// optional branch at the current position.
+func (b *cfgBuilder) inlineFuncLits(n ast.Node) {
+	for _, fl := range topFuncLits(n) {
+		b.inlineClosure(fl)
+	}
+}
+
+// inlineClosure builds fl's body as cur -> body -> join with a bypass
+// edge, under a closure-local builder context.
+func (b *cfgBuilder) inlineClosure(fl *ast.FuncLit) {
+	pre := b.reach()
+	join := b.newBlock()
+	addEdge(pre, join) // the closure may never run here
+
+	inner := &cfgBuilder{g: b.g, labels: map[string]*Block{}, inClosure: true, loopDepth: b.loopDepth}
+	entry := inner.newBlock()
+	addEdge(pre, entry)
+	inner.cur = entry
+	inner.finally = inner.newBlock()
+	addEdge(inner.finally, join)
+	inner.stmts(fl.Body.List)
+	if inner.cur != nil {
+		addEdge(inner.cur, inner.finally)
+	}
+	inner.resolveGotos()
+
+	b.cur = join
+}
+
+// topFuncLits returns the function literals under n that are not nested
+// inside another literal (those are inlined when their parent is).
+func topFuncLits(n ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(n, func(m ast.Node) bool {
+		if fl, ok := m.(*ast.FuncLit); ok {
+			out = append(out, fl)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		addEdge(b.reach(), lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		blk := b.reach()
+		blk.Nodes = append(blk.Nodes, s)
+		b.inlineFuncLits(s)
+		blk = b.reach() // a closure in the result expr moved cur
+		blk.Returns = append(blk.Returns, s)
+		addEdge(blk, b.finally)
+		b.cur = nil
+	case *ast.DeferStmt:
+		// Argument evaluation happens here; the call itself runs in the
+		// finally chain on every exit path. A deferred literal's body
+		// is inlined only there — it cannot execute at the
+		// registration site.
+		blk := b.reach()
+		blk.Nodes = append(blk.Nodes, s)
+		b.finally.Nodes = append(b.finally.Nodes, s.Call)
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			for _, arg := range s.Call.Args {
+				b.inlineFuncLits(arg)
+			}
+			b.inlineDeferredClosure(fl)
+		} else {
+			b.inlineFuncLits(s.Call)
+		}
+	case *ast.GoStmt:
+		b.add(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanicCall(call) {
+			addEdge(b.reach(), b.g.Exit)
+			b.cur = nil
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, ...
+		b.add(s)
+	}
+}
+
+// inlineDeferredClosure wires a `defer func(){...}()` body into the
+// finally chain: finally -> body -> new finally tail. Deferred bodies
+// always run on exit, so no bypass edge is added.
+func (b *cfgBuilder) inlineDeferredClosure(fl *ast.FuncLit) {
+	inner := &cfgBuilder{g: b.g, labels: map[string]*Block{}, inClosure: true}
+	entry := inner.newBlock()
+	addEdge(b.finally, entry)
+	inner.cur = entry
+	tail := inner.newBlock()
+	inner.finally = tail
+	inner.stmts(fl.Body.List)
+	if inner.cur != nil {
+		addEdge(inner.cur, tail)
+	}
+	inner.resolveGotos()
+
+	// Re-route the finally chain through the deferred body: the old
+	// finally's outgoing edges move to the tail, so a second deferred
+	// closure lands ahead of the first (defers run LIFO). Returns still
+	// enter at the chain head.
+	for _, succ := range b.finally.Succs {
+		if succ == entry {
+			continue
+		}
+		dropPred(succ, b.finally)
+		addEdge(tail, succ)
+	}
+	b.finally.Succs = []*Block{entry}
+}
+
+// dropPred removes old from blk's predecessor list.
+func dropPred(blk, old *Block) {
+	out := blk.Preds[:0]
+	for _, p := range blk.Preds {
+		if p != old {
+			out = append(out, p)
+		}
+	}
+	blk.Preds = out
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	thenB := b.newBlock()
+	join := b.newBlock()
+	elseB := join
+	if s.Else != nil {
+		elseB = b.newBlock()
+	}
+	b.cond(s.Cond, thenB, elseB)
+	b.cur = thenB
+	b.stmts(s.Body.List)
+	if b.cur != nil {
+		addEdge(b.cur, join)
+	}
+	if s.Else != nil {
+		b.cur = elseB
+		b.stmt(s.Else)
+		if b.cur != nil {
+			addEdge(b.cur, join)
+		}
+	}
+	b.cur = join
+}
+
+// cond evaluates e with short-circuit edges: control reaches t when e
+// is true and f when e is false, and the right operand of && / || gets
+// its own block so skipped evaluation is visible to the solver.
+func (b *cfgBuilder) cond(e ast.Expr, t, f *Block) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(e.X, t, f)
+		return
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			b.cond(e.X, f, t)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(e.X, mid, f)
+			b.cur = mid
+			b.cond(e.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(e.X, t, mid)
+			b.cur = mid
+			b.cond(e.Y, t, f)
+			return
+		}
+	}
+	b.add(e)
+	blk := b.reach()
+	addEdge(blk, t)
+	addEdge(blk, f)
+	b.cur = nil
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	header := b.newBlock()
+	addEdge(b.reach(), header)
+	exit := b.newBlock()
+	body := b.newBlock()
+	body.LoopBody = true
+
+	b.cur = header
+	if s.Cond != nil {
+		b.cond(s.Cond, body, exit)
+	} else {
+		addEdge(header, body)
+	}
+
+	// continue jumps to the post statement (or the header).
+	contTarget := header
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		post.LoopBody = true
+		post.Nodes = append(post.Nodes, s.Post)
+		addEdge(post, header)
+		contTarget = post
+	}
+
+	b.breaks = append(b.breaks, branchTarget{label, exit})
+	b.continues = append(b.continues, branchTarget{label, contTarget})
+	b.loopDepth++
+	b.cur = body
+	b.stmts(s.Body.List)
+	if b.cur != nil {
+		addEdge(b.cur, contTarget)
+	}
+	b.loopDepth--
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	header := b.newBlock()
+	header.Nodes = append(header.Nodes, s)
+	addEdge(b.reach(), header)
+	b.inlineFuncLitsIn(header, s.X)
+	exit := b.newBlock()
+	body := b.newBlock()
+	body.LoopBody = true
+	body.RangeBody = s
+	addEdge(header, body)
+	addEdge(header, exit)
+
+	b.breaks = append(b.breaks, branchTarget{label, exit})
+	b.continues = append(b.continues, branchTarget{label, header})
+	b.loopDepth++
+	b.cur = body
+	b.stmts(s.Body.List)
+	if b.cur != nil {
+		addEdge(b.cur, header)
+	}
+	b.loopDepth--
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+
+	b.cur = exit
+}
+
+// inlineFuncLitsIn inlines literals from an expression that was placed
+// into a specific block (range headers build their own block).
+func (b *cfgBuilder) inlineFuncLitsIn(blk *Block, e ast.Expr) {
+	saved := b.cur
+	b.cur = blk
+	b.inlineFuncLits(e)
+	b.cur = saved
+}
+
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	header := b.reach()
+	join := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label, join})
+
+	var caseBlocks []*Block
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		blk := b.newBlock()
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		addEdge(header, blk)
+		caseBlocks = append(caseBlocks, blk)
+		clauses = append(clauses, cc)
+	}
+	if !hasDefault {
+		addEdge(header, join)
+	}
+	for i, cc := range clauses {
+		b.cur = caseBlocks[i]
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			if ft := fallsThrough(cc.Body); ft && i+1 < len(caseBlocks) {
+				addEdge(b.cur, caseBlocks[i+1])
+			} else {
+				addEdge(b.cur, join)
+			}
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	header := b.reach()
+	join := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label, join})
+
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		addEdge(header, blk)
+		b.cur = blk
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			addEdge(b.cur, join)
+		}
+	}
+	if !hasDefault {
+		addEdge(header, join)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	header := b.reach()
+	join := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label, join})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock()
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		addEdge(header, blk)
+		b.cur = blk
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			addEdge(b.cur, join)
+		}
+	}
+	if len(s.Body.List) == 0 {
+		// select{} blocks forever; treat as terminating.
+		addEdge(header, b.g.Exit)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	blk := b.reach()
+	switch s.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breaks, s.Label); t != nil {
+			addEdge(blk, t)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if t := findTarget(b.continues, s.Label); t != nil {
+			addEdge(blk, t)
+		}
+		b.cur = nil
+	case token.GOTO:
+		if t, ok := b.labels[s.Label.Name]; ok {
+			addEdge(blk, t)
+		} else {
+			b.gotos = append(b.gotos, pendingGoto{blk, s.Label.Name})
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// handled structurally by switchStmt
+	}
+}
+
+// findTarget resolves a break/continue to the innermost (or labeled)
+// target.
+func findTarget(stack []branchTarget, label *ast.Ident) *Block {
+	if len(stack) == 0 {
+		return nil
+	}
+	if label == nil {
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// resolveGotos patches forward gotos now that every label exists.
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if t, ok := b.labels[g.label]; ok {
+			addEdge(g.from, t)
+		}
+	}
+	b.gotos = nil
+}
+
+// isPanicCall recognizes the builtin panic (by name; the builder has no
+// type information, and shadowing panic would be perverse).
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildTestCFG parses body as the body of a function and builds its
+// CFG.
+func buildTestCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// reachableFrom collects every block reachable from start along Succs.
+func reachableFrom(start *Block) map[*Block]bool {
+	seen := map[*Block]bool{start: true}
+	work := []*Block{start}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// blockCalling finds the block whose nodes contain a call to the named
+// function. Function literals and range statements are not descended
+// into: their bodies live in blocks of their own, and the header nodes
+// that embed them would otherwise shadow those blocks.
+func blockCalling(g *CFG, name string) *Block {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch c := m.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.RangeStmt:
+					return false
+				case *ast.CallExpr:
+					if id, ok := c.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func TestCFGLinear(t *testing.T) {
+	g := buildTestCFG(t, "x := 1\n_ = x\nreturn")
+	if !reachableFrom(g.Entry)[g.Exit] {
+		t.Fatal("exit not reachable from entry")
+	}
+	if len(g.Finally.Preds) != 1 {
+		t.Fatalf("finally preds = %d, want 1", len(g.Finally.Preds))
+	}
+	if len(g.Finally.Preds[0].Returns) != 1 {
+		t.Fatal("the single exiting block should carry its return statement")
+	}
+}
+
+func TestCFGBranchJoin(t *testing.T) {
+	g := buildTestCFG(t, "if c {\n\ta()\n} else {\n\tb()\n}\nafter()")
+	ab, bb, after := blockCalling(g, "a"), blockCalling(g, "b"), blockCalling(g, "after")
+	if ab == nil || bb == nil || after == nil {
+		t.Fatal("branch or join blocks missing")
+	}
+	if ab == bb {
+		t.Fatal("then and else share a block")
+	}
+	if !reachableFrom(ab)[after] || !reachableFrom(bb)[after] {
+		t.Fatal("both branches must reach the join")
+	}
+	if reachableFrom(ab)[bb] || reachableFrom(bb)[ab] {
+		t.Fatal("branches must be exclusive")
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	g := buildTestCFG(t, "if c {\n\treturn\n}\nafter()")
+	if len(g.Finally.Preds) != 2 {
+		t.Fatalf("finally preds = %d, want 2 (early return + fall-off)", len(g.Finally.Preds))
+	}
+	var returns, falls int
+	for _, b := range g.Finally.Preds {
+		if len(b.Returns) > 0 {
+			returns++
+		} else {
+			falls++
+		}
+	}
+	if returns != 1 || falls != 1 {
+		t.Fatalf("returns=%d falls=%d, want 1 and 1", returns, falls)
+	}
+}
+
+func TestCFGLoop(t *testing.T) {
+	g := buildTestCFG(t, "for i := 0; i < n; i++ {\n\twork()\n}\nafter()")
+	body := blockCalling(g, "work")
+	if body == nil {
+		t.Fatal("loop body block missing")
+	}
+	if !body.LoopBody {
+		t.Fatal("loop body block not marked LoopBody")
+	}
+	// The body must be able to reach itself again: a back edge exists.
+	if !reachableFrom(body.Succs[0])[body] {
+		t.Fatal("no back edge: loop body cannot re-reach itself")
+	}
+	if !reachableFrom(body)[blockCalling(g, "after")] {
+		t.Fatal("loop must be exitable")
+	}
+}
+
+func TestCFGRangeBody(t *testing.T) {
+	g := buildTestCFG(t, "for _, x := range v {\n\twork(x)\n}")
+	var body *Block
+	for _, b := range g.Blocks {
+		if b.RangeBody != nil {
+			body = b
+		}
+	}
+	if body == nil {
+		t.Fatal("no block records the RangeStmt")
+	}
+	if !body.LoopBody {
+		t.Fatal("range body must be marked LoopBody")
+	}
+	if !reachableFrom(g.Entry)[body] || !reachableFrom(body)[g.Exit] {
+		t.Fatal("range body must be on an entry-to-exit path")
+	}
+	back := false
+	for _, s := range body.Succs {
+		if reachableFrom(s)[body] {
+			back = true
+		}
+	}
+	if !back {
+		t.Fatal("no back edge: range body cannot iterate")
+	}
+}
+
+func TestCFGShortCircuit(t *testing.T) {
+	g := buildTestCFG(t, "if a() && b() {\n\tthen()\n}\nafter()")
+	ab, bb, then := blockCalling(g, "a"), blockCalling(g, "b"), blockCalling(g, "then")
+	if ab == nil || bb == nil || then == nil {
+		t.Fatal("condition blocks missing")
+	}
+	if ab == bb {
+		t.Fatal("short-circuit operands share a block: a() && b() must split")
+	}
+	// a() false must skip b() entirely: some successor path from the
+	// a() block reaches the join without passing through b().
+	after := blockCalling(g, "after")
+	skip := false
+	for _, s := range ab.Succs {
+		if s != bb && reachableFrom(s)[after] && !reachableFrom(s)[bb] {
+			skip = true
+		}
+	}
+	if !skip {
+		t.Fatal("no bypass edge around the second operand")
+	}
+}
+
+func TestCFGDeferRunsOnEveryExit(t *testing.T) {
+	g := buildTestCFG(t, "defer func() {\n\tcleanup()\n}()\nif c {\n\treturn\n}\nwork()")
+	cb := blockCalling(g, "cleanup")
+	if cb == nil {
+		t.Fatal("deferred closure body missing from the graph")
+	}
+	if len(g.Finally.Preds) != 2 {
+		t.Fatalf("finally preds = %d, want 2", len(g.Finally.Preds))
+	}
+	for _, b := range g.Finally.Preds {
+		if !reachableFrom(b)[cb] {
+			t.Fatalf("exiting block %d does not run the deferred cleanup", b.Index)
+		}
+	}
+	if !reachableFrom(cb)[g.Exit] {
+		t.Fatal("deferred body must flow to exit")
+	}
+}
+
+func TestCFGClosureInlinedWithBypass(t *testing.T) {
+	g := buildTestCFG(t, "cb := func() {\n\tinner()\n}\ncb()\nafter()")
+	ib := blockCalling(g, "inner")
+	if ib == nil {
+		t.Fatal("closure body not inlined")
+	}
+	if !ib.InClosure {
+		t.Fatal("closure block not marked InClosure")
+	}
+	after := blockCalling(g, "after")
+	if !reachableFrom(g.Entry)[ib] || !reachableFrom(ib)[after] {
+		t.Fatal("closure body must be an optional branch on the main path")
+	}
+	// The bypass edge: after() must also be reachable without the
+	// closure body.
+	bypass := false
+	for _, b := range g.Blocks {
+		if b == ib || b.InClosure {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s != ib && !s.InClosure && reachableFrom(s)[after] {
+				bypass = true
+			}
+		}
+	}
+	if !bypass {
+		t.Fatal("no bypass edge around the inlined closure")
+	}
+}
+
+func TestCFGPanicIsNotAReturn(t *testing.T) {
+	g := buildTestCFG(t, "if bad {\n\tpanic(\"x\")\n}\nwork()")
+	for _, b := range g.Finally.Preds {
+		if len(b.Returns) > 0 {
+			t.Fatal("panic path must not register as a returning block")
+		}
+	}
+	// Exactly the fall-off path reaches finally; the panic edge goes
+	// straight to exit.
+	if len(g.Finally.Preds) != 1 {
+		t.Fatalf("finally preds = %d, want 1 (fall-off only)", len(g.Finally.Preds))
+	}
+}
+
+func TestCFGSwitchNoDefault(t *testing.T) {
+	g := buildTestCFG(t, "switch x {\ncase 1:\n\tone()\ncase 2:\n\ttwo()\n}\nafter()")
+	one, two, after := blockCalling(g, "one"), blockCalling(g, "two"), blockCalling(g, "after")
+	if one == nil || two == nil || after == nil {
+		t.Fatal("switch blocks missing")
+	}
+	if reachableFrom(one)[two] {
+		t.Fatal("cases must not fall through without a fallthrough statement")
+	}
+	if !reachableFrom(one)[after] || !reachableFrom(two)[after] {
+		t.Fatal("cases must reach the join")
+	}
+}

@@ -1,0 +1,104 @@
+package lint
+
+// A generic worklist solver over the CFG. Analyses describe themselves
+// as a Problem — boundary fact, bottom fact, join, and a per-block
+// transfer function — and Solve iterates to a fixed point. Both
+// directions are supported: taintflow runs forward (facts follow
+// execution), and liveness-style questions run backward (facts flow
+// against it). Lattices must be finite-height and Join monotone or the
+// worklist does not terminate; every lattice in this package is a
+// union of finite sets over the function's objects, which is both.
+
+// Direction selects which way facts propagate.
+type Direction int
+
+// The solver directions.
+const (
+	// Forward propagates facts from Entry along execution order.
+	Forward Direction = iota
+	// Backward propagates facts from Exit against execution order.
+	Backward
+)
+
+// A Problem defines one dataflow analysis over fact type F.
+type Problem[F any] interface {
+	// Boundary is the fact at the entry block (forward) or exit block
+	// (backward).
+	Boundary() F
+	// Bottom is the identity of Join: the "no paths reach here yet"
+	// fact every other block starts from.
+	Bottom() F
+	// Join merges src into dst, reporting whether dst changed. dst may
+	// be mutated and must be returned.
+	Join(dst, src F) (F, bool)
+	// Transfer pushes the incoming fact through the block's nodes. It
+	// must not mutate in.
+	Transfer(b *Block, in F) F
+}
+
+// Solve runs p to a fixed point and returns the per-block facts on the
+// incoming side (block entry for forward, block exit for backward) and
+// the outgoing side.
+func Solve[F any](g *CFG, dir Direction, p Problem[F]) (in, out map[*Block]F) {
+	in = make(map[*Block]F, len(g.Blocks))
+	out = make(map[*Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = p.Bottom()
+	}
+	boundary := g.Entry
+	if dir == Backward {
+		boundary = g.Exit
+	}
+	in[boundary] = p.Boundary()
+
+	// Seed every block; revisit successors (in the flow sense) of any
+	// block whose outgoing fact changed.
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	queued := make([]bool, len(g.Blocks))
+	for i := range queued {
+		queued[i] = true
+	}
+	push := func(b *Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			work = append(work, b)
+		}
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		// Merge incoming facts from flow-predecessors.
+		fact := in[b]
+		preds := b.Preds
+		if dir == Backward {
+			preds = b.Succs
+		}
+		changed := false
+		for _, pb := range preds {
+			if o, ok := out[pb]; ok {
+				var ch bool
+				fact, ch = p.Join(fact, o)
+				changed = changed || ch
+			}
+		}
+		in[b] = fact
+
+		if _, done := out[b]; done && !changed {
+			continue
+		}
+		o := p.Transfer(b, fact)
+		out[b] = o
+		succs := b.Succs
+		if dir == Backward {
+			succs = b.Preds
+		}
+		for _, sb := range succs {
+			push(sb)
+		}
+	}
+	return in, out
+}

@@ -1,0 +1,109 @@
+package lint
+
+import "testing"
+
+// bitsProblem tags each block with its index bit, so a block's solved
+// fact is the set of blocks on some path to it (forward) or from it
+// (backward). Join is set union — the simplest finite-height lattice.
+type bitsProblem struct{}
+
+func (bitsProblem) Boundary() uint64 { return 0 }
+func (bitsProblem) Bottom() uint64   { return 0 }
+func (bitsProblem) Join(dst, src uint64) (uint64, bool) {
+	merged := dst | src
+	return merged, merged != dst
+}
+func (bitsProblem) Transfer(b *Block, in uint64) uint64 {
+	return in | 1<<uint(b.Index%64)
+}
+
+func bit(b *Block) uint64 { return 1 << uint(b.Index%64) }
+
+func TestSolveForwardBranchesMerge(t *testing.T) {
+	g := buildTestCFG(t, "if c {\n\ta()\n} else {\n\tb()\n}\nafter()")
+	_, out := Solve(g, Forward, bitsProblem{})
+	ab, bb, after := blockCalling(g, "a"), blockCalling(g, "b"), blockCalling(g, "after")
+	inAfter, _ := Solve(g, Forward, bitsProblem{})
+	_ = inAfter
+	if out[after]&bit(ab) == 0 || out[after]&bit(bb) == 0 {
+		t.Fatal("join block fact must include both branches")
+	}
+	if out[ab]&bit(bb) != 0 || out[bb]&bit(ab) != 0 {
+		t.Fatal("exclusive branches must not see each other's facts")
+	}
+}
+
+func TestSolveForwardLoopReachesFixpoint(t *testing.T) {
+	g := buildTestCFG(t, "for i := 0; i < n; i++ {\n\twork()\n}\nafter()")
+	in, out := Solve(g, Forward, bitsProblem{})
+	body, after := blockCalling(g, "work"), blockCalling(g, "after")
+	// The back edge feeds the body's own bit into its entry fact.
+	if in[body]&bit(body) == 0 {
+		t.Fatal("loop body entry fact must include itself via the back edge")
+	}
+	if out[after]&bit(body) == 0 {
+		t.Fatal("post-loop fact must include the body")
+	}
+	if out[after]&bit(g.Entry) == 0 {
+		t.Fatal("facts must flow from entry")
+	}
+}
+
+func TestSolveForwardEarlyReturnSkips(t *testing.T) {
+	g := buildTestCFG(t, "if c {\n\treturn\n}\nafter()")
+	_, out := Solve(g, Forward, bitsProblem{})
+	after := blockCalling(g, "after")
+	var retBlock *Block
+	for _, b := range g.Finally.Preds {
+		if len(b.Returns) > 0 {
+			retBlock = b
+		}
+	}
+	if retBlock == nil {
+		t.Fatal("no returning block")
+	}
+	if out[after]&bit(retBlock) != 0 {
+		t.Fatal("the early-return block's fact must not reach the fall-through code")
+	}
+	if out[g.Exit]&bit(retBlock) == 0 || out[g.Exit]&bit(after) == 0 {
+		t.Fatal("exit must merge both terminating paths")
+	}
+}
+
+func TestSolveBackward(t *testing.T) {
+	g := buildTestCFG(t, "a()\nif c {\n\tb()\n}\nafter()")
+	_, out := Solve(g, Backward, bitsProblem{})
+	ab, bb, after := blockCalling(g, "a"), blockCalling(g, "b"), blockCalling(g, "after")
+	// Backward: facts flow against execution, so the first block's
+	// fact accumulates everything downstream of it.
+	if out[ab]&bit(after) == 0 || out[ab]&bit(bb) == 0 {
+		t.Fatal("backward facts must flow from later blocks into earlier ones")
+	}
+	if out[after]&bit(ab) != 0 {
+		t.Fatal("backward facts must not flow in execution order")
+	}
+}
+
+// gateProblem proves Transfer sees the merged fact: a block's output is
+// reached=true only if any flow-predecessor reached it. Used to check
+// the solver seeds unreachable blocks with Bottom, not Boundary.
+type gateProblem struct{}
+
+func (gateProblem) Boundary() bool { return true }
+func (gateProblem) Bottom() bool   { return false }
+func (gateProblem) Join(dst, src bool) (bool, bool) {
+	merged := dst || src
+	return merged, merged != dst
+}
+func (gateProblem) Transfer(b *Block, in bool) bool { return in }
+
+func TestSolveReachability(t *testing.T) {
+	g := buildTestCFG(t, "if c {\n\ta()\n}\nreturn")
+	_, out := Solve(g, Forward, gateProblem{})
+	for _, b := range g.Blocks {
+		if reachableFrom(g.Entry)[b] != out[b] {
+			t.Fatalf("block %d: solver reachability %v, graph reachability %v",
+				b.Index, out[b], reachableFrom(g.Entry)[b])
+		}
+	}
+}

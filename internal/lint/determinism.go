@@ -5,18 +5,20 @@ import (
 	"go/types"
 )
 
-// Determinism flags sources of run-to-run nondeterminism in
-// result-producing packages: wall-clock reads (time.Now), draws from
-// the global math/rand source (unseeded, and shared across goroutines),
-// and iteration over maps (whose order Go randomizes on purpose).
+// Determinism flags direct uses of run-to-run nondeterminism in
+// result-producing packages: wall-clock reads (time.Now) and draws
+// from the global math/rand source (unseeded, and shared across
+// goroutines). Map iteration order — the third classic source — is no
+// longer flagged here: the flow-sensitive taintflow analyzer tracks it
+// from the range to an observable sink, so the sorted-keys idiom needs
+// no directive and laundered order-dependence still gets caught.
 //
 // The paper's distributed strategies are only comparable because every
 // node — and every re-dispatch of a failed node's partition — produces
 // byte-identical partial results, and the hardware simulation is only
-// trustworthy because repeated runs charge identical work. A single
-// unsorted map walk in a kernel is enough to reorder floating-point
-// sums and break both. Measured-wall-clock sites (throttles, timing
-// reports) opt out with `//lint:allow determinism -- <reason>`.
+// trustworthy because repeated runs charge identical work. Measured-
+// wall-clock sites (throttles, timing reports) opt out with
+// `//lint:allow determinism -- <reason>`.
 //
 // It also flags float comparators that are not a total order: a
 // function taking float parameters and returning an int ordering that
@@ -27,7 +29,7 @@ import (
 // morsel happened to land, varying with the worker count.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "flag time.Now, global math/rand draws, map iteration, and NaN-oblivious float comparators in deterministic packages",
+	Doc:  "flag time.Now, global math/rand draws, and NaN-oblivious float comparators in deterministic packages",
 	Run:  runDeterminism,
 }
 
@@ -59,12 +61,6 @@ func runDeterminism(pass *Pass) {
 						fn.Type().(*types.Signature).Recv() == nil &&
 						!seededRandConstructors[fn.Name()] {
 						pass.Reportf(n.Pos(), "global %s.%s draws from the shared unseeded source: use a rand.New(rand.NewSource(seed)) local generator", path, fn.Name())
-					}
-				}
-			case *ast.RangeStmt:
-				if t := pass.TypeOf(n.X); t != nil {
-					if _, isMap := t.Underlying().(*types.Map); isMap {
-						pass.Reportf(n.Pos(), "range over map iterates in randomized order: sort the keys first (or justify with an allow directive)")
 					}
 				}
 			case *ast.FuncDecl:

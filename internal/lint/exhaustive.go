@@ -1,0 +1,212 @@
+package lint
+
+// Analyzer "exhaustive": type-switch exhaustiveness over sealed node
+// sets. The engine's ASTs are sums — sql expression nodes, plan nodes,
+// exec expression/predicate nodes — encoded as interfaces with a fixed
+// implementer set. Go's type switch doesn't know that: add InExpr to
+// the sql AST and every lowering, printing, and walking switch that
+// forgets a case compiles fine and silently mishandles the new node at
+// runtime (PR 7 grew three such switches). This analyzer turns that
+// into a lint failure.
+//
+// A sealed set is either:
+//
+//   - an interface with an unexported method — nothing outside its
+//     defining package can implement it, so the implementer list in
+//     that package's scope is the whole set (sql.Expr seals itself
+//     with `pos() Pos`); or
+//   - one of the explicitly registered engine sums (plan.Node,
+//     exec.Expr, exec.Pred), whose implementers are conventionally
+//     closed even though the interface is structurally open.
+//
+// Every type switch over a sealed interface must mention every member,
+// directly or via an interface case that covers it. A default clause
+// does NOT satisfy the check — a default that swallows unknown nodes
+// is exactly the bug — but it is how a switch handles *foreign*
+// members (sql's memo nodes implement plan.Node from outside plan), so
+// defaults stay legal, just not exhaustive. A switch that is partial
+// by design says so with `//lint:allow exhaustive -- reason`; a member
+// with nothing to do is listed with an empty case body.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive is the exhaustive analyzer.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "type switches over sealed node sets (sql AST, plan nodes, exec expressions) must handle every member",
+	Run:  runExhaustive,
+}
+
+// sealedConfig registers interfaces that are sealed by convention
+// rather than by an unexported method.
+var sealedConfig = map[string][]string{
+	"wimpi/internal/plan": {"Node"},
+	"wimpi/internal/exec": {"Expr", "Pred"},
+}
+
+func runExhaustive(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			checkExhaustive(pass, ts)
+			return true
+		})
+	}
+}
+
+func checkExhaustive(pass *Pass, ts *ast.TypeSwitchStmt) {
+	subject := switchSubjectType(pass, ts)
+	named, iface := sealedInterface(subject)
+	if named == nil {
+		return
+	}
+	members := sealedMembers(named, iface)
+	if len(members) == 0 {
+		return
+	}
+
+	// Collect the case types.
+	var caseTypes []types.Type
+	for _, c := range ts.Body.List {
+		for _, e := range c.(*ast.CaseClause).List {
+			if t := pass.TypeOf(e); t != nil {
+				caseTypes = append(caseTypes, t)
+			}
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered(m, caseTypes) {
+			missing = append(missing, types.TypeString(m, relativeTo(pass.Pkg)))
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(ts.Pos(), "type switch over sealed %s is missing cases for %s; handle each node or list it with an empty case",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// relativeTo qualifies type names relative to the analyzed package.
+func relativeTo(pkg *types.Package) types.Qualifier {
+	return func(p *types.Package) string {
+		if p == pkg {
+			return ""
+		}
+		return p.Name()
+	}
+}
+
+// switchSubjectType extracts the static type of x in `switch x.(type)`
+// / `switch v := x.(type)`.
+func switchSubjectType(pass *Pass, ts *ast.TypeSwitchStmt) types.Type {
+	var x ast.Expr
+	switch a := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := ast.Unparen(a.X).(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := ast.Unparen(a.Rhs[0]).(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	}
+	if x == nil {
+		return nil
+	}
+	return pass.TypeOf(x)
+}
+
+// sealedInterface reports whether t is a sealed interface: method-
+// sealed (an unexported method keeps implementers in the defining
+// package) or registered in sealedConfig.
+func sealedInterface(t types.Type) (*types.Named, *types.Interface) {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	iface, ok := named.Underlying().(*types.Interface)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, nil
+	}
+	for _, name := range sealedConfig[named.Obj().Pkg().Path()] {
+		if named.Obj().Name() == name {
+			return named, iface
+		}
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		if !iface.Method(i).Exported() {
+			return named, iface
+		}
+	}
+	return nil, nil
+}
+
+// sealedMembers lists the concrete implementers of iface in its
+// defining package's scope. Each member is represented in the form
+// that implements — T, or *T when only the pointer type does.
+func sealedMembers(named *types.Named, iface *types.Interface) []types.Type {
+	scope := named.Obj().Pkg().Scope()
+	var members []types.Type
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		t := tn.Type()
+		if types.Identical(t, named) {
+			continue
+		}
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(t, iface) {
+			members = append(members, t)
+		} else if types.Implements(types.NewPointer(t), iface) {
+			members = append(members, types.NewPointer(t))
+		}
+	}
+	return members
+}
+
+// covered reports whether member m is handled by one of the case
+// types: the member itself (either pointerness — `case ColRef:` vs
+// `case *ColRef:` both dispatch the same named node), or an interface
+// case the member satisfies.
+func covered(m types.Type, caseTypes []types.Type) bool {
+	for _, ct := range caseTypes {
+		if ct == nil {
+			continue
+		}
+		if types.Identical(ct, m) {
+			return true
+		}
+		if sameNamed(ct, m) {
+			return true
+		}
+		if ci, ok := ct.Underlying().(*types.Interface); ok && types.Implements(m, ci) {
+			return true
+		}
+	}
+	return false
+}
+
+// sameNamed reports whether a and b are the same named type modulo one
+// level of pointer.
+func sameNamed(a, b types.Type) bool {
+	na := namedType(types.Unalias(a))
+	nb := namedType(types.Unalias(b))
+	return na != nil && nb != nil && na.Obj() == nb.Obj()
+}

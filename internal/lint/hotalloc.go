@@ -1,0 +1,631 @@
+package lint
+
+// Analyzer "hotalloc": allocations inside hot loops. On the paper's
+// wimpy targets an allocation is not just CPU — it is DRAM traffic,
+// cache pollution, and eventually GC, multiplied by rows-per-morsel
+// and morsels-per-query. Sirin & Ailamaki's micro-architectural
+// breakdown (PAPERS.md) shows exactly this class of hidden memory
+// traffic erasing the efficiency the wimpy-node argument needs, so a
+// per-row or per-morsel allocation is a finding, not a style nit.
+//
+// Hot regions:
+//
+//   - the body of a function literal passed to exec.RunMorsels (runs
+//     once per morsel),
+//   - a range over column data (slices/arrays of scalars, strings),
+//   - a three-clause for loop whose body indexes column data,
+//   - anything nested inside one of the above.
+//
+// Flagged inside a hot region: make/new, slice and map composite
+// literals, &T{} literals, append to a slice with no capacity-bearing
+// make in the function (growth reallocates), string<->[]byte/[]rune
+// conversions (each copies), closure creation, and implicit interface
+// boxing at call sites. Boxing and allocation in a branch that ends by
+// returning or panicking is exempt — error paths are cold by
+// definition.
+//
+// Each diagnostic names the loop that makes the site hot so the fix
+// (hoist to a reused scratch buffer above the region) is obvious.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc is the hotalloc analyzer.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no allocations, append growth, boxing, or closure creation inside morsel/kernel loops",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			h := &hotAllocCheck{
+				pass:     pass,
+				presized: presizedSlices(pass, fd.Body),
+				escaping: escapingLocals(pass, fd.Body),
+			}
+			h.visitStmts(fd.Body.List, nil, false)
+		}
+	}
+}
+
+// hotCtx describes the region making a site hot, for diagnostics.
+type hotCtx struct {
+	pos  token.Pos
+	what string
+}
+
+type hotAllocCheck struct {
+	pass *Pass
+	// presized holds slice objects built with a capacity-bearing make
+	// somewhere in the function; appends to them don't grow per
+	// iteration.
+	presized map[types.Object]bool
+	// escaping holds locals whose value outlives the iteration — stored
+	// into an outer structure, appended to another slice, or returned.
+	// Allocations flowing into them are output buffers, not scratch:
+	// each iteration's result must survive, so there is nothing to
+	// hoist.
+	escaping map[types.Object]bool
+	// suppressAlloc > 0 while visiting an expression whose value flows
+	// into an escaping target; allocation findings are muted there (the
+	// append-growth and boxing checks stay live).
+	suppressAlloc int
+}
+
+// escapeTarget reports whether assigning into l makes the value
+// outlive the iteration.
+func (h *hotAllocCheck) escapeTarget(l ast.Expr) bool {
+	if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+		return h.escaping[h.pass.ObjectOf(id)]
+	}
+	return true // element, field, or pointer store into something wider
+}
+
+func (h *hotAllocCheck) describe(hot *hotCtx) string {
+	p := h.pass.Fset.Position(hot.pos)
+	return fmt.Sprintf("%s at line %d", hot.what, p.Line)
+}
+
+// visitStmts walks statements under a hot context. cold marks branches
+// that terminate (return/panic) — error paths where one allocation is
+// acceptable.
+func (h *hotAllocCheck) visitStmts(list []ast.Stmt, hot *hotCtx, cold bool) {
+	for _, s := range list {
+		h.visitStmt(s, hot, cold)
+	}
+}
+
+func (h *hotAllocCheck) visitStmt(s ast.Stmt, hot *hotCtx, cold bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		h.visitStmts(s.List, hot, cold)
+	case *ast.RangeStmt:
+		h.visitExpr(s.X, hot, cold)
+		inner := hot
+		if rangesOverData(h.pass, s) {
+			inner = &hotCtx{s.Pos(), "per-row range loop"}
+		}
+		h.visitStmts(s.Body.List, inner, cold)
+	case *ast.ForStmt:
+		h.visitStmt(s.Init, hot, cold)
+		h.visitExpr(s.Cond, hot, cold)
+		h.visitStmt(s.Post, hot, cold)
+		inner := hot
+		if inner == nil && bodyIndexesData(h.pass, s.Body) {
+			inner = &hotCtx{s.Pos(), "indexing loop"}
+		}
+		h.visitStmts(s.Body.List, inner, cold)
+	case *ast.IfStmt:
+		h.visitStmt(s.Init, hot, cold)
+		h.visitExpr(s.Cond, hot, cold)
+		h.visitStmts(s.Body.List, hot, cold || terminates(s.Body))
+		h.visitStmt(s.Else, hot, cold)
+	case *ast.SwitchStmt:
+		h.visitStmt(s.Init, hot, cold)
+		h.visitExpr(s.Tag, hot, cold)
+		for _, c := range s.Body.List {
+			h.visitStmts(c.(*ast.CaseClause).Body, hot, cold)
+		}
+	case *ast.TypeSwitchStmt:
+		h.visitStmt(s.Init, hot, cold)
+		h.visitStmt(s.Assign, hot, cold)
+		for _, c := range s.Body.List {
+			h.visitStmts(c.(*ast.CaseClause).Body, hot, cold)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			h.visitStmt(cc.Comm, hot, cold)
+			h.visitStmts(cc.Body, hot, cold)
+		}
+	case *ast.LabeledStmt:
+		h.visitStmt(s.Stmt, hot, cold)
+	case *ast.AssignStmt:
+		for i, e := range s.Rhs {
+			sunk := false
+			if len(s.Rhs) == len(s.Lhs) {
+				sunk = h.escapeTarget(s.Lhs[i])
+			} else {
+				for _, l := range s.Lhs {
+					sunk = sunk || h.escapeTarget(l)
+				}
+			}
+			if sunk {
+				h.suppressAlloc++
+			}
+			h.visitExpr(e, hot, cold)
+			if sunk {
+				h.suppressAlloc--
+			}
+		}
+		for _, e := range s.Lhs {
+			h.visitExpr(e, hot, cold)
+		}
+	case *ast.ExprStmt:
+		h.visitExpr(s.X, hot, cold)
+	case *ast.ReturnStmt:
+		// Returned values escape by definition.
+		h.suppressAlloc++
+		for _, e := range s.Results {
+			h.visitExpr(e, hot, cold)
+		}
+		h.suppressAlloc--
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, v := range vs.Values {
+						sunk := i < len(vs.Names) && h.escaping[h.pass.ObjectOf(vs.Names[i])]
+						if sunk {
+							h.suppressAlloc++
+						}
+						h.visitExpr(v, hot, cold)
+						if sunk {
+							h.suppressAlloc--
+						}
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		h.visitExpr(s.Call, hot, cold)
+	case *ast.DeferStmt:
+		h.visitExpr(s.Call, hot, cold)
+	case *ast.SendStmt:
+		h.visitExpr(s.Chan, hot, cold)
+		h.visitExpr(s.Value, hot, cold)
+	case *ast.IncDecStmt:
+		h.visitExpr(s.X, hot, cold)
+	}
+}
+
+func (h *hotAllocCheck) visitExpr(e ast.Expr, hot *hotCtx, cold bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.ParenExpr:
+		h.visitExpr(e.X, hot, cold)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && hot != nil && !cold && h.suppressAlloc == 0 {
+				h.pass.Reportf(e.Pos(), "&composite literal allocates per iteration of the %s; hoist it to a reused scratch value", h.describe(hot))
+			}
+		}
+		h.visitExpr(e.X, hot, cold)
+	case *ast.StarExpr:
+		h.visitExpr(e.X, hot, cold)
+	case *ast.BinaryExpr:
+		h.visitExpr(e.X, hot, cold)
+		h.visitExpr(e.Y, hot, cold)
+	case *ast.IndexExpr:
+		h.visitExpr(e.X, hot, cold)
+		h.visitExpr(e.Index, hot, cold)
+	case *ast.SliceExpr:
+		h.visitExpr(e.X, hot, cold)
+		h.visitExpr(e.Low, hot, cold)
+		h.visitExpr(e.High, hot, cold)
+		h.visitExpr(e.Max, hot, cold)
+	case *ast.SelectorExpr:
+		h.visitExpr(e.X, hot, cold)
+	case *ast.TypeAssertExpr:
+		h.visitExpr(e.X, hot, cold)
+	case *ast.KeyValueExpr:
+		h.visitExpr(e.Value, hot, cold)
+	case *ast.CompositeLit:
+		if hot != nil && !cold && h.suppressAlloc == 0 && allocatingLit(h.pass, e) {
+			h.pass.Reportf(e.Pos(), "%s literal allocates per iteration of the %s; hoist it to a reused scratch buffer", litKind(h.pass, e), h.describe(hot))
+		}
+		for _, el := range e.Elts {
+			h.visitExpr(el, hot, cold)
+		}
+	case *ast.FuncLit:
+		if hot != nil && !cold {
+			h.pass.Reportf(e.Pos(), "closure created per iteration of the %s; hoist the function value (and its captures) above the loop", h.describe(hot))
+		}
+		h.visitStmts(e.Body.List, hot, cold)
+	case *ast.CallExpr:
+		h.visitCall(e, hot, cold)
+	}
+}
+
+func (h *hotAllocCheck) visitCall(call *ast.CallExpr, hot *hotCtx, cold bool) {
+	// A RunMorsels callback is a hot region of its own: its body runs
+	// once per morsel. The literal itself is created once, so it is not
+	// a closure finding.
+	if cb := runMorselsCallback(h.pass, call); cb != nil {
+		for _, a := range call.Args {
+			if a == cb {
+				h.visitStmts(cb.Body.List, &hotCtx{call.Pos(), "per-morsel callback"}, cold)
+			} else {
+				h.visitExpr(a, hot, cold)
+			}
+		}
+		return
+	}
+
+	// Conversions that copy.
+	if tv, ok := h.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if hot != nil && !cold && h.suppressAlloc == 0 && copyingConversion(tv.Type, h.pass.TypeOf(call.Args[0])) {
+			h.pass.Reportf(call.Pos(), "string/byte-slice conversion copies per iteration of the %s; convert once outside the loop or index the original", h.describe(hot))
+		}
+		h.visitExpr(call.Args[0], hot, cold)
+		return
+	}
+
+	if hot != nil && !cold {
+		switch obj := calleeObj(h.pass.Info, call).(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "make", "new":
+				if h.suppressAlloc == 0 {
+					h.pass.Reportf(call.Pos(), "%s allocates per iteration of the %s; hoist it to a reused scratch buffer", obj.Name(), h.describe(hot))
+				}
+			case "append":
+				if len(call.Args) > 0 && !h.appendPresized(call.Args[0]) {
+					h.pass.Reportf(call.Pos(), "append may grow its backing array per iteration of the %s; pre-size the slice with make(..., 0, n) before the loop", h.describe(hot))
+				}
+			}
+		default:
+			h.checkBoxing(call, hot)
+		}
+	}
+	for _, a := range call.Args {
+		h.visitExpr(a, hot, cold)
+	}
+	h.visitExpr(call.Fun, hot, cold)
+}
+
+// checkBoxing flags concrete values passed as interface parameters —
+// each boxes (allocates) when the value is not pointer-shaped.
+func (h *hotAllocCheck) checkBoxing(call *ast.CallExpr, hot *hotCtx) {
+	sig, _ := h.pass.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, a := range call.Args {
+		var pt types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (i == sig.Params().Len()-1 && !sig.Variadic()):
+			pt = sig.Params().At(i).Type()
+		case sig.Params().Len() > 0:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := h.pass.TypeOf(a)
+		if at == nil {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue // already boxed
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue // pointers box without allocating a copy
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		h.pass.Reportf(a.Pos(), "value boxed into an interface per iteration of the %s; move the call out of the loop or pass a concrete type", h.describe(hot))
+	}
+}
+
+// copyingConversion reports whether a conversion from `from` to `to`
+// copies its operand: string <-> []byte / []rune in either direction.
+func copyingConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// appendPresized reports whether the appended-to slice is rooted in an
+// object with a capacity-bearing make in this function.
+func (h *hotAllocCheck) appendPresized(dst ast.Expr) bool {
+	root := rootObj(h.pass, dst)
+	return root != nil && h.presized[root]
+}
+
+// escapingLocals computes the set of local variables whose value
+// outlives one loop iteration: stored into an element/field/pointer
+// target, appended into another slice, returned, or copied into a
+// variable that itself escapes (transitively). Pure syntactic flow —
+// "y appears in the expression assigned to x" counts as x <- y — which
+// over-approximates escape and under-reports scratch, the quiet
+// direction.
+func escapingLocals(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	esc := map[types.Object]bool{}
+	edges := map[types.Object][]types.Object{} // dst -> value sources
+	varIdents := func(e ast.Expr) []types.Object {
+		var out []types.Object
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := pass.ObjectOf(id).(*types.Var); ok {
+					out = append(out, v)
+				}
+			}
+			return true
+		})
+		return out
+	}
+	// carriesRef: copying a basic value (an int out of a slice) keeps
+	// nothing alive; only reference-carrying values propagate escape.
+	carriesRef := func(e ast.Expr) bool {
+		t := pass.TypeOf(e)
+		if t == nil {
+			return true // unknown: assume it escapes (the quiet direction)
+		}
+		_, basic := t.Underlying().(*types.Basic)
+		return !basic
+	}
+	flow := func(l, r ast.Expr) {
+		if !carriesRef(r) {
+			return
+		}
+		srcs := varIdents(r)
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			if o := pass.ObjectOf(id); o != nil {
+				edges[o] = append(edges[o], srcs...)
+			}
+			return
+		}
+		for _, s := range srcs {
+			esc[s] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				for _, l := range n.Lhs {
+					flow(l, n.Rhs[0])
+				}
+				return true
+			}
+			for i := range n.Lhs {
+				if i < len(n.Rhs) {
+					flow(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range n.Names {
+				if i < len(n.Values) {
+					flow(n.Names[i], n.Values[i])
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if !carriesRef(e) {
+					continue
+				}
+				for _, s := range varIdents(e) {
+					esc[s] = true
+				}
+			}
+		case *ast.CallExpr:
+			// append(dst, x...) keeps x alive inside dst.
+			if b, ok := calleeObj(pass.Info, n).(*types.Builtin); ok && b.Name() == "append" {
+				for _, a := range n.Args[1:] {
+					if !carriesRef(a) {
+						continue
+					}
+					for _, s := range varIdents(a) {
+						esc[s] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Propagate through local copies to a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for dst, srcs := range edges {
+			if !esc[dst] {
+				continue
+			}
+			for _, s := range srcs {
+				if !esc[s] {
+					esc[s] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return esc
+}
+
+// presizedSlices finds objects assigned from make calls that carry
+// capacity — make(T, n) with a non-zero length, or make(T, len, cap) —
+// or re-sliced to zero length over existing backing (x := y[:0]).
+func presizedSlices(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		if se, ok := ast.Unparen(rhs).(*ast.SliceExpr); ok && se.Low == nil {
+			if lit, ok := se.High.(*ast.BasicLit); ok && lit.Value == "0" {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if o := pass.ObjectOf(id); o != nil {
+						out[o] = true
+					}
+				}
+			}
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if b, ok := calleeObj(pass.Info, call).(*types.Builtin); !ok || b.Name() != "make" {
+			return
+		}
+		presized := len(call.Args) >= 3
+		if len(call.Args) == 2 {
+			lit, isLit := ast.Unparen(call.Args[1]).(*ast.BasicLit)
+			presized = !isLit || lit.Value != "0"
+		}
+		if !presized {
+			return
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if o := pass.ObjectOf(id); o != nil {
+				out[o] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range n.Names {
+				if i < len(n.Values) {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// runMorselsCallback returns the function-literal callback of an
+// exec.RunMorsels call, or nil.
+func runMorselsCallback(pass *Pass, call *ast.CallExpr) *ast.FuncLit {
+	obj := calleeObj(pass.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != "RunMorsels" || fn.Pkg() == nil || fn.Pkg().Path() != countersPkg {
+		return nil
+	}
+	for i := len(call.Args) - 1; i >= 0; i-- {
+		if fl, ok := ast.Unparen(call.Args[i]).(*ast.FuncLit); ok {
+			return fl
+		}
+	}
+	return nil
+}
+
+// bodyIndexesData reports whether a loop body indexes a slice or array
+// of scalars — the signature of a columnar kernel loop.
+func bodyIndexesData(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		switch u := typeUnderlying(pass, ix.X).(type) {
+		case *types.Slice:
+			found = isBasicElem(u.Elem())
+		case *types.Array:
+			found = isBasicElem(u.Elem())
+		}
+		return !found
+	})
+	return found
+}
+
+func typeUnderlying(pass *Pass, e ast.Expr) types.Type {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// terminates reports whether a block's last statement leaves the
+// function (return or panic) — the marker of a cold error path.
+func terminates(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		return ok && isPanicCall(call)
+	}
+	return false
+}
+
+// allocatingLit reports whether the composite literal heap-allocates:
+// slice and map literals do; plain struct/array values do not.
+func allocatingLit(pass *Pass, e *ast.CompositeLit) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// litKind names the literal for diagnostics.
+func litKind(pass *Pass, e *ast.CompositeLit) string {
+	switch pass.TypeOf(e).Underlying().(type) {
+	case *types.Map:
+		return "map"
+	default:
+		return "slice"
+	}
+}

@@ -83,6 +83,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Allowed reports whether a directive for this pass's analyzer covers
+// pos. Flow-sensitive analyzers use it to silence a *source* (a map
+// range, a time.Now call) before the taint propagates, rather than
+// only the final report site.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	return p.allows.allowed(p.Analyzer.Name, p.Fset.Position(pos))
+}
+
 // TypeOf is a nil-safe shortcut for the checker's expression types.
 func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	if tv, ok := p.Info.Types[e]; ok {
@@ -104,6 +112,19 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 // "-- reason") are reported as findings of the pseudo-analyzer
 // "directive".
 func Run(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
+	return run(pkg, analyzers, false)
+}
+
+// RunAll is Run plus the unuseddirective audit: after every analyzer
+// has run, any allow directive that suppressed nothing is itself a
+// finding. The multichecker uses this entry point; Run stays
+// audit-free so single-analyzer fixture tests don't trip over each
+// other's directives.
+func RunAll(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
+	return run(pkg, analyzers, true)
+}
+
+func run(pkg *Package, analyzers []*Analyzer, auditDirectives bool) []Diagnostic {
 	allows, bad := indexAllows(pkg.Fset, pkg.Files)
 	var diags []Diagnostic
 	diags = append(diags, bad...)
@@ -118,6 +139,9 @@ func Run(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
 		}
 		a.Run(pass)
 		diags = append(diags, pass.diagnostics...)
+	}
+	if auditDirectives {
+		diags = append(diags, auditAllows(allows, analyzers)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -138,25 +162,38 @@ func Run(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
 // allowDirective is the comment prefix that suppresses a finding.
 const allowDirective = "//lint:allow "
 
-// allowIndex records, per file, which analyzer names are allowed on
-// which lines.
+// allowEntry is one parsed allow directive. hits counts how many times
+// it suppressed a finding (or answered a Pass.Allowed probe); the
+// unuseddirective audit flags entries that stay at zero.
+type allowEntry struct {
+	name string
+	pos  token.Position
+	hits int
+}
+
+// allowIndex records, per file, which allow entries cover which lines.
 type allowIndex struct {
-	// byLine maps filename -> line -> allowed analyzer names.
-	byLine map[string]map[int][]string
+	// byLine maps filename -> line -> entries covering that line. A
+	// doc-comment directive appears on every line of its function, all
+	// sharing one entry.
+	byLine  map[string]map[int][]*allowEntry
+	entries []*allowEntry
 }
 
 // allowed reports whether a directive covers the diagnostic position:
 // either on the same line, on the line directly above, or via a
 // function-doc directive whose range spans the position (indexed as
-// every line of the function when built).
+// every line of the function when built). Matching bumps the entry's
+// hit count.
 func (ai *allowIndex) allowed(analyzer string, pos token.Position) bool {
 	if ai == nil {
 		return false
 	}
 	lines := ai.byLine[pos.Filename]
 	for _, l := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[l] {
-			if name == analyzer {
+		for _, e := range lines[l] {
+			if e.name == analyzer {
+				e.hits++
 				return true
 			}
 		}
@@ -170,13 +207,13 @@ func (ai *allowIndex) allowed(analyzer string, pos token.Position) bool {
 // line below). Directives lacking the mandatory reason are returned as
 // diagnostics.
 func indexAllows(fset *token.FileSet, files []*ast.File) (*allowIndex, []Diagnostic) {
-	ai := &allowIndex{byLine: map[string]map[int][]string{}}
+	ai := &allowIndex{byLine: map[string]map[int][]*allowEntry{}}
 	var bad []Diagnostic
-	mark := func(file string, line int, name string) {
+	mark := func(file string, line int, e *allowEntry) {
 		if ai.byLine[file] == nil {
-			ai.byLine[file] = map[int][]string{}
+			ai.byLine[file] = map[int][]*allowEntry{}
 		}
-		ai.byLine[file][line] = append(ai.byLine[file][line], name)
+		ai.byLine[file][line] = append(ai.byLine[file][line], e)
 	}
 	for _, f := range files {
 		// Doc-comment directives exempt whole declarations.
@@ -189,7 +226,7 @@ func indexAllows(fset *token.FileSet, files []*ast.File) (*allowIndex, []Diagnos
 		})
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				name, ok, withReason := parseAllow(c.Text)
+				names, ok, withReason := parseAllow(c.Text)
 				if !ok {
 					continue
 				}
@@ -198,38 +235,80 @@ func indexAllows(fset *token.FileSet, files []*ast.File) (*allowIndex, []Diagnos
 					bad = append(bad, Diagnostic{
 						Pos:      pos,
 						Analyzer: "directive",
-						Message:  fmt.Sprintf("lint:allow %s directive is missing its mandatory `-- reason`", name),
+						Message:  fmt.Sprintf("lint:allow %s directive is missing its mandatory `-- reason`", strings.Join(names, ",")),
 					})
 					continue
 				}
-				if r, isDoc := docRange[cg]; isDoc {
-					start, end := fset.Position(r[0]), fset.Position(r[1])
-					for l := start.Line; l <= end.Line; l++ {
-						mark(pos.Filename, l, name)
+				for _, name := range names {
+					e := &allowEntry{name: name, pos: pos}
+					ai.entries = append(ai.entries, e)
+					if r, isDoc := docRange[cg]; isDoc {
+						start, end := fset.Position(r[0]), fset.Position(r[1])
+						for l := start.Line; l <= end.Line; l++ {
+							mark(pos.Filename, l, e)
+						}
+						continue
 					}
-					continue
+					mark(pos.Filename, pos.Line, e)
 				}
-				mark(pos.Filename, pos.Line, name)
 			}
 		}
 	}
 	return ai, bad
 }
 
-// parseAllow decodes one comment. It returns the analyzer name, whether
-// the comment is an allow directive at all, and whether it carries the
-// mandatory reason.
-func parseAllow(text string) (name string, ok, withReason bool) {
+// auditAllows reports allow directives that suppressed nothing during
+// this run. A directive naming an analyzer that did not run on this
+// package is not audited — suite scoping means cross-package sweeps
+// see partial analyzer sets — unless the name is unknown to the suite
+// entirely, which is always a typo worth flagging.
+func auditAllows(ai *allowIndex, ran []*Analyzer) []Diagnostic {
+	ranNames := map[string]bool{}
+	for _, a := range ran {
+		ranNames[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, e := range ai.entries {
+		if e.hits > 0 {
+			continue
+		}
+		var msg string
+		switch {
+		case ranNames[e.name]:
+			msg = fmt.Sprintf("lint:allow %s suppresses nothing; remove the stale directive", e.name)
+		case knownAnalyzerNames[e.name]:
+			continue // analyzer scoped out of this package's run
+		default:
+			msg = fmt.Sprintf("lint:allow names unknown analyzer %q", e.name)
+		}
+		diags = append(diags, Diagnostic{Pos: e.pos, Analyzer: "unuseddirective", Message: msg})
+	}
+	return diags
+}
+
+// parseAllow decodes one comment. It returns the analyzer names (one
+// directive may allow several, comma-separated), whether the comment is
+// an allow directive at all, and whether it carries the mandatory
+// reason.
+func parseAllow(text string) (names []string, ok, withReason bool) {
 	if !strings.HasPrefix(text, allowDirective) {
-		return "", false, false
+		return nil, false, false
 	}
 	rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
 	namePart, reason, found := strings.Cut(rest, "--")
 	fields := strings.Fields(namePart)
 	if len(fields) == 0 {
-		return "", false, false
+		return nil, false, false
 	}
-	return fields[0], true, found && strings.TrimSpace(reason) != ""
+	for _, n := range strings.Split(fields[0], ",") {
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, false, false
+	}
+	return names, true, found && strings.TrimSpace(reason) != ""
 }
 
 // ---------------------------------------------------------------------------

@@ -95,6 +95,19 @@ type expectation struct {
 // reports any mismatch between findings and // want expectations.
 func Run(t *testing.T, dir string, a *lint.Analyzer) {
 	t.Helper()
+	runFixture(t, dir, false, a)
+}
+
+// RunAll is Run plus the unuseddirective audit: the given analyzers are
+// what "ran", so their stale directives — and directives naming unknown
+// analyzers — become findings to match against // want comments.
+func RunAll(t *testing.T, dir string, as ...*lint.Analyzer) {
+	t.Helper()
+	runFixture(t, dir, true, as...)
+}
+
+func runFixture(t *testing.T, dir string, audit bool, as ...*lint.Analyzer) {
+	t.Helper()
 	fset, imp := importerForModule(t)
 
 	entries, err := os.ReadDir(dir)
@@ -136,7 +149,13 @@ func Run(t *testing.T, dir string, a *lint.Analyzer) {
 		t.Fatalf("linttest: %v", err)
 	}
 
-	for _, d := range lint.Run(pkg, a) {
+	var diags []lint.Diagnostic
+	if audit {
+		diags = lint.RunAll(pkg, as...)
+	} else {
+		diags = lint.Run(pkg, as...)
+	}
+	for _, d := range diags {
 		if !matchExpectation(expects[d.Pos.Filename], d) {
 			t.Errorf("unexpected diagnostic: %s", d)
 		}

@@ -1,0 +1,222 @@
+package lint
+
+// Analyzer "pathcost": the path-sensitive upgrade of costaccounting.
+// costaccounting asks "does this kernel touch its Counters at all?";
+// pathcost asks "does *every path* through it charge before
+// returning?" — including early exits, error paths, and selective
+// branches. The simulated hardware model sums counter charges, so a
+// kernel that bails out after scanning half a column without charging
+// under-reports exactly the work the wimpy-node comparison depends on.
+//
+// The analysis runs forward over the CFG with two may-facts per block:
+//
+//	clean — some path reaches here having done no data work yet
+//	dirty — some path reaches here with uncharged data work
+//
+// Drawing an element in a range over column data, or executing a
+// loop-body statement that indexes or calls, turns clean paths dirty.
+// Any use of a Counters-typed value (charging a field, calling a
+// method, forwarding it) settles every path through that point. A
+// dirty fact reaching a return — or falling off the end of the body —
+// is the finding.
+//
+// Scope: exported functions in the counters' home subtree that loop
+// and already reference Counters somewhere (kernels with no Counters
+// at all are costaccounting's finding; double-reporting helps nobody).
+// Panic paths are exempt by CFG construction (panic edges bypass the
+// return machinery).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PathCost is the pathcost analyzer.
+var PathCost = &Analyzer{
+	Name: "pathcost",
+	Doc:  "every path through an exported looping kernel must charge *exec.Counters before returning, including early exits",
+	Run:  runPathCost,
+}
+
+func runPathCost(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if isStringer(pass, fd) || !containsLoop(fd.Body) {
+				continue
+			}
+			// Only functions that take Counters themselves are kernels;
+			// a compiler whose generated closures charge their own ctr
+			// parameter (exec/fused's CompileRow) is per-query code.
+			if len(countersParamNames(pass, fd)) == 0 {
+				continue
+			}
+			if !countersUsedInBody(pass, fd.Body) {
+				continue // costaccounting's finding, not ours
+			}
+			checkPathCost(pass, fd)
+		}
+	}
+}
+
+// costFact is the lattice element. Bottom is the zero value (no path
+// reaches); reached distinguishes "unreachable" from "all paths
+// charged".
+type costFact struct {
+	reached bool
+	clean   bool // some path: no data work yet
+	dirty   bool // some path: uncharged data work
+}
+
+type costProblem struct {
+	pass *Pass
+	// reports, when non-nil, collects (return, fact) sinks during the
+	// replay pass.
+	report bool
+	fd     *ast.FuncDecl
+}
+
+func (p *costProblem) Boundary() costFact { return costFact{reached: true, clean: true} }
+func (p *costProblem) Bottom() costFact   { return costFact{} }
+
+func (p *costProblem) Join(dst, src costFact) (costFact, bool) {
+	merged := costFact{
+		reached: dst.reached || src.reached,
+		clean:   dst.clean || src.clean,
+		dirty:   dst.dirty || src.dirty,
+	}
+	return merged, merged != dst
+}
+
+func (p *costProblem) Transfer(b *Block, in costFact) costFact {
+	if !in.reached {
+		return in
+	}
+	st := in
+	if b.RangeBody != nil && rangesOverData(p.pass, b.RangeBody) && st.clean {
+		st.clean, st.dirty = false, true
+	}
+	for _, n := range b.Nodes {
+		if nodeUsesCounters(p.pass, n) {
+			st.clean, st.dirty = false, false
+			continue
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			if p.report && !b.InClosure && st.dirty {
+				p.pass.Reportf(ret.Pos(), "kernel %s has a path that returns here after touching column data without charging Counters", p.fd.Name.Name)
+			}
+			continue
+		}
+		if b.LoopBody && stmtDoesWork(n) && st.clean {
+			st.clean, st.dirty = false, true
+		}
+	}
+	return st
+}
+
+func checkPathCost(pass *Pass, fd *ast.FuncDecl) {
+	if pass.Allowed(fd.Name.Pos()) {
+		return
+	}
+	g := BuildCFG(fd.Body)
+	problem := &costProblem{pass: pass, fd: fd}
+	in, out := Solve(g, Forward, problem)
+
+	// Replay reachable blocks with reporting on: dirty facts at return
+	// statements become findings.
+	problem.report = true
+	for _, b := range g.Blocks {
+		if in[b].reached {
+			problem.Transfer(b, in[b])
+		}
+	}
+	// A void kernel can also leave by falling off the end: finally's
+	// predecessors without a Returns entry are those paths.
+	for _, b := range g.Finally.Preds {
+		if len(b.Returns) == 0 && out[b].dirty {
+			pass.Reportf(fd.Body.Rbrace, "kernel %s has a path that falls off the end after touching column data without charging Counters", fd.Name.Name)
+			break
+		}
+	}
+}
+
+// rangesOverData reports whether rs iterates column data: a slice or
+// array of basic elements, or a string. Ranging over operator lists,
+// maps of partitions, or channels is orchestration, not kernel work.
+func rangesOverData(pass *Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isBasicElem(u.Elem())
+	case *types.Array:
+		return isBasicElem(u.Elem())
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+// isBasicElem reports whether t is a basic scalar or string — the
+// element types column vectors hold.
+func isBasicElem(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsNumeric|types.IsString|types.IsBoolean) != 0
+}
+
+// stmtDoesWork reports whether a loop-body statement does chargeable
+// work: indexing into memory or calling a function (len, cap, and
+// panic excepted).
+func stmtDoesWork(n ast.Node) bool {
+	if _, isStmt := n.(ast.Stmt); !isStmt {
+		return false // conditions are control, not work
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // inlined separately; its blocks do their own work
+		case *ast.IndexExpr:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok {
+				switch id.Name {
+				case "len", "cap", "panic":
+					return true // look inside the args only
+				}
+			}
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// nodeUsesCounters reports whether the node references any
+// Counters-typed identifier — a charge, a method call, or forwarding
+// to a callee that charges.
+func nodeUsesCounters(pass *Pass, n ast.Node) bool {
+	used := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if fl, ok := m.(*ast.FuncLit); ok && fl != n {
+			return false // closure bodies have their own blocks
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Info.Uses[id]; obj != nil && isNamed(obj.Type(), countersPkg, "Counters") {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

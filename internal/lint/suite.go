@@ -32,6 +32,17 @@ type ScopedAnalyzer struct {
 //     plan the wrong statement.
 //   - goroutines guards the kernel and plan layers, where a leaked
 //     worker races on Counters past RunMorsels.
+//   - taintflow (the dataflow upgrade of determinism's map-range
+//     heuristic) covers the same result-producing packages as
+//     determinism: it tracks nondeterminism from source to sink instead
+//     of flagging every map range.
+//   - pathcost guards internal/exec and exec/fused: every path through
+//     an exported looping kernel must charge Counters before return.
+//   - hotalloc guards the kernel, fused, and plan layers, where a
+//     per-morsel allocation multiplies by morsel count into the exact
+//     DRAM traffic the wimpy-node budget cannot absorb.
+//   - exhaustive guards the packages that switch over sealed node sets:
+//     sql AST nodes, plan nodes, and exec expression/predicate nodes.
 func Suite() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
 		{Determinism, []string{
@@ -43,11 +54,41 @@ func Suite() []ScopedAnalyzer {
 			"wimpi/internal/obs",
 			"wimpi/internal/sql/...",
 		}},
+		{TaintFlow, []string{
+			"wimpi/internal/exec/...",
+			"wimpi/internal/engine",
+			"wimpi/internal/colstore",
+			"wimpi/internal/plan",
+			"wimpi/internal/cluster/...",
+			"wimpi/internal/obs",
+			"wimpi/internal/sql/...",
+		}},
 		{CostAccounting, []string{"wimpi/internal/exec/..."}},
+		{PathCost, []string{"wimpi/internal/exec/..."}},
+		{HotAlloc, []string{"wimpi/internal/exec/...", "wimpi/internal/plan"}},
+		{Exhaustive, []string{"wimpi/internal/sql/...", "wimpi/internal/plan", "wimpi/internal/exec/..."}},
 		{CtxCheck, []string{"wimpi/internal/cluster/..."}},
 		{Goroutines, []string{"wimpi/internal/exec/...", "wimpi/internal/plan"}},
 		{CloseCheck, []string{"wimpi/internal/cluster/...", "wimpi/internal/sql/..."}},
 	}
+}
+
+// knownAnalyzerNames is every analyzer name the suite can run, plus the
+// two pseudo-analyzers that report on directives themselves. The
+// unuseddirective audit uses it to tell "scoped out of this package"
+// from "typo".
+var knownAnalyzerNames = map[string]bool{
+	"determinism":     true,
+	"taintflow":       true,
+	"costaccounting":  true,
+	"pathcost":        true,
+	"hotalloc":        true,
+	"exhaustive":      true,
+	"ctxcheck":        true,
+	"goroutines":      true,
+	"closecheck":      true,
+	"directive":       true,
+	"unuseddirective": true,
 }
 
 // AnalyzersFor returns the suite analyzers scoped to pkgPath.

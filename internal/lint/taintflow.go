@@ -1,0 +1,88 @@
+package lint
+
+// Analyzer "taintflow": flow-sensitive determinism checking. The
+// syntactic determinism analyzer can say "you ranged over a map"; this
+// one can say "a value whose content depends on map iteration order
+// (or the wall clock, or unseeded rand, or pointer identity) reached a
+// result a caller can observe". That difference matters in both
+// directions: the sorted-keys idiom (collect, sort, then range) is
+// clean here without any directive, while a map-range value laundered
+// through three assignments and an append into a result slice is still
+// caught.
+//
+// Sinks are the places nondeterminism becomes externally visible:
+// values returned from a function, and tainted writes into
+// parameter-rooted slices (result buffers filled in place, the kernel
+// calling convention in internal/exec).
+//
+// Suppression: `//lint:allow taintflow -- reason` at the *source*
+// (the map range, the time.Now call) silences everything it would have
+// tainted; at the sink it silences just that report.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TaintFlow is the taintflow analyzer.
+var TaintFlow = &Analyzer{
+	Name: "taintflow",
+	Doc:  "flow-sensitive taint analysis from nondeterminism sources (map order, time.Now, global rand, pointer identity) to result-producing sinks",
+	Run:  runTaintFlow,
+}
+
+func runTaintFlow(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncTaint(pass, fd)
+		}
+	}
+}
+
+func checkFuncTaint(pass *Pass, fd *ast.FuncDecl) {
+	flow := &taintFlow{
+		pass:   pass,
+		params: map[types.Object]bool{},
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, name := range f.Names {
+				flow.params[pass.Info.Defs[name]] = true
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, name := range f.Names {
+				flow.params[pass.Info.Defs[name]] = true
+			}
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			for _, name := range f.Names {
+				if o := pass.Info.Defs[name]; o != nil {
+					flow.results = append(flow.results, o)
+				}
+			}
+		}
+	}
+
+	g := BuildCFG(fd.Body)
+	problem := &taintProblem{f: flow}
+	in, _ := Solve(g, Forward, problem)
+
+	// Replay each reachable block once over its fixed-point entry fact
+	// with reporting on. The fixed point already joined every path, so
+	// one replay per block sees the worst-case taint at each sink.
+	flow.report = true
+	for _, b := range g.Blocks {
+		if fact := in[b]; fact != nil && fact.reached {
+			flow.transferBlock(b, fact)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package fixture defines a sealed node set — an interface with an
+// unexported marker method — and switches over it with and without full
+// coverage, for the exhaustive analyzer.
+package fixture
+
+// node is sealed: the unexported method keeps implementations in this
+// package, so a type switch can and must enumerate them all.
+type node interface{ isNode() }
+
+type addNode struct{ l, r node }
+type mulNode struct{ l, r node }
+type negNode struct{ e node }
+type litNode struct{ v int64 }
+
+func (*addNode) isNode() {}
+func (*mulNode) isNode() {}
+func (*negNode) isNode() {}
+func (*litNode) isNode() {}
+
+// Missing forgets two of the four members. Adding a member to the
+// sealed set above is exactly how this analyzer is meant to fail: every
+// switch without the new case lights up.
+func Missing(n node) int {
+	switch n.(type) { // want "missing cases for *litNode, *negNode"
+	case *addNode:
+		return 1
+	case *mulNode:
+		return 2
+	}
+	return 0
+}
+
+// DefaultOnly shows that a default clause does not satisfy the check: a
+// default absorbs future members silently, which is the exact failure
+// mode sealed sets exist to prevent.
+func DefaultOnly(n node) int {
+	switch n.(type) { // want "missing cases for *litNode, *mulNode, *negNode"
+	case *addNode:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Complete enumerates every member; leaves ride an empty case.
+func Complete(n node) int {
+	switch v := n.(type) {
+	case *addNode:
+		return Complete(v.l) + Complete(v.r)
+	case *mulNode:
+		return Complete(v.l) * Complete(v.r)
+	case *negNode:
+		return -Complete(v.e)
+	case *litNode:
+		return int(v.v)
+	}
+	return 0
+}
+
+// Frontier carries a reasoned directive: the default is a deliberate
+// fallback path, as at a fusion frontier.
+func Frontier(n node) int {
+	//lint:allow exhaustive -- fixture: unhandled nodes take the generic fallback by design
+	switch n.(type) {
+	case *addNode:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// notSealed has only exported methods, so switches over it may be
+// partial.
+type notSealed interface{ Kind() string }
+
+type alpha struct{}
+type beta struct{}
+
+func (alpha) Kind() string { return "alpha" }
+func (beta) Kind() string  { return "beta" }
+
+// Partial switches over an open interface: no finding.
+func Partial(x notSealed) int {
+	switch x.(type) {
+	case alpha:
+		return 1
+	}
+	return 0
+}

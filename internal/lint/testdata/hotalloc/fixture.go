@@ -1,0 +1,113 @@
+// Package fixture holds allocations inside hot kernel loops, plus
+// escaping, pre-sized, and allowlisted negatives, for the hotalloc
+// analyzer.
+package fixture
+
+import "wimpi/internal/exec"
+
+// PerRowScratch allocates a scratch slice on every row of a column.
+func PerRowScratch(v []int64) int64 {
+	var sum int64
+	for _, x := range v {
+		tmp := make([]int64, 4) // want "make allocates per iteration of the per-row range loop"
+		tmp[0] = x
+		sum += tmp[0]
+	}
+	return sum
+}
+
+// MorselScratch allocates scratch inside the per-morsel callback.
+func MorselScratch(v []int64, workers int, ctr *exec.Counters) {
+	_ = exec.RunMorsels(workers, len(v), 1024, ctr, func(m, lo, hi int, c *exec.Counters) error {
+		tmp := make([]int64, 8) // want "make allocates per iteration of the per-morsel callback"
+		for i := lo; i < hi; i++ {
+			tmp[0] += v[i]
+		}
+		c.IntOps += tmp[0]
+		return nil
+	})
+}
+
+// HoistedScratch slices a pre-allocated backing array per morsel: the
+// hot callback itself allocates nothing.
+func HoistedScratch(v []int64, workers int, ctr *exec.Counters) {
+	nm := (len(v) + 1023) / 1024
+	scratch := make([]int64, nm*8)
+	_ = exec.RunMorsels(workers, len(v), 1024, ctr, func(m, lo, hi int, c *exec.Counters) error {
+		tmp := scratch[m*8 : (m+1)*8]
+		for i := lo; i < hi; i++ {
+			tmp[0] += v[i]
+		}
+		c.IntOps += tmp[0]
+		return nil
+	})
+}
+
+// AppendGrowth grows the output inside a per-row loop without
+// pre-sizing it.
+func AppendGrowth(v []int64) []int64 {
+	var out []int64
+	for _, x := range v {
+		if x > 0 {
+			out = append(out, x) // want "append may grow its backing array"
+		}
+	}
+	return out
+}
+
+// AppendPresized pre-sizes the output: growth cannot recur per row.
+func AppendPresized(v []int64) []int64 {
+	out := make([]int64, 0, len(v))
+	for _, x := range v {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Boxed passes a concrete value into an interface parameter per row.
+func Boxed(v []int64, emit func(any)) {
+	for _, x := range v {
+		emit(x) // want "value boxed into an interface per iteration"
+	}
+}
+
+// ClosurePerRow creates a fresh closure on every row.
+func ClosurePerRow(v []int64, run func(func() int64)) {
+	for _, x := range v {
+		run(func() int64 { return x }) // want "closure created per iteration"
+	}
+}
+
+// CollectChunks allocates a chunk per row, but each one escapes into
+// the result, so hoisting a single scratch buffer is unsound.
+func CollectChunks(v []int64, out [][]int64) {
+	for i, x := range v {
+		c := make([]int64, 1)
+		c[0] = x
+		out[i] = c
+	}
+}
+
+// AmortizedGrowth carries a reasoned directive: the growth amortizes.
+func AmortizedGrowth(v []int64) []int64 {
+	var out []int64
+	for _, x := range v {
+		out = append(out, x) //lint:allow hotalloc -- fixture: growth amortizes across the scan
+	}
+	return out
+}
+
+// ColdPath allocates only on a branch that terminates the loop: a
+// one-time exit cost, not a per-iteration one.
+func ColdPath(v []int64) []int64 {
+	for i, x := range v {
+		if x < 0 {
+			bad := make([]int64, 1)
+			bad[0] = int64(i)
+			return bad
+		}
+	}
+	return nil
+}

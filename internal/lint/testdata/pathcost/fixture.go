@@ -1,0 +1,94 @@
+// Package fixture holds kernels whose early-exit paths skip their
+// Counters charge, plus fully charged and allowlisted negatives, for
+// the pathcost analyzer.
+package fixture
+
+import (
+	"errors"
+
+	"wimpi/internal/exec"
+)
+
+var errNegative = errors.New("negative value")
+
+// EarlyExitUncharged bails out mid-scan without charging the rows it
+// already compared.
+func EarlyExitUncharged(v []int64, ctr *exec.Counters) (int64, error) {
+	var sum int64
+	for i := range v {
+		x := v[i]
+		if x < 0 {
+			return 0, errNegative // want "returns here after touching column data without charging"
+		}
+		sum += x
+	}
+	ctr.IntOps += int64(len(v))
+	return sum, nil
+}
+
+// EarlyExitCharged charges the partial scan before bailing: every path
+// settles.
+func EarlyExitCharged(v []int64, ctr *exec.Counters) (int64, error) {
+	var sum int64
+	for i := range v {
+		x := v[i]
+		if x < 0 {
+			ctr.IntOps += int64(i + 1)
+			return 0, errNegative
+		}
+		sum += x
+	}
+	ctr.IntOps += int64(len(v))
+	return sum, nil
+}
+
+// PrevalidateUncharged returns before any data work: the length check
+// is free, so the early return is clean.
+func PrevalidateUncharged(a, b []int64, ctr *exec.Counters) (int64, error) {
+	if len(a) != len(b) {
+		return 0, errNegative
+	}
+	var sum int64
+	for i := range a {
+		sum += a[i] * b[i]
+	}
+	ctr.IntOps += int64(len(a))
+	return sum, nil
+}
+
+// ScanAndMaybeCharge does work on every path but charges on only one:
+// the uncharged path falls off the end of the body.
+func ScanAndMaybeCharge(v []int64, ctr *exec.Counters, charge bool) {
+	var sum int64
+	for i := range v {
+		sum += v[i]
+	}
+	if charge {
+		ctr.IntOps += sum
+	}
+} // want "falls off the end after touching column data without charging"
+
+// FreeProbe intentionally reports no cost; the directive documents why.
+//
+//lint:allow pathcost -- fixture: speculative probe whose cost is charged by the caller
+func FreeProbe(v []int64, ctr *exec.Counters) int64 {
+	var s int64
+	for i := range v {
+		s += v[i]
+	}
+	if s > 0 {
+		return s
+	}
+	ctr.IntOps += int64(len(v))
+	return s
+}
+
+// unexportedScan is internal plumbing, outside the analyzer's scope.
+func unexportedScan(v []int64, ctr *exec.Counters) int64 {
+	var s int64
+	for i := range v {
+		s += v[i]
+	}
+	_ = ctr
+	return s
+}

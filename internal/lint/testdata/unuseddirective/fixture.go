@@ -1,0 +1,31 @@
+// Package fixture holds one live allow directive, one stale one, and
+// one with a typo, for the unuseddirective audit.
+package fixture
+
+import "time"
+
+// Live suppresses a real determinism finding: no audit complaint.
+func Live() int64 {
+	//lint:allow determinism -- fixture: measured timing section
+	return time.Now().UnixNano()
+}
+
+// Stale allows an analyzer that finds nothing on the line below.
+func Stale() int {
+	//lint:allow determinism -- fixture: nothing to suppress here // want "suppresses nothing; remove the stale directive"
+	return 42
+}
+
+// Typo names an analyzer that does not exist.
+func Typo() int {
+	//lint:allow determinsm -- fixture: misspelled name // want "names unknown analyzer"
+	return 7
+}
+
+// ScopedOut names a known analyzer that did not run on this package;
+// the audit stays quiet rather than forcing directive churn when
+// scopes change.
+func ScopedOut() int64 {
+	//lint:allow ctxcheck -- fixture: analyzer scoped to another subtree
+	return 9
+}

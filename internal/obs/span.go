@@ -116,7 +116,7 @@ func (t *Tracer) Begin(op, label string) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := &Span{Op: op, Label: label, before: *t.ctr}
-	//lint:allow determinism -- span wall time is measured and reported, never fed back into results
+	//lint:allow determinism,taintflow -- span wall time is measured and reported, never fed back into results
 	s.start = time.Now()
 	if len(t.stack) == 0 {
 		if t.root == nil {

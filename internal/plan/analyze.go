@@ -54,6 +54,8 @@ func opName(n Node) string {
 		return "hash-join"
 	case *Fused:
 		return "fused-pipeline"
+	case *spanNode:
+		return "node" // wrappers are never re-instrumented
 	default:
 		return "node"
 	}
@@ -120,6 +122,8 @@ func instrument(n Node) Node {
 			c.fallback = instrument(v.fallback)
 		}
 		return wrap(&c)
+	case *spanNode:
+		return v // already instrumented
 	default:
 		return wrap(n)
 	}

@@ -84,35 +84,43 @@ func compileNode(ctx *Context, n Node) Node {
 		c := *v
 		c.Input = compileNode(ctx, v.Input)
 		return &c
-	case *HashJoin, *Filter, *Project, *Rename:
+	case *HashJoin:
 		if f, ok := tryFuse(ctx, n, nil, nil); ok {
 			return f
 		}
-		switch c := n.(type) {
-		case *HashJoin:
-			cc := *c
-			cc.Build = compileNode(ctx, c.Build)
-			cc.Probe = compileNode(ctx, c.Probe)
-			return &cc
-		case *Filter:
-			cc := *c
-			cc.Input = compileNode(ctx, c.Input)
-			return &cc
-		case *Project:
-			cc := *c
-			cc.Input = compileNode(ctx, c.Input)
-			return &cc
-		default:
-			cc := *n.(*Rename)
-			cc.Input = compileNode(ctx, cc.Input)
-			return &cc
+		c := *v
+		c.Build = compileNode(ctx, v.Build)
+		c.Probe = compileNode(ctx, v.Probe)
+		return &c
+	case *Filter:
+		if f, ok := tryFuse(ctx, n, nil, nil); ok {
+			return f
 		}
+		c := *v
+		c.Input = compileNode(ctx, v.Input)
+		return &c
+	case *Project:
+		if f, ok := tryFuse(ctx, n, nil, nil); ok {
+			return f
+		}
+		c := *v
+		c.Input = compileNode(ctx, v.Input)
+		return &c
+	case *Rename:
+		if f, ok := tryFuse(ctx, n, nil, nil); ok {
+			return f
+		}
+		c := *v
+		c.Input = compileNode(ctx, v.Input)
+		return &c
 	case *Limit:
 		c := *v
 		c.Input = compileNode(ctx, v.Input)
 		return &c
 	case *Scan:
 		return v
+	case *Fused, *spanNode:
+		return n // already compiled or instrumented
 	default:
 		return n
 	}
@@ -222,6 +230,7 @@ func extractChain(ctx *Context, n Node) (scan *Scan, input Node, stages []fusedS
 	var rev []fusedStage
 	cur := n
 	for {
+		//lint:allow exhaustive -- the default is the fusion frontier: any other node becomes the generic, recursively compiled driver
 		switch v := cur.(type) {
 		case *Scan:
 			scan = v
@@ -1014,6 +1023,8 @@ func exprCols(e exec.Expr) ([]string, bool) {
 		return dedupNames(append(l, r...)), true
 	case exec.YearExpr:
 		return exprCols(v.Arg)
+	case exec.PrefixExpr:
+		return []string{v.Col}, true
 	case exec.CaseWhenF:
 		p, ok := predCols(v.Pred)
 		if !ok {
@@ -1152,6 +1163,8 @@ func estimateModes(f *Fused, driver *colstore.Table) (vec, fus exec.Counters) {
 				cur *= autoSelSemi
 			}
 			chargeGather(&vec, cur) // vector gathers the join output
+		case renameStage:
+			// Renames touch metadata only; no cost either way.
 		}
 	}
 	// Fused pays one gather at the sink (narrowed to the needed columns

@@ -169,7 +169,11 @@ func (g *GroupBy) groupedRadix(ctx *Context, in *colstore.Table, packed []int64,
 	// Global merge: order every partition-local group by its (unique)
 	// first-occurrence row. That is exactly the first-occurrence order
 	// the direct paths assign group IDs in.
-	var refs []groupRef
+	total := 0
+	for _, part := range parts {
+		total += len(part.firstRow)
+	}
+	refs := make([]groupRef, 0, total)
 	for p, part := range parts {
 		for lg, fr := range part.firstRow {
 			refs = append(refs, groupRef{row: fr, part: int32(p), lg: int32(lg)})

@@ -209,9 +209,11 @@ func prec(e Expr) int {
 		return 3
 	case *InExpr, *BetweenExpr, *LikeExpr:
 		return 4
-	default:
-		return 7
+	case *ColRef, *NumLit, *StrLit, *DateLit, *IntervalLit, *FuncExpr,
+		*CaseExpr, *SubqueryExpr:
+		return 7 // atoms and postfix forms bind tightest
 	}
+	return 7
 }
 
 // child renders a subexpression of a parent with precedence p,

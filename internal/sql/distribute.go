@@ -174,6 +174,9 @@ func splitAggExpr(e Expr, item string, hidden *int, partialItems *[]SelectItem) 
 		return &BinExpr{Op: ex.Op, L: l, R: r, Pos: ex.Pos}, nil
 	case *NumLit:
 		return ex, nil
+	case *ColRef, *StrLit, *DateLit, *IntervalLit, *CaseExpr, *NotExpr,
+		*InExpr, *BetweenExpr, *LikeExpr, *SubqueryExpr:
+		// Not arithmetic over aggregates; fall through to the error.
 	}
 	return nil, errAt(e.pos(), "unsupported expression around an aggregate in a distributed statement")
 }
@@ -239,6 +242,8 @@ func exprReferencesTable(e Expr, table string) bool {
 				return true
 			}
 		}
+	case *ColRef, *NumLit, *StrLit, *DateLit, *IntervalLit:
+		// Leaves name columns, never tables.
 	}
 	return false
 }

@@ -96,6 +96,9 @@ func (pl *planner) lowerExpr(e Expr, sc scope) (exec.Expr, error) {
 		case "sum", "count", "avg", "min", "max":
 			return nil, errAt(ex.Pos, "aggregate function %s() is not allowed here", ex.Name)
 		}
+	case *StrLit, *DateLit, *IntervalLit, *SubqueryExpr,
+		*NotExpr, *InExpr, *BetweenExpr, *LikeExpr:
+		// Predicate and non-numeric forms; fall through to the error.
 	}
 	return nil, errAt(e.pos(), "unsupported value expression")
 }
@@ -135,6 +138,9 @@ func foldDate(e Expr) (int32, bool, error) {
 		default: // year
 			return colstore.AddYears(d, int(n)), true, nil
 		}
+	case *ColRef, *NumLit, *StrLit, *IntervalLit, *FuncExpr, *CaseExpr,
+		*NotExpr, *InExpr, *BetweenExpr, *LikeExpr, *SubqueryExpr:
+		// Not a date-literal expression.
 	}
 	return 0, false, nil
 }
@@ -210,6 +216,9 @@ func (pl *planner) lowerCmp(b *BinExpr, sc scope) (exec.Pred, error) {
 				return exec.ColCmpD{A: lc.Name, B: rv.Name, Op: op}, nil
 			}
 			return nil, errAt(b.Pos, "cannot compare %s columns", bind.typ)
+		case *BinExpr, *DateLit, *IntervalLit, *FuncExpr, *CaseExpr,
+			*NotExpr, *InExpr, *BetweenExpr, *LikeExpr, *SubqueryExpr:
+			// Dates folded above; computed operands surface errExprCmp.
 		}
 	}
 	return nil, errExprCmp
@@ -222,6 +231,9 @@ func isLiteral(e Expr) bool {
 		return true
 	case *BinExpr:
 		return isLiteral(ex.L) && isLiteral(ex.R)
+	case *ColRef, *FuncExpr, *CaseExpr, *NotExpr, *InExpr, *BetweenExpr,
+		*LikeExpr, *SubqueryExpr:
+		// Column-dependent or computed at run time.
 	}
 	return false
 }
@@ -354,6 +366,9 @@ func (pl *planner) lowerPred(e Expr, sc scope) (exec.Pred, error) {
 		return exec.Like{Column: col.Name, Pattern: ex.Pattern, Negate: ex.Negate}, nil
 	case *NotExpr:
 		return nil, errAt(ex.Pos, "NOT is supported only as NOT IN and NOT LIKE")
+	case *ColRef, *NumLit, *StrLit, *DateLit, *IntervalLit, *FuncExpr,
+		*CaseExpr, *SubqueryExpr:
+		// Value forms; fall through to the error below.
 	}
 	return nil, errAt(e.pos(), "expected a boolean predicate")
 }

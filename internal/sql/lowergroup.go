@@ -257,6 +257,9 @@ func (pl *planner) rewriteAggExpr(e Expr, sc scope, aggs *[]plan.AggSpec, hidden
 		case "/":
 			return exec.Div(l, r), nil
 		}
+	case *ColRef, *StrLit, *DateLit, *IntervalLit, *CaseExpr, *NotExpr,
+		*InExpr, *BetweenExpr, *LikeExpr, *SubqueryExpr:
+		// Not arithmetic over aggregates; fall through to the error.
 	}
 	return nil, errAt(e.pos(), "unsupported expression around an aggregate")
 }

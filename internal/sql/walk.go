@@ -30,6 +30,8 @@ func walkCols(e Expr, out []string) []string {
 			out = walkCols(a, out)
 		}
 		return out
+	case *NumLit, *StrLit, *DateLit, *IntervalLit, *SubqueryExpr:
+		// Literals carry no columns; subquery bodies bind in their own scope.
 	}
 	return out
 }
@@ -80,6 +82,8 @@ func containsAgg(e Expr) bool {
 		return containsAgg(ex.E)
 	case *InExpr:
 		return containsAgg(ex.E)
+	case *ColRef, *NumLit, *StrLit, *DateLit, *IntervalLit, *SubqueryExpr:
+		// Leaves; a subquery's aggregates belong to its own lowering.
 	}
 	return false
 }
@@ -105,6 +109,10 @@ func collectScalarSubs(e Expr, out []*SubqueryExpr) []*SubqueryExpr {
 		return out
 	case *InExpr:
 		return collectScalarSubs(ex.E, out)
+	case *LikeExpr:
+		return collectScalarSubs(ex.E, out)
+	case *ColRef, *NumLit, *StrLit, *DateLit, *IntervalLit:
+		// Leaves hold no subquery.
 	}
 	return out
 }
@@ -142,6 +150,9 @@ func evalScalar(e Expr, resolved map[*SubqueryExpr]float64) (float64, error) {
 		case "/":
 			return l / r, nil
 		}
+	case *ColRef, *StrLit, *DateLit, *IntervalLit, *FuncExpr, *CaseExpr,
+		*NotExpr, *InExpr, *BetweenExpr, *LikeExpr:
+		// Not scalar arithmetic; fall through to the error below.
 	}
 	return 0, errAt(e.pos(), "scalar subquery comparisons support only literal arithmetic")
 }
