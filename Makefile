@@ -4,7 +4,7 @@ GO ?= go
 # and soak runs override it (FUZZTIME=2m make fuzz).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint lint-report lint-bench race chaos fuzz explain-smoke check bench-scaling bench-smoke
+.PHONY: build test vet lint lint-report lint-bench race chaos fuzz explain-smoke serve-smoke check bench-scaling bench-smoke
 
 build:
 	$(GO) build ./...
@@ -64,8 +64,18 @@ fuzz:
 explain-smoke:
 	$(GO) run ./cmd/wimpi -sf 0.01 -q 1 -explain | tee /dev/stderr | grep -q 'scan lineitem'
 
+# Serving-path smoke test: a short closed-loop soak of the multi-tenant
+# front door — 64 concurrent clients over the TPC-H mix, every result
+# verified byte-identical to serial execution. The load generator exits
+# non-zero on any query error, any divergence, or a p99 above the bound,
+# and leaves BENCH_serve.json (QPS, p50/p95/p99) behind.
+SERVE_P99_MS ?= 20000
+serve-smoke:
+	$(GO) run ./cmd/wimpi-serve -load -sf 0.05 -clients 64 -queries 5 \
+		-max-p99-ms $(SERVE_P99_MS) -bench-out BENCH_serve.json
+
 # The tier-1 gate: everything a change must pass before merging.
-check: build test vet lint race explain-smoke
+check: build test vet lint race explain-smoke serve-smoke
 
 # Parallel speedup on Q1/Q3/Q6/Q18 at 1/2/4/8 workers (SF via WIMPI_BENCH_SF).
 bench-scaling:

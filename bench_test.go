@@ -514,8 +514,11 @@ func BenchmarkJoinRadixVsChained(b *testing.B) {
 			var ctr exec.Counters
 			for i := 0; i < b.N; i++ {
 				ctr = exec.Counters{}
-				jt := exec.BuildJoinTableParallel(build, workers, morselRows, &ctr)
-				if bi, _ := exec.InnerJoinParallel(jt, probe, workers, morselRows, &ctr); len(bi) == 0 {
+				jt, err := exec.BuildJoinTableParallel(build, workers, morselRows, &ctr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bi, _, err := exec.InnerJoinParallel(jt, probe, workers, morselRows, &ctr); err != nil || len(bi) == 0 {
 					b.Fatal("empty join")
 				}
 			}
@@ -527,8 +530,11 @@ func BenchmarkJoinRadixVsChained(b *testing.B) {
 			var ctr exec.Counters
 			for i := 0; i < b.N; i++ {
 				ctr = exec.Counters{}
-				rt := exec.BuildRadixJoinTable(build, target/2, exec.RadixJoinConfig{}, workers, morselRows, &ctr)
-				if bi, _ := rt.InnerJoin(probe, workers, morselRows, &ctr); len(bi) == 0 {
+				rt, err := exec.BuildRadixJoinTable(build, target/2, exec.RadixJoinConfig{}, workers, morselRows, &ctr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bi, _, err := rt.InnerJoin(probe, workers, morselRows, &ctr); err != nil || len(bi) == 0 {
 					b.Fatal("empty join")
 				}
 			}

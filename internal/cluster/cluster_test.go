@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -247,10 +248,12 @@ func TestThrottledLinkBandwidth(t *testing.T) {
 }
 
 func TestTokenBucketPacing(t *testing.T) {
-	b := newTokenBucket(8e6) // 1 MB/s
+	b := newLinkBucket(8e6) // 1 MB/s
 	start := time.Now()
 	for i := 0; i < 10; i++ {
-		b.wait(32 << 10)
+		if err := b.Wait(context.Background(), 32<<10); err != nil {
+			t.Fatal(err)
+		}
 	}
 	elapsed := time.Since(start)
 	// 320 KB at 1 MB/s with a 64 KB burst: at least ~200 ms.

@@ -3,8 +3,9 @@ package cluster
 import (
 	"context"
 	"net"
-	"sync"
 	"time"
+
+	"wimpi/internal/flow"
 )
 
 // PiLinkBandwidthBps is the effective Ethernet bandwidth of a Raspberry
@@ -13,48 +14,20 @@ import (
 // Section II-C.3).
 const PiLinkBandwidthBps = 220e6
 
-// tokenBucket paces writes to a byte rate.
-type tokenBucket struct {
-	mu     sync.Mutex
-	rate   float64 // bytes per second
-	burst  float64
-	tokens float64
-	last   time.Time
-}
-
-func newTokenBucket(bitsPerSec float64) *tokenBucket {
-	rate := bitsPerSec / 8
-	//lint:allow determinism,taintflow -- a pacing token bucket is inherently wall-clock-driven; it throttles bytes, never reorders them
-	return &tokenBucket{rate: rate, burst: 64 << 10, tokens: 64 << 10, last: time.Now()}
-}
-
-// wait blocks until n bytes of budget are available, then spends them.
-func (b *tokenBucket) wait(n int) {
-	for {
-		b.mu.Lock()
-		//lint:allow determinism -- pacing needs real elapsed time; only throughput is affected
-		now := time.Now()
-		b.tokens += now.Sub(b.last).Seconds() * b.rate
-		b.last = now
-		if b.tokens > b.burst {
-			b.tokens = b.burst
-		}
-		if b.tokens >= float64(n) {
-			b.tokens -= float64(n)
-			b.mu.Unlock()
-			return
-		}
-		deficit := float64(n) - b.tokens
-		b.mu.Unlock()
-		time.Sleep(time.Duration(deficit / b.rate * float64(time.Second)))
-	}
+// newLinkBucket builds the pacing bucket for one emulated link. The
+// bucket lives in package flow: FIFO-fair under concurrent writers (a
+// stream of small frames can no longer starve an older large write,
+// which the previous sleep-and-re-race bucket allowed) and cancellable
+// while queued.
+func newLinkBucket(bitsPerSec float64) *flow.TokenBucket {
+	return flow.NewTokenBucket(bitsPerSec/8, 64<<10)
 }
 
 // throttledConn rate-limits writes on a connection, emulating a slow
 // NIC. Reads are untouched (the sender's throttle paces the link).
 type throttledConn struct {
 	net.Conn
-	bucket *tokenBucket
+	bucket *flow.TokenBucket
 }
 
 // newThrottledConn wraps conn with a write-side rate limit of
@@ -63,7 +36,7 @@ func newThrottledConn(conn net.Conn, bitsPerSec float64) net.Conn {
 	if bitsPerSec <= 0 {
 		return conn
 	}
-	return &throttledConn{Conn: conn, bucket: newTokenBucket(bitsPerSec)}
+	return &throttledConn{Conn: conn, bucket: newLinkBucket(bitsPerSec)}
 }
 
 // Write paces p through the token bucket in link-MTU-sized chunks.
@@ -77,7 +50,9 @@ func (t *throttledConn) Write(p []byte) (int, error) {
 		if n > chunk {
 			n = chunk
 		}
-		t.bucket.wait(n)
+		if err := t.bucket.Wait(context.Background(), float64(n)); err != nil {
+			return written, err
+		}
 		m, err := t.Conn.Write(p[:n])
 		written += m
 		if err != nil {

@@ -5,6 +5,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -53,6 +54,12 @@ type Config struct {
 	// pick per pipeline. Like TargetLLCBytes it changes which code runs,
 	// never the result.
 	Exec plan.ExecMode
+	// Pool, when non-nil, is a shared morsel worker pool: concurrent
+	// queries run through RunQuery interleave over its fixed workers
+	// under fair-share scheduling instead of each spawning its own
+	// goroutines. Results stay bit-identical — the pool changes who
+	// executes a morsel, never the morsel decomposition.
+	Pool *exec.Pool
 }
 
 // DB is an in-memory database: a named set of columnar tables. It is safe
@@ -165,6 +172,56 @@ func (db *DB) RunWith(p plan.Node, workers int) (*Result, error) {
 // planCtx builds the execution context for one query.
 func (db *DB) planCtx(workers int) *plan.Context {
 	return &plan.Context{Cat: db, Workers: workers, LLCBytes: db.cfg.TargetLLCBytes, Exec: db.cfg.Exec}
+}
+
+// QueryOpts shape one RunQuery call.
+type QueryOpts struct {
+	// Workers bounds the query's parallelism; < 1 selects the database
+	// default. With a shared pool this is the cap on pool workers
+	// helping the query at once, not a reservation.
+	Workers int
+	// Weight is the query's fair-share weight in the shared pool; < 1
+	// selects 1. A weight-2 query receives twice the pool share of a
+	// weight-1 query.
+	Weight int
+	// MemLimitBytes, when positive, cancels the query with a
+	// *plan.MemLimitError once its observed live intermediate memory
+	// exceeds the budget.
+	MemLimitBytes int64
+}
+
+// RunQuery executes a plan under a cancellation context, the database's
+// shared worker pool (when configured), and an optional memory budget.
+// It is the serving entry point: concurrent RunQuery calls on one DB
+// interleave morsel-by-morsel instead of oversubscribing the host, and
+// ctx cancellation stops the query at the next morsel boundary. Results
+// are bit-identical to Run's.
+func (db *DB) RunQuery(ctx context.Context, p plan.Node, opts QueryOpts) (*Result, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = db.Workers()
+	}
+	metricQueries.Inc()
+	var sched *exec.Sched
+	if db.cfg.Pool != nil {
+		sched = db.cfg.Pool.Attach(ctx, opts.Weight)
+	} else if ctx != nil && ctx != context.Background() {
+		sched = exec.NewSched(ctx)
+	}
+	if sched != nil {
+		defer sched.Release()
+	}
+	pctx := db.planCtx(workers)
+	pctx.Ctx = ctx
+	pctx.Sched = sched
+	pctx.MemLimitBytes = opts.MemLimitBytes
+	//lint:allow determinism,taintflow -- measured wall clock, reported as HostDuration; results never depend on it
+	start := time.Now()
+	t, ctr, err := plan.RunContext(pctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: t, Counters: ctr, HostDuration: time.Since(start)}, nil
 }
 
 // TracedResult is a Result plus the operator span tree recorded while

@@ -70,11 +70,13 @@ func (b *Bloom) MayContain(k int64) bool {
 
 // FilterKeys returns the rows (ascending) whose keys may be present.
 // Morsel-parallel; per-morsel selections concatenate in input order, so
-// the result is identical at any worker count.
-func (b *Bloom) FilterKeys(keys []int64, workers, morselRows int, ctr *Counters) []int32 {
+// the result is identical at any worker count. The only possible error
+// is the query's cancellation — a truncated selection vector would
+// silently drop matches, so it must propagate.
+func (b *Bloom) FilterKeys(keys []int64, workers, morselRows int, ctr *Counters) ([]int32, error) {
 	nm := NumMorsels(len(keys), morselRows)
 	sels := make([][]int32, nm)
-	_ = RunMorsels(workers, len(keys), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	if err := runMorselsInfallible(workers, len(keys), morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		sel := make([]int32, 0, hi-lo)
 		for i := lo; i < hi; i++ {
 			if b.MayContain(keys[i]) {
@@ -84,8 +86,9 @@ func (b *Bloom) FilterKeys(keys []int64, workers, morselRows int, ctr *Counters)
 		sels[m] = sel
 		c.IntOps += int64(hi-lo) * 2
 		c.CacheRandomAccesses += int64(hi - lo)
-		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	total := 0
 	for m := range sels {
 		total += len(sels[m])
@@ -95,5 +98,5 @@ func (b *Bloom) FilterKeys(keys []int64, workers, morselRows int, ctr *Counters)
 		out = append(out, sels[m]...)
 	}
 	ctr.SeqBytes += int64(total) * 4
-	return out
+	return out, nil
 }

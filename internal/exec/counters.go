@@ -74,7 +74,22 @@ type Counters struct {
 	// built. The hardware model compares it against the profile LLC to
 	// decide whether CacheRandomAccesses really hit cache.
 	MaxPartitionBytes int64
+
+	// sched is the query's scheduling handle (cancellation context and
+	// optional worker-pool membership), threaded to every kernel through
+	// the counters they already receive. It is never part of the work
+	// profile: Add and DiffCounters ignore it, and the plan layer clears
+	// it before a query's counters are snapshotted into results.
+	sched *Sched
 }
+
+// SetSched attaches (or, with nil, detaches) the query's scheduling
+// handle. RunMorsels reads it from the root counters to observe
+// cancellation between morsels and to route morsels through a shared
+// pool. Only the root per-query Counters should carry a handle;
+// per-morsel part counters never do, so nested kernels inherit plain
+// execution.
+func (c *Counters) SetSched(s *Sched) { c.sched = s }
 
 // Add accumulates o into c. Max-like fields take the maximum.
 func (c *Counters) Add(o Counters) {

@@ -10,70 +10,90 @@ const gatherParallelMinRows = 1 << 14
 // across up to workers goroutines. Each morsel writes a disjoint range
 // of every output column, so the result is identical to t.Gather(sel).
 // Callers charge materialization counters themselves, exactly as they
-// would for the sequential Gather.
-//
-//lint:allow costaccounting -- documented contract: callers charge materialization, same as t.Gather
-func GatherTable(t *colstore.Table, sel []int32, workers, morselRows int) *colstore.Table {
+// would for the sequential Gather; ctr only carries the query's
+// scheduling handle, and the only possible error is the query's
+// cancellation.
+func GatherTable(t *colstore.Table, sel []int32, workers, morselRows int, ctr *Counters) (*colstore.Table, error) {
 	if workers <= 1 || len(sel) < gatherParallelMinRows {
-		return t.Gather(sel)
+		if err := ctr.sched.Err(); err != nil {
+			return nil, err
+		}
+		return t.Gather(sel), nil
 	}
 	cols := make([]colstore.Column, t.NumCols())
 	for ci, c := range t.Cols {
-		cols[ci] = gatherColumn(c, sel, workers, morselRows)
+		col, err := gatherColumn(c, sel, workers, morselRows, ctr)
+		if err != nil {
+			return nil, err
+		}
+		cols[ci] = col
 	}
-	return colstore.MustNewTable(t.Name, t.Schema, cols)
+	return colstore.MustNewTable(t.Name, t.Schema, cols), nil
 }
 
-func gatherColumn(c colstore.Column, sel []int32, workers, morselRows int) colstore.Column {
-	var ctr Counters // data movement is charged by the caller
+// gatherColumn gathers one column morsel-parallel. The callbacks are
+// infallible (disjoint writes of pre-sized output), so the only error is
+// the query's cancellation — which must propagate, or a half-gathered
+// column would flow downstream as if complete.
+func gatherColumn(c colstore.Column, sel []int32, workers, morselRows int, ctr *Counters) (colstore.Column, error) {
 	switch col := c.(type) {
 	case *colstore.Int64s:
 		out := make([]int64, len(sel))
-		_ = RunMorsels(workers, len(sel), morselRows, &ctr, func(m, lo, hi int, _ *Counters) error {
+		err := runMorselsInfallible(workers, len(sel), morselRows, ctr, func(m, lo, hi int, _ *Counters) {
 			for i := lo; i < hi; i++ {
 				out[i] = col.V[sel[i]]
 			}
-			return nil
 		})
-		return &colstore.Int64s{V: out}
+		if err != nil {
+			return nil, err
+		}
+		return &colstore.Int64s{V: out}, nil
 	case *colstore.Float64s:
 		out := make([]float64, len(sel))
-		_ = RunMorsels(workers, len(sel), morselRows, &ctr, func(m, lo, hi int, _ *Counters) error {
+		err := runMorselsInfallible(workers, len(sel), morselRows, ctr, func(m, lo, hi int, _ *Counters) {
 			for i := lo; i < hi; i++ {
 				out[i] = col.V[sel[i]]
 			}
-			return nil
 		})
-		return &colstore.Float64s{V: out}
+		if err != nil {
+			return nil, err
+		}
+		return &colstore.Float64s{V: out}, nil
 	case *colstore.Dates:
 		out := make([]int32, len(sel))
-		_ = RunMorsels(workers, len(sel), morselRows, &ctr, func(m, lo, hi int, _ *Counters) error {
+		err := runMorselsInfallible(workers, len(sel), morselRows, ctr, func(m, lo, hi int, _ *Counters) {
 			for i := lo; i < hi; i++ {
 				out[i] = col.V[sel[i]]
 			}
-			return nil
 		})
-		return &colstore.Dates{V: out}
+		if err != nil {
+			return nil, err
+		}
+		return &colstore.Dates{V: out}, nil
 	case *colstore.Bools:
 		out := make([]bool, len(sel))
-		_ = RunMorsels(workers, len(sel), morselRows, &ctr, func(m, lo, hi int, _ *Counters) error {
+		err := runMorselsInfallible(workers, len(sel), morselRows, ctr, func(m, lo, hi int, _ *Counters) {
 			for i := lo; i < hi; i++ {
 				out[i] = col.V[sel[i]]
 			}
-			return nil
 		})
-		return &colstore.Bools{V: out}
+		if err != nil {
+			return nil, err
+		}
+		return &colstore.Bools{V: out}, nil
 	case *colstore.Strings:
 		out := make([]int32, len(sel))
-		_ = RunMorsels(workers, len(sel), morselRows, &ctr, func(m, lo, hi int, _ *Counters) error {
+		err := runMorselsInfallible(workers, len(sel), morselRows, ctr, func(m, lo, hi int, _ *Counters) {
 			for i := lo; i < hi; i++ {
 				out[i] = col.Codes[sel[i]]
 			}
-			return nil
 		})
-		return &colstore.Strings{Codes: out, Dict: col.Dict}
+		if err != nil {
+			return nil, err
+		}
+		return &colstore.Strings{Codes: out, Dict: col.Dict}, nil
 	default:
 		// RLE and any future encodings keep their own Gather semantics.
-		return c.Gather(sel)
+		return c.Gather(sel), nil
 	}
 }

@@ -71,17 +71,22 @@ type PartitionedJoinTable struct {
 // goroutines, partitioning the keys so each partition's table is built
 // race-free by one worker. Small inputs or workers <= 1 fall back to the
 // sequential single-table build. The result probes identically to
-// BuildJoinTable(keys, ctr).
-func BuildJoinTableParallel(keys []int64, workers, morselRows int, ctr *Counters) JoinIndex {
+// BuildJoinTable(keys, ctr). The only possible error is the query's
+// cancellation, and it must propagate: a partially built table probes
+// wrong, not slow.
+func BuildJoinTableParallel(keys []int64, workers, morselRows int, ctr *Counters) (JoinIndex, error) {
 	if workers <= 1 || len(keys) < parallelBuildMinRows {
-		return BuildJoinTable(keys, ctr)
+		if err := ctr.sched.Err(); err != nil {
+			return nil, err
+		}
+		return BuildJoinTable(keys, ctr), nil
 	}
 	return buildPartitionedJoinTable(keys, workers, morselRows, ctr)
 }
 
 // buildPartitionedJoinTable is the partitioned build without the size
 // threshold, so tests can force it on small inputs.
-func buildPartitionedJoinTable(keys []int64, workers, morselRows int, ctr *Counters) *PartitionedJoinTable {
+func buildPartitionedJoinTable(keys []int64, workers, morselRows int, ctr *Counters) (*PartitionedJoinTable, error) {
 	n := len(keys)
 	p := workers
 	if p > maxBuildPartitions {
@@ -93,14 +98,15 @@ func buildPartitionedJoinTable(keys []int64, workers, morselRows int, ctr *Count
 	// Pass 1: per-morsel partition histograms.
 	nm := NumMorsels(n, morselRows)
 	counts := make([][]int32, nm)
-	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	if err := runMorselsInfallible(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		cnt := make([]int32, p)
 		for _, k := range keys[lo:hi] {
 			cnt[partHash(k, bits)]++
 		}
 		counts[m] = cnt
-		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Prefix sums give every (morsel, partition) pair a disjoint write
 	// window; filling windows in morsel order keeps each partition's row
@@ -125,7 +131,7 @@ func buildPartitionedJoinTable(keys []int64, workers, morselRows int, ctr *Count
 	// cursors live in one flat backing array carved into disjoint
 	// per-morsel windows, so the hot callback allocates nothing.
 	posScratch := make([]int32, nm*p)
-	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	if err := runMorselsInfallible(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		pos := posScratch[m*p : (m+1)*p]
 		copy(pos, offsets[m])
 		for i := lo; i < hi; i++ {
@@ -133,8 +139,9 @@ func buildPartitionedJoinTable(keys []int64, workers, morselRows int, ctr *Count
 			partRows[pi][pos[pi]] = int32(i)
 			pos[pi]++
 		}
-		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	// Pass 3: build every partition's table in parallel. Each partition
 	// writes disjoint rows of the shared next array.
@@ -144,7 +151,7 @@ func buildPartitionedJoinTable(keys []int64, workers, morselRows int, ctr *Count
 		bits:  bits,
 		n:     n,
 	}
-	_ = RunMorsels(workers, p, 1, ctr, func(pi, _, _ int, c *Counters) error {
+	if err := runMorselsInfallible(workers, p, 1, ctr, func(pi, _, _ int, c *Counters) {
 		rows := partRows[pi]
 		capacity := nextPow2(len(rows)*2 + 1)
 		jp := &pt.parts[pi]
@@ -173,8 +180,9 @@ func buildPartitionedJoinTable(keys []int64, workers, morselRows int, ctr *Count
 				slot = (slot + 1) & mask
 			}
 		}
-		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	ctr.HashBuildTuples += int64(n)
 	ctr.RandomAccesses += int64(n)
@@ -182,7 +190,7 @@ func buildPartitionedJoinTable(keys []int64, workers, morselRows int, ctr *Count
 	// index per key — work the sequential build never does.
 	ctr.MergeBytes += int64(n) * (8 + 8 + 4)
 	ctr.ObserveHashBytes(pt.SizeBytes())
-	return pt
+	return pt, nil
 }
 
 // SizeBytes reports the table's memory footprint.
@@ -285,27 +293,33 @@ func (pt *PartitionedJoinTable) FirstMatch(probeKeys []int64, ctr *Counters) []i
 
 // InnerJoinParallel probes jt morsel by morsel with up to workers
 // goroutines, concatenating per-morsel match vectors in input order —
-// the output is identical to jt.InnerJoin(probeKeys, ctr).
-func InnerJoinParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) (buildIdx, probeIdx []int32) {
+// the output is identical to jt.InnerJoin(probeKeys, ctr). The only
+// possible error is the query's cancellation.
+func InnerJoinParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) (buildIdx, probeIdx []int32, err error) {
 	if workers <= 1 || len(probeKeys) < parallelProbeMinRows {
-		return jt.InnerJoin(probeKeys, ctr)
+		if err := ctr.sched.Err(); err != nil {
+			return nil, nil, err
+		}
+		buildIdx, probeIdx = jt.InnerJoin(probeKeys, ctr)
+		return buildIdx, probeIdx, nil
 	}
 	return innerJoinMorsels(jt, probeKeys, workers, morselRows, ctr)
 }
 
 // innerJoinMorsels is InnerJoinParallel without the size threshold.
-func innerJoinMorsels(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) (buildIdx, probeIdx []int32) {
+func innerJoinMorsels(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) (buildIdx, probeIdx []int32, err error) {
 	nm := NumMorsels(len(probeKeys), morselRows)
 	bis := make([][]int32, nm)
 	pis := make([][]int32, nm)
-	_ = RunMorsels(workers, len(probeKeys), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	if err := runMorselsInfallible(workers, len(probeKeys), morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		bi, pi := jt.InnerJoin(probeKeys[lo:hi], c)
 		for i := range pi {
 			pi[i] += int32(lo)
 		}
 		bis[m], pis[m] = bi, pi
-		return nil
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 	total := 0
 	for m := range bis {
 		total += len(bis[m])
@@ -317,22 +331,23 @@ func innerJoinMorsels(jt JoinIndex, probeKeys []int64, workers, morselRows int, 
 		probeIdx = append(probeIdx, pis[m]...)
 	}
 	ctr.MergeBytes += int64(total) * 8
-	return buildIdx, probeIdx
+	return buildIdx, probeIdx, nil
 }
 
 // selJoinParallel runs a selection-vector-producing probe (semi or anti)
 // in parallel morsels.
-func selJoinParallel(probe func(sub []int64, c *Counters) []int32, probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+func selJoinParallel(probe func(sub []int64, c *Counters) []int32, probeKeys []int64, workers, morselRows int, ctr *Counters) ([]int32, error) {
 	nm := NumMorsels(len(probeKeys), morselRows)
 	sels := make([][]int32, nm)
-	_ = RunMorsels(workers, len(probeKeys), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	if err := runMorselsInfallible(workers, len(probeKeys), morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		sel := probe(probeKeys[lo:hi], c)
 		for i := range sel {
 			sel[i] += int32(lo)
 		}
 		sels[m] = sel
-		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	total := 0
 	for m := range sels {
 		total += len(sels[m])
@@ -342,59 +357,73 @@ func selJoinParallel(probe func(sub []int64, c *Counters) []int32, probeKeys []i
 		out = append(out, sels[m]...)
 	}
 	ctr.MergeBytes += int64(total) * 4
-	return out
+	return out, nil
 }
 
 // SemiJoinParallel is the morsel-parallel jt.SemiJoin.
-func SemiJoinParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+func SemiJoinParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) ([]int32, error) {
 	if workers <= 1 || len(probeKeys) < parallelProbeMinRows {
-		return jt.SemiJoin(probeKeys, ctr)
+		if err := ctr.sched.Err(); err != nil {
+			return nil, err
+		}
+		return jt.SemiJoin(probeKeys, ctr), nil
 	}
 	return selJoinParallel(jt.SemiJoin, probeKeys, workers, morselRows, ctr)
 }
 
 // AntiJoinParallel is the morsel-parallel jt.AntiJoin.
-func AntiJoinParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+func AntiJoinParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) ([]int32, error) {
 	if workers <= 1 || len(probeKeys) < parallelProbeMinRows {
-		return jt.AntiJoin(probeKeys, ctr)
+		if err := ctr.sched.Err(); err != nil {
+			return nil, err
+		}
+		return jt.AntiJoin(probeKeys, ctr), nil
 	}
 	return selJoinParallel(jt.AntiJoin, probeKeys, workers, morselRows, ctr)
 }
 
 // CountPerProbeParallel is the morsel-parallel jt.CountPerProbe.
-func CountPerProbeParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) []int64 {
+func CountPerProbeParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) ([]int64, error) {
 	if workers <= 1 || len(probeKeys) < parallelProbeMinRows {
-		return jt.CountPerProbe(probeKeys, ctr)
+		if err := ctr.sched.Err(); err != nil {
+			return nil, err
+		}
+		return jt.CountPerProbe(probeKeys, ctr), nil
 	}
 	return countPerProbeMorsels(jt, probeKeys, workers, morselRows, ctr)
 }
 
 // countPerProbeMorsels is CountPerProbeParallel without the threshold.
-func countPerProbeMorsels(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) []int64 {
+func countPerProbeMorsels(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) ([]int64, error) {
 	out := make([]int64, len(probeKeys))
-	_ = RunMorsels(workers, len(probeKeys), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	if err := runMorselsInfallible(workers, len(probeKeys), morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		copy(out[lo:hi], jt.CountPerProbe(probeKeys[lo:hi], c))
-		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	ctr.MergeBytes += int64(len(probeKeys)) * 8
-	return out
+	return out, nil
 }
 
 // FirstMatchParallel is the morsel-parallel jt.FirstMatch.
-func FirstMatchParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+func FirstMatchParallel(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) ([]int32, error) {
 	if workers <= 1 || len(probeKeys) < parallelProbeMinRows {
-		return jt.FirstMatch(probeKeys, ctr)
+		if err := ctr.sched.Err(); err != nil {
+			return nil, err
+		}
+		return jt.FirstMatch(probeKeys, ctr), nil
 	}
 	return firstMatchMorsels(jt, probeKeys, workers, morselRows, ctr)
 }
 
 // firstMatchMorsels is FirstMatchParallel without the threshold.
-func firstMatchMorsels(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
+func firstMatchMorsels(jt JoinIndex, probeKeys []int64, workers, morselRows int, ctr *Counters) ([]int32, error) {
 	out := make([]int32, len(probeKeys))
-	_ = RunMorsels(workers, len(probeKeys), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	if err := runMorselsInfallible(workers, len(probeKeys), morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		copy(out[lo:hi], jt.FirstMatch(probeKeys[lo:hi], c))
-		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	ctr.MergeBytes += int64(len(probeKeys)) * 4
-	return out
+	return out, nil
 }

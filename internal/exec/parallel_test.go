@@ -68,24 +68,33 @@ func TestParallelJoinMatchesSequential(t *testing.T) {
 
 		var seqCtr, parCtr Counters
 		seq := BuildJoinTable(bk, &seqCtr)
-		par := buildPartitionedJoinTable(bk, w, mr, &parCtr)
+		par, err := buildPartitionedJoinTable(bk, w, mr, &parCtr)
+		if err != nil {
+			return false
+		}
 
 		sb, sp := seq.InnerJoin(pk, &seqCtr)
-		pb, pp := innerJoinMorsels(par, pk, w, mr, &parCtr)
-		if !int32sEqual(sb, pb) || !int32sEqual(sp, pp) {
+		pb, pp, err := innerJoinMorsels(par, pk, w, mr, &parCtr)
+		if err != nil || !int32sEqual(sb, pb) || !int32sEqual(sp, pp) {
 			return false
 		}
-		if !int32sEqual(seq.SemiJoin(pk, &seqCtr), selJoinParallel(par.SemiJoin, pk, w, mr, &parCtr)) {
+		semi, err := selJoinParallel(par.SemiJoin, pk, w, mr, &parCtr)
+		if err != nil || !int32sEqual(seq.SemiJoin(pk, &seqCtr), semi) {
 			return false
 		}
-		if !int32sEqual(seq.AntiJoin(pk, &seqCtr), selJoinParallel(par.AntiJoin, pk, w, mr, &parCtr)) {
+		anti, err := selJoinParallel(par.AntiJoin, pk, w, mr, &parCtr)
+		if err != nil || !int32sEqual(seq.AntiJoin(pk, &seqCtr), anti) {
 			return false
 		}
-		if !int32sEqual(seq.FirstMatch(pk, &seqCtr), firstMatchMorsels(par, pk, w, mr, &parCtr)) {
+		first, err := firstMatchMorsels(par, pk, w, mr, &parCtr)
+		if err != nil || !int32sEqual(seq.FirstMatch(pk, &seqCtr), first) {
 			return false
 		}
 		sc := seq.CountPerProbe(pk, &seqCtr)
-		pc := countPerProbeMorsels(par, pk, w, mr, &parCtr)
+		pc, err := countPerProbeMorsels(par, pk, w, mr, &parCtr)
+		if err != nil {
+			return false
+		}
 		if len(sc) != len(pc) {
 			return false
 		}
@@ -114,12 +123,18 @@ func TestBuildJoinTableParallelLargeMatchesSequential(t *testing.T) {
 	}
 	var seqCtr, parCtr Counters
 	seq := BuildJoinTable(bk, &seqCtr)
-	par := BuildJoinTableParallel(bk, 8, 1024, &parCtr)
+	par, err := BuildJoinTableParallel(bk, 8, 1024, &parCtr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, ok := par.(*PartitionedJoinTable); !ok {
 		t.Fatalf("expected partitioned table for n=%d, got %T", n, par)
 	}
 	sb, sp := seq.InnerJoin(pk, &seqCtr)
-	pb, pp := InnerJoinParallel(par, pk, 8, 1024, &parCtr)
+	pb, pp, err := InnerJoinParallel(par, pk, 8, 1024, &parCtr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !int32sEqual(sb, pb) || !int32sEqual(sp, pp) {
 		t.Fatal("partitioned inner join differs from sequential")
 	}
@@ -209,7 +224,10 @@ func TestGatherTableMatchesSequential(t *testing.T) {
 		sel[i] = int32(rng.Intn(n))
 	}
 	want := tbl.Gather(sel)
-	got := GatherTable(tbl, sel, 8, 1024)
+	got, err := GatherTable(tbl, sel, 8, 1024, &Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got.NumRows() != want.NumRows() {
 		t.Fatalf("rows %d vs %d", got.NumRows(), want.NumRows())
 	}

@@ -98,21 +98,24 @@ func (rp *RadixPartitions) NumPartitions() int { return len(rp.Off) - 1 }
 // i). The input slices are never modified. The first pass runs
 // morsel-parallel over the input; later passes refine one segment per
 // morsel. ctr is charged one streaming read per histogram pass and a
-// read+write stream per scatter pass (PartitionBytes).
-func RadixPartitionKeys(keys []int64, rows []int32, bits uint, workers, morselRows int, ctr *Counters) *RadixPartitions {
+// read+write stream per scatter pass (PartitionBytes). The only
+// possible error is the query's cancellation; a partially scattered
+// permutation must never be consumed.
+func RadixPartitionKeys(keys []int64, rows []int32, bits uint, workers, morselRows int, ctr *Counters) (*RadixPartitions, error) {
 	n := len(keys)
 	if bits == 0 {
 		if rows == nil {
 			rows = make([]int32, n)
-			_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+			if err := runMorselsInfallible(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) {
 				for i := lo; i < hi; i++ {
 					rows[i] = int32(i)
 				}
 				c.IntOps += int64(hi - lo)
-				return nil
-			})
+			}); err != nil {
+				return nil, err
+			}
 		}
-		return &RadixPartitions{Keys: keys, Rows: rows, Off: []int32{0, int32(n)}, Bits: 0}
+		return &RadixPartitions{Keys: keys, Rows: rows, Off: []int32{0, int32(n)}, Bits: 0}, nil
 	}
 
 	rp := &RadixPartitions{Bits: bits}
@@ -129,9 +132,13 @@ func RadixPartitionKeys(keys []int64, rows []int32, bits uint, workers, morselRo
 		fan := 1 << b
 		newOff := make([]int32, (len(off)-1)*fan+1)
 		if done == 0 {
-			radixFirstPass(srcK, srcR, dstK, dstR, newOff, b, workers, morselRows, ctr)
+			if err := radixFirstPass(srcK, srcR, dstK, dstR, newOff, b, workers, morselRows, ctr); err != nil {
+				return nil, err
+			}
 		} else {
-			radixRefinePass(srcK, srcR, dstK, dstR, off, newOff, done, b, workers, ctr)
+			if err := radixRefinePass(srcK, srcR, dstK, dstR, off, newOff, done, b, workers, ctr); err != nil {
+				return nil, err
+			}
 		}
 		newOff[len(newOff)-1] = int32(n)
 		off = newOff
@@ -148,20 +155,20 @@ func RadixPartitionKeys(keys []int64, rows []int32, bits uint, workers, morselRo
 		}
 	}
 	rp.Keys, rp.Rows, rp.Off = dstK, dstR, off
-	return rp
+	return rp, nil
 }
 
 // radixFirstPass scatters the whole input by its top b partition bits,
 // morsel-parallel: a histogram pass gives every (morsel, bucket) pair a
 // disjoint write window, and filling windows in morsel order keeps the
 // scatter stable. srcR == nil means identity row indexes.
-func radixFirstPass(srcK []int64, srcR []int32, dstK []int64, dstR, newOff []int32, b uint, workers, morselRows int, ctr *Counters) {
+func radixFirstPass(srcK []int64, srcR []int32, dstK []int64, dstR, newOff []int32, b uint, workers, morselRows int, ctr *Counters) error {
 	n := len(srcK)
 	fan := 1 << b
 	shift := 64 - b
 	nm := NumMorsels(n, morselRows)
 	counts := make([][]int32, nm)
-	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	if err := runMorselsInfallible(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		cnt := make([]int32, fan)
 		for _, k := range srcK[lo:hi] {
 			cnt[mix64(uint64(k))>>shift]++
@@ -169,8 +176,9 @@ func radixFirstPass(srcK []int64, srcR []int32, dstK []int64, dstR, newOff []int
 		counts[m] = cnt
 		c.IntOps += int64(hi - lo)
 		c.PartitionBytes += int64(hi-lo) * radixElemBytes
-		return nil
-	})
+	}); err != nil {
+		return err
+	}
 	// Bucket bases, then per-(morsel, bucket) windows within each bucket.
 	within := make([][]int32, nm)
 	perBucket := make([]int32, fan)
@@ -190,7 +198,7 @@ func radixFirstPass(srcK []int64, srcR []int32, dstK []int64, dstR, newOff []int
 	// One flat cursor array, a disjoint fan-wide window per morsel: the
 	// scatter callback itself stays allocation-free.
 	posScratch := make([]int32, nm*fan)
-	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	return runMorselsInfallible(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		pos := posScratch[m*fan : (m+1)*fan]
 		for t := 0; t < fan; t++ {
 			pos[t] = newOff[t] + within[m][t]
@@ -207,14 +215,13 @@ func radixFirstPass(srcK []int64, srcR []int32, dstK []int64, dstR, newOff []int
 		}
 		c.IntOps += int64(hi - lo)
 		c.PartitionBytes += int64(hi-lo) * radixElemBytes * 2
-		return nil
 	})
 }
 
 // radixRefinePass splits every existing segment by its next b partition
 // bits. Segments are independent, so each runs as one morsel; the
 // sequential per-segment scatter is stable.
-func radixRefinePass(srcK []int64, srcR []int32, dstK []int64, dstR, off, newOff []int32, done, b uint, workers int, ctr *Counters) {
+func radixRefinePass(srcK []int64, srcR []int32, dstK []int64, dstR, off, newOff []int32, done, b uint, workers int, ctr *Counters) error {
 	fan := 1 << b
 	shift := 64 - done - b
 	mask := uint64(fan - 1)
@@ -222,7 +229,7 @@ func radixRefinePass(srcK []int64, srcR []int32, dstK []int64, dstR, off, newOff
 	// Histogram and cursor scratch for all segments up front; each
 	// segment owns two disjoint fan-wide windows of the flat array.
 	scratch := make([]int32, 2*nseg*fan)
-	_ = RunMorsels(workers, nseg, 1, ctr, func(s, _, _ int, c *Counters) error {
+	return runMorselsInfallible(workers, nseg, 1, ctr, func(s, _, _ int, c *Counters) {
 		lo, hi := int(off[s]), int(off[s+1])
 		cnt := scratch[2*s*fan : (2*s+1)*fan]
 		for _, k := range srcK[lo:hi] {
@@ -243,7 +250,6 @@ func radixRefinePass(srcK []int64, srcR []int32, dstK []int64, dstR, off, newOff
 		}
 		c.IntOps += int64(hi-lo) * 2
 		c.PartitionBytes += int64(hi-lo) * radixElemBytes * 3
-		return nil
 	})
 }
 
@@ -252,35 +258,37 @@ func radixRefinePass(srcK []int64, srcR []int32, dstK []int64, dstR, off, newOff
 // this way; the charge models the values riding along the partition
 // passes (one read+write stream per pass), which is how a
 // payload-carrying radix scatter behaves.
-func (rp *RadixPartitions) GatherF64(vals []float64, workers, morselRows int, ctr *Counters) []float64 {
+func (rp *RadixPartitions) GatherF64(vals []float64, workers, morselRows int, ctr *Counters) ([]float64, error) {
 	out := make([]float64, len(rp.Rows))
 	passes := int64(rp.Passes)
 	if passes < 1 {
 		passes = 1
 	}
-	_ = RunMorsels(workers, len(rp.Rows), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	if err := runMorselsInfallible(workers, len(rp.Rows), morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		for i := lo; i < hi; i++ {
 			out[i] = vals[rp.Rows[i]]
 		}
 		c.PartitionBytes += int64(hi-lo) * 16 * passes
-		return nil
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // GatherI64 is GatherF64 for int64 payloads.
-func (rp *RadixPartitions) GatherI64(vals []int64, workers, morselRows int, ctr *Counters) []int64 {
+func (rp *RadixPartitions) GatherI64(vals []int64, workers, morselRows int, ctr *Counters) ([]int64, error) {
 	out := make([]int64, len(rp.Rows))
 	passes := int64(rp.Passes)
 	if passes < 1 {
 		passes = 1
 	}
-	_ = RunMorsels(workers, len(rp.Rows), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	if err := runMorselsInfallible(workers, len(rp.Rows), morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		for i := lo; i < hi; i++ {
 			out[i] = vals[rp.Rows[i]]
 		}
 		c.PartitionBytes += int64(hi-lo) * 16 * passes
-		return nil
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -5,6 +5,15 @@ import (
 	"testing"
 )
 
+// must unwraps a (value, error) pair from the now-fallible parallel
+// kernels; outside cancellation these calls never fail.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // radixKeySets returns the key distributions the partitioned paths must
 // handle: duplicate-heavy (few distinct keys), skewed (one hot key plus
 // a wide tail), sequential (the adversary for weak hash finalizers), and
@@ -58,7 +67,7 @@ func TestRadixPartitionKeysInvariants(t *testing.T) {
 	for name, keys := range radixKeySets(n) {
 		for _, bits := range []uint{0, 4, RadixBitsPerPass + 2} {
 			var ctr Counters
-			rp := RadixPartitionKeys(keys, nil, bits, 4, 1024, &ctr)
+			rp := must(RadixPartitionKeys(keys, nil, bits, 4, 1024, &ctr))
 			if got, want := rp.NumPartitions(), 1<<bits; got != want {
 				t.Fatalf("%s bits=%d: NumPartitions = %d, want %d", name, bits, got, want)
 			}
@@ -114,7 +123,7 @@ func TestRadixPartitionKeysWorkerIndependent(t *testing.T) {
 		var base *RadixPartitions
 		for _, w := range []int{1, 2, 4, 8} {
 			var ctr Counters
-			rp := RadixPartitionKeys(keys, nil, RadixBitsPerPass+3, w, 777, &ctr)
+			rp := must(RadixPartitionKeys(keys, nil, RadixBitsPerPass+3, w, 777, &ctr))
 			if base == nil {
 				base = rp
 				continue
@@ -146,7 +155,7 @@ func TestRadixPartitionKeysDoesNotMutateInput(t *testing.T) {
 	orig := append([]int64(nil), keys...)
 	for _, bits := range []uint{RadixBitsPerPass - 1, RadixBitsPerPass, RadixBitsPerPass + 1, 2 * RadixBitsPerPass} {
 		var ctr Counters
-		RadixPartitionKeys(keys, nil, bits, 4, 512, &ctr)
+		must(RadixPartitionKeys(keys, nil, bits, 4, 512, &ctr))
 		for i := range keys {
 			if keys[i] != orig[i] {
 				t.Fatalf("bits=%d: input keys[%d] mutated", bits, i)
@@ -191,9 +200,9 @@ func TestRadixGatherAlignsPayloads(t *testing.T) {
 		ivals[i] = int64(i) * 3
 	}
 	var ctr Counters
-	rp := RadixPartitionKeys(keys, nil, 5, 4, 512, &ctr)
-	gf := rp.GatherF64(fvals, 4, 512, &ctr)
-	gi := rp.GatherI64(ivals, 4, 512, &ctr)
+	rp := must(RadixPartitionKeys(keys, nil, 5, 4, 512, &ctr))
+	gf := must(rp.GatherF64(fvals, 4, 512, &ctr))
+	gi := must(rp.GatherI64(ivals, 4, 512, &ctr))
 	for i := range gf {
 		r := rp.Rows[i]
 		if gf[i] != fvals[r] || gi[i] != ivals[r] {

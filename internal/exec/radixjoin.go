@@ -75,17 +75,21 @@ type RadixJoinTable struct {
 // targetPartBytes, then builds the per-partition tables. It is the
 // convenience entry; the planner calls RadixPartitionKeys and
 // BuildRadixTables separately so the partition phase gets its own span.
-func BuildRadixJoinTable(keys []int64, targetPartBytes int64, cfg RadixJoinConfig, workers, morselRows int, ctr *Counters) *RadixJoinTable {
+func BuildRadixJoinTable(keys []int64, targetPartBytes int64, cfg RadixJoinConfig, workers, morselRows int, ctr *Counters) (*RadixJoinTable, error) {
 	bits := RadixBits(len(keys), RadixBuildBytesPerRow, targetPartBytes)
-	rp := RadixPartitionKeys(keys, nil, bits, workers, morselRows, ctr)
+	rp, err := RadixPartitionKeys(keys, nil, bits, workers, morselRows, ctr)
+	if err != nil {
+		return nil, err
+	}
 	return BuildRadixTables(rp, cfg, workers, morselRows, ctr)
 }
 
 // BuildRadixTables builds one compact table per partition of the
 // already-partitioned build side. Partitions are independent morsels;
 // each table's inserts and payload writes stay within its own
-// cache-sized range.
-func BuildRadixTables(rp *RadixPartitions, cfg RadixJoinConfig, workers, morselRows int, ctr *Counters) *RadixJoinTable {
+// cache-sized range. The only possible error is the query's
+// cancellation, and a partially built table must never be probed.
+func BuildRadixTables(rp *RadixPartitions, cfg RadixJoinConfig, workers, morselRows int, ctr *Counters) (*RadixJoinTable, error) {
 	np := rp.NumPartitions()
 	n := len(rp.Rows)
 	rt := &RadixJoinTable{
@@ -94,17 +98,18 @@ func BuildRadixTables(rp *RadixPartitions, cfg RadixJoinConfig, workers, morselR
 		payload: make([]int32, n),
 		n:       n,
 	}
-	_ = RunMorsels(workers, np, 1, ctr, func(p, _, _ int, c *Counters) error {
+	if err := runMorselsInfallible(workers, np, 1, ctr, func(p, _, _ int, c *Counters) {
 		lo, hi := int(rp.Off[p]), int(rp.Off[p+1])
 		buildRadixPart(&rt.parts[p], rp.Keys[lo:hi], rp.Rows[lo:hi], rt.payload[lo:hi], int32(lo), c)
-		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	if cfg.Bloom {
 		rt.bloom = NewBloom(rp.Keys, ctr)
 	}
 	ctr.HashBuildTuples += int64(n)
 	ctr.ObserveHashBytes(rt.SizeBytes())
-	return rt
+	return rt, nil
 }
 
 // buildRadixPart builds one partition's table. Keys arrive in ascending
@@ -186,12 +191,18 @@ func (rt *RadixJoinTable) NumPartitions() int { return len(rt.parts) }
 // any) and radix-partitions it with the build's fan-out. Rows rejected
 // by the filter have no match by construction, so dropping them before
 // partitioning changes no output.
-func (rt *RadixJoinTable) partitionProbe(probeKeys []int64, workers, morselRows int, ctr *Counters) *RadixPartitions {
+func (rt *RadixJoinTable) partitionProbe(probeKeys []int64, workers, morselRows int, ctr *Counters) (*RadixPartitions, error) {
 	keys, rows := probeKeys, []int32(nil)
 	if rt.bloom != nil {
-		sel := rt.bloom.FilterKeys(probeKeys, workers, morselRows, ctr)
+		sel, err := rt.bloom.FilterKeys(probeKeys, workers, morselRows, ctr)
+		if err != nil {
+			return nil, err
+		}
 		if len(sel) < len(probeKeys) {
-			keys = gatherKeysAt(probeKeys, sel, workers, morselRows, ctr)
+			keys, err = gatherKeysAt(probeKeys, sel, workers, morselRows, ctr)
+			if err != nil {
+				return nil, err
+			}
 			rows = sel
 		}
 	}
@@ -200,16 +211,17 @@ func (rt *RadixJoinTable) partitionProbe(probeKeys []int64, workers, morselRows 
 
 // gatherKeysAt compacts keys down to the selected rows (ascending sel,
 // so the reads stream forward).
-func gatherKeysAt(keys []int64, sel []int32, workers, morselRows int, ctr *Counters) []int64 {
+func gatherKeysAt(keys []int64, sel []int32, workers, morselRows int, ctr *Counters) ([]int64, error) {
 	out := make([]int64, len(sel))
-	_ = RunMorsels(workers, len(sel), morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	if err := runMorselsInfallible(workers, len(sel), morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		for i := lo; i < hi; i++ {
 			out[i] = keys[sel[i]]
 		}
 		c.SeqBytes += int64(hi-lo) * 12
-		return nil
-	})
-	return out
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // InnerJoin returns matching (build row, probe row) pairs, byte-identical
@@ -217,12 +229,15 @@ func gatherKeysAt(keys []int64, sel []int32, workers, morselRows int, ctr *Count
 // duplicates in descending build-row order. A per-partition count pass
 // sizes the output exactly; a prefix sum over probe rows assigns every
 // row its window; a second per-partition pass fills the windows.
-func (rt *RadixJoinTable) InnerJoin(probeKeys []int64, workers, morselRows int, ctr *Counters) (buildIdx, probeIdx []int32) {
-	pp := rt.partitionProbe(probeKeys, workers, morselRows, ctr)
+func (rt *RadixJoinTable) InnerJoin(probeKeys []int64, workers, morselRows int, ctr *Counters) (buildIdx, probeIdx []int32, err error) {
+	pp, err := rt.partitionProbe(probeKeys, workers, morselRows, ctr)
+	if err != nil {
+		return nil, nil, err
+	}
 	np := rt.NumPartitions()
 	counts := make([]int32, len(probeKeys))
 	grpOf := make([]int32, len(pp.Rows))
-	_ = RunMorsels(workers, np, 1, ctr, func(p, _, _ int, c *Counters) error {
+	if err := runMorselsInfallible(workers, np, 1, ctr, func(p, _, _ int, c *Counters) {
 		jp := &rt.parts[p]
 		lo, hi := int(pp.Off[p]), int(pp.Off[p+1])
 		for i := lo; i < hi; i++ {
@@ -234,8 +249,9 @@ func (rt *RadixJoinTable) InnerJoin(probeKeys []int64, workers, morselRows int, 
 		}
 		c.HashProbeTuples += int64(hi - lo)
 		c.CacheRandomAccesses += int64(hi - lo)
-		return nil
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 
 	// Exclusive prefix sum: offs[p] is probe row p's first output slot.
 	// Sequential, but pure streaming arithmetic.
@@ -250,7 +266,7 @@ func (rt *RadixJoinTable) InnerJoin(probeKeys []int64, workers, morselRows int, 
 
 	buildIdx = make([]int32, total)
 	probeIdx = make([]int32, total)
-	_ = RunMorsels(workers, np, 1, ctr, func(p, _, _ int, c *Counters) error {
+	if err := runMorselsInfallible(workers, np, 1, ctr, func(p, _, _ int, c *Counters) {
 		jp := &rt.parts[p]
 		lo, hi := int(pp.Off[p]), int(pp.Off[p+1])
 		var emitted int64
@@ -271,31 +287,41 @@ func (rt *RadixJoinTable) InnerJoin(probeKeys []int64, workers, morselRows int, 
 		}
 		c.CacheRandomAccesses += emitted
 		c.SeqBytes += emitted * 8
-		return nil
-	})
-	return buildIdx, probeIdx
+	}); err != nil {
+		return nil, nil, err
+	}
+	return buildIdx, probeIdx, nil
 }
 
 // SemiJoin returns the probe rows with at least one match (ascending),
 // byte-identical to JoinTable.SemiJoin.
-func (rt *RadixJoinTable) SemiJoin(probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
-	hit := rt.matchFlags(probeKeys, workers, morselRows, ctr)
-	return collectFlags(hit, true, ctr)
+func (rt *RadixJoinTable) SemiJoin(probeKeys []int64, workers, morselRows int, ctr *Counters) ([]int32, error) {
+	hit, err := rt.matchFlags(probeKeys, workers, morselRows, ctr)
+	if err != nil {
+		return nil, err
+	}
+	return collectFlags(hit, true, ctr), nil
 }
 
 // AntiJoin returns the probe rows with no match (ascending),
 // byte-identical to JoinTable.AntiJoin. Bloom-rejected rows are correct
 // anti matches: the filter has no false negatives.
-func (rt *RadixJoinTable) AntiJoin(probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
-	hit := rt.matchFlags(probeKeys, workers, morselRows, ctr)
-	return collectFlags(hit, false, ctr)
+func (rt *RadixJoinTable) AntiJoin(probeKeys []int64, workers, morselRows int, ctr *Counters) ([]int32, error) {
+	hit, err := rt.matchFlags(probeKeys, workers, morselRows, ctr)
+	if err != nil {
+		return nil, err
+	}
+	return collectFlags(hit, false, ctr), nil
 }
 
 // matchFlags probes every partition and marks the probe rows that match.
-func (rt *RadixJoinTable) matchFlags(probeKeys []int64, workers, morselRows int, ctr *Counters) []bool {
-	pp := rt.partitionProbe(probeKeys, workers, morselRows, ctr)
+func (rt *RadixJoinTable) matchFlags(probeKeys []int64, workers, morselRows int, ctr *Counters) ([]bool, error) {
+	pp, err := rt.partitionProbe(probeKeys, workers, morselRows, ctr)
+	if err != nil {
+		return nil, err
+	}
 	hit := make([]bool, len(probeKeys))
-	_ = RunMorsels(workers, rt.NumPartitions(), 1, ctr, func(p, _, _ int, c *Counters) error {
+	if err := runMorselsInfallible(workers, rt.NumPartitions(), 1, ctr, func(p, _, _ int, c *Counters) {
 		jp := &rt.parts[p]
 		lo, hi := int(pp.Off[p]), int(pp.Off[p+1])
 		for i := lo; i < hi; i++ {
@@ -305,9 +331,10 @@ func (rt *RadixJoinTable) matchFlags(probeKeys []int64, workers, morselRows int,
 		}
 		c.HashProbeTuples += int64(hi - lo)
 		c.CacheRandomAccesses += int64(hi - lo)
-		return nil
-	})
-	return hit
+	}); err != nil {
+		return nil, err
+	}
+	return hit, nil
 }
 
 // collectFlags gathers the rows whose flag equals want, in ascending
@@ -326,10 +353,13 @@ func collectFlags(flags []bool, want bool, ctr *Counters) []int32 {
 
 // CountPerProbe returns each probe row's match count, byte-identical to
 // JoinTable.CountPerProbe.
-func (rt *RadixJoinTable) CountPerProbe(probeKeys []int64, workers, morselRows int, ctr *Counters) []int64 {
-	pp := rt.partitionProbe(probeKeys, workers, morselRows, ctr)
+func (rt *RadixJoinTable) CountPerProbe(probeKeys []int64, workers, morselRows int, ctr *Counters) ([]int64, error) {
+	pp, err := rt.partitionProbe(probeKeys, workers, morselRows, ctr)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]int64, len(probeKeys))
-	_ = RunMorsels(workers, rt.NumPartitions(), 1, ctr, func(p, _, _ int, c *Counters) error {
+	if err := runMorselsInfallible(workers, rt.NumPartitions(), 1, ctr, func(p, _, _ int, c *Counters) {
 		jp := &rt.parts[p]
 		lo, hi := int(pp.Off[p]), int(pp.Off[p+1])
 		for i := lo; i < hi; i++ {
@@ -339,22 +369,26 @@ func (rt *RadixJoinTable) CountPerProbe(probeKeys []int64, workers, morselRows i
 		}
 		c.HashProbeTuples += int64(hi - lo)
 		c.CacheRandomAccesses += int64(hi - lo)
-		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	ctr.SeqBytes += int64(len(probeKeys)) * 8
-	return out
+	return out, nil
 }
 
 // FirstMatch returns each probe row's first matching build row or -1,
 // byte-identical to JoinTable.FirstMatch (the chained table's head is
 // the largest build row — the payload's last entry).
-func (rt *RadixJoinTable) FirstMatch(probeKeys []int64, workers, morselRows int, ctr *Counters) []int32 {
-	pp := rt.partitionProbe(probeKeys, workers, morselRows, ctr)
+func (rt *RadixJoinTable) FirstMatch(probeKeys []int64, workers, morselRows int, ctr *Counters) ([]int32, error) {
+	pp, err := rt.partitionProbe(probeKeys, workers, morselRows, ctr)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]int32, len(probeKeys))
 	for i := range out {
 		out[i] = -1
 	}
-	_ = RunMorsels(workers, rt.NumPartitions(), 1, ctr, func(p, _, _ int, c *Counters) error {
+	if err := runMorselsInfallible(workers, rt.NumPartitions(), 1, ctr, func(p, _, _ int, c *Counters) {
 		jp := &rt.parts[p]
 		lo, hi := int(pp.Off[p]), int(pp.Off[p+1])
 		for i := lo; i < hi; i++ {
@@ -364,8 +398,9 @@ func (rt *RadixJoinTable) FirstMatch(probeKeys []int64, workers, morselRows int,
 		}
 		c.HashProbeTuples += int64(hi - lo)
 		c.CacheRandomAccesses += int64(hi - lo)
-		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	ctr.SeqBytes += int64(len(probeKeys)) * 4
-	return out
+	return out, nil
 }

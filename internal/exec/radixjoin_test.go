@@ -71,7 +71,7 @@ func TestRadixJoinByteIdenticalToChained(t *testing.T) {
 			for _, w := range []int{1, 2, 4, 8} {
 				label := fmt.Sprintf("%s bloom=%t workers=%d", name, bloom, w)
 				var ctr Counters
-				rt := BuildRadixJoinTable(build, target, RadixJoinConfig{Bloom: bloom}, w, 1024, &ctr)
+				rt := must(BuildRadixJoinTable(build, target, RadixJoinConfig{Bloom: bloom}, w, 1024, &ctr))
 				if rt.NumPartitions() < 2 {
 					t.Fatalf("%s: expected multi-partition build, got %d", label, rt.NumPartitions())
 				}
@@ -79,20 +79,23 @@ func TestRadixJoinByteIdenticalToChained(t *testing.T) {
 					t.Fatalf("%s: NumBuildRows = %d", label, rt.NumBuildRows())
 				}
 
-				bi, pi := rt.InnerJoin(probe, w, 1024, &ctr)
+				bi, pi, err := rt.InnerJoin(probe, w, 1024, &ctr)
+				if err != nil {
+					t.Fatal(err)
+				}
 				if !eqI32(bi, wantBI) || !eqI32(pi, wantPI) {
 					t.Fatalf("%s: InnerJoin diverges (%d vs %d pairs)", label, len(bi), len(wantBI))
 				}
-				if got := rt.SemiJoin(probe, w, 1024, &ctr); !eqI32(got, wantSemi) {
+				if got := must(rt.SemiJoin(probe, w, 1024, &ctr)); !eqI32(got, wantSemi) {
 					t.Fatalf("%s: SemiJoin diverges", label)
 				}
-				if got := rt.AntiJoin(probe, w, 1024, &ctr); !eqI32(got, wantAnti) {
+				if got := must(rt.AntiJoin(probe, w, 1024, &ctr)); !eqI32(got, wantAnti) {
 					t.Fatalf("%s: AntiJoin diverges", label)
 				}
-				if got := rt.CountPerProbe(probe, w, 1024, &ctr); !eqI64(got, wantCnt) {
+				if got := must(rt.CountPerProbe(probe, w, 1024, &ctr)); !eqI64(got, wantCnt) {
 					t.Fatalf("%s: CountPerProbe diverges", label)
 				}
-				if got := rt.FirstMatch(probe, w, 1024, &ctr); !eqI32(got, wantFirst) {
+				if got := must(rt.FirstMatch(probe, w, 1024, &ctr)); !eqI32(got, wantFirst) {
 					t.Fatalf("%s: FirstMatch diverges", label)
 				}
 				if ctr.CacheRandomAccesses == 0 {
@@ -109,21 +112,27 @@ func TestRadixJoinByteIdenticalToChained(t *testing.T) {
 // TestRadixJoinEmptySides mirrors TestJoinEmptySides for the radix path.
 func TestRadixJoinEmptySides(t *testing.T) {
 	var ctr Counters
-	rt := BuildRadixJoinTable(nil, 1<<10, RadixJoinConfig{}, 4, 512, &ctr)
-	bi, pi := rt.InnerJoin([]int64{1, 2, 3}, 4, 512, &ctr)
+	rt := must(BuildRadixJoinTable(nil, 1<<10, RadixJoinConfig{}, 4, 512, &ctr))
+	bi, pi, err := rt.InnerJoin([]int64{1, 2, 3}, 4, 512, &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(bi) != 0 || len(pi) != 0 {
 		t.Fatalf("join against empty build produced %d pairs", len(bi))
 	}
-	if got := rt.AntiJoin([]int64{7, 8}, 4, 512, &ctr); len(got) != 2 {
+	if got := must(rt.AntiJoin([]int64{7, 8}, 4, 512, &ctr)); len(got) != 2 {
 		t.Fatalf("anti join against empty build kept %d of 2 rows", len(got))
 	}
 
-	rt2 := BuildRadixJoinTable([]int64{1, 2, 3}, 1<<10, RadixJoinConfig{Bloom: true}, 4, 512, &ctr)
-	bi, pi = rt2.InnerJoin(nil, 4, 512, &ctr)
+	rt2 := must(BuildRadixJoinTable([]int64{1, 2, 3}, 1<<10, RadixJoinConfig{Bloom: true}, 4, 512, &ctr))
+	bi, pi, err = rt2.InnerJoin(nil, 4, 512, &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(bi) != 0 || len(pi) != 0 {
 		t.Fatalf("empty probe produced %d pairs", len(bi))
 	}
-	if got := rt2.SemiJoin(nil, 4, 512, &ctr); len(got) != 0 {
+	if got := must(rt2.SemiJoin(nil, 4, 512, &ctr)); len(got) != 0 {
 		t.Fatalf("empty probe semi join kept %d rows", len(got))
 	}
 }
@@ -150,7 +159,7 @@ func TestBloomNoFalseNegatives(t *testing.T) {
 	for _, k := range keys {
 		inBuild[k] = true
 	}
-	sel := b.FilterKeys(probe, 4, 1024, &ctr)
+	sel := must(b.FilterKeys(probe, 4, 1024, &ctr))
 	kept := map[int32]bool{}
 	prev := int32(-1)
 	for _, r := range sel {
@@ -181,7 +190,7 @@ func TestBloomFilterPrunes(t *testing.T) {
 	for i := range misses {
 		misses[i] = -rng.Int63() - 1 // disjoint from build keys (all >= 0)
 	}
-	sel := b.FilterKeys(misses, 1, 1024, &ctr)
+	sel := must(b.FilterKeys(misses, 1, 1024, &ctr))
 	// ~10 bits/key, 2 probes: false positive rate should be far below
 	// 20%; fail only on gross breakage.
 	if len(sel) > len(misses)/5 {

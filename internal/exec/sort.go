@@ -151,9 +151,8 @@ func argSortMerge(t *colstore.Table, keys []SortKey, workers, morselRows int, ct
 	}
 	idx := SelAll(n)
 	nm := NumMorsels(n, morselRows)
-	_ = RunMorsels(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) error {
+	if err := runMorselsInfallible(workers, n, morselRows, ctr, func(m, lo, hi int, c *Counters) {
 		run := idx[lo:hi]
-		//lint:allow hotalloc -- one comparator closure boxed per morsel run-sort, amortized over the run's O(n log n) compares
 		sort.SliceStable(run, func(i, j int) bool {
 			a, b := run[i], run[j]
 			for _, f := range cmps {
@@ -164,8 +163,11 @@ func argSortMerge(t *colstore.Table, keys []SortKey, workers, morselRows int, ct
 			return false
 		})
 		chargeSort(c, int64(hi-lo), len(keys))
-		return nil
-	})
+	}); err != nil {
+		// Cancelled mid-run: idx holds partially sorted runs that must
+		// never reach the merge.
+		return nil, err
+	}
 
 	// K-way merge of the sorted runs via a binary min-heap of run heads.
 	type run struct{ pos, end int }
@@ -250,7 +252,10 @@ func SortTableParallel(t *colstore.Table, keys []SortKey, workers, morselRows in
 	if err != nil {
 		return nil, err
 	}
-	out := GatherTable(t, idx, workers, morselRows)
+	out, err := GatherTable(t, idx, workers, morselRows, ctr)
+	if err != nil {
+		return nil, err
+	}
 	ctr.TuplesMaterialized += int64(out.NumRows())
 	ctr.BytesMaterialized += out.SizeBytes()
 	ctr.RandomAccesses += int64(out.NumRows()) * int64(out.NumCols())

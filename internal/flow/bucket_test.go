@@ -1,0 +1,285 @@
+package flow
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is a deterministic Clock: time moves only when a test
+// calls Advance, which fires every timer whose deadline has passed.
+type manualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*manualTimer
+}
+
+type manualTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &manualTimer{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.ch <- c.now
+		return t.ch
+	}
+	c.timers = append(c.timers, t)
+	return t.ch
+}
+
+// Advance moves time forward and fires every due timer.
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.at.After(c.now) {
+			t.ch <- c.now
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	c.timers = kept
+}
+
+// pending reports how many timers are armed and not yet fired.
+func (c *manualClock) pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+// waitFor polls cond until it holds or a real-time deadline expires.
+// The manual clock makes outcomes deterministic; the polling only
+// bridges goroutine scheduling.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// enqueue starts a Wait in a goroutine and blocks until it is queued
+// with its wake-up timer armed, pinning a deterministic arrival order.
+func enqueue(t *testing.T, clk *manualClock, b *TokenBucket, ctx context.Context, need float64, queued int, done chan<- int, id int) {
+	t.Helper()
+	go func() {
+		err := b.Wait(ctx, need)
+		if err != nil {
+			done <- -id - 1 // negative: cancelled
+			return
+		}
+		done <- id
+	}()
+	waitFor(t, "waiter to queue", func() bool {
+		return b.QueueLen() >= queued && clk.pending() >= queued
+	})
+}
+
+// TestTokenBucketFastPath: tokens on hand and no queue means no wait.
+func TestTokenBucketFastPath(t *testing.T) {
+	clk := newManualClock()
+	b := NewTokenBucketClock(100, 50, clk)
+	if err := b.Wait(context.Background(), 50); err != nil {
+		t.Fatalf("fast path Wait: %v", err)
+	}
+	if got := b.Tokens(); got != 0 {
+		t.Fatalf("tokens after spending the burst = %g, want 0", got)
+	}
+}
+
+// TestTokenBucketRefillCap: idle time refills to the burst, never past.
+func TestTokenBucketRefillCap(t *testing.T) {
+	clk := newManualClock()
+	b := NewTokenBucketClock(100, 50, clk)
+	if err := b.Wait(context.Background(), 50); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	clk.Advance(time.Hour)
+	if got := b.Tokens(); got != 50 {
+		t.Fatalf("tokens after long idle = %g, want burst 50", got)
+	}
+}
+
+// TestTokenBucketFIFOSeeded pins the fairness contract with seeded
+// random request sizes: waiters complete strictly in arrival order, a
+// small request never overtakes an older large one, and each grant
+// lands exactly when the cumulative refill covers it.
+func TestTokenBucketFIFOSeeded(t *testing.T) {
+	const rate, burst = 1000.0, 100.0
+	clk := newManualClock()
+	b := NewTokenBucketClock(rate, burst, clk)
+	if err := b.Wait(context.Background(), burst); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	const n = 12
+	needs := make([]float64, n)
+	for i := range needs {
+		needs[i] = float64(1 + rng.Intn(int(burst)))
+	}
+	// A large head so the later small requests would all overtake it
+	// under a non-FIFO bucket.
+	needs[0] = burst
+
+	done := make(chan int, n)
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		enqueue(t, clk, b, ctx, needs[i], i+1, done, i)
+	}
+
+	// Advance exactly each waiter's refill time and demand exactly that
+	// waiter's completion before moving on.
+	for i := 0; i < n; i++ {
+		clk.Advance(time.Duration(needs[i] / rate * float64(time.Second)))
+		select {
+		case got := <-done:
+			if got != i {
+				t.Fatalf("completion %d: waiter %d finished, want %d (FIFO violated)", i, got, i)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("completion %d never arrived", i)
+		}
+		// No one else may have been granted on this refill.
+		select {
+		case got := <-done:
+			t.Fatalf("waiter %d finished early after grant %d", got, i)
+		default:
+		}
+	}
+	if b.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d left", b.QueueLen())
+	}
+}
+
+// TestTokenBucketCancelWhileQueued: a cancelled waiter leaves the line
+// immediately and the waiters behind it advance — the line does not pay
+// for tokens the dead waiter would have consumed.
+func TestTokenBucketCancelWhileQueued(t *testing.T) {
+	const rate, burst = 100.0, 10.0
+	clk := newManualClock()
+	b := NewTokenBucketClock(rate, burst, clk)
+	if err := b.Wait(context.Background(), burst); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	done := make(chan int, 3)
+	bg := context.Background()
+	ctxB, cancelB := context.WithCancel(bg)
+	enqueue(t, clk, b, bg, 10, 1, done, 0)
+	enqueue(t, clk, b, ctxB, 10, 2, done, 1)
+	enqueue(t, clk, b, bg, 10, 3, done, 2)
+
+	cancelB()
+	select {
+	case got := <-done:
+		if got != -2 {
+			t.Fatalf("after cancel, waiter %d finished first, want cancelled waiter 1", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	waitFor(t, "cancelled waiter to leave the queue", func() bool { return b.QueueLen() == 2 })
+
+	// 100 ms refills waiter 0's 10 tokens; 100 ms more refills waiter
+	// 2's — it must NOT take the 200 ms it would if the cancelled waiter
+	// still held its place.
+	clk.Advance(100 * time.Millisecond)
+	if got := <-done; got != 0 {
+		t.Fatalf("first grant went to waiter %d, want 0", got)
+	}
+	clk.Advance(100 * time.Millisecond)
+	if got := <-done; got != 2 {
+		t.Fatalf("second grant went to waiter %d, want 2", got)
+	}
+}
+
+// TestTokenBucketCancelHeadPromotesNext: cancelling the head must not
+// strand the queue — the next waiter is granted as refill arrives.
+func TestTokenBucketCancelHeadPromotesNext(t *testing.T) {
+	const rate, burst = 100.0, 10.0
+	clk := newManualClock()
+	b := NewTokenBucketClock(rate, burst, clk)
+	if err := b.Wait(context.Background(), burst); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	done := make(chan int, 2)
+	ctxA, cancelA := context.WithCancel(context.Background())
+	enqueue(t, clk, b, ctxA, 10, 1, done, 0)
+	enqueue(t, clk, b, context.Background(), 10, 2, done, 1)
+
+	cancelA()
+	if got := <-done; got != -1 {
+		t.Fatalf("cancel returned waiter %d, want cancelled waiter 0", got)
+	}
+	clk.Advance(100 * time.Millisecond)
+	if got := <-done; got != 1 {
+		t.Fatalf("grant after head cancel went to %d, want 1", got)
+	}
+}
+
+// TestTokenBucketOversizedRequestClamped: a request larger than the
+// burst is paced as one full burst rather than deadlocking.
+func TestTokenBucketOversizedRequestClamped(t *testing.T) {
+	clk := newManualClock()
+	b := NewTokenBucketClock(100, 10, clk)
+	if err := b.Wait(context.Background(), 1e9); err != nil {
+		t.Fatalf("oversized Wait: %v", err)
+	}
+	if got := b.Tokens(); got != 0 {
+		t.Fatalf("tokens after clamped spend = %g, want 0", got)
+	}
+}
+
+// TestTokenBucketConcurrentStress drives seeded random request sizes
+// through the real clock at a high rate under the race detector: every
+// waiter must complete and the balance must stay within the burst.
+func TestTokenBucketConcurrentStress(t *testing.T) {
+	b := NewTokenBucket(1e9, 1e6)
+	rng := rand.New(rand.NewSource(7))
+	const n = 64
+	needs := make([]float64, n)
+	for i := range needs {
+		needs[i] = float64(1 + rng.Intn(1e5))
+	}
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(need float64) {
+			defer wg.Done()
+			if err := b.Wait(ctx, need); err != nil {
+				t.Errorf("Wait: %v", err)
+			}
+		}(needs[i])
+	}
+	wg.Wait()
+	if got := b.Tokens(); got < 0 || got > 1e6 {
+		t.Fatalf("balance out of range: %g", got)
+	}
+	if b.QueueLen() != 0 {
+		t.Fatalf("queue not drained: %d", b.QueueLen())
+	}
+}

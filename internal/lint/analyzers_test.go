@@ -56,11 +56,13 @@ func TestSuiteScoping(t *testing.T) {
 		pkg  string
 		want []string
 	}{
-		{"wimpi/internal/exec", []string{"determinism", "taintflow", "costaccounting", "pathcost", "hotalloc", "exhaustive", "goroutines"}},
-		{"wimpi/internal/exec/fused", []string{"determinism", "taintflow", "costaccounting", "pathcost", "hotalloc", "exhaustive", "goroutines"}},
+		{"wimpi/internal/exec", []string{"determinism", "taintflow", "costaccounting", "pathcost", "hotalloc", "exhaustive", "goroutines", "closecheck"}},
+		{"wimpi/internal/exec/fused", []string{"determinism", "taintflow", "costaccounting", "pathcost", "hotalloc", "exhaustive", "goroutines", "closecheck"}},
 		{"wimpi/internal/cluster", []string{"determinism", "taintflow", "ctxcheck", "closecheck"}},
 		{"wimpi/internal/cluster/faultconn", []string{"determinism", "taintflow", "ctxcheck", "closecheck"}},
-		{"wimpi/internal/plan", []string{"determinism", "taintflow", "hotalloc", "exhaustive", "goroutines"}},
+		{"wimpi/internal/plan", []string{"determinism", "taintflow", "hotalloc", "exhaustive", "goroutines", "closecheck"}},
+		{"wimpi/internal/flow", []string{"determinism", "taintflow"}},
+		{"wimpi/internal/serve", []string{"determinism", "taintflow", "goroutines", "closecheck"}},
 		{"wimpi/internal/sql", []string{"determinism", "taintflow", "exhaustive", "closecheck"}},
 		{"wimpi/internal/hardware", nil},
 		{"wimpi/cmd/wimpi-bench", nil},

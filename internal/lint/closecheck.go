@@ -18,10 +18,24 @@ import (
 // recovery is possible), and an explicit `_ =` assignment documents a
 // deliberate discard, which is exactly the audit trail we want at
 // call sites that tear down already-broken connections.
+//
+// Morsel dispatch gets a stricter rule: the error from RunMorsels (and
+// runMorselsInfallible) carries query cancellation and per-morsel
+// kernel failure, and on error the partial output is unmerged garbage.
+// Discarding it — even with an explicit `_ =` — turns a cancelled or
+// failed query into a silently truncated result, so there is no
+// documented-discard escape hatch; only a `//lint:allow` with a reason
+// can suppress it.
 var CloseCheck = &Analyzer{
 	Name: "closecheck",
-	Doc:  "errors from Close/SetDeadline/frame helpers must be handled or explicitly discarded",
+	Doc:  "errors from Close/SetDeadline/frame helpers must be handled; RunMorsels errors must always propagate",
 	Run:  runCloseCheck,
+}
+
+// morselRunner matches the morsel dispatch entry points whose error
+// return is never safe to drop.
+func morselRunner(name string) bool {
+	return name == "RunMorsels" || name == "runMorselsInfallible"
 }
 
 // wireHelper matches the frame/message codec helpers by name.
@@ -41,30 +55,64 @@ var deadlineMethods = map[string]bool{
 func runCloseCheck(pass *Pass) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
-			}
-			call, ok := stmt.X.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			obj := calleeObj(pass.Info, call)
-			if obj == nil || !returnsError(obj) {
-				return true
-			}
-			name := obj.Name()
-			switch {
-			case name == "Close":
-				pass.Reportf(call.Pos(), "error from %s is discarded: handle it or write `_ = ...` to record the deliberate drop", callLabel(call, name))
-			case deadlineMethods[name]:
-				pass.Reportf(call.Pos(), "error from %s is discarded: a failed deadline set leaves the conn unbounded", callLabel(call, name))
-			case wireHelper(name):
-				pass.Reportf(call.Pos(), "error from %s is discarded: frame errors are the fault model's signal and must propagate", callLabel(call, name))
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeObj(pass.Info, call)
+				if obj == nil || !returnsError(obj) {
+					return true
+				}
+				name := obj.Name()
+				switch {
+				case morselRunner(name):
+					reportMorselDiscard(pass, call, name)
+				case name == "Close":
+					pass.Reportf(call.Pos(), "error from %s is discarded: handle it or write `_ = ...` to record the deliberate drop", callLabel(call, name))
+				case deadlineMethods[name]:
+					pass.Reportf(call.Pos(), "error from %s is discarded: a failed deadline set leaves the conn unbounded", callLabel(call, name))
+				case wireHelper(name):
+					pass.Reportf(call.Pos(), "error from %s is discarded: frame errors are the fault model's signal and must propagate", callLabel(call, name))
+				}
+			case *ast.AssignStmt:
+				// `_ = RunMorsels(...)` is NOT a documented discard:
+				// unlike a teardown Close, there is no state where
+				// dropping a morsel error is sound.
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeObj(pass.Info, call)
+				if obj == nil || !returnsError(obj) || !morselRunner(obj.Name()) {
+					return true
+				}
+				if errorResultDropped(stmt) {
+					reportMorselDiscard(pass, call, obj.Name())
+				}
 			}
 			return true
 		})
 	}
+}
+
+// reportMorselDiscard emits the morsel-runner diagnostic.
+func reportMorselDiscard(pass *Pass, call *ast.CallExpr, name string) {
+	pass.Reportf(call.Pos(), "error from %s is discarded: a dropped morsel error silently truncates the result; propagate it (`_ =` does not excuse it)", callLabel(call, name))
+}
+
+// errorResultDropped reports whether the assignment binds the call's
+// final (error) result to the blank identifier.
+func errorResultDropped(stmt *ast.AssignStmt) bool {
+	if len(stmt.Lhs) == 0 {
+		return false
+	}
+	last, ok := stmt.Lhs[len(stmt.Lhs)-1].(*ast.Ident)
+	return ok && last.Name == "_"
 }
 
 // returnsError reports whether obj is a func whose final result is an

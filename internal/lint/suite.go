@@ -29,7 +29,10 @@ type ScopedAnalyzer struct {
 //   - ctxcheck and closecheck guard the cluster layer's RPC and wire
 //     protocol; closecheck (the error-discard analyzer) also guards the
 //     SQL frontend, where a swallowed bind or parse error would silently
-//     plan the wrong statement.
+//     plan the wrong statement, and the exec, plan, and serve layers,
+//     where its stricter morsel-runner rule forbids dropping a
+//     RunMorsels error even with `_ =` — a dropped morsel error is a
+//     silently truncated query result.
 //   - goroutines guards the kernel and plan layers, where a leaked
 //     worker races on Counters past RunMorsels.
 //   - taintflow (the dataflow upgrade of determinism's map-range
@@ -51,7 +54,9 @@ func Suite() []ScopedAnalyzer {
 			"wimpi/internal/colstore",
 			"wimpi/internal/plan",
 			"wimpi/internal/cluster/...",
+			"wimpi/internal/flow",
 			"wimpi/internal/obs",
+			"wimpi/internal/serve",
 			"wimpi/internal/sql/...",
 		}},
 		{TaintFlow, []string{
@@ -60,7 +65,9 @@ func Suite() []ScopedAnalyzer {
 			"wimpi/internal/colstore",
 			"wimpi/internal/plan",
 			"wimpi/internal/cluster/...",
+			"wimpi/internal/flow",
 			"wimpi/internal/obs",
+			"wimpi/internal/serve",
 			"wimpi/internal/sql/...",
 		}},
 		{CostAccounting, []string{"wimpi/internal/exec/..."}},
@@ -68,8 +75,14 @@ func Suite() []ScopedAnalyzer {
 		{HotAlloc, []string{"wimpi/internal/exec/...", "wimpi/internal/plan"}},
 		{Exhaustive, []string{"wimpi/internal/sql/...", "wimpi/internal/plan", "wimpi/internal/exec/..."}},
 		{CtxCheck, []string{"wimpi/internal/cluster/..."}},
-		{Goroutines, []string{"wimpi/internal/exec/...", "wimpi/internal/plan"}},
-		{CloseCheck, []string{"wimpi/internal/cluster/...", "wimpi/internal/sql/..."}},
+		{Goroutines, []string{"wimpi/internal/exec/...", "wimpi/internal/plan", "wimpi/internal/serve"}},
+		{CloseCheck, []string{
+			"wimpi/internal/cluster/...",
+			"wimpi/internal/exec/...",
+			"wimpi/internal/plan",
+			"wimpi/internal/serve",
+			"wimpi/internal/sql/...",
+		}},
 	}
 }
 

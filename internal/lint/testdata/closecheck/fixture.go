@@ -50,3 +50,52 @@ func SendChecked(conn net.Conn, p []byte) error {
 func AbortConn(conn net.Conn) {
 	conn.Close()
 }
+
+// RunMorsels stands in for the exec morsel dispatcher: the error return
+// carries cancellation and per-morsel kernel failure.
+func RunMorsels(workers, n, morselRows int, fn func(m, lo, hi int) error) error {
+	for m := 0; m < n; m++ {
+		if err := fn(m, 0, morselRows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runMorselsInfallible stands in for the cancellation-only wrapper.
+func runMorselsInfallible(workers, n, morselRows int, fn func(m, lo, hi int)) error {
+	return RunMorsels(workers, n, morselRows, func(m, lo, hi int) error {
+		fn(m, lo, hi)
+		return nil
+	})
+}
+
+// Dispatch drops the morsel error as a bare statement.
+func Dispatch() {
+	RunMorsels(2, 8, 1024, func(m, lo, hi int) error { return nil }) // want "dropped morsel error silently truncates the result"
+}
+
+// DispatchBlank documents the discard with `_ =` — still a finding:
+// there is no sound state in which a morsel error may be dropped.
+func DispatchBlank() {
+	_ = RunMorsels(2, 8, 1024, func(m, lo, hi int) error { return nil }) // want "dropped morsel error silently truncates the result"
+}
+
+// DispatchInfallibleBlank: the wrapper's cancellation error is just as
+// load-bearing.
+func DispatchInfallibleBlank() {
+	_ = runMorselsInfallible(2, 8, 1024, func(m, lo, hi int) {}) // want "dropped morsel error silently truncates the result"
+}
+
+// DispatchChecked propagates — no finding.
+func DispatchChecked() error {
+	return RunMorsels(2, 8, 1024, func(m, lo, hi int) error { return nil })
+}
+
+// DispatchBound binds the error to a real variable — no finding.
+func DispatchBound() {
+	err := runMorselsInfallible(2, 8, 1024, func(m, lo, hi int) {})
+	if err != nil {
+		panic(err)
+	}
+}

@@ -160,6 +160,27 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Labeled returns a decorated metric name carrying one label pair —
+// `name{label="value"}` — for per-tenant (or otherwise partitioned)
+// series. The export layer splits the decoration back out, so the
+// Prometheus text output stays well-formed: the TYPE line uses the base
+// name, and histogram bucket lines merge the label with le. Quotes and
+// backslashes in the value are escaped.
+func Labeled(name, label, value string) string {
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`).Replace(value)
+	return fmt.Sprintf(`%s{%s="%s"}`, name, label, esc)
+}
+
+// splitLabeled separates a Labeled-decorated name into its base name and
+// the `label="value"` body; plain names return labels == "".
+func splitLabeled(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
 func (r *Registry) mustBeFresh(name string) {
 	_, c := r.counts[name]
 	_, g := r.gauges[name]
@@ -177,28 +198,48 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Unlock()
 	sort.Strings(names)
 	var b strings.Builder
+	typedBases := map[string]bool{}
 	for _, name := range names {
 		r.mu.Lock()
 		c, isC := r.counts[name]
 		g, isG := r.gauges[name]
 		h, isH := r.hists[name]
 		r.mu.Unlock()
+		base, labels := splitLabeled(name)
+		series := base
+		if labels != "" {
+			series = base + "{" + labels + "}"
+		}
+		typed := !typedBases[base]
+		typedBases[base] = true
 		switch {
 		case isC:
-			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, c.Value())
+			if typed {
+				fmt.Fprintf(&b, "# TYPE %s counter\n", base)
+			}
+			fmt.Fprintf(&b, "%s %d\n", series, c.Value())
 		case isG:
-			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, g.Value())
+			if typed {
+				fmt.Fprintf(&b, "# TYPE %s gauge\n", base)
+			}
+			fmt.Fprintf(&b, "%s %d\n", series, g.Value())
 		case isH:
-			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+			if typed {
+				fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+			}
+			bucketSep := "le="
+			if labels != "" {
+				bucketSep = labels + ",le="
+			}
 			var cum int64
 			for i, bound := range h.bounds {
 				cum += h.counts[i].Load()
-				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatBound(bound), cum)
+				fmt.Fprintf(&b, "%s_bucket{%s%q} %d\n", base, bucketSep, formatBound(bound), cum)
 			}
 			cum += h.counts[len(h.bounds)].Load()
-			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-			fmt.Fprintf(&b, "%s_sum %g\n", name, h.Sum())
-			fmt.Fprintf(&b, "%s_count %d\n", name, h.Count())
+			fmt.Fprintf(&b, "%s_bucket{%s\"+Inf\"} %d\n", base, bucketSep, cum)
+			fmt.Fprintf(&b, "%s_sum%s %g\n", base, labelSuffix(labels), h.Sum())
+			fmt.Fprintf(&b, "%s_count%s %d\n", base, labelSuffix(labels), h.Count())
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -206,3 +247,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func formatBound(v float64) string { return fmt.Sprintf("%g", v) }
+
+func labelSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}

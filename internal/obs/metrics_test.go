@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"wimpi/internal/exec"
 )
 
 func TestRegistryCountersGaugesConcurrent(t *testing.T) {
@@ -80,5 +82,57 @@ func TestHistogramBucketsAndExport(t *testing.T) {
 	// Sorted output: a_total must precede latency_seconds.
 	if strings.Index(out, "wimpi_test_a_total") > strings.Index(out, "wimpi_test_latency_seconds") {
 		t.Errorf("export not sorted by name:\n%s", out)
+	}
+}
+
+// TestLabeledMetricsExport pins the per-tenant metric contract: labeled
+// names render as one series per label value under a single TYPE line,
+// histogram buckets merge the label with le, and label values escape
+// quotes and backslashes.
+func TestLabeledMetricsExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled("wimpi_test_q_total", "tenant", "red")).Add(2)
+	r.Counter(Labeled("wimpi_test_q_total", "tenant", "blue")).Add(5)
+	h := r.Histogram(Labeled("wimpi_test_lat_seconds", "tenant", "red"), []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	r.Counter(Labeled("wimpi_test_esc_total", "tenant", `we"ird\`)).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`wimpi_test_q_total{tenant="red"} 2`,
+		`wimpi_test_q_total{tenant="blue"} 5`,
+		`wimpi_test_lat_seconds_bucket{tenant="red",le="0.1"} 1`,
+		`wimpi_test_lat_seconds_bucket{tenant="red",le="+Inf"} 2`,
+		`wimpi_test_lat_seconds_sum{tenant="red"} 0.55`,
+		`wimpi_test_lat_seconds_count{tenant="red"} 2`,
+		`wimpi_test_esc_total{tenant="we\"ird\\"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# TYPE wimpi_test_q_total counter"); got != 1 {
+		t.Errorf("TYPE for wimpi_test_q_total appears %d times, want 1:\n%s", got, out)
+	}
+}
+
+// TestTracerHook: the Begin hook fires with the span's op and label
+// before the span opens, and a nil hook is a no-op.
+func TestTracerHook(t *testing.T) {
+	var ctr exec.Counters
+	tr := NewTracer(&ctr)
+	var got []string
+	tr.Hook = func(op, label string) { got = append(got, op+":"+label) }
+	sp := tr.Begin("scan", "scan t")
+	tr.End(sp, 1, 8)
+	sp = tr.Begin("sort", "sort t")
+	tr.End(sp, 1, 8)
+	if len(got) != 2 || got[0] != "scan:scan t" || got[1] != "sort:sort t" {
+		t.Fatalf("hook calls = %v", got)
 	}
 }

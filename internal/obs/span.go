@@ -94,6 +94,13 @@ func (s *Span) walk(fn func(sp *Span, depth int), depth int) {
 // parallelism lives inside kernels, below the span layer, and merges
 // its per-worker counters in morsel order before a span closes).
 type Tracer struct {
+	// Hook, when non-nil, observes every Begin before the span opens.
+	// It exists for deterministic tests that need to act at an exact
+	// pipeline stage (e.g. cancel a query the moment its sort starts);
+	// production tracers leave it nil. Set it before the query runs — it
+	// is read without synchronization and called outside the tracer lock.
+	Hook func(op, label string)
+
 	mu    sync.Mutex
 	ctr   *exec.Counters
 	root  *Span
@@ -112,6 +119,9 @@ func NewTracer(ctr *exec.Counters) *Tracer {
 func (t *Tracer) Begin(op, label string) *Span {
 	if t == nil {
 		return nil
+	}
+	if hook := t.Hook; hook != nil {
+		hook(op, label)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

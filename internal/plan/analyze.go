@@ -149,14 +149,24 @@ func RunTraced(cat Catalog, workers int, n Node) (*Traced, error) {
 
 // RunTracedContext is RunTraced under a caller-configured context. A nil
 // Ctr gets fresh counters; any Trace already set is replaced by the
-// tracer whose span tree the result reports.
+// tracer whose span tree the result reports, though a pre-set tracer's
+// Hook is inherited — that is how deterministic tests act at an exact
+// pipeline stage (e.g. cancel the query the moment its sort begins).
 func RunTracedContext(ctx *Context, n Node) (*Traced, error) {
 	if ctx.Ctr == nil {
 		ctx.Ctr = &exec.Counters{}
 	}
 	tr := obs.NewTracer(ctx.Ctr)
+	if ctx.Trace != nil {
+		tr.Hook = ctx.Trace.Hook
+	}
 	ctx.Trace = tr
+	sched, release := ctx.attachSched()
 	out, err := instrument(Compile(ctx, n)).Execute(ctx)
+	if err == nil {
+		err = sched.Err()
+	}
+	release()
 	if err != nil {
 		return nil, err
 	}

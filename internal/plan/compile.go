@@ -654,12 +654,25 @@ func (st *fusedState) applyProbe(ps *probeStage) error {
 		bits := exec.RadixBits(len(bk), exec.RadixBuildBytesPerRow, target/2)
 		ksp := ctx.Trace.Begin("join-partition",
 			fmt.Sprintf("radix %d-way, %d pass(es)", 1<<bits, exec.RadixPasses(bits)))
-		rp := exec.RadixPartitionKeys(bk, nil, bits, w, mr, ctx.Ctr)
+		rp, err := exec.RadixPartitionKeys(bk, nil, bits, w, mr, ctx.Ctr)
+		if err != nil {
+			ctx.Trace.EndErr(ksp)
+			ctx.Trace.EndErr(bsp)
+			return err
+		}
 		ctx.Trace.End(ksp, int64(len(bk)), int64(len(bk))*12)
 		cfg := exec.RadixJoinConfig{Bloom: useBloom(len(bk), probeRows, target)}
-		rt = exec.BuildRadixTables(rp, cfg, w, mr, ctx.Ctr)
+		rt, err = exec.BuildRadixTables(rp, cfg, w, mr, ctx.Ctr)
+		if err != nil {
+			ctx.Trace.EndErr(bsp)
+			return err
+		}
 	} else {
-		jt = exec.BuildJoinTableParallel(bk, w, mr, ctx.Ctr)
+		jt, err = exec.BuildJoinTableParallel(bk, w, mr, ctx.Ctr)
+		if err != nil {
+			ctx.Trace.EndErr(bsp)
+			return err
+		}
 	}
 	ctx.Trace.End(bsp, int64(build.NumRows()), build.SizeBytes())
 
@@ -674,9 +687,13 @@ func (st *fusedState) applyProbe(ps *probeStage) error {
 	case Inner:
 		var bi, pi []int32
 		if rt != nil {
-			bi, pi = rt.InnerJoin(pk, w, mr, ctx.Ctr)
+			bi, pi, err = rt.InnerJoin(pk, w, mr, ctx.Ctr)
 		} else {
-			bi, pi = exec.InnerJoinParallel(jt, pk, w, mr, ctx.Ctr)
+			bi, pi, err = exec.InnerJoinParallel(jt, pk, w, mr, ctx.Ctr)
+		}
+		if err != nil {
+			ctx.Trace.EndErr(psp)
+			return err
 		}
 		for _, fld := range build.Schema {
 			if _, err := st.resolve(fld.Name); err == nil {
@@ -692,25 +709,37 @@ func (st *fusedState) applyProbe(ps *probeStage) error {
 	case Semi:
 		var sel []int32
 		if rt != nil {
-			sel = rt.SemiJoin(pk, w, mr, ctx.Ctr)
+			sel, err = rt.SemiJoin(pk, w, mr, ctx.Ctr)
 		} else {
-			sel = exec.SemiJoinParallel(jt, pk, w, mr, ctx.Ctr)
+			sel, err = exec.SemiJoinParallel(jt, pk, w, mr, ctx.Ctr)
+		}
+		if err != nil {
+			ctx.Trace.EndErr(psp)
+			return err
 		}
 		st.v.Narrow(sel, ctx.Ctr)
 	case Anti:
 		var sel []int32
 		if rt != nil {
-			sel = rt.AntiJoin(pk, w, mr, ctx.Ctr)
+			sel, err = rt.AntiJoin(pk, w, mr, ctx.Ctr)
 		} else {
-			sel = exec.AntiJoinParallel(jt, pk, w, mr, ctx.Ctr)
+			sel, err = exec.AntiJoinParallel(jt, pk, w, mr, ctx.Ctr)
+		}
+		if err != nil {
+			ctx.Trace.EndErr(psp)
+			return err
 		}
 		st.v.Narrow(sel, ctx.Ctr)
 	case LeftCount:
 		var counts []int64
 		if rt != nil {
-			counts = rt.CountPerProbe(pk, w, mr, ctx.Ctr)
+			counts, err = rt.CountPerProbe(pk, w, mr, ctx.Ctr)
 		} else {
-			counts = exec.CountPerProbeParallel(jt, pk, w, mr, ctx.Ctr)
+			counts, err = exec.CountPerProbeParallel(jt, pk, w, mr, ctx.Ctr)
+		}
+		if err != nil {
+			ctx.Trace.EndErr(psp)
+			return err
 		}
 		st.v.AppendCounts(counts, ctx.Ctr)
 		name := ps.countAs
@@ -832,7 +861,10 @@ func (st *fusedState) materializeTable(bs []binding) (*colstore.Table, error) {
 		if sel == nil {
 			out = view // dense: zero-copy, like an unfiltered scan
 		} else {
-			out = gather(ctx, view, sel)
+			out, err = gather(ctx, view, sel)
+			if err != nil {
+				return err
+			}
 		}
 		for j, i := range g.idx {
 			cols[i] = out.Cols[j]

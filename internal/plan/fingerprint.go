@@ -1,0 +1,24 @@
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Fingerprint returns a stable identity for a plan: the SHA-256 of its
+// Explain rendering, hex-encoded. Explain includes every semantic
+// input — operator shapes, column names, predicate constants, limits —
+// so two plans share a fingerprint exactly when they compute the same
+// result over the same (immutable) registered tables. The serving
+// layer uses it as a result-cache key; it is NOT a cache key across
+// data changes, which the engine's register-then-query lifecycle rules
+// out.
+//
+// The fingerprint is computed on the logical plan as written, before
+// Compile's execution-mode rewrites: fused and vectorized execution of
+// the same plan are byte-identical by contract, so they must share a
+// cache entry.
+func Fingerprint(n Node) string {
+	sum := sha256.Sum256([]byte(Explain(n)))
+	return hex.EncodeToString(sum[:])
+}

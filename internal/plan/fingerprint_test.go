@@ -1,0 +1,38 @@
+package plan
+
+import (
+	"testing"
+
+	"wimpi/internal/exec"
+)
+
+// TestFingerprint pins the cache-key contract: identical plans share a
+// fingerprint, and any semantic difference — table, projection, or a
+// single predicate constant — changes it.
+func TestFingerprint(t *testing.T) {
+	base := func(v float64) Node {
+		return &Scan{
+			Table:   "orders",
+			Columns: []string{"o_id", "o_total"},
+			Pred:    exec.CmpF{Column: "o_total", Op: exec.Ge, V: v},
+		}
+	}
+	a, b := Fingerprint(base(75)), Fingerprint(base(75))
+	if a != b {
+		t.Fatalf("identical plans fingerprint differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("fingerprint length = %d, want 64 hex chars", len(a))
+	}
+	distinct := map[string]string{
+		"const":   Fingerprint(base(76)),
+		"table":   Fingerprint(&Scan{Table: "lineitem"}),
+		"columns": Fingerprint(&Scan{Table: "orders", Columns: []string{"o_id"}}),
+		"limit":   Fingerprint(&Limit{Input: base(75), N: 10}),
+	}
+	for what, fp := range distinct {
+		if fp == a {
+			t.Errorf("%s change did not change the fingerprint", what)
+		}
+	}
+}

@@ -87,12 +87,25 @@ func (j *HashJoin) Execute(ctx *Context) (*colstore.Table, error) {
 		bits := exec.RadixBits(len(bk), exec.RadixBuildBytesPerRow, target/2)
 		ksp := ctx.Trace.Begin("join-partition",
 			fmt.Sprintf("radix %d-way, %d pass(es)", 1<<bits, exec.RadixPasses(bits)))
-		rp := exec.RadixPartitionKeys(bk, nil, bits, w, mr, ctx.Ctr)
+		rp, err := exec.RadixPartitionKeys(bk, nil, bits, w, mr, ctx.Ctr)
+		if err != nil {
+			ctx.Trace.EndErr(ksp)
+			ctx.Trace.EndErr(bsp)
+			return nil, err
+		}
 		ctx.Trace.End(ksp, int64(len(bk)), int64(len(bk))*12)
 		cfg := exec.RadixJoinConfig{Bloom: useBloom(len(bk), probe.NumRows(), target)}
-		rt = exec.BuildRadixTables(rp, cfg, w, mr, ctx.Ctr)
+		rt, err = exec.BuildRadixTables(rp, cfg, w, mr, ctx.Ctr)
+		if err != nil {
+			ctx.Trace.EndErr(bsp)
+			return nil, err
+		}
 	} else {
-		jt = exec.BuildJoinTableParallel(bk, w, mr, ctx.Ctr)
+		jt, err = exec.BuildJoinTableParallel(bk, w, mr, ctx.Ctr)
+		if err != nil {
+			ctx.Trace.EndErr(bsp)
+			return nil, err
+		}
 	}
 	ctx.Trace.End(bsp, int64(build.NumRows()), build.SizeBytes())
 
@@ -142,12 +155,21 @@ func (j *HashJoin) probePhase(ctx *Context, jt exec.JoinIndex, rt *exec.RadixJoi
 	case Inner:
 		var bi, pi []int32
 		if rt != nil {
-			bi, pi = rt.InnerJoin(pk, w, mr, ctx.Ctr)
+			bi, pi, err = rt.InnerJoin(pk, w, mr, ctx.Ctr)
 		} else {
-			bi, pi = exec.InnerJoinParallel(jt, pk, w, mr, ctx.Ctr)
+			bi, pi, err = exec.InnerJoinParallel(jt, pk, w, mr, ctx.Ctr)
 		}
-		left := gather(ctx, probe, pi)
-		right := gather(ctx, build, bi)
+		if err != nil {
+			return nil, err
+		}
+		left, err := gather(ctx, probe, pi)
+		if err != nil {
+			return nil, err
+		}
+		right, err := gather(ctx, build, bi)
+		if err != nil {
+			return nil, err
+		}
 		out, err := concatTables(left, right)
 		if err != nil {
 			return nil, fmt.Errorf("plan: join %v/%v: %w", j.BuildKeys, j.ProbeKeys, err)
@@ -157,29 +179,44 @@ func (j *HashJoin) probePhase(ctx *Context, jt exec.JoinIndex, rt *exec.RadixJoi
 	case Semi:
 		var sel []int32
 		if rt != nil {
-			sel = rt.SemiJoin(pk, w, mr, ctx.Ctr)
+			sel, err = rt.SemiJoin(pk, w, mr, ctx.Ctr)
 		} else {
-			sel = exec.SemiJoinParallel(jt, pk, w, mr, ctx.Ctr)
+			sel, err = exec.SemiJoinParallel(jt, pk, w, mr, ctx.Ctr)
 		}
-		out := gather(ctx, probe, sel)
+		if err != nil {
+			return nil, err
+		}
+		out, err := gather(ctx, probe, sel)
+		if err != nil {
+			return nil, err
+		}
 		observe(ctx, build, probe, out)
 		return out, nil
 	case Anti:
 		var sel []int32
 		if rt != nil {
-			sel = rt.AntiJoin(pk, w, mr, ctx.Ctr)
+			sel, err = rt.AntiJoin(pk, w, mr, ctx.Ctr)
 		} else {
-			sel = exec.AntiJoinParallel(jt, pk, w, mr, ctx.Ctr)
+			sel, err = exec.AntiJoinParallel(jt, pk, w, mr, ctx.Ctr)
 		}
-		out := gather(ctx, probe, sel)
+		if err != nil {
+			return nil, err
+		}
+		out, err := gather(ctx, probe, sel)
+		if err != nil {
+			return nil, err
+		}
 		observe(ctx, build, probe, out)
 		return out, nil
 	case LeftCount:
 		var counts []int64
 		if rt != nil {
-			counts = rt.CountPerProbe(pk, w, mr, ctx.Ctr)
+			counts, err = rt.CountPerProbe(pk, w, mr, ctx.Ctr)
 		} else {
-			counts = exec.CountPerProbeParallel(jt, pk, w, mr, ctx.Ctr)
+			counts, err = exec.CountPerProbeParallel(jt, pk, w, mr, ctx.Ctr)
+		}
+		if err != nil {
+			return nil, err
 		}
 		name := j.CountAs
 		if name == "" {

@@ -10,6 +10,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -58,6 +59,18 @@ type Context struct {
 	// code runs but never the result: the fused engine is byte-identical
 	// to the vector engine at every worker count.
 	Exec ExecMode
+	// Ctx, when non-nil, cancels the query: kernels observe it at every
+	// morsel boundary, the failing operator unwinds, and RunContext
+	// returns the cancellation cause instead of a partial result.
+	Ctx context.Context
+	// Sched, when non-nil, is a pre-built scheduling handle (typically
+	// pool-attached via exec.Pool.Attach) that overrides Ctx. The caller
+	// that attached it must release it; execution only borrows it.
+	Sched *exec.Sched
+	// MemLimitBytes, when positive, bounds the query's observed live
+	// intermediate memory. Exceeding it cancels the query with a
+	// *MemLimitError at the next operator or morsel boundary.
+	MemLimitBytes int64
 }
 
 // DefaultMinParallelRows is the default parallelism threshold.
@@ -124,21 +137,73 @@ func Run(cat Catalog, workers int, n Node) (*colstore.Table, exec.Counters, erro
 }
 
 // RunContext executes a plan under a caller-configured context (worker
-// count, morsel granularity, LLC budget, exec mode). A nil Ctr gets
-// fresh counters. Fused and auto modes compile the plan first; the input
-// tree is never mutated.
+// count, morsel granularity, LLC budget, exec mode, cancellation). A nil
+// Ctr gets fresh counters. Fused and auto modes compile the plan first;
+// the input tree is never mutated.
 func RunContext(ctx *Context, n Node) (*colstore.Table, exec.Counters, error) {
 	if ctx.Ctr == nil {
 		ctx.Ctr = &exec.Counters{}
 	}
+	sched, release := ctx.attachSched()
 	t, err := Compile(ctx, n).Execute(ctx)
+	if err == nil {
+		// A cancellation that lands after the last kernel call must not
+		// let a complete-looking result escape a query the caller already
+		// gave up on.
+		err = sched.Err()
+	}
+	release()
 	if err != nil {
 		return nil, exec.Counters{}, err
 	}
 	return t, *ctx.Ctr, nil
 }
 
-// observe records a node output in the live-memory high-water mark.
+// MemLimitError is the cancellation cause when a query's observed live
+// intermediate memory exceeds Context.MemLimitBytes.
+type MemLimitError struct {
+	// Limit is the configured budget in bytes.
+	Limit int64
+	// Observed is the live-byte high-water mark that tripped it.
+	Observed int64
+}
+
+func (e *MemLimitError) Error() string {
+	return fmt.Sprintf("plan: query exceeded memory budget: %d bytes live, limit %d", e.Observed, e.Limit)
+}
+
+// attachSched wires the query's scheduling handle onto its counters for
+// the duration of one execution: kernels then observe cancellation (and
+// pool membership) through the counters they already receive. The
+// returned release detaches the handle before the counters are
+// snapshotted into results — the handle is scheduling state, never part
+// of the work profile. Handles built here (from Ctx/MemLimitBytes) are
+// also released; a caller-provided Sched is only borrowed.
+func (c *Context) attachSched() (*exec.Sched, func()) {
+	s := c.Sched
+	owned := false
+	if s == nil {
+		if c.Ctx == nil && c.MemLimitBytes <= 0 {
+			return nil, func() {}
+		}
+		s = exec.NewSched(c.Ctx)
+		c.Sched = s
+		owned = true
+	}
+	c.Ctr.SetSched(s)
+	return s, func() {
+		c.Ctr.SetSched(nil)
+		if owned {
+			c.Sched = nil
+			s.Release()
+		}
+	}
+}
+
+// observe records a node output in the live-memory high-water mark and
+// enforces the query's memory budget: crossing it cancels the scheduling
+// handle, so every kernel stops at its next morsel boundary and the
+// query unwinds with the budget error as its cause.
 func observe(ctx *Context, tables ...*colstore.Table) {
 	var n int64
 	for _, t := range tables {
@@ -149,6 +214,9 @@ func observe(ctx *Context, tables ...*colstore.Table) {
 	cur := ctx.Ctr.PeakLiveBytes
 	if n > cur {
 		ctx.Ctr.ObserveLiveBytes(n)
+	}
+	if lim := ctx.MemLimitBytes; lim > 0 && ctx.Ctr.PeakLiveBytes > lim {
+		ctx.Sched.Cancel(&MemLimitError{Limit: lim, Observed: ctx.Ctr.PeakLiveBytes})
 	}
 }
 
@@ -184,7 +252,10 @@ func (s *Scan) Execute(ctx *Context) (*colstore.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := gather(ctx, t, sel)
+	out, err := gather(ctx, t, sel)
+	if err != nil {
+		return nil, err
+	}
 	observe(ctx, t, out)
 	return out, nil
 }
@@ -219,7 +290,10 @@ func (f *Filter) Execute(ctx *Context) (*colstore.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := gather(ctx, in, sel)
+	out, err := gather(ctx, in, sel)
+	if err != nil {
+		return nil, err
+	}
 	observe(ctx, in, out)
 	return out, nil
 }
@@ -387,13 +461,17 @@ func (o *OrderBy) Explain(depth int) string {
 // gather materializes t's rows named by sel and charges the write. When
 // tracing, the materialization gets its own child span — it is usually
 // the memory-bandwidth-bound part of a filter or join.
-func gather(ctx *Context, t *colstore.Table, sel []int32) *colstore.Table {
+func gather(ctx *Context, t *colstore.Table, sel []int32) (*colstore.Table, error) {
 	sp := ctx.Trace.Begin("gather", fmt.Sprintf("gather %d rows x %d cols", len(sel), t.NumCols()))
-	out := exec.GatherTable(t, sel, ctx.workers(), ctx.morselRows())
+	out, err := exec.GatherTable(t, sel, ctx.workers(), ctx.morselRows(), ctx.Ctr)
+	if err != nil {
+		ctx.Trace.EndErr(sp)
+		return nil, err
+	}
 	ctx.Ctr.TuplesMaterialized += int64(len(sel))
 	ctx.Ctr.BytesMaterialized += out.SizeBytes()
 	ctx.Ctr.SeqBytes += out.SizeBytes()
 	ctx.Ctr.RandomAccesses += int64(len(sel)) * int64(t.NumCols())
 	ctx.Trace.End(sp, int64(len(sel)), out.SizeBytes())
-	return out
+	return out, nil
 }

@@ -90,7 +90,11 @@ func (g *GroupBy) groupedRadix(ctx *Context, in *colstore.Table, packed []int64,
 	bits := exec.RadixBits(estGroups, radixGroupBytesPerRow(len(g.Aggs)), target/2)
 	sp := ctx.Trace.Begin("group-partition",
 		fmt.Sprintf("radix %d-way, %d pass(es)", 1<<bits, exec.RadixPasses(bits)))
-	rp := exec.RadixPartitionKeys(packed, nil, bits, w, mr, ctx.Ctr)
+	rp, err := exec.RadixPartitionKeys(packed, nil, bits, w, mr, ctx.Ctr)
+	if err != nil {
+		ctx.Trace.EndErr(sp)
+		return nil, err
+	}
 	ctx.Trace.End(sp, int64(len(packed)), int64(len(packed))*12)
 
 	// Evaluate aggregate arguments once over the unpartitioned input
@@ -109,13 +113,19 @@ func (g *GroupBy) groupedRadix(ctx *Context, in *colstore.Table, packed []int64,
 			if err != nil {
 				return nil, err
 			}
-			iargs[si] = rp.GatherI64(iv, w, mr, ctx.Ctr)
+			iargs[si], err = rp.GatherI64(iv, w, mr, ctx.Ctr)
+			if err != nil {
+				return nil, err
+			}
 		case Sum, Avg, Min, Max:
 			fv, err := aggArg(ctx, in, spec)
 			if err != nil {
 				return nil, err
 			}
-			fargs[si] = rp.GatherF64(fv, w, mr, ctx.Ctr)
+			fargs[si], err = rp.GatherF64(fv, w, mr, ctx.Ctr)
+			if err != nil {
+				return nil, err
+			}
 		default:
 			return nil, fmt.Errorf("plan: unknown aggregate %d", spec.Func)
 		}
@@ -125,7 +135,7 @@ func (g *GroupBy) groupedRadix(ctx *Context, in *colstore.Table, packed []int64,
 	// partitions are morsels, so worker count never changes results.
 	np := rp.NumPartitions()
 	parts := make([]*radixGroupPart, np)
-	err := exec.RunMorsels(w, np, 1, ctx.Ctr, func(p, _, _ int, c *exec.Counters) error {
+	err = exec.RunMorsels(w, np, 1, ctx.Ctr, func(p, _, _ int, c *exec.Counters) error {
 		lo, hi := int(rp.Off[p]), int(rp.Off[p+1])
 		keys := rp.Keys[lo:hi]
 		rows := rp.Rows[lo:hi]

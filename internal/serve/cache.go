@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"wimpi/internal/engine"
+)
+
+// resultCache is a small LRU over completed query results, keyed by
+// plan fingerprint. Safe because the engine's tables are immutable
+// once registered and result tables are never mutated after Run
+// returns: a cached *engine.Result can be shared by every hit.
+//
+// There is no singleflight: two concurrent misses on one fingerprint
+// both execute and the second store wins. Both executions are
+// byte-identical by the engine's determinism contract, so the only
+// cost is duplicated work under a cold cache.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   list.List // front = most recent; values are *cacheEntry
+	bytes   int64
+}
+
+type cacheEntry struct {
+	fp    string
+	res   *engine.Result
+	bytes int64
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for fp, refreshing its recency.
+func (c *resultCache) get(fp string) (*engine.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[fp]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(e)
+	return e.Value.(*cacheEntry).res, true
+}
+
+// put stores res under fp, evicting least-recently-used entries past
+// capacity, and returns the cache's total result footprint in bytes.
+func (c *resultCache) put(fp string, res *engine.Result) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[fp]; ok {
+		c.order.MoveToFront(e)
+		return c.bytes
+	}
+	ent := &cacheEntry{fp: fp, res: res, bytes: res.Table.SizeBytes()}
+	c.entries[fp] = c.order.PushFront(ent)
+	c.bytes += ent.bytes
+	for len(c.entries) > c.cap {
+		back := c.order.Back()
+		old := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, old.fp)
+		c.bytes -= old.bytes
+	}
+	return c.bytes
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wimpi/internal/obs"
+	"wimpi/internal/tpch"
+)
+
+// TestHTTPQueryMetricsHealthz drives the HTTP front end-to-end: a SQL
+// query (twice, to see the cache), the Prometheus export, health, and
+// the bad-request paths.
+func TestHTTPQueryMetricsHealthz(t *testing.T) {
+	db, closePool := testDB(t, 2)
+	defer closePool()
+	s := New(Config{DB: db, CacheEntries: 4, Registry: obs.NewRegistry()})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	q6, err := tpch.SQL(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(queryRequest{Tenant: "web", SQL: q6, MaxRows: 5})
+
+	var hits []bool
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /query status = %d", resp.StatusCode)
+		}
+		var qr queryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(qr.Columns) == 0 || qr.NumRows < 1 || len(qr.Rows) < 1 {
+			t.Fatalf("empty Q6 response: %+v", qr)
+		}
+		hits = append(hits, qr.CacheHit)
+	}
+	if hits[0] || !hits[1] {
+		t.Fatalf("cache hits = %v, want [false true]", hits)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(metrics), `wimpi_serve_queries_total{tenant="web"}`) {
+		t.Fatalf("metrics missing tenant series:\n%s", metrics)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v status %v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Bad SQL is a 400, not a 500.
+	resp, err = http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"tenant":"web","sql":"selectt nonsense"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad SQL status = %d, want 400", resp.StatusCode)
+	}
+}

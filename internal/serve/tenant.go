@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"wimpi/internal/flow"
+	"wimpi/internal/obs"
+)
+
+// TenantConfig is one tenant's serving limits. The zero value (beyond
+// Name) means: no rate limit, fair-share weight 1, database-default
+// worker cap, no memory budget.
+type TenantConfig struct {
+	// Name identifies the tenant; it becomes the tenant label on the
+	// serving metrics.
+	Name string
+	// QueriesPerSec caps the tenant's sustained admission rate through a
+	// FIFO-fair token bucket; 0 means unlimited.
+	QueriesPerSec float64
+	// Burst is the rate limiter's burst allowance; < 1 selects 1.
+	Burst float64
+	// Weight is the tenant's fair-share weight in the engine's shared
+	// worker pool.
+	Weight int
+	// Workers caps per-query parallelism for this tenant's queries.
+	Workers int
+	// MemLimitBytes cancels a query with *plan.MemLimitError once its
+	// live intermediate memory exceeds the budget; 0 means unlimited.
+	MemLimitBytes int64
+}
+
+// tenant is the runtime state behind one TenantConfig.
+type tenant struct {
+	cfg    TenantConfig
+	bucket *flow.TokenBucket // nil when unlimited
+
+	metricQueries   *obs.Counter
+	metricErrors    *obs.Counter
+	metricCacheHits *obs.Counter
+	metricLatency   *obs.Histogram
+}
+
+// throttle blocks until the tenant's rate limiter admits one query.
+func (t *tenant) throttle(ctx context.Context) error {
+	if t.bucket == nil {
+		return ctx.Err()
+	}
+	return t.bucket.Wait(ctx, 1)
+}
+
+// observe records one served query on the tenant's metrics.
+func (t *tenant) observe(d time.Duration, err error) {
+	t.metricQueries.Inc()
+	if err != nil {
+		t.metricErrors.Inc()
+		return
+	}
+	t.metricLatency.Observe(d.Seconds())
+}
+
+// tenantSet maps tenant names to runtime state, lazily materializing
+// default-configured tenants for unregistered names so every query is
+// attributed to a labeled metric series.
+type tenantSet struct {
+	reg *obs.Registry
+
+	mu sync.RWMutex
+	m  map[string]*tenant
+}
+
+func newTenantSet(reg *obs.Registry) *tenantSet {
+	return &tenantSet{reg: reg, m: make(map[string]*tenant)}
+}
+
+func (ts *tenantSet) set(cfg TenantConfig) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.m[cfg.Name] = ts.build(cfg)
+}
+
+func (ts *tenantSet) get(name string) *tenant {
+	ts.mu.RLock()
+	t := ts.m[name]
+	ts.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if t = ts.m[name]; t != nil {
+		return t
+	}
+	t = ts.build(TenantConfig{Name: name})
+	ts.m[name] = t
+	return t
+}
+
+// build wires a tenant's limiter and labeled metrics; callers hold the
+// write lock.
+func (ts *tenantSet) build(cfg TenantConfig) *tenant {
+	t := &tenant{
+		cfg:             cfg,
+		metricQueries:   ts.reg.Counter(obs.Labeled("wimpi_serve_queries_total", "tenant", cfg.Name)),
+		metricErrors:    ts.reg.Counter(obs.Labeled("wimpi_serve_errors_total", "tenant", cfg.Name)),
+		metricCacheHits: ts.reg.Counter(obs.Labeled("wimpi_serve_tenant_cache_hits_total", "tenant", cfg.Name)),
+		metricLatency:   ts.reg.Histogram(obs.Labeled("wimpi_serve_latency_seconds", "tenant", cfg.Name), obs.DefaultLatencyBuckets),
+	}
+	if cfg.QueriesPerSec > 0 {
+		burst := cfg.Burst
+		if burst < 1 {
+			burst = 1
+		}
+		t.bucket = flow.NewTokenBucket(cfg.QueriesPerSec, burst)
+	}
+	return t
+}

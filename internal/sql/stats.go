@@ -51,7 +51,12 @@ func (s *stats) predSel(table string, p exec.Pred) float64 {
 		sel[i] = int32(i * rows / k)
 		s.ctr.IntOps++
 	}
-	sample := exec.GatherTable(t, sel, 1, exec.DefaultMorselRows)
+	sample, err := exec.GatherTable(t, sel, 1, exec.DefaultMorselRows, s.ctr)
+	if err != nil {
+		// Planning-time sampling has no scheduling handle attached, so
+		// this never fires; fall back to the neutral selectivity anyway.
+		return 1
+	}
 	s.ctr.RandomAccesses += int64(k) * int64(t.NumCols())
 	s.ctr.SeqBytes += sample.SizeBytes()
 	hits, err := p.Sel(sample, nil, s.ctr)
