@@ -4,7 +4,7 @@ GO ?= go
 # and soak runs override it (FUZZTIME=2m make fuzz).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet lint lint-report lint-bench race chaos fuzz explain-smoke serve-smoke check bench-scaling bench-smoke
+.PHONY: build test vet lint lint-report lint-bench race chaos fuzz explain-smoke serve-smoke spill-smoke check bench-scaling bench-smoke
 
 build:
 	$(GO) build ./...
@@ -48,14 +48,17 @@ race:
 chaos:
 	$(GO) test -race -timeout 120s -run 'Chaos|Fault|Frame|Close|Worker' ./internal/cluster/...
 
-# Native Go fuzzing over the wire decoder and the fault-plan parser.
-# Targets run one at a time (the fuzz engine's requirement).
+# Native Go fuzzing over the wire decoder, the fault-plan parser, and
+# the compressed int encodings. Targets run one at a time (the fuzz
+# engine's requirement).
 fuzz:
 	$(GO) test -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) -run '^$$' ./internal/cluster/
 	$(GO) test -fuzz FuzzReadMsg -fuzztime $(FUZZTIME) -run '^$$' ./internal/cluster/
 	$(GO) test -fuzz FuzzParsePlan -fuzztime $(FUZZTIME) -run '^$$' ./internal/cluster/
 	$(GO) test -fuzz FuzzLexer -fuzztime $(FUZZTIME) -run '^$$' ./internal/sql/
 	$(GO) test -fuzz FuzzParser -fuzztime $(FUZZTIME) -run '^$$' ./internal/sql/
+	$(GO) test -fuzz FuzzBitPackRoundTrip -fuzztime $(FUZZTIME) -run '^$$' ./internal/colstore/
+	$(GO) test -fuzz FuzzFoRRoundTrip -fuzztime $(FUZZTIME) -run '^$$' ./internal/colstore/
 
 # EXPLAIN ANALYZE smoke test: run Q1 with -explain and assert the span
 # tree came back non-empty (the scan operator must appear with its sim
@@ -74,16 +77,28 @@ serve-smoke:
 	$(GO) run ./cmd/wimpi-serve -load -sf 0.05 -clients 64 -queries 5 \
 		-max-p99-ms $(SERVE_P99_MS) -bench-out BENCH_serve.json
 
+# Budget determinism smoke test: force Q3 through the spill scheduler
+# with a budget far below its join state and require the same answer as
+# the unlimited run (the engine suite proves this across all 22 queries;
+# this catches CLI-level wiring of -mem-budget).
+spill-smoke:
+	$(GO) run ./cmd/wimpi -sf 0.01 -q 3 -rows 3 | grep -v -e '(host)' -e '^generating' > /tmp/wimpi-spill-free.out
+	$(GO) run ./cmd/wimpi -sf 0.01 -q 3 -rows 3 -mem-budget 64KB | grep -v -e '(host)' -e '^generating' > /tmp/wimpi-spill-budget.out
+	diff /tmp/wimpi-spill-free.out /tmp/wimpi-spill-budget.out
+	@echo "spill-smoke: budgeted output identical"
+
 # The tier-1 gate: everything a change must pass before merging.
-check: build test vet lint race explain-smoke serve-smoke
+check: build test vet lint race explain-smoke serve-smoke spill-smoke
 
 # Parallel speedup on Q1/Q3/Q6/Q18 at 1/2/4/8 workers (SF via WIMPI_BENCH_SF).
 bench-scaling:
 	$(GO) test -run '^$$' -bench BenchmarkParallelScaling -benchtime 3x .
 
-# Radix-partitioned vs chained hash join sweep (BENCH_join.json) plus
-# fused-vs-vector execution on Q1/Q6/Q14 (BENCH_fused.json).
+# Radix-partitioned vs chained hash join sweep (BENCH_join.json, with
+# host and simulated-Pi speedups reported side by side), fused-vs-vector
+# execution on Q1/Q6/Q14 (BENCH_fused.json), and the budget-bounded
+# spill vs swap-thrash trajectory (BENCH_spill.json).
 # WIMPI_BENCH_BIG=1 adds a join build side that also overflows a
 # server-class host LLC.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkJoinRadixVsChained|BenchmarkFusedVsVector' -benchtime 3x .
+	$(GO) test -run '^$$' -bench 'BenchmarkJoinRadixVsChained|BenchmarkFusedVsVector|BenchmarkSpill' -benchtime 3x .

@@ -557,6 +557,128 @@ func BenchmarkJoinRadixVsChained(b *testing.B) {
 	if err := os.WriteFile("BENCH_join.json", append(out, '\n'), 0o644); err != nil {
 		b.Fatal(err)
 	}
+	// Host and simulated-Pi speedups side by side: on a dev host with a
+	// large LLC the radix join usually loses host wall clock (speedup
+	// < 1) while winning on the simulated Pi — which is why the planner's
+	// radix decision is priced on the target profile's cost model, never
+	// on host timings.
+	fmt.Printf("\njoin radix-vs-chained speedups (>1 = radix wins)\n")
+	fmt.Printf("%12s %8s %14s %16s\n", "build_rows", "llc_x", "host_speedup", "sim_pi_speedup")
+	for _, r := range results {
+		fmt.Printf("%12d %8.1f %14.2f %16.2f\n", r.BuildRows, r.LLCFactor, r.HostSpeedup, r.SimPiSpeedup)
+	}
+}
+
+// BenchmarkSpill traces the memory-wall trajectory the spill scheduler
+// replaces: a join whose state sweeps from under the budget to ~20x it,
+// run (a) unlimited and (b) under the budget through the on-disk spill
+// path. Each point reports the host time of the spilled run and two
+// simulated Pi times for the same budget-sized node: the spilled run
+// priced by the sequential-spill model, and the unlimited run priced by
+// the swap-thrash model (what the node would do if the engine let the
+// OS page). The spilled trajectory must degrade smoothly (linear in the
+// bytes beyond budget) where the swap model cliffs. Results land in
+// BENCH_spill.json.
+func BenchmarkSpill(b *testing.B) {
+	const budget = 256 << 10
+	const workers = 4
+	model := hardware.DefaultModel()
+	type spillBenchResult struct {
+		BuildRows       int     `json:"build_rows"`
+		ProbeRows       int     `json:"probe_rows"`
+		StateBytes      int64   `json:"state_bytes"`
+		BudgetBytes     int64   `json:"budget_bytes"`
+		StateOverBudget float64 `json:"state_over_budget"`
+		SpillWriteBytes int64   `json:"spill_write_bytes"`
+		SpillReadBytes  int64   `json:"spill_read_bytes"`
+		HostNsPerOp     float64 `json:"host_ns_per_op"`
+		SimSpillPiMs    float64 `json:"sim_spill_pi_ms"`
+		SimSwapPiMs     float64 `json:"sim_swap_pi_ms"`
+	}
+	mkTables := func(n int) (*colstore.Table, *colstore.Table) {
+		bb := colstore.NewTableBuilder("build", colstore.Schema{{Name: "b_key", Type: colstore.Int64}})
+		for i := 0; i < n; i++ {
+			bb.Int(0, int64(i))
+			bb.EndRow()
+		}
+		pb := colstore.NewTableBuilder("probe", colstore.Schema{{Name: "p_key", Type: colstore.Int64}})
+		for i := 0; i < 4*n; i++ {
+			pb.Int(0, int64(i%(2*n))) // ~50% hit rate
+			pb.EndRow()
+		}
+		return bb.Build(), pb.Build()
+	}
+	query := &plan.HashJoin{
+		Build:     &plan.Scan{Table: "build"},
+		BuildKeys: []string{"b_key"},
+		Probe:     &plan.Scan{Table: "probe"},
+		ProbeKeys: []string{"p_key"},
+		Kind:      plan.Semi,
+	}
+	var results []spillBenchResult
+	for _, n := range []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10} {
+		bt, pt := mkTables(n)
+		free := engine.NewDB(engine.Config{Workers: workers})
+		free.Register(bt)
+		free.Register(pt)
+		resFree, err := free.Run(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		budgeted := engine.NewDB(engine.Config{
+			Workers: workers, MemBudgetBytes: budget, SpillDir: b.TempDir(),
+		})
+		budgeted.Register(bt)
+		budgeted.Register(pt)
+		// The join's in-memory state: build-side partition elements plus
+		// the probe side the partition pass streams (12 bytes/row each
+		// side, plus the built partition tables).
+		state := int64(n)*(12+exec.RadixBuildBytesPerRow) + int64(4*n)*12
+		res := spillBenchResult{
+			BuildRows: n, ProbeRows: 4 * n,
+			StateBytes: state, BudgetBytes: budget,
+			StateOverBudget: float64(state) / float64(budget),
+		}
+		b.Run(fmt.Sprintf("statex=%.1f", res.StateOverBudget), func(b *testing.B) {
+			var last *engine.Result
+			for i := 0; i < b.N; i++ {
+				r, err := budgeted.Run(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			if ok, why := colstore.TablesIdentical(resFree.Table, last.Table); !ok {
+				b.Fatalf("spilled result differs: %s", why)
+			}
+			res.SpillWriteBytes = last.Counters.SpillWriteBytes
+			res.SpillReadBytes = last.Counters.SpillReadBytes
+			res.HostNsPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			// Price both runs for a node whose RAM fits the base data plus
+			// exactly the budget: the spilled run stays resident by
+			// construction, the unlimited run pages once state outgrows it.
+			pi := hardware.Pi()
+			pi.RAMBytes = resFree.Counters.TouchedBaseBytes + budget
+			res.SimSpillPiMs = model.QueryTime(&pi, last.Counters, workers).Seconds() * 1000
+			res.SimSwapPiMs = model.QueryTime(&pi, resFree.Counters, workers).Seconds() * 1000
+			b.ReportMetric(res.SimSpillPiMs, "simSpill-ms")
+			b.ReportMetric(res.SimSwapPiMs, "simSwap-ms")
+		})
+		results = append(results, res)
+	}
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_spill.json", append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	fmt.Printf("\nbudget-bounded spill vs swap-thrash trajectory (budget %d KiB)\n", budget>>10)
+	fmt.Printf("%10s %12s %12s %14s %12s\n", "state_x", "spilled_KiB", "host_ms", "simSpill_ms", "simSwap_ms")
+	for _, r := range results {
+		fmt.Printf("%10.1f %12d %12.2f %14.2f %12.2f\n",
+			r.StateOverBudget, r.SpillWriteBytes>>10, r.HostNsPerOp/1e6, r.SimSpillPiMs, r.SimSwapPiMs)
+	}
 }
 
 // BenchmarkFullStudy regenerates every artifact end to end (the

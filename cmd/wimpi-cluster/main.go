@@ -37,6 +37,7 @@ import (
 	"wimpi/internal/cluster/faultconn"
 	"wimpi/internal/engine"
 	"wimpi/internal/obs"
+	"wimpi/internal/spill"
 )
 
 func main() {
@@ -61,6 +62,7 @@ func main() {
 	stragglerMult := flag.Float64("straggler-mult", 4, "coordinator: straggler threshold as multiple of median response time")
 	explain := flag.Bool("explain", false, "coordinator: print each query's exchange span tree (per-node partials + merge)")
 	execMode := flag.String("exec", "vector", "coordinator: per-node execution mode (vector, fused, or auto), shipped with every load")
+	memBudget := flag.String("mem-budget", "", "coordinator: per-query memory budget on every node (e.g. 256MB), shipped with the load; joins beyond it spill to each worker's local disk (empty = unbounded)")
 	metricsOut := flag.String("metrics-out", "", "coordinator: write Prometheus-text metrics to this file before exiting")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics over HTTP at this address (GET /metrics)")
 	flag.Parse()
@@ -73,6 +75,13 @@ func main() {
 	case "worker":
 		runWorker(*listen, *throttle, *fault, *faultSeed, *faultNode)
 	case "coord":
+		var memBudgetBytes int64
+		if *memBudget != "" {
+			var err error
+			if memBudgetBytes, err = spill.ParseByteSize(*memBudget); err != nil {
+				fatalf("%v", err)
+			}
+		}
 		cfg := cluster.Config{
 			WorkersPerNode:    4,
 			RPCTimeout:        *rpcTimeout,
@@ -81,6 +90,7 @@ func main() {
 			Redispatch:        *redispatch,
 			StragglerMultiple: *stragglerMult,
 			Exec:              *execMode,
+			MemBudgetBytes:    memBudgetBytes,
 		}
 		if *sqlText != "" && *sqlFile != "" {
 			fatalf("-sql and -sql-file are mutually exclusive")

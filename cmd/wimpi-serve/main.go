@@ -32,6 +32,7 @@ import (
 	"wimpi/internal/engine"
 	"wimpi/internal/exec"
 	"wimpi/internal/serve"
+	"wimpi/internal/spill"
 	"wimpi/internal/tpch"
 )
 
@@ -52,7 +53,17 @@ func main() {
 	loadSeed := flag.Int64("load-seed", 1, "load: client RNG seed")
 	benchOut := flag.String("bench-out", "", "load: write the report JSON here")
 	maxP99 := flag.Float64("max-p99-ms", 0, "load: fail if p99 latency exceeds this many ms (0 = unchecked)")
+	memBudget := flag.String("mem-budget", "", "per-query memory budget (e.g. 256MB); joins beyond it spill to disk, plans with nothing to spill are cancelled (empty = unbounded)")
+	spillDir := flag.String("spill-dir", "", "directory for spill files under -mem-budget (empty = OS temp dir)")
 	flag.Parse()
+
+	var memBudgetBytes int64
+	if *memBudget != "" {
+		var err error
+		if memBudgetBytes, err = spill.ParseByteSize(*memBudget); err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	if *load && *maxQueue == 0 {
 		// Closed-loop clients have at most one query outstanding each, so
@@ -65,7 +76,10 @@ func main() {
 	ds := tpch.Generate(tpch.Config{SF: *sf, Seed: *seed})
 	pool := exec.NewPool(*workers)
 	defer pool.Close()
-	db := engine.NewDB(engine.Config{Workers: *workers, Pool: pool})
+	db := engine.NewDB(engine.Config{
+		Workers: *workers, Pool: pool,
+		MemBudgetBytes: memBudgetBytes, SpillDir: *spillDir,
+	})
 	ds.RegisterAll(db)
 
 	srv := serve.New(serve.Config{

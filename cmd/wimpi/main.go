@@ -25,6 +25,7 @@ import (
 	"wimpi/internal/obs"
 	"wimpi/internal/plan"
 	"wimpi/internal/snapshot"
+	"wimpi/internal/spill"
 	"wimpi/internal/sql"
 	"wimpi/internal/tpch"
 )
@@ -47,11 +48,19 @@ func main() {
 	save := flag.String("save", "", "after generating, snapshot the dataset to this directory")
 	load := flag.String("load", "", "load the dataset from a snapshot directory instead of generating")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics to this file before exiting")
+	memBudget := flag.String("mem-budget", "", "per-query memory budget (e.g. 256MB); joins beyond it spill to disk, plans with nothing to spill are cancelled (empty = unbounded)")
+	spillDir := flag.String("spill-dir", "", "directory for spill files under -mem-budget (empty = OS temp dir)")
 	flag.Parse()
 
 	mode, err := plan.ParseExecMode(*execMode)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	var memBudgetBytes int64
+	if *memBudget != "" {
+		if memBudgetBytes, err = spill.ParseByteSize(*memBudget); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	if *sqlText != "" && *sqlFile != "" {
@@ -106,7 +115,10 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "(snapshot written to %s) ", *save)
 	}
-	db := engine.NewDB(engine.Config{Workers: *workers, TargetLLCBytes: *llc, Exec: mode})
+	db := engine.NewDB(engine.Config{
+		Workers: *workers, TargetLLCBytes: *llc, Exec: mode,
+		MemBudgetBytes: memBudgetBytes, SpillDir: *spillDir,
+	})
 	data.RegisterAll(db)
 	fmt.Fprintf(os.Stderr, "done in %v (%.1f MB, %d workers)\n", time.Since(start).Round(time.Millisecond),
 		float64(db.SizeBytes())/(1<<20), db.Workers())

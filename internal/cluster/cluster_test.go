@@ -63,6 +63,55 @@ func TestWireTableRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWireTableDensifiesEncodedColumns: compressed int encodings
+// (bit-packed, FoR, RLE) densify to plain int64 frames on the wire
+// instead of silently serializing as empty columns.
+func TestWireTableDensifiesEncodedColumns(t *testing.T) {
+	const n = 257
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = 1_000_000 + int64(i%7)
+	}
+	plain := &colstore.Int64s{V: v}
+	bp, ok := colstore.BitPackInt64(&colstore.Int64s{V: append([]int64(nil), v...)})
+	if !ok {
+		t.Fatal("bit-pack refused a narrow column")
+	}
+	fr, ok := colstore.FoRCompressInt64(&colstore.Int64s{V: append([]int64(nil), v...)})
+	if !ok {
+		t.Fatal("FoR refused a narrow-range column")
+	}
+	rle := colstore.CompressInt64(&colstore.Int64s{V: append([]int64(nil), v...)})
+
+	orig, err := colstore.NewTable("t", colstore.Schema{
+		{Name: "plain", Type: colstore.Int64},
+		{Name: "bp", Type: colstore.Int64},
+		{Name: "for", Type: colstore.Int64},
+		{Name: "rle", Type: colstore.Int64},
+	}, []colstore.Column{plain, bp, fr, rle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ToWire(orig).Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"plain", "bp", "for", "rle"} {
+		col, ok := got.MustCol(name).(*colstore.Int64s)
+		if !ok {
+			t.Fatalf("column %q did not arrive as plain int64", name)
+		}
+		if len(col.V) != n {
+			t.Fatalf("column %q: %d rows on the wire, want %d", name, len(col.V), n)
+		}
+		for i, want := range v {
+			if col.V[i] != want {
+				t.Fatalf("column %q row %d = %d, want %d", name, i, col.V[i], want)
+			}
+		}
+	}
+}
+
 func TestConcatRemapsDictionaries(t *testing.T) {
 	mk := func(vals ...string) *colstore.Table {
 		b := colstore.NewTableBuilder("t", colstore.Schema{{Name: "s", Type: colstore.String}})

@@ -40,6 +40,12 @@ type Config struct {
 	// empty selects vector). Like TargetLLCBytes it is shipped with every
 	// load so re-dispatched partitions plan identically everywhere.
 	Exec string
+	// MemBudgetBytes is each node's per-query memory budget (see
+	// engine.Config.MemBudgetBytes); zero means unbounded. Shipped with
+	// every load so a re-dispatched partition spills — and answers —
+	// identically on whichever node runs it. Each worker spills to its
+	// own local temp directory; no spill state crosses the wire.
+	MemBudgetBytes int64
 
 	// DialTimeout bounds each TCP connect (default 10s).
 	DialTimeout time.Duration
@@ -284,7 +290,7 @@ func (c *Coordinator) loadContext(ctx context.Context, sf float64, seed uint64, 
 			resp, _, err := c.callRetry(ctx, i, &Request{Type: "load", ForNode: -1, Load: &LoadRequest{
 				SF: sf, Seed: seed, Node: i, NumNodes: len(c.conns),
 				Workers: c.cfg.WorkersPerNode, TargetLLCBytes: c.cfg.TargetLLCBytes,
-				Exec: c.cfg.Exec, SQL: partials,
+				Exec: c.cfg.Exec, MemBudgetBytes: c.cfg.MemBudgetBytes, SQL: partials,
 			}})
 			if err != nil {
 				errs[i] = err

@@ -16,6 +16,7 @@ import (
 
 	"wimpi/internal/cluster/faultconn"
 	"wimpi/internal/colstore"
+	"wimpi/internal/plan"
 	"wimpi/internal/tpch"
 )
 
@@ -172,6 +173,65 @@ func TestChaosRedispatchByteIdentical(t *testing.T) {
 		if res.Partial {
 			t.Errorf("Q%d: re-dispatched run should not be partial", q)
 		}
+	}
+}
+
+// TestChaosRedispatchUnderMemBudget: the budgeted acceptance scenario.
+// Every node runs under a per-query memory budget small enough to force
+// join state through the spill scheduler, node 1's query responses die,
+// and re-dispatch to a healthy peer — which regenerates partition 1 and
+// spills it under the same shipped budget — must still merge to tables
+// byte-identical to the fault-free, unbudgeted run.
+func TestChaosRedispatchUnderMemBudget(t *testing.T) {
+	baseline := baselineTables(t)
+	ctx := chaosCtx(t, 90*time.Second)
+	fplan := &faultconn.Plan{Seed: 11, Rules: []faultconn.Rule{
+		{Node: 1, Op: faultconn.OpWrite, Phase: "query", Kind: faultconn.Reset, Times: -1},
+	}}
+	cfg := chaosConfig()
+	cfg.Retry.MaxAttempts = 2
+	cfg.Redispatch = true
+	cfg.MemBudgetBytes = 64 << 10
+	lc, err := StartLocalFaulty(chaosNodes, WorkerConfig{}, cfg, fplan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lc.Close)
+	if _, err := lc.Coordinator.LoadContext(ctx, testSF, chaosSeed); err != nil {
+		t.Fatal(err)
+	}
+	spilled, ran := false, 0
+	for _, q := range tpch.RepresentativeQueries {
+		dq, err := tpch.DistQueryFor(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plan.Spillable(dq.Partial()) {
+			// A per-node partial with no join has nothing to spill: the
+			// budget cancels it (the single-node MemLimitError semantics),
+			// so it is out of scope for the spill acceptance run.
+			continue
+		}
+		ran++
+		res, err := lc.Coordinator.RunContext(ctx, q)
+		if err != nil {
+			t.Fatalf("Q%d: %v", q, err)
+		}
+		assertIdentical(t, q, res.Table, baseline)
+		if !dq.SingleNode && res.Redispatches < 1 {
+			t.Errorf("Q%d: expected at least one re-dispatch, got %d", q, res.Redispatches)
+		}
+		for _, nc := range res.NodeCounters {
+			if nc.SpillWriteBytes > 0 {
+				spilled = true
+			}
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no representative query has a spillable partial plan")
+	}
+	if !spilled {
+		t.Error("no query spilled: the budget did not exercise the spill path")
 	}
 }
 

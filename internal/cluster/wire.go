@@ -71,6 +71,18 @@ func ToWire(t *colstore.Table) *WireTable {
 		case *colstore.Strings:
 			wc.Codes = col.Codes
 			wc.Dict = col.Dict.Values()
+		default:
+			// Compressed int encodings (bit-packed, FoR, RLE) densify for
+			// the wire: the encoding is a node-local storage choice, and a
+			// plain frame keeps the protocol independent of it. Without
+			// this, an encoded column would serialize as an empty one.
+			if rd, n, ok := colstore.Int64Reader(c); ok {
+				v := make([]int64, n)
+				for r := range v {
+					v[r] = rd(r)
+				}
+				wc.Ints = v
+			}
 		}
 	}
 	return w
@@ -153,6 +165,13 @@ type LoadRequest struct {
 	// every node, including one executing a re-dispatched foreign
 	// partition, plans with the same mode.
 	Exec string
+	// MemBudgetBytes is the per-query memory budget each node enforces
+	// (see engine.Config.MemBudgetBytes); zero means unbounded. Must be
+	// identical cluster-wide: the spill decision depends only on the
+	// budget and the partition's cardinalities, so a re-dispatched
+	// partition spills the same way wherever it runs. Each worker spills
+	// to its own local temp directory.
+	MemBudgetBytes int64
 	// SQL maps query ids to per-node partial SQL text (see
 	// sql.Distribute). Shipping the text with the load — not with each
 	// query — means every node holds the same statements up front, so a

@@ -152,7 +152,10 @@ func (w *Worker) handleLoad(l *LoadRequest) *Response {
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}
-	db := engine.NewDB(engine.Config{Workers: workers, TargetLLCBytes: l.TargetLLCBytes, Exec: mode})
+	db := engine.NewDB(engine.Config{
+		Workers: workers, TargetLLCBytes: l.TargetLLCBytes, Exec: mode,
+		MemBudgetBytes: l.MemBudgetBytes,
+	})
 	d.RegisterAll(db)
 
 	lcopy := *l
@@ -206,7 +209,10 @@ func (w *Worker) spareDB(node int) (*engine.DB, error) {
 	// The mode string was validated when the original load was accepted,
 	// so the spare engine plans exactly like the partition's home node.
 	mode, _ := plan.ParseExecMode(l.Exec)
-	db := engine.NewDB(engine.Config{Workers: l.Workers, TargetLLCBytes: l.TargetLLCBytes, Exec: mode})
+	db := engine.NewDB(engine.Config{
+		Workers: l.Workers, TargetLLCBytes: l.TargetLLCBytes, Exec: mode,
+		MemBudgetBytes: l.MemBudgetBytes,
+	})
 	d.RegisterAll(db)
 	if w.spare == nil {
 		w.spare = map[int]*engine.DB{}

@@ -1,0 +1,250 @@
+package colstore
+
+import "math/bits"
+
+// BitPackedInt64 is a bit-packed int64 column: every value is a
+// non-negative code stored in W bits, packed little-endian into 64-bit
+// words. It implements Column, so it can sit inside a Table; dedicated
+// kernels in package exec evaluate predicates and extract join/group
+// keys directly on the packed words, and Decode materializes a dense
+// column for operators without a packed path.
+//
+// Unlike RLEInt64 (whose Slice re-encodes run boundaries), slicing a
+// bit-packed column is zero-copy: the view keeps the shared word array
+// and moves its row offset. Morsel-parallel kernels slice base tables
+// per morsel, so the slice must not copy or the encoding would cost a
+// full decode per morsel.
+type BitPackedInt64 struct {
+	// Packed holds the codes, W bits each, packed little-endian starting
+	// at bit Off*W. The array is shared between slice views.
+	Packed []uint64
+	// W is the code width in bits (0..63). Width 0 encodes the all-zero
+	// column with no packed words at all.
+	W uint8
+	// Off is the row offset of this view's first code within Packed.
+	Off int
+	// N is the view's row count.
+	N int
+}
+
+// bitPackMaxWidth is the widest supported code. 64-bit codes would save
+// nothing over a dense column and would complicate the shift kernels,
+// so encoders reject them.
+const bitPackMaxWidth = 63
+
+// maxCode returns the largest code representable in w bits.
+func maxCode(w uint8) uint64 {
+	return uint64(1)<<w - 1 // w <= 63, so the shift never overflows
+}
+
+// BitPackInt64 bit-packs a dense column with the smallest width that
+// holds its maximum value. It reports false when the values cannot be
+// packed (any negative value, or a maximum needing 64 bits); callers
+// then keep the dense layout or reach for frame-of-reference encoding.
+func BitPackInt64(c *Int64s) (*BitPackedInt64, bool) {
+	var max int64
+	for _, v := range c.V {
+		if v < 0 {
+			return nil, false
+		}
+		if v > max {
+			max = v
+		}
+	}
+	w := uint8(bits.Len64(uint64(max)))
+	if w > bitPackMaxWidth {
+		return nil, false
+	}
+	return packWords(c.V, 0, w), true
+}
+
+// packWords packs v-ref (non-negative by the caller's width choice)
+// into w-bit codes.
+func packWords(v []int64, ref int64, w uint8) *BitPackedInt64 {
+	out := &BitPackedInt64{W: w, N: len(v)}
+	if w == 0 {
+		return out
+	}
+	out.Packed = make([]uint64, (len(v)*int(w)+63)/64)
+	bit := uint64(0)
+	for _, x := range v {
+		code := uint64(x) - uint64(ref)
+		word, shift := bit>>6, bit&63
+		out.Packed[word] |= code << shift
+		if rem := 64 - shift; rem < uint64(w) {
+			out.Packed[word+1] |= code >> rem
+		}
+		bit += uint64(w)
+	}
+	return out
+}
+
+// Type implements Column. Bit-packing is an encoding of an int64 column.
+func (c *BitPackedInt64) Type() Type { return Int64 }
+
+// Len implements Column.
+func (c *BitPackedInt64) Len() int { return c.N }
+
+// SizeBytes implements Column: the packed bytes covering this view's
+// codes. A zero-copy slice reports its own span, not the shared array.
+func (c *BitPackedInt64) SizeBytes() int64 {
+	return int64((c.N*int(c.W) + 7) / 8)
+}
+
+// Code returns the raw code at row i.
+func (c *BitPackedInt64) Code(i int32) uint64 {
+	if c.W == 0 {
+		return 0
+	}
+	bit := uint64(c.Off+int(i)) * uint64(c.W)
+	word, shift := bit>>6, bit&63
+	v := c.Packed[word] >> shift
+	if rem := 64 - shift; rem < uint64(c.W) {
+		v |= c.Packed[word+1] << rem
+	}
+	return v & maxCode(c.W)
+}
+
+// Value returns the value at row i.
+func (c *BitPackedInt64) Value(i int32) int64 { return int64(c.Code(i)) }
+
+// Decode materializes the dense column.
+func (c *BitPackedInt64) Decode() *Int64s {
+	out := make([]int64, c.N)
+	c.DecodeInto(out, 0)
+	return &Int64s{V: out}
+}
+
+// DecodeInto writes every value plus ref into out, which must have
+// length N. The sequential bit cursor touches each packed word once —
+// this is the streaming decode loop the exec kernels share.
+func (c *BitPackedInt64) DecodeInto(out []int64, ref int64) {
+	if c.W == 0 {
+		for i := range out {
+			out[i] = ref
+		}
+		return
+	}
+	w := uint64(c.W)
+	mask := maxCode(c.W)
+	bit := uint64(c.Off) * w
+	for i := 0; i < c.N; i++ {
+		word, shift := bit>>6, bit&63
+		v := c.Packed[word] >> shift
+		if rem := 64 - shift; rem < w {
+			v |= c.Packed[word+1] << rem
+		}
+		out[i] = ref + int64(v&mask)
+		bit += w
+	}
+}
+
+// Gather implements Column. The result is a dense column.
+func (c *BitPackedInt64) Gather(sel []int32) Column {
+	out := make([]int64, len(sel))
+	for i, s := range sel {
+		out[i] = c.Value(s)
+	}
+	return &Int64s{V: out}
+}
+
+// Slice implements Column. The view is zero-copy: it shares Packed and
+// shifts the row offset.
+func (c *BitPackedInt64) Slice(lo, hi int) Column {
+	if lo > hi {
+		lo = hi
+	}
+	return &BitPackedInt64{Packed: c.Packed, W: c.W, Off: c.Off + lo, N: hi - lo}
+}
+
+// FoRInt64 is a frame-of-reference int64 column: values are stored as
+// bit-packed deltas from a reference (the column minimum), so narrow
+// value ranges pack into narrow codes regardless of magnitude or sign.
+// It composes the reference frame with BitPackedInt64's code storage.
+type FoRInt64 struct {
+	// Ref is the reference frame (the minimum value at encode time).
+	Ref int64
+	// Codes stores value-Ref as bit-packed non-negative codes.
+	Codes BitPackedInt64
+}
+
+// FoRCompressInt64 frame-of-reference encodes a dense column against
+// its minimum. It reports false when the value range needs 64-bit
+// codes (no narrower than dense).
+func FoRCompressInt64(c *Int64s) (*FoRInt64, bool) {
+	if len(c.V) == 0 {
+		return &FoRInt64{}, true
+	}
+	min, max := c.V[0], c.V[0]
+	for _, v := range c.V[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	// Two's-complement subtraction gives the unsigned range even when
+	// max-min overflows int64.
+	w := uint8(bits.Len64(uint64(max) - uint64(min)))
+	if w > bitPackMaxWidth {
+		return nil, false
+	}
+	return &FoRInt64{Ref: min, Codes: *packWords(c.V, min, w)}, true
+}
+
+// Type implements Column.
+func (c *FoRInt64) Type() Type { return Int64 }
+
+// Len implements Column.
+func (c *FoRInt64) Len() int { return c.Codes.N }
+
+// SizeBytes implements Column: the packed code bytes plus the reference.
+func (c *FoRInt64) SizeBytes() int64 { return c.Codes.SizeBytes() + 8 }
+
+// Value returns the value at row i.
+func (c *FoRInt64) Value(i int32) int64 { return c.Ref + int64(c.Codes.Code(i)) }
+
+// Decode materializes the dense column.
+func (c *FoRInt64) Decode() *Int64s {
+	out := make([]int64, c.Codes.N)
+	c.Codes.DecodeInto(out, c.Ref)
+	return &Int64s{V: out}
+}
+
+// Gather implements Column. The result is a dense column.
+func (c *FoRInt64) Gather(sel []int32) Column {
+	out := make([]int64, len(sel))
+	for i, s := range sel {
+		out[i] = c.Value(s)
+	}
+	return &Int64s{V: out}
+}
+
+// Slice implements Column. Zero-copy, like BitPackedInt64.Slice.
+func (c *FoRInt64) Slice(lo, hi int) Column {
+	return &FoRInt64{Ref: c.Ref, Codes: *c.Codes.Slice(lo, hi).(*BitPackedInt64)}
+}
+
+// CompressIntColumn walks the int-encoding lattice — dense, RLE,
+// bit-packed, frame-of-reference — and returns the encoding with the
+// smallest footprint for this column. Ties keep the earlier (simpler)
+// encoding, so the choice is deterministic: it depends only on the
+// data, never on the caller.
+func CompressIntColumn(c *Int64s) Column {
+	best := Column(c)
+	size := c.SizeBytes()
+	consider := func(cand Column) {
+		if cand.SizeBytes() < size {
+			best, size = cand, cand.SizeBytes()
+		}
+	}
+	consider(CompressInt64(c))
+	if bp, ok := BitPackInt64(c); ok {
+		consider(bp)
+	}
+	if fr, ok := FoRCompressInt64(c); ok {
+		consider(fr)
+	}
+	return best
+}

@@ -1,0 +1,304 @@
+package colstore
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBitPackRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{0},
+		{0, 0, 0},
+		{1},
+		{7, 0, 3, 7, 1},
+		{1 << 20, 0, 12345, 1<<20 - 1},
+		{math.MaxInt64, 0, 42}, // 63-bit codes, the widest supported
+	}
+	for _, vals := range cases {
+		dense := &Int64s{V: vals}
+		bp, ok := BitPackInt64(dense)
+		if !ok {
+			t.Fatalf("BitPackInt64(%v) rejected", vals)
+		}
+		if bp.Len() != len(vals) {
+			t.Fatalf("len %d, want %d", bp.Len(), len(vals))
+		}
+		for i, want := range vals {
+			if got := bp.Value(int32(i)); got != want {
+				t.Fatalf("row %d: %d, want %d (w=%d)", i, got, want, bp.W)
+			}
+		}
+		if ok, why := ColumnsIdentical(bp, dense); !ok {
+			t.Fatalf("ColumnsIdentical: %s", why)
+		}
+		if ok, why := ColumnsIdentical(bp.Decode(), dense); !ok {
+			t.Fatalf("Decode: %s", why)
+		}
+	}
+}
+
+func TestBitPackRejectsNegative(t *testing.T) {
+	if _, ok := BitPackInt64(&Int64s{V: []int64{3, -1}}); ok {
+		t.Fatal("negative values must not bit-pack")
+	}
+}
+
+func TestFoRRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{-5},
+		{100, 100, 100},
+		{-10, 10, 0, 3},
+		{1 << 40, 1<<40 + 127, 1<<40 + 3},
+		{math.MinInt64, math.MinInt64 + 100},
+	}
+	for _, vals := range cases {
+		dense := &Int64s{V: vals}
+		fr, ok := FoRCompressInt64(dense)
+		if !ok {
+			t.Fatalf("FoRCompressInt64(%v) rejected", vals)
+		}
+		for i, want := range vals {
+			if got := fr.Value(int32(i)); got != want {
+				t.Fatalf("row %d: %d, want %d (ref=%d w=%d)", i, got, want, fr.Ref, fr.Codes.W)
+			}
+		}
+		if ok, why := ColumnsIdentical(fr, dense); !ok {
+			t.Fatalf("ColumnsIdentical: %s", why)
+		}
+	}
+}
+
+func TestFoRRejectsFullRange(t *testing.T) {
+	// min..max spans 64 bits of range: no narrower than dense.
+	if _, ok := FoRCompressInt64(&Int64s{V: []int64{math.MinInt64, math.MaxInt64}}); ok {
+		t.Fatal("full-range values must not FoR-encode")
+	}
+}
+
+func TestBitPackSliceZeroCopyAndGather(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i % 37)
+	}
+	bp, _ := BitPackInt64(&Int64s{V: vals})
+	sl := bp.Slice(100, 900).(*BitPackedInt64)
+	if &sl.Packed[0] != &bp.Packed[0] {
+		t.Fatal("slice must share the packed words")
+	}
+	for i := 0; i < sl.Len(); i++ {
+		if got := sl.Value(int32(i)); got != vals[100+i] {
+			t.Fatalf("slice row %d: %d, want %d", i, got, vals[100+i])
+		}
+	}
+	// Nested slices keep offsetting into the shared words.
+	sl2 := sl.Slice(10, 20).(*BitPackedInt64)
+	for i := 0; i < sl2.Len(); i++ {
+		if got := sl2.Value(int32(i)); got != vals[110+i] {
+			t.Fatalf("nested slice row %d: %d, want %d", i, got, vals[110+i])
+		}
+	}
+	g := bp.Gather([]int32{5, 5, 999, 0}).(*Int64s)
+	want := []int64{vals[5], vals[5], vals[999], vals[0]}
+	for i := range want {
+		if g.V[i] != want[i] {
+			t.Fatalf("gather[%d] = %d, want %d", i, g.V[i], want[i])
+		}
+	}
+}
+
+func TestFoRSliceMatchesDense(t *testing.T) {
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = 1_000_000 + int64(i%100) - 50
+	}
+	fr, _ := FoRCompressInt64(&Int64s{V: vals})
+	sl := fr.Slice(33, 444)
+	dense := (&Int64s{V: vals}).Slice(33, 444)
+	if ok, why := ColumnsIdentical(sl, dense); !ok {
+		t.Fatalf("FoR slice: %s", why)
+	}
+}
+
+func TestBitPackSizeBytesReportsPackedFootprint(t *testing.T) {
+	vals := make([]int64, 64)
+	for i := range vals {
+		vals[i] = int64(i % 8) // 3-bit codes
+	}
+	bp, _ := BitPackInt64(&Int64s{V: vals})
+	if bp.W != 3 {
+		t.Fatalf("width %d, want 3", bp.W)
+	}
+	if got, want := bp.SizeBytes(), int64(64*3/8); got != want {
+		t.Fatalf("SizeBytes %d, want %d", got, want)
+	}
+	if dense := (&Int64s{V: vals}).SizeBytes(); bp.SizeBytes()*8 > dense {
+		t.Fatalf("packing saved nothing: %d vs %d", bp.SizeBytes(), dense)
+	}
+}
+
+func TestCompressIntColumnLattice(t *testing.T) {
+	runs := make([]int64, 4096)
+	for i := range runs {
+		runs[i] = int64(i / 512) // long runs: RLE wins
+	}
+	if _, ok := CompressIntColumn(&Int64s{V: runs}).(*RLEInt64); !ok {
+		t.Fatalf("run-heavy column should pick RLE, got %T", CompressIntColumn(&Int64s{V: runs}))
+	}
+	small := make([]int64, 4096)
+	for i := range small {
+		small[i] = int64(i % 7) // narrow non-negative: bit-packing wins
+	}
+	if _, ok := CompressIntColumn(&Int64s{V: small}).(*BitPackedInt64); !ok {
+		t.Fatalf("narrow column should pick bit-packing, got %T", CompressIntColumn(&Int64s{V: small}))
+	}
+	offset := make([]int64, 4096)
+	for i := range offset {
+		offset[i] = 1<<40 + int64(i%7) // narrow range, large magnitude: FoR wins
+	}
+	if _, ok := CompressIntColumn(&Int64s{V: offset}).(*FoRInt64); !ok {
+		t.Fatalf("offset column should pick FoR, got %T", CompressIntColumn(&Int64s{V: offset}))
+	}
+	wide := []int64{math.MinInt64, math.MaxInt64, 0, -1}
+	if _, ok := CompressIntColumn(&Int64s{V: wide}).(*Int64s); !ok {
+		t.Fatalf("incompressible column should stay dense, got %T", CompressIntColumn(&Int64s{V: wide}))
+	}
+}
+
+func TestConcatEncodedInt64Columns(t *testing.T) {
+	mk := func(c Column) *Table {
+		return MustNewTable("t", Schema{{Name: "k", Type: Int64}}, []Column{c})
+	}
+	a := []int64{5, 5, 5, 9}
+	b := []int64{0, 1, 2, 3}
+	c := []int64{1 << 40, 1<<40 + 1}
+	bp, _ := BitPackInt64(&Int64s{V: b})
+	fr, _ := FoRCompressInt64(&Int64s{V: c})
+	got, err := Concat(mk(CompressInt64(&Int64s{V: a})), mk(bp), mk(fr), mk(&Int64s{V: nil}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append(append([]int64{}, a...), b...), c...)
+	if ok, why := ColumnsIdentical(got.Cols[0], &Int64s{V: want}); !ok {
+		t.Fatalf("concat across encodings: %s", why)
+	}
+}
+
+func TestColumnsIdenticalAcrossPackedEncodings(t *testing.T) {
+	vals := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+	dense := &Int64s{V: vals}
+	bp, _ := BitPackInt64(dense)
+	fr, _ := FoRCompressInt64(dense)
+	rle := CompressInt64(dense)
+	for _, pair := range [][2]Column{{bp, dense}, {fr, dense}, {bp, fr}, {bp, rle}, {fr, rle}} {
+		if ok, why := ColumnsIdentical(pair[0], pair[1]); !ok {
+			t.Fatalf("%T vs %T: %s", pair[0], pair[1], why)
+		}
+	}
+	other := &Int64s{V: []int64{3, 1, 4, 1, 5, 9, 2, 7}}
+	if ok, _ := ColumnsIdentical(bp, other); ok {
+		t.Fatal("differing columns reported identical")
+	}
+	shorter := &Int64s{V: vals[:7]}
+	if ok, _ := ColumnsIdentical(fr, shorter); ok {
+		t.Fatal("length mismatch reported identical")
+	}
+}
+
+// FuzzBitPackRoundTrip checks encode→decode is the identity for every
+// packable input, including overflow boundaries and random widths.
+func FuzzBitPackRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(13))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, uint8(63))
+	f.Fuzz(func(t *testing.T, raw []byte, width uint8) {
+		vals := fuzzInt64s(raw)
+		// Mask into the fuzzed width so most inputs are packable; the
+		// unmasked encoder path is exercised when width >= 63.
+		w := width % 64
+		for i := range vals {
+			if vals[i] < 0 {
+				vals[i] = -vals[i] // MinInt64 negates to itself; masking below fixes it
+			}
+			vals[i] &= int64(maxCode(w) | 1)
+		}
+		dense := &Int64s{V: vals}
+		bp, ok := BitPackInt64(dense)
+		if !ok {
+			t.Fatalf("masked non-negative input rejected (w=%d)", w)
+		}
+		if bp.Len() != len(vals) {
+			t.Fatalf("len %d, want %d", bp.Len(), len(vals))
+		}
+		for i, want := range vals {
+			if got := bp.Value(int32(i)); got != want {
+				t.Fatalf("row %d: got %d, want %d (w=%d)", i, got, want, bp.W)
+			}
+		}
+		if ok, why := ColumnsIdentical(bp.Decode(), dense); !ok {
+			t.Fatalf("decode mismatch: %s", why)
+		}
+		if len(vals) > 1 {
+			lo, hi := len(vals)/3, len(vals)
+			if ok, why := ColumnsIdentical(bp.Slice(lo, hi), dense.Slice(lo, hi)); !ok {
+				t.Fatalf("slice mismatch: %s", why)
+			}
+		}
+	})
+}
+
+// FuzzFoRRoundTrip checks frame-of-reference encode→decode is the
+// identity across signed ranges and overflow boundaries.
+func FuzzFoRRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0, 0, 0, 0, 0, 0, 0, 0x7f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vals := fuzzInt64s(raw)
+		dense := &Int64s{V: vals}
+		fr, ok := FoRCompressInt64(dense)
+		if !ok {
+			// Range needs 64-bit codes; verify that claim, then done.
+			min, max := vals[0], vals[0]
+			for _, v := range vals {
+				if v < min {
+					min = v
+				}
+				if v > max {
+					max = v
+				}
+			}
+			if uint64(max)-uint64(min) < 1<<63 {
+				t.Fatalf("rejected packable range [%d,%d]", min, max)
+			}
+			return
+		}
+		for i, want := range vals {
+			if got := fr.Value(int32(i)); got != want {
+				t.Fatalf("row %d: got %d, want %d (ref=%d w=%d)", i, got, want, fr.Ref, fr.Codes.W)
+			}
+		}
+		if ok, why := ColumnsIdentical(fr.Decode(), dense); !ok {
+			t.Fatalf("decode mismatch: %s", why)
+		}
+		if len(vals) > 1 {
+			if ok, why := ColumnsIdentical(fr.Slice(1, len(vals)), dense.Slice(1, len(vals))); !ok {
+				t.Fatalf("slice mismatch: %s", why)
+			}
+		}
+	})
+}
+
+// fuzzInt64s reinterprets fuzz bytes as little-endian int64 values.
+func fuzzInt64s(raw []byte) []int64 {
+	vals := make([]int64, len(raw)/8)
+	for i := range vals {
+		var u uint64
+		for j := 0; j < 8; j++ {
+			u |= uint64(raw[i*8+j]) << (8 * j)
+		}
+		vals[i] = int64(u)
+	}
+	return vals
+}

@@ -7,6 +7,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -60,6 +61,16 @@ type Config struct {
 	// goroutines. Results stay bit-identical — the pool changes who
 	// executes a morsel, never the morsel decomposition.
 	Pool *exec.Pool
+	// MemBudgetBytes, when positive, bounds every query's live
+	// intermediate memory. Plans with a spillable operator degrade
+	// smoothly through the budget-bounded spill scheduler; plans without
+	// one are cancelled with *plan.MemLimitError when they cross it.
+	// Results are bit-identical with and without a budget.
+	MemBudgetBytes int64
+	// SpillDir is where per-query spill areas are created when a memory
+	// budget forces operators to disk. Empty selects the OS temp
+	// directory.
+	SpillDir string
 }
 
 // DB is an in-memory database: a named set of columnar tables. It is safe
@@ -171,7 +182,23 @@ func (db *DB) RunWith(p plan.Node, workers int) (*Result, error) {
 
 // planCtx builds the execution context for one query.
 func (db *DB) planCtx(workers int) *plan.Context {
-	return &plan.Context{Cat: db, Workers: workers, LLCBytes: db.cfg.TargetLLCBytes, Exec: db.cfg.Exec}
+	return &plan.Context{
+		Cat:           db,
+		Workers:       workers,
+		LLCBytes:      db.cfg.TargetLLCBytes,
+		Exec:          db.cfg.Exec,
+		MemLimitBytes: db.cfg.MemBudgetBytes,
+		SpillDir:      db.spillDir(),
+	}
+}
+
+// spillDir resolves where spill areas go: the configured directory, or
+// the OS temp directory.
+func (db *DB) spillDir() string {
+	if db.cfg.SpillDir != "" {
+		return db.cfg.SpillDir
+	}
+	return os.TempDir()
 }
 
 // QueryOpts shape one RunQuery call.
@@ -184,9 +211,11 @@ type QueryOpts struct {
 	// selects 1. A weight-2 query receives twice the pool share of a
 	// weight-1 query.
 	Weight int
-	// MemLimitBytes, when positive, cancels the query with a
-	// *plan.MemLimitError once its observed live intermediate memory
-	// exceeds the budget.
+	// MemLimitBytes, when positive, bounds this query's live
+	// intermediate memory, overriding the database's MemBudgetBytes.
+	// Plans with a spillable operator degrade through the spill
+	// scheduler; plans without one are cancelled with a
+	// *plan.MemLimitError once they cross the budget.
 	MemLimitBytes int64
 }
 
@@ -214,7 +243,9 @@ func (db *DB) RunQuery(ctx context.Context, p plan.Node, opts QueryOpts) (*Resul
 	pctx := db.planCtx(workers)
 	pctx.Ctx = ctx
 	pctx.Sched = sched
-	pctx.MemLimitBytes = opts.MemLimitBytes
+	if opts.MemLimitBytes > 0 {
+		pctx.MemLimitBytes = opts.MemLimitBytes
+	}
 	//lint:allow determinism,taintflow -- measured wall clock, reported as HostDuration; results never depend on it
 	start := time.Now()
 	t, ctr, err := plan.RunContext(pctx, p)
@@ -322,6 +353,10 @@ func formatCell(c colstore.Column, row int) string {
 	case *colstore.Bools:
 		return fmt.Sprintf("%t", col.V[row])
 	default:
+		// Compressed int encodings (bit-packed, FoR, RLE) decode per cell.
+		if rd, _, ok := colstore.Int64Reader(c); ok {
+			return fmt.Sprintf("%d", rd(row))
+		}
 		return "?"
 	}
 }

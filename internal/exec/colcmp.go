@@ -69,12 +69,15 @@ func (p ColCmpI) Sel(t *colstore.Table, in []int32, ctr *Counters) ([]int32, err
 	if err != nil {
 		return nil, err
 	}
-	ai, aok := ac.(*colstore.Int64s)
-	bi, bok := bc.(*colstore.Int64s)
-	if !aok || !bok {
-		return nil, fmt.Errorf("exec: ColCmpI needs int64 columns, got %s and %s", ac.Type(), bc.Type())
+	av, err := AsInt64(ac, ctr)
+	if err != nil {
+		return nil, fmt.Errorf("exec: ColCmpI: %s and %s columns: %w", ac.Type(), bc.Type(), err)
 	}
-	return SelColCmpI64(ai, bi, p.Op, in, ctr), nil
+	bv, err := AsInt64(bc, ctr)
+	if err != nil {
+		return nil, fmt.Errorf("exec: ColCmpI: %s and %s columns: %w", ac.Type(), bc.Type(), err)
+	}
+	return SelColCmpI64(&colstore.Int64s{V: av}, &colstore.Int64s{V: bv}, p.Op, in, ctr), nil
 }
 
 // String implements Pred.

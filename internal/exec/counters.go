@@ -74,6 +74,18 @@ type Counters struct {
 	// built. The hardware model compares it against the profile LLC to
 	// decide whether CacheRandomAccesses really hit cache.
 	MaxPartitionBytes int64
+	// SpillWriteBytes counts bytes written to the on-disk spill area by
+	// budget-bounded operators. The hardware model charges them at
+	// sequential spill-device bandwidth — planned, priced I/O instead of
+	// the unplanned swap-thrash penalty.
+	SpillWriteBytes int64
+	// SpillReadBytes counts bytes read back from the spill area.
+	SpillReadBytes int64
+	// ResidentCapBytes, when non-zero, records the memory budget a
+	// spilling operator planned under: state beyond the cap was streamed
+	// through the spill area, so the hardware model caps the resident
+	// working set at this value instead of extrapolating swap thrash.
+	ResidentCapBytes int64
 
 	// sched is the query's scheduling handle (cancellation context and
 	// optional worker-pool membership), threaded to every kernel through
@@ -107,6 +119,11 @@ func (c *Counters) Add(o Counters) {
 	c.MergeBytes += o.MergeBytes
 	c.CacheRandomAccesses += o.CacheRandomAccesses
 	c.PartitionBytes += o.PartitionBytes
+	c.SpillWriteBytes += o.SpillWriteBytes
+	c.SpillReadBytes += o.SpillReadBytes
+	if o.ResidentCapBytes > c.ResidentCapBytes {
+		c.ResidentCapBytes = o.ResidentCapBytes
+	}
 	if o.MaxPartitionBytes > c.MaxPartitionBytes {
 		c.MaxPartitionBytes = o.MaxPartitionBytes
 	}
@@ -139,6 +156,9 @@ func DiffCounters(before, after Counters) Counters {
 		MergeBytes:          after.MergeBytes - before.MergeBytes,
 		CacheRandomAccesses: after.CacheRandomAccesses - before.CacheRandomAccesses,
 		PartitionBytes:      after.PartitionBytes - before.PartitionBytes,
+		SpillWriteBytes:     after.SpillWriteBytes - before.SpillWriteBytes,
+		SpillReadBytes:      after.SpillReadBytes - before.SpillReadBytes,
+		ResidentCapBytes:    after.ResidentCapBytes,
 		MaxHashBytes:        after.MaxHashBytes,
 		PeakLiveBytes:       after.PeakLiveBytes,
 		MaxPartitionBytes:   after.MaxPartitionBytes,
@@ -157,6 +177,14 @@ func (c *Counters) ObserveHashBytes(n int64) {
 func (c *Counters) ObservePartitionBytes(n int64) {
 	if n > c.MaxPartitionBytes {
 		c.MaxPartitionBytes = n
+	}
+}
+
+// ObserveResidentCap records the memory budget a spilling operator
+// planned under (see Counters.ResidentCapBytes).
+func (c *Counters) ObserveResidentCap(n int64) {
+	if n > c.ResidentCapBytes {
+		c.ResidentCapBytes = n
 	}
 }
 

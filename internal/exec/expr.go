@@ -234,6 +234,17 @@ func AsFloat64(c colstore.Column, ctr *Counters) ([]float64, error) {
 		}
 		ctr.IntOps += int64(len(out))
 		return out, nil
+	case *colstore.RLEInt64, *colstore.BitPackedInt64, *colstore.FoRInt64:
+		iv, err := AsInt64(c, ctr)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(iv))
+		for i, x := range iv {
+			out[i] = float64(x)
+		}
+		ctr.IntOps += int64(len(out))
+		return out, nil
 	default:
 		return nil, fmt.Errorf("exec: cannot treat %s column as float64", c.Type())
 	}

@@ -14,6 +14,10 @@ func KeysFromColumn(col colstore.Column, sel []int32, ctr *Counters) ([]int64, e
 	switch c := col.(type) {
 	case *colstore.RLEInt64:
 		return KeysFromRLE(c, sel, ctr), nil
+	case *colstore.BitPackedInt64:
+		return KeysFromBitPacked(c, sel, ctr), nil
+	case *colstore.FoRInt64:
+		return KeysFromFoR(c, sel, ctr), nil
 	case *colstore.Int64s:
 		if sel == nil {
 			out := make([]int64, len(c.V))

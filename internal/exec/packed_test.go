@@ -1,0 +1,269 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"wimpi/internal/colstore"
+)
+
+func packedTestColumn(t *testing.T, vals []int64) (*colstore.Int64s, *colstore.BitPackedInt64, *colstore.FoRInt64) {
+	t.Helper()
+	dense := &colstore.Int64s{V: vals}
+	var bp *colstore.BitPackedInt64
+	if b, ok := colstore.BitPackInt64(dense); ok {
+		bp = b
+	}
+	fr, ok := colstore.FoRCompressInt64(dense)
+	if !ok {
+		t.Fatal("test data must FoR-encode")
+	}
+	return dense, bp, fr
+}
+
+func sameSel(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSelPackedMatchesDense(t *testing.T) {
+	vals := []int64{5, 9, 5, 12, 7, 5, 11, 6, 12, 8}
+	dense, bp, fr := packedTestColumn(t, vals)
+	ops := []CmpOp{Eq, Ne, Lt, Le, Gt, Ge}
+	// Literals in the domain, at its edges, and outside it on both sides
+	// (code-space translation must constant-fold the out-of-domain ones).
+	lits := []int64{5, 7, 12, 4, 13, 0, -3, math.MinInt64, math.MaxInt64}
+	sels := [][]int32{nil, {0, 3, 4, 9}, {}}
+	for _, op := range ops {
+		for _, lit := range lits {
+			for _, in := range sels {
+				var dc, pc, fc Counters
+				want := SelInt64(dense, op, lit, in, &dc)
+				if got := SelBitPackedInt64(bp, op, lit, in, &pc); !sameSel(got, want) {
+					t.Fatalf("bitpack %v %s %d (in=%v): %v, want %v", op, op, lit, in, got, want)
+				}
+				if got := SelFoRInt64(fr, op, lit, in, &fc); !sameSel(got, want) {
+					t.Fatalf("for %v %d (in=%v) mismatch", op, lit, in)
+				}
+			}
+		}
+	}
+}
+
+func TestSelPackedNegativeFrame(t *testing.T) {
+	vals := []int64{-100, -97, -100, -3, -55}
+	dense := &colstore.Int64s{V: vals}
+	fr, ok := colstore.FoRCompressInt64(dense)
+	if !ok {
+		t.Fatal("negative range must FoR-encode")
+	}
+	for _, lit := range []int64{-100, -55, -101, 0, -2} {
+		for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+			var dc, fc Counters
+			want := SelInt64(dense, op, lit, nil, &dc)
+			if got := SelFoRInt64(fr, op, lit, nil, &fc); !sameSel(got, want) {
+				t.Fatalf("%s %d: %v, want %v", op, lit, got, want)
+			}
+		}
+	}
+}
+
+func TestSelPackedConstantColumn(t *testing.T) {
+	// Width-0 encodings: every value identical.
+	vals := []int64{42, 42, 42, 42}
+	dense := &colstore.Int64s{V: vals}
+	fr, _ := colstore.FoRCompressInt64(dense)
+	if fr.Codes.W != 0 {
+		t.Fatalf("constant column should pack at width 0, got %d", fr.Codes.W)
+	}
+	for _, lit := range []int64{42, 41, 43} {
+		for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+			var dc, fc Counters
+			want := SelInt64(dense, op, lit, nil, &dc)
+			if got := SelFoRInt64(fr, op, lit, nil, &fc); !sameSel(got, want) {
+				t.Fatalf("%s %d: %v, want %v", op, lit, got, want)
+			}
+		}
+	}
+}
+
+// TestSelPackedNeverMaterializes is the acceptance check for compressed
+// execution: a dense predicate scan over a packed column must charge the
+// compressed footprint, not 8 bytes per row — the kernel reads codes in
+// place and never decodes the column.
+func TestSelPackedNeverMaterializes(t *testing.T) {
+	n := 10_000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 13)
+	}
+	_, bp, fr := packedTestColumn(t, vals)
+
+	var c Counters
+	SelBitPackedInt64(bp, Gt, 6, nil, &c)
+	if c.SeqBytes != bp.SizeBytes() {
+		t.Fatalf("bitpack scan charged %d seq bytes, want compressed %d", c.SeqBytes, bp.SizeBytes())
+	}
+	if dense := int64(n) * 8; c.SeqBytes >= dense {
+		t.Fatalf("bitpack scan charged %d >= dense %d: kernel materialized", c.SeqBytes, dense)
+	}
+
+	c = Counters{}
+	SelFoRInt64(fr, Le, 4, nil, &c)
+	if c.SeqBytes != fr.Codes.SizeBytes() {
+		t.Fatalf("FoR scan charged %d seq bytes, want compressed %d", c.SeqBytes, fr.Codes.SizeBytes())
+	}
+
+	// Out-of-domain literals constant-fold: no bytes touched at all.
+	c = Counters{}
+	SelBitPackedInt64(bp, Eq, 1<<40, nil, &c)
+	if c.SeqBytes != 0 || c.TuplesScanned != 0 {
+		t.Fatalf("out-of-domain compare touched data: %+v", c)
+	}
+}
+
+func TestKeysFromPackedMatchesDenseAndChargesCompressed(t *testing.T) {
+	n := 5000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = 1<<33 + int64((i*7)%100)
+	}
+	dense, _, fr := packedTestColumn(t, vals)
+	bp, ok := colstore.BitPackInt64(dense)
+	if !ok {
+		t.Fatal("values must bit-pack")
+	}
+
+	var c Counters
+	keys, err := KeysFromColumn(bp, nil, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if k != vals[i] {
+			t.Fatalf("bitpack key %d: %d, want %d", i, k, vals[i])
+		}
+	}
+	if c.SeqBytes != bp.SizeBytes() {
+		t.Fatalf("bitpack keys charged %d seq bytes, want compressed %d", c.SeqBytes, bp.SizeBytes())
+	}
+
+	c = Counters{}
+	sel := []int32{4999, 0, 17, 17}
+	keys, err = KeysFromColumn(fr, sel, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sel {
+		if keys[i] != vals[s] {
+			t.Fatalf("FoR key %d: %d, want %d", i, keys[i], vals[s])
+		}
+	}
+	if c.RandomAccesses != int64(len(sel)) {
+		t.Fatalf("selective keys charged %d random accesses, want %d", c.RandomAccesses, len(sel))
+	}
+}
+
+func TestInIPredAcrossEncodings(t *testing.T) {
+	vals := []int64{3, 3, 3, 7, 7, 2, 9, 2, 2, 2}
+	mk := func(c colstore.Column) *colstore.Table {
+		return colstore.MustNewTable("t", colstore.Schema{{Name: "k", Type: colstore.Int64}}, []colstore.Column{c})
+	}
+	dense := &colstore.Int64s{V: vals}
+	bp, _ := colstore.BitPackInt64(dense)
+	fr, _ := colstore.FoRCompressInt64(dense)
+	rle := colstore.CompressInt64(dense)
+	cases := []struct {
+		list []int64
+		want []int32
+	}{
+		{[]int64{3, 9}, []int32{0, 1, 2, 6}},
+		{[]int64{2}, []int32{5, 7, 8, 9}},
+		{[]int64{100, -5}, nil}, // all out of domain
+		{[]int64{7, 1 << 50}, []int32{3, 4}},
+		{nil, nil},
+	}
+	for _, tc := range cases {
+		for _, col := range []colstore.Column{dense, bp, fr, rle} {
+			var c Counters
+			got, err := InI{Column: "k", Vals: tc.list}.Sel(mk(col), nil, &c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameSel(got, tc.want) {
+				t.Fatalf("%T in %v: %v, want %v", col, tc.list, got, tc.want)
+			}
+			// Selective path agrees with intersecting the dense answer.
+			in := []int32{1, 3, 6, 8}
+			gotSel, err := InI{Column: "k", Vals: tc.list}.Sel(mk(col), in, &c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantSel []int32
+			for _, i := range in {
+				for _, w := range tc.want {
+					if i == w {
+						wantSel = append(wantSel, i)
+					}
+				}
+			}
+			if !sameSel(gotSel, wantSel) {
+				t.Fatalf("%T in %v (sel): %v, want %v", col, tc.list, gotSel, wantSel)
+			}
+		}
+	}
+}
+
+func TestAsInt64Encodings(t *testing.T) {
+	vals := []int64{10, 10, 10, 999, -4, -4}
+	dense := &colstore.Int64s{V: vals}
+	fr, _ := colstore.FoRCompressInt64(dense)
+	rle := colstore.CompressInt64(dense)
+	for _, col := range []colstore.Column{dense, fr, rle} {
+		var c Counters
+		got, err := AsInt64(col, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("%T row %d: %d, want %d", col, i, got[i], vals[i])
+			}
+		}
+	}
+	if _, err := AsInt64(&colstore.Float64s{V: []float64{1}}, &Counters{}); err == nil {
+		t.Fatal("float column must not convert")
+	}
+}
+
+func TestCountersSpillFields(t *testing.T) {
+	var a Counters
+	a.SpillWriteBytes = 100
+	a.SpillReadBytes = 40
+	a.ObserveResidentCap(1 << 20)
+	var b Counters
+	b.SpillWriteBytes = 11
+	b.SpillReadBytes = 2
+	b.ObserveResidentCap(1 << 10) // smaller cap must not lower the merge
+	a.Add(b)
+	if a.SpillWriteBytes != 111 || a.SpillReadBytes != 42 {
+		t.Fatalf("spill bytes must add: %+v", a)
+	}
+	if a.ResidentCapBytes != 1<<20 {
+		t.Fatalf("resident cap must max-merge: %d", a.ResidentCapBytes)
+	}
+	d := DiffCounters(b, a)
+	if d.SpillWriteBytes != 100 || d.SpillReadBytes != 40 {
+		t.Fatalf("spill bytes must diff additively: %+v", d)
+	}
+	if d.ResidentCapBytes != a.ResidentCapBytes {
+		t.Fatalf("resident cap diff must keep the after value: %d", d.ResidentCapBytes)
+	}
+}

@@ -1,0 +1,52 @@
+package exec
+
+// PartTable is one radix partition's compact join table, exported for
+// the plan layer's budget-bounded spill join. The spill path processes
+// partitions one at a time — build the partition's table, stream its
+// probe rows, free it — so it needs the single-partition building block
+// rather than the all-partitions RadixJoinTable.
+//
+// The duplicate contract matches the chained JoinTable and the radix
+// join: a key's build rows sit ascending in the payload window, and
+// probes must emit them reversed (descending build-row order) to stay
+// byte-identical with the in-memory paths.
+type PartTable struct {
+	jp      radixPart
+	payload []int32
+	n       int
+}
+
+// BuildPartTable builds the table over one partition's keys and their
+// build-side row ids. Keys must arrive in ascending original-row order
+// (radix scatter order), the same precondition as the radix join's
+// per-partition build.
+func BuildPartTable(keys []int64, rows []int32, ctr *Counters) *PartTable {
+	pt := &PartTable{payload: make([]int32, len(keys)), n: len(keys)}
+	buildRadixPart(&pt.jp, keys, rows, pt.payload, 0, ctr)
+	ctr.HashBuildTuples += int64(len(keys))
+	return pt
+}
+
+// Lookup returns key k's payload window [start, start+cnt); cnt 0 means
+// no match.
+func (pt *PartTable) Lookup(k int64) (start, cnt int32) {
+	g := pt.jp.lookup(k)
+	if g < 0 {
+		return 0, 0
+	}
+	return pt.jp.start[g], pt.jp.cnt[g]
+}
+
+// Payload returns the build row at payload index i. Rows within a
+// window are ascending; emit them in reverse for output parity with the
+// chained table.
+func (pt *PartTable) Payload(i int32) int32 { return pt.payload[i] }
+
+// SizeBytes reports the table's memory footprint, the number the spill
+// scheduler holds against the resident budget.
+func (pt *PartTable) SizeBytes() int64 {
+	return pt.jp.sizeBytes() + int64(len(pt.payload))*4
+}
+
+// NumBuildRows reports the number of indexed build rows.
+func (pt *PartTable) NumBuildRows() int { return pt.n }

@@ -35,6 +35,10 @@ func (p CmpI) Sel(t *colstore.Table, in []int32, ctr *Counters) ([]int32, error)
 		return SelInt64(ic, p.Op, p.V, in, ctr), nil
 	case *colstore.RLEInt64:
 		return SelRLEInt64(ic, p.Op, p.V, in, ctr), nil
+	case *colstore.BitPackedInt64:
+		return SelBitPackedInt64(ic, p.Op, p.V, in, ctr), nil
+	case *colstore.FoRInt64:
+		return SelFoRInt64(ic, p.Op, p.V, in, ctr), nil
 	default:
 		return nil, fmt.Errorf("exec: %s is %s, want int64", p.Column, c.Type())
 	}

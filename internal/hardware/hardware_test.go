@@ -270,3 +270,76 @@ func TestIntFpAllCoreHelpers(t *testing.T) {
 		t.Error("FpOpsAll wrong")
 	}
 }
+
+// TestModelSpillSmoothVsSwapCliff pins the tentpole's pricing story:
+// as a join's state grows past RAM, the unbudgeted run falls off the
+// superlinear swap cliff, while the budget-bounded run (state capped at
+// the resident budget, excess priced as one sequential spill pass)
+// degrades smoothly: its time is monotone and its first differences
+// never exceed the spill device's per-byte cost — linear, no cliff.
+func TestModelSpillSmoothVsSwapCliff(t *testing.T) {
+	m := DefaultModel()
+	pi := Pi()
+	const budget = 700 << 20 // resident budget under the Pi's 1 GB
+
+	sweep := []int64{500 << 20, 900 << 20, 1300 << 20, 1700 << 20, 2100 << 20, 2500 << 20}
+	var prevSwap, prevSpill float64
+	var prevWS int64
+	var worstSwapJump float64
+	for i, ws := range sweep {
+		swap := scanCounters(100 << 20)
+		swap.PeakLiveBytes = ws
+
+		spilled := scanCounters(100 << 20)
+		spilled.PeakLiveBytes = ws
+		if ws > budget {
+			// The spill join streams the beyond-budget state out once and
+			// reads it back (twice for the inner fill pass).
+			spilled.ResidentCapBytes = budget
+			spilled.SpillWriteBytes = ws - budget
+			spilled.SpillReadBytes = 2 * (ws - budget)
+		}
+
+		ts := m.Explain(&pi, swap, 0).Total
+		tp := m.Explain(&pi, spilled, 0).Total
+		if tp <= 0 || ts <= 0 {
+			t.Fatalf("non-positive time at ws=%d", ws)
+		}
+		if i > 0 {
+			if j := ts / prevSwap; j > worstSwapJump {
+				worstSwapJump = j
+			}
+			if tp < prevSpill {
+				t.Errorf("spill model not monotone: %g after %g at ws=%d", tp, prevSpill, ws)
+			}
+			// Smoothness: one sweep step may cost at most the sequential
+			// price of spilling its extra bytes (3 passes: write + two
+			// reads), never a superlinear jump.
+			maxStep := 1.01 * 3 * float64(ws-prevWS) / m.SpillBWBytes
+			if d := tp - prevSpill; d > maxStep {
+				t.Errorf("spill model jumps at ws=%d: step %gs > linear bound %gs", ws, d, maxStep)
+			}
+		}
+		prevSwap, prevSpill, prevWS = ts, tp, ws
+	}
+	if worstSwapJump < 5 {
+		t.Errorf("swap model shows no cliff (worst adjacent jump %.1fx); the comparison is vacuous", worstSwapJump)
+	}
+	if prevSpill >= prevSwap {
+		t.Errorf("at the deep end the spilled run (%gs) must beat thrashing (%gs)", prevSpill, prevSwap)
+	}
+
+	// The spilled deep end is spill-dominated and memory-bound.
+	c := scanCounters(100 << 20)
+	c.PeakLiveBytes = 2500 << 20
+	c.ResidentCapBytes = budget
+	c.SpillWriteBytes = c.PeakLiveBytes - budget
+	c.SpillReadBytes = 2 * (c.PeakLiveBytes - budget)
+	b := m.Explain(&pi, c, 0)
+	if b.SpillSeconds <= 0 || b.Dominant() != "spill" || !b.MemoryBound {
+		t.Errorf("deep spill breakdown wrong: dominant=%s %+v", b.Dominant(), b)
+	}
+	if b.SwapSeconds != 0 {
+		t.Errorf("resident-capped run must not also pay the swap cliff: %+v", b)
+	}
+}

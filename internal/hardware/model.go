@@ -27,6 +27,12 @@ type Model struct {
 	// matches the paper's relative shape at this engine's (leaner)
 	// absolute time scale.
 	SwapPassFactor float64
+	// SpillBWBytes is the device bandwidth for planned operator spill
+	// I/O. It is the same physical device as swap, but spill I/O is
+	// sequential and paid exactly once per byte, while thrashing pays the
+	// superlinear multi-pass penalty — that difference is the point of
+	// budget-bounded execution.
+	SpillBWBytes float64
 }
 
 // DefaultModel returns the calibrated default model.
@@ -37,6 +43,7 @@ func DefaultModel() Model {
 		MLP:            4,
 		SwapBWBytes:    80e6, // ~80 MB/s microSD
 		SwapPassFactor: 1.5,
+		SpillBWBytes:   80e6,
 	}
 }
 
@@ -65,6 +72,9 @@ type Breakdown struct {
 	MergeSeconds float64
 	// SwapSeconds is thrashing time when the working set exceeds RAM.
 	SwapSeconds float64
+	// SpillSeconds is planned operator-spill I/O time: sequential,
+	// charged once per byte at the spill device's bandwidth.
+	SpillSeconds float64
 	// OverheadSeconds is fixed per-query system overhead.
 	OverheadSeconds float64
 	// Total is the simulated wall-clock time.
@@ -127,12 +137,25 @@ func (m Model) Explain(p *Profile, c exec.Counters, dop int) Breakdown {
 	// The query's working set: every base column touched, plus live
 	// intermediates and the largest hash table. Once it exceeds RAM,
 	// the node thrashes: pages cycle through the microSD swap device
-	// repeatedly (§III-C.4).
-	working := c.TouchedBaseBytes + c.PeakLiveBytes + c.MaxHashBytes
+	// repeatedly (§III-C.4). A budget-bounded run caps its operator
+	// state at the resident budget — the beyond-budget part went through
+	// the spill area and is priced below, not through the cliff.
+	state := c.PeakLiveBytes + c.MaxHashBytes
+	if cap := c.ResidentCapBytes; cap > 0 && state > cap {
+		state = cap
+	}
+	working := c.TouchedBaseBytes + state
 	if p.RAMBytes > 0 && working > p.RAMBytes {
 		pressure := float64(working) / float64(p.RAMBytes)
 		swap = float64(working) * (pressure - 1) * pressure * m.SwapPassFactor / m.SwapBWBytes
 	}
+
+	// Planned spill I/O is sequential and paid exactly once per byte.
+	spillBW := m.SpillBWBytes
+	if spillBW <= 0 {
+		spillBW = m.SwapBWBytes
+	}
+	spill := float64(c.SpillWriteBytes+c.SpillReadBytes) / spillBW
 
 	b := Breakdown{
 		CPUSeconds:       cpu,
@@ -142,6 +165,7 @@ func (m Model) Explain(p *Profile, c exec.Counters, dop int) Breakdown {
 		PartitionSeconds: memPart,
 		MergeSeconds:     memMerge,
 		SwapSeconds:      swap,
+		SpillSeconds:     spill,
 		OverheadSeconds:  p.QueryOverheadSec,
 	}
 	// Sequential streaming (base scans and partition passes alike)
@@ -156,15 +180,16 @@ func (m Model) Explain(p *Profile, c exec.Counters, dop int) Breakdown {
 	} else {
 		b.Total = busy
 	}
-	b.Total += swap + p.QueryOverheadSec
-	if swap > b.Total/2 {
+	b.Total += swap + spill + p.QueryOverheadSec
+	if swap > b.Total/2 || spill > b.Total/2 {
 		b.MemoryBound = true
 	}
 	return b
 }
 
 // Dominant names the resource that dominated the breakdown: "cpu",
-// "mem-seq", "mem-rand", "merge", or "swap". Breakdowns with no work
+// "mem-seq", "mem-rand", "merge", "swap", or "spill". Breakdowns with no
+// work
 // report "-". EXPLAIN ANALYZE uses it to label each operator with the
 // bound the paper argues about (memory- vs CPU-bound).
 func (b Breakdown) Dominant() string {
@@ -180,6 +205,7 @@ func (b Breakdown) Dominant() string {
 		{"partition", b.PartitionSeconds},
 		{"merge", b.MergeSeconds},
 		{"swap", b.SwapSeconds},
+		{"spill", b.SpillSeconds},
 	} {
 		if r.sec > best {
 			name, best = r.name, r.sec

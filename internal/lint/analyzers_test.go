@@ -64,6 +64,7 @@ func TestSuiteScoping(t *testing.T) {
 		{"wimpi/internal/flow", []string{"determinism", "taintflow"}},
 		{"wimpi/internal/serve", []string{"determinism", "taintflow", "goroutines", "closecheck"}},
 		{"wimpi/internal/sql", []string{"determinism", "taintflow", "exhaustive", "closecheck"}},
+		{"wimpi/internal/spill", []string{"costaccounting", "pathcost", "ctxcheck"}},
 		{"wimpi/internal/hardware", nil},
 		{"wimpi/cmd/wimpi-bench", nil},
 	}

@@ -6,14 +6,18 @@ import (
 	"strings"
 )
 
-// CtxCheck enforces context discipline in the cluster layer: network
-// I/O must be cancelable. Two rules:
+// CtxCheck enforces context discipline in the cluster and spill
+// layers: blocking I/O must be cancelable. Three rules:
 //
 //  1. Never call net.Dial / net.DialTimeout / (*net.Dialer).Dial —
 //     they ignore cancellation entirely; use (*net.Dialer).DialContext.
 //  2. A function that reads or writes a net.Conn directly must take a
 //     context.Context as its first parameter, so the caller's deadline
 //     or cancellation can bound the blocking I/O.
+//  3. The same for an *os.File: the spill area streams partitions to
+//     disk in chunks, and a canceled query must stop spilling at the
+//     next chunk boundary instead of finishing a multi-megabyte
+//     segment nobody will read.
 //
 // PR 2's fault model depends on this: re-dispatch after a straggler or
 // failure only works because every RPC leg is bounded by a per-call
@@ -23,7 +27,7 @@ import (
 // `//lint:allow ctxcheck -- <reason>`.
 var CtxCheck = &Analyzer{
 	Name: "ctxcheck",
-	Doc:  "network I/O must honor context: no ctx-less dials, conn I/O under a ctx first-arg",
+	Doc:  "blocking I/O must honor context: no ctx-less dials, conn and spill-file I/O under a ctx first-arg",
 	Run:  runCtxCheck,
 }
 
@@ -54,6 +58,9 @@ func runCtxCheck(pass *Pass) {
 				}
 				if !hasCtx && isConnIO(pass, call, obj) {
 					pass.Reportf(call.Pos(), "%s on a net.Conn in a function without a context.Context first parameter: the I/O cannot be canceled", obj.Name())
+				}
+				if !hasCtx && isFileIO(pass, call, obj) {
+					pass.Reportf(call.Pos(), "%s on an *os.File in a function without a context.Context first parameter: the spill I/O cannot be canceled", obj.Name())
 				}
 				return true
 			})
@@ -97,4 +104,23 @@ func isConnIO(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
 		return false
 	}
 	return n.Obj().Pkg().Path() == "net" && strings.HasSuffix(n.Obj().Name(), "Conn")
+}
+
+// isFileIO reports whether call is a direct Read/Write on an *os.File.
+// Spill segment I/O runs in chunks with a ctx check between them; a
+// function doing file I/O without a context first parameter has no way
+// to observe the query's cancellation between chunks.
+func isFileIO(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	if obj.Name() != "Read" && obj.Name() != "Write" {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	n := namedType(pass.TypeOf(sel.X))
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "os" && n.Obj().Name() == "File"
 }

@@ -24,10 +24,16 @@ type ScopedAnalyzer struct {
 //     frontend whose plan choices must be identical on every node that
 //     plans the same shipped statement.
 //   - costaccounting guards the internal/exec subtree (including
-//     exec/fused's compiled row kernels), the only place kernels charge
-//     the counters the hardware simulation consumes.
-//   - ctxcheck and closecheck guard the cluster layer's RPC and wire
-//     protocol; closecheck (the error-discard analyzer) also guards the
+//     exec/fused's compiled row kernels and the coded-column kernels
+//     that evaluate on compressed representations) plus internal/spill,
+//     the places kernels charge the counters the hardware simulation
+//     consumes — a spill write that skips SpillWriteBytes makes disk
+//     I/O free in the simulated comparison.
+//   - ctxcheck guards the cluster layer's RPC and wire protocol and the
+//     spill area's file I/O, whose chunked reads and writes must stop
+//     at a chunk boundary when the query is canceled;
+//     closecheck guards the cluster layer too, and (as the
+//     error-discard analyzer) also guards the
 //     SQL frontend, where a swallowed bind or parse error would silently
 //     plan the wrong statement, and the exec, plan, and serve layers,
 //     where its stricter morsel-runner rule forbids dropping a
@@ -39,8 +45,10 @@ type ScopedAnalyzer struct {
 //     heuristic) covers the same result-producing packages as
 //     determinism: it tracks nondeterminism from source to sink instead
 //     of flagging every map range.
-//   - pathcost guards internal/exec and exec/fused: every path through
-//     an exported looping kernel must charge Counters before return.
+//   - pathcost guards internal/exec, exec/fused, and internal/spill:
+//     every path through an exported looping kernel — including the
+//     spill segment writers/readers — must charge Counters before
+//     return.
 //   - hotalloc guards the kernel, fused, and plan layers, where a
 //     per-morsel allocation multiplies by morsel count into the exact
 //     DRAM traffic the wimpy-node budget cannot absorb.
@@ -70,11 +78,11 @@ func Suite() []ScopedAnalyzer {
 			"wimpi/internal/serve",
 			"wimpi/internal/sql/...",
 		}},
-		{CostAccounting, []string{"wimpi/internal/exec/..."}},
-		{PathCost, []string{"wimpi/internal/exec/..."}},
+		{CostAccounting, []string{"wimpi/internal/exec/...", "wimpi/internal/spill"}},
+		{PathCost, []string{"wimpi/internal/exec/...", "wimpi/internal/spill"}},
 		{HotAlloc, []string{"wimpi/internal/exec/...", "wimpi/internal/plan"}},
 		{Exhaustive, []string{"wimpi/internal/sql/...", "wimpi/internal/plan", "wimpi/internal/exec/..."}},
-		{CtxCheck, []string{"wimpi/internal/cluster/..."}},
+		{CtxCheck, []string{"wimpi/internal/cluster/...", "wimpi/internal/spill"}},
 		{Goroutines, []string{"wimpi/internal/exec/...", "wimpi/internal/plan", "wimpi/internal/serve"}},
 		{CloseCheck, []string{
 			"wimpi/internal/cluster/...",

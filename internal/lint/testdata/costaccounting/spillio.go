@@ -1,0 +1,55 @@
+// Spill-I/O and compressed-kernel loop shapes for costaccounting: a
+// spill drain or a coded-column unpack that loops without any Counters
+// in scope makes disk bandwidth (or decode work) free in the simulated
+// wimpy-node comparison.
+package fixture
+
+import (
+	"io"
+
+	"wimpi/internal/exec"
+)
+
+// SpillDrainUncharged reads a spilled segment back in chunks with no
+// counters anywhere: the simulated device never sees these bytes.
+func SpillDrainUncharged(r io.Reader, total int) ([]byte, error) { // want "loops over data but has no *exec.Counters"
+	out := make([]byte, 0, total)
+	buf := make([]byte, 64)
+	for len(out) < total {
+		n, err := r.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:n]...)
+	}
+	return out, nil
+}
+
+// UnpackIgnored decodes bit-packed codes into values but silently drops
+// the counters it was handed.
+func UnpackIgnored(words []uint64, width uint, n int, ctr *exec.Counters) []uint64 { // want "never charges or forwards it"
+	out := make([]uint64, 0, n)
+	mask := uint64(1)<<width - 1
+	for i := 0; i < n; i++ {
+		bit := uint(i) * width
+		w := words[bit/64] >> (bit % 64)
+		out = append(out, w&mask)
+	}
+	return out
+}
+
+// SpillDrainCharged charges every chunk read — the spill package's
+// segment-reader shape.
+func SpillDrainCharged(r io.Reader, total int, ctr *exec.Counters) ([]byte, error) {
+	out := make([]byte, 0, total)
+	buf := make([]byte, 64)
+	for len(out) < total {
+		n, err := r.Read(buf)
+		ctr.SpillReadBytes += int64(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:n]...)
+	}
+	return out, nil
+}

@@ -5,6 +5,7 @@ package fixture
 import (
 	"context"
 	"net"
+	"os"
 )
 
 // DialNoCtx uses the uncancelable package-level dial.
@@ -48,4 +49,29 @@ func WriteCtx(ctx context.Context, conn net.Conn, p []byte) (int, error) {
 //lint:allow ctxcheck -- fixture: counting wrapper, deadline set by caller before each call
 func CountingRead(conn net.Conn, p []byte) (int, error) {
 	return conn.Read(p)
+}
+
+// SpillWriteNoCtx streams a segment to disk with no way to stop a
+// canceled query's spill mid-segment.
+func SpillWriteNoCtx(f *os.File, p []byte) (int, error) {
+	return f.Write(p) // want "spill I/O cannot be canceled"
+}
+
+// SpillReadNoCtx reads a segment back, equally unboundable.
+func SpillReadNoCtx(f *os.File, p []byte) (int, error) {
+	return f.Read(p) // want "spill I/O cannot be canceled"
+}
+
+// SpillWriteCtx is the sanctioned spill shape: ctx checked between
+// chunk writes.
+func SpillWriteCtx(ctx context.Context, f *os.File, chunks [][]byte) error {
+	for _, c := range chunks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := f.Write(c); err != nil {
+			return err
+		}
+	}
+	return nil
 }

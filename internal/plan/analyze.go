@@ -162,7 +162,18 @@ func RunTracedContext(ctx *Context, n Node) (*Traced, error) {
 	}
 	ctx.Trace = tr
 	sched, release := ctx.attachSched()
-	out, err := instrument(Compile(ctx, n)).Execute(ctx)
+	compiled := instrument(Compile(ctx, n))
+	if ctx.SpillDir != "" && ctx.MemLimitBytes > 0 {
+		ctx.spillOK = hasSpillableJoin(compiled)
+	}
+	out, err := compiled.Execute(ctx)
+	ctx.spillOK = false
+	if a := ctx.spillArea; a != nil {
+		ctx.spillArea = nil
+		if cerr := a.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err == nil {
 		err = sched.Err()
 	}

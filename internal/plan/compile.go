@@ -649,11 +649,20 @@ func (st *fusedState) applyProbe(ps *probeStage) error {
 	}
 	probeRows := st.v.Len()
 	var jt exec.JoinIndex
-	var rt *exec.RadixJoinTable
-	if target := ctx.llcBytes(); useRadixJoin(len(bk), target) {
+	var rt probeKernel
+	if sj, serr := ctx.buildSpillJoiner(bk, probeRows); serr != nil {
+		ctx.Trace.EndErr(bsp)
+		return serr
+	} else if sj != nil {
+		// Same spill decision as the vector path: probeRows (the live
+		// selection) equals the vector engine's materialized probe count,
+		// so both engines spill or not identically.
+		rt = sj
+	} else if radix, why := chooseRadix(len(bk), probeRows, ctx.llcBytes()); radix {
+		target := ctx.llcBytes()
 		bits := exec.RadixBits(len(bk), exec.RadixBuildBytesPerRow, target/2)
 		ksp := ctx.Trace.Begin("join-partition",
-			fmt.Sprintf("radix %d-way, %d pass(es)", 1<<bits, exec.RadixPasses(bits)))
+			fmt.Sprintf("radix %d-way, %d pass(es); %s", 1<<bits, exec.RadixPasses(bits), why))
 		rp, err := exec.RadixPartitionKeys(bk, nil, bits, w, mr, ctx.Ctr)
 		if err != nil {
 			ctx.Trace.EndErr(ksp)
@@ -1003,6 +1012,8 @@ func predCols(p exec.Pred) ([]string, bool) {
 	case exec.StrEq:
 		return []string{v.Column}, true
 	case exec.StrIn:
+		return []string{v.Column}, true
+	case exec.InI:
 		return []string{v.Column}, true
 	case exec.Like:
 		return []string{v.Column}, true

@@ -225,11 +225,11 @@ func aggArgI(ctx *Context, in *colstore.Table, spec AggSpec) ([]int64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("plan: agg %s: %w", spec.Name, err)
 	}
-	ic, ok := c.(*colstore.Int64s)
-	if !ok {
-		return nil, fmt.Errorf("plan: agg %s: sumi needs an int64 argument, got %s", spec.Name, c.Type())
+	iv, err := exec.AsInt64(c, ctx.Ctr)
+	if err != nil {
+		return nil, fmt.Errorf("plan: agg %s: sumi needs an int64 argument: %w", spec.Name, err)
 	}
-	return ic.V, nil
+	return iv, nil
 }
 
 func aggArg(ctx *Context, in *colstore.Table, spec AggSpec) ([]float64, error) {
@@ -265,11 +265,11 @@ func evalAggArgI(in *colstore.Table, spec AggSpec, ctr *exec.Counters) ([]int64,
 	if err != nil {
 		return nil, fmt.Errorf("plan: agg %s: %w", spec.Name, err)
 	}
-	ic, ok := c.(*colstore.Int64s)
-	if !ok {
-		return nil, fmt.Errorf("plan: agg %s: sumi needs an int64 argument, got %s", spec.Name, c.Type())
+	iv, err := exec.AsInt64(c, ctr)
+	if err != nil {
+		return nil, fmt.Errorf("plan: agg %s: sumi needs an int64 argument: %w", spec.Name, err)
 	}
-	return ic.V, nil
+	return iv, nil
 }
 
 func evalAgg(ctx *Context, in *colstore.Table, spec AggSpec, gids []int32, ngroups int) (colstore.Column, error) {

@@ -6,6 +6,7 @@ import (
 
 	"wimpi/internal/colstore"
 	"wimpi/internal/exec"
+	"wimpi/internal/hardware"
 )
 
 // JoinKind selects the semantics of a HashJoin.
@@ -82,11 +83,20 @@ func (j *HashJoin) Execute(ctx *Context) (*colstore.Table, error) {
 		return nil, err
 	}
 	var jt exec.JoinIndex
-	var rt *exec.RadixJoinTable
-	if target := ctx.llcBytes(); useRadixJoin(len(bk), target) {
+	var rt probeKernel
+	if sj, serr := ctx.buildSpillJoiner(bk, probe.NumRows()); serr != nil {
+		ctx.Trace.EndErr(bsp)
+		return nil, serr
+	} else if sj != nil {
+		// The join state would not fit the memory budget: partition both
+		// sides and stream the beyond-budget partitions through the spill
+		// area instead of letting the OS page the hash table through swap.
+		rt = sj
+	} else if radix, why := chooseRadix(len(bk), probe.NumRows(), ctx.llcBytes()); radix {
+		target := ctx.llcBytes()
 		bits := exec.RadixBits(len(bk), exec.RadixBuildBytesPerRow, target/2)
 		ksp := ctx.Trace.Begin("join-partition",
-			fmt.Sprintf("radix %d-way, %d pass(es)", 1<<bits, exec.RadixPasses(bits)))
+			fmt.Sprintf("radix %d-way, %d pass(es); %s", 1<<bits, exec.RadixPasses(bits), why))
 		rp, err := exec.RadixPartitionKeys(bk, nil, bits, w, mr, ctx.Ctr)
 		if err != nil {
 			ctx.Trace.EndErr(ksp)
@@ -125,14 +135,56 @@ func (j *HashJoin) Execute(ctx *Context) (*colstore.Table, error) {
 // setup would dominate.
 const radixMinBuildRows = 1 << 12
 
-// useRadixJoin decides build strategy from build cardinality and the LLC
-// budget alone — never from the worker count — so the choice (and the
-// byte-exact output) is identical on one core, eight cores, and a
-// re-dispatched cluster worker.
-func useRadixJoin(buildRows int, llcBytes int64) bool {
-	return llcBytes > 0 &&
-		buildRows >= radixMinBuildRows &&
-		exec.JoinTableBytes(buildRows) > llcBytes
+// chooseRadix decides the build strategy by pricing both candidates with
+// the hardware cost model on the wimpy reference profile — the same
+// model (and the same "plan for the smallest node" stance) as the auto
+// engine decision. The differential profiles carry only what differs:
+// the chained table's DRAM-latency probes against the radix path's
+// partition streaming plus cache-resident probes. The decision depends
+// only on input cardinalities and the LLC budget — never on the worker
+// count — so the choice (and the byte-exact output) is identical on one
+// core, eight cores, and a re-dispatched cluster worker.
+//
+// On a big-cached host the radix path often loses in wall-clock (the
+// chained table fits some L3 slice and partitioning is pure overhead);
+// it wins on the simulated Pi, whose 512 KiB LLC is the budget the
+// partitions are sized to. BENCH_join.json reports both columns.
+func chooseRadix(buildRows, probeRows int, llcBytes int64) (bool, string) {
+	if llcBytes <= 0 {
+		return false, "chained: partitioned paths disabled"
+	}
+	if buildRows < radixMinBuildRows {
+		return false, fmt.Sprintf("chained: build %d rows below radix threshold %d", buildRows, radixMinBuildRows)
+	}
+	tableBytes := exec.JoinTableBytes(buildRows)
+	if tableBytes <= llcBytes {
+		return false, fmt.Sprintf("chained: table %dB fits LLC budget %dB", tableBytes, llcBytes)
+	}
+
+	// Chained: every probe is a DRAM-latency random access into the
+	// oversized table.
+	var chained exec.Counters
+	chained.RandomAccesses = int64(probeRows)
+	chained.MaxHashBytes = tableBytes
+
+	// Radix: both sides stream through the partition passes (histogram
+	// read + scatter read/write per pass, as the partitioner charges),
+	// then build and probe run cache-resident.
+	bits := exec.RadixBits(buildRows, exec.RadixBuildBytesPerRow, llcBytes/2)
+	passes := int64(exec.RadixPasses(bits))
+	var radix exec.Counters
+	radix.PartitionBytes = 3 * 12 * passes * int64(buildRows+probeRows)
+	radix.CacheRandomAccesses = int64(2*buildRows + probeRows)
+	radix.MaxPartitionBytes = exec.RadixBuildBytesPerRow * int64(buildRows) >> bits
+
+	model := hardware.DefaultModel()
+	pi := hardware.Pi()
+	tc := model.OperatorTime(&pi, chained, 1)
+	tr := model.OperatorTime(&pi, radix, 1)
+	if tr <= tc {
+		return true, fmt.Sprintf("radix: saves %v on %s (est %v vs %v)", tc-tr, pi.Name, tr, tc)
+	}
+	return false, fmt.Sprintf("chained: radix overhead loses %v on %s (est %v vs %v)", tr-tc, pi.Name, tr, tc)
 }
 
 // useBloom enables the probe-side Bloom pre-filter when the probe side
@@ -143,10 +195,10 @@ func useBloom(buildRows, probeRows int, llcBytes int64) bool {
 }
 
 // probePhase extracts probe keys and dispatches the probe kernel.
-// Exactly one of jt (chained/direct) and rt (radix-partitioned) is
-// non-nil; both produce byte-identical match sets, so everything
-// downstream of the kernel is shared.
-func (j *HashJoin) probePhase(ctx *Context, jt exec.JoinIndex, rt *exec.RadixJoinTable, build, probe *colstore.Table, w, mr int) (*colstore.Table, error) {
+// Exactly one of jt (chained/direct) and rt (radix-partitioned or
+// budget-bounded spill) is non-nil; all kernels produce byte-identical
+// match sets, so everything downstream is shared.
+func (j *HashJoin) probePhase(ctx *Context, jt exec.JoinIndex, rt probeKernel, build, probe *colstore.Table, w, mr int) (*colstore.Table, error) {
 	pk, err := joinKeysParallel(ctx, probe, j.ProbeKeys)
 	if err != nil {
 		return nil, err

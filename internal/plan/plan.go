@@ -17,6 +17,7 @@ import (
 	"wimpi/internal/colstore"
 	"wimpi/internal/exec"
 	"wimpi/internal/obs"
+	"wimpi/internal/spill"
 )
 
 // Catalog resolves table names to tables. *engine.DB implements Catalog.
@@ -69,8 +70,38 @@ type Context struct {
 	Sched *exec.Sched
 	// MemLimitBytes, when positive, bounds the query's observed live
 	// intermediate memory. Exceeding it cancels the query with a
-	// *MemLimitError at the next operator or morsel boundary.
+	// *MemLimitError at the next operator or morsel boundary — unless the
+	// plan contains a spillable operator and SpillDir is set, in which
+	// case the budget instead drives the spill scheduler and the query
+	// degrades smoothly through charged disk I/O.
 	MemLimitBytes int64
+	// SpillDir, when non-empty, enables budget-bounded spilling: joins
+	// whose state would exceed MemLimitBytes stream radix partitions
+	// through a bounded spill area created under this directory. Empty
+	// keeps the cancel-only budget behavior.
+	SpillDir string
+	// SpillAreaBytes, when positive, bounds the on-disk spill area
+	// (spill.DefaultAreaLimit otherwise).
+	SpillAreaBytes int64
+
+	// spillOK records whether the compiled plan contains a spillable
+	// operator; RunContext sets it before execution and clears it after.
+	spillOK bool
+	// spillArea is the query's lazily created spill area, closed (and its
+	// files removed) by RunContext when the query finishes.
+	spillArea *spill.Area
+}
+
+// area returns the query's spill area, creating it on first use.
+func (c *Context) area() (*spill.Area, error) {
+	if c.spillArea == nil {
+		a, err := spill.NewArea(c.SpillDir, c.SpillAreaBytes)
+		if err != nil {
+			return nil, err
+		}
+		c.spillArea = a
+	}
+	return c.spillArea, nil
 }
 
 // DefaultMinParallelRows is the default parallelism threshold.
@@ -145,7 +176,18 @@ func RunContext(ctx *Context, n Node) (*colstore.Table, exec.Counters, error) {
 		ctx.Ctr = &exec.Counters{}
 	}
 	sched, release := ctx.attachSched()
-	t, err := Compile(ctx, n).Execute(ctx)
+	compiled := Compile(ctx, n)
+	if ctx.SpillDir != "" && ctx.MemLimitBytes > 0 {
+		ctx.spillOK = hasSpillableJoin(compiled)
+	}
+	t, err := compiled.Execute(ctx)
+	ctx.spillOK = false
+	if a := ctx.spillArea; a != nil {
+		ctx.spillArea = nil
+		if cerr := a.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err == nil {
 		// A cancellation that lands after the last kernel call must not
 		// let a complete-looking result escape a query the caller already
@@ -215,7 +257,10 @@ func observe(ctx *Context, tables ...*colstore.Table) {
 	if n > cur {
 		ctx.Ctr.ObserveLiveBytes(n)
 	}
-	if lim := ctx.MemLimitBytes; lim > 0 && ctx.Ctr.PeakLiveBytes > lim {
+	// When the plan has a spillable operator, the budget is enforced by
+	// the spill scheduler (planned, priced degradation) rather than by
+	// cancellation.
+	if lim := ctx.MemLimitBytes; lim > 0 && !ctx.spillOK && ctx.Ctr.PeakLiveBytes > lim {
 		ctx.Sched.Cancel(&MemLimitError{Limit: lim, Observed: ctx.Ctr.PeakLiveBytes})
 	}
 }

@@ -1,0 +1,163 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"wimpi/internal/colstore"
+	"wimpi/internal/exec"
+	"wimpi/internal/obs"
+)
+
+// spillBudget forces cancelCatalog's join (≈1.6 MB of join state) onto
+// the spill path while leaving room for a resident prefix.
+const spillBudget = 256 << 10
+
+// TestSpillJoinMatchesInMemory is the tentpole acceptance check at the
+// plan layer: a budget-forced spill run is byte-identical to the
+// unlimited in-memory run, for every engine and worker count — and the
+// spilled run really moved bytes through the spill area.
+func TestSpillJoinMatchesInMemory(t *testing.T) {
+	cat := cancelCatalog()
+	p := cancelPlan()
+	want, _, err := RunContext(&Context{Cat: cat, Workers: 4}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []ExecMode{ExecVector, ExecFused, ExecAuto} {
+		for _, w := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%s-w%d", mode, w), func(t *testing.T) {
+				got, ctr, err := RunContext(&Context{
+					Cat: cat, Workers: w, Exec: mode,
+					MemLimitBytes: spillBudget, SpillDir: t.TempDir(),
+				}, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ok, why := colstore.TablesIdentical(want, got); !ok {
+					t.Fatalf("spilled result differs from in-memory: %s", why)
+				}
+				if ctr.SpillWriteBytes == 0 || ctr.SpillReadBytes == 0 {
+					t.Fatalf("budget %d never hit the spill area: wrote %d, read %d",
+						spillBudget, ctr.SpillWriteBytes, ctr.SpillReadBytes)
+				}
+				if ctr.ResidentCapBytes != spillBudget {
+					t.Fatalf("ResidentCapBytes = %d, want %d", ctr.ResidentCapBytes, spillBudget)
+				}
+			})
+		}
+	}
+}
+
+// TestSpillJoinAllKinds covers the semi/anti/left-count kernels.
+func TestSpillJoinAllKinds(t *testing.T) {
+	cat := cancelCatalog()
+	for _, kind := range []JoinKind{Semi, Anti, LeftCount} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := &HashJoin{
+				Build:     &Scan{Table: "cust"},
+				BuildKeys: []string{"c_id"},
+				Probe:     &Scan{Table: "orders"},
+				ProbeKeys: []string{"o_cust"},
+				Kind:      kind,
+			}
+			want, _, err := RunContext(&Context{Cat: cat, Workers: 2}, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ctr, err := RunContext(&Context{
+				Cat: cat, Workers: 2,
+				MemLimitBytes: spillBudget, SpillDir: t.TempDir(),
+			}, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok, why := colstore.TablesIdentical(want, got); !ok {
+				t.Fatalf("spilled %s differs: %s", kind, why)
+			}
+			if ctr.SpillWriteBytes == 0 {
+				t.Fatalf("%s never spilled under budget %d", kind, spillBudget)
+			}
+		})
+	}
+}
+
+// TestSpillAreaRemovedAfterRun: the per-query spill area (and every
+// segment in it) is gone once RunContext returns.
+func TestSpillAreaRemovedAfterRun(t *testing.T) {
+	cat := cancelCatalog()
+	dir := t.TempDir()
+	_, _, err := RunContext(&Context{
+		Cat: cat, Workers: 2,
+		MemLimitBytes: spillBudget, SpillDir: dir,
+	}, cancelPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not cleaned up: %d entries left", len(ents))
+	}
+}
+
+// TestSpillSpansInTrace: -explain sees the spill through its own spans.
+func TestSpillSpansInTrace(t *testing.T) {
+	cat := cancelCatalog()
+	res, err := RunTracedContext(&Context{
+		Cat: cat, Workers: 2,
+		MemLimitBytes: spillBudget, SpillDir: t.TempDir(),
+	}, cancelPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	res.Root.Walk(func(sp *obs.Span, _ int) { seen[sp.Op] = true })
+	for _, op := range []string{"spill-partition", "spill-probe"} {
+		if !seen[op] {
+			t.Fatalf("trace missing %q span; saw %v", op, seen)
+		}
+	}
+}
+
+// TestBudgetStillCancelsWithoutSpillableOperator: a plan with nothing to
+// spill keeps the cancel-with-MemLimitError contract even when a spill
+// directory is configured.
+func TestBudgetStillCancelsWithoutSpillableOperator(t *testing.T) {
+	cat := cancelCatalog()
+	p := &OrderBy{
+		Input: &Scan{Table: "orders"},
+		Keys:  []exec.SortKey{{Column: "o_total", Desc: true}},
+	}
+	_, _, err := RunContext(&Context{
+		Cat: cat, Workers: 2,
+		MemLimitBytes: 1 << 10, SpillDir: t.TempDir(),
+	}, p)
+	var mem *MemLimitError
+	if !errors.As(err, &mem) {
+		t.Fatalf("err = %v, want *MemLimitError (no spillable operator in plan)", err)
+	}
+}
+
+// TestSpillDecisionIgnoresWorkers: the spill fan-out and resident prefix
+// depend only on cardinalities and the budget.
+func TestSpillDecisionIgnoresWorkers(t *testing.T) {
+	ctx := &Context{MemLimitBytes: spillBudget, SpillDir: "x", spillOK: true}
+	if !ctx.useSpillJoin(4_000, 120_000) {
+		t.Fatal("join state above budget must take the spill path")
+	}
+	if ctx.useSpillJoin(100, 100) {
+		t.Fatal("tiny join must stay in memory")
+	}
+	bits := spillBits(4_000, 120_000, spillBudget)
+	if bits == 0 {
+		t.Fatal("spill fan-out must partition")
+	}
+	if b2 := spillBits(4_000, 120_000, spillBudget); b2 != bits {
+		t.Fatalf("spillBits not deterministic: %d vs %d", bits, b2)
+	}
+}

@@ -192,22 +192,41 @@ func TestServeCacheEviction(t *testing.T) {
 	}
 }
 
-// TestServeTenantMemBudget: a tenant with a tiny memory budget has its
-// query cancelled with *plan.MemLimitError while an unbudgeted tenant
-// succeeds on the same server.
+// TestServeTenantMemBudget: a tenant with a tiny memory budget spills
+// its join-bearing query through the budget-bounded scheduler — same
+// answer as an unbudgeted tenant, with spill I/O recorded — while a
+// plan with no spillable operator is still cancelled with
+// *plan.MemLimitError.
 func TestServeTenantMemBudget(t *testing.T) {
 	db, closePool := testDB(t, 2)
 	defer closePool()
 	s := New(Config{DB: db, Registry: obs.NewRegistry()})
-	s.SetTenant(TenantConfig{Name: "cramped", MemLimitBytes: 1 << 10})
-	q := tpch.MustQuery(3)
-	_, err := s.RunPlan(context.Background(), "cramped", q)
+	s.SetTenant(TenantConfig{Name: "cramped", MemLimitBytes: 64 << 10})
+	q := tpch.MustQuery(3) // joins: spillable under a budget
+
+	roomy, err := s.RunPlan(context.Background(), "roomy", q)
+	if err != nil {
+		t.Fatalf("roomy tenant: %v", err)
+	}
+	cramped, err := s.RunPlan(context.Background(), "cramped", q)
+	if err != nil {
+		t.Fatalf("cramped tenant: %v", err)
+	}
+	if ok, why := colstore.TablesIdentical(roomy.Table, cramped.Table); !ok {
+		t.Fatalf("budgeted result differs from unbudgeted: %s", why)
+	}
+	if cramped.Counters.SpillWriteBytes == 0 || cramped.Counters.SpillReadBytes == 0 {
+		t.Fatalf("cramped tenant did not spill: %+v", cramped.Counters)
+	}
+	if roomy.Counters.SpillWriteBytes != 0 {
+		t.Fatalf("unbudgeted tenant spilled: %+v", roomy.Counters)
+	}
+
+	// Q1 has no join: nothing to spill, so the budget still cancels.
+	_, err = s.RunPlan(context.Background(), "cramped", tpch.MustQuery(1))
 	var mem *plan.MemLimitError
 	if !errors.As(err, &mem) {
-		t.Fatalf("cramped tenant err = %v, want *plan.MemLimitError", err)
-	}
-	if _, err := s.RunPlan(context.Background(), "roomy", q); err != nil {
-		t.Fatalf("roomy tenant: %v", err)
+		t.Fatalf("non-spillable plan err = %v, want *plan.MemLimitError", err)
 	}
 }
 

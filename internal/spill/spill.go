@@ -1,0 +1,244 @@
+// Package spill implements the bounded on-disk spill area behind the
+// engine's budget-bounded operators. When a join's build+probe state
+// would exceed plan.Context.MemLimitBytes, radix partitions beyond the
+// resident set are streamed here and processed partition-at-a-time —
+// planned, sequential, charged I/O instead of the OS paging the engine's
+// random accesses through swap.
+//
+// Every write and read charges exec.Counters (SpillWriteBytes /
+// SpillReadBytes), so the hardware model prices the spill at the
+// device's sequential bandwidth; and every I/O loop is bounded by a
+// context, so a cancelled query stops spilling at the next chunk
+// boundary.
+package spill
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"wimpi/internal/exec"
+)
+
+// DefaultAreaLimit bounds a spill area when the caller does not choose:
+// generous enough for SF10-class working sets, small enough that a
+// runaway query cannot fill the device.
+const DefaultAreaLimit = 8 << 30
+
+// ioChunk is the unit of a spill read/write between context checks.
+const ioChunk = 64 << 10
+
+// Area is a bounded on-disk spill area: a private temp directory plus a
+// byte budget. Close removes everything. An Area is not safe for
+// concurrent segment creation; the spill join writes partitions
+// sequentially (the scatter order is part of determinism).
+type Area struct {
+	dir   string
+	limit int64
+	used  int64
+	nseg  int
+}
+
+// NewArea creates a spill area under dir (or the OS temp directory when
+// dir is empty) holding at most limitBytes (DefaultAreaLimit when 0).
+func NewArea(dir string, limitBytes int64) (*Area, error) {
+	if limitBytes <= 0 {
+		limitBytes = DefaultAreaLimit
+	}
+	d, err := os.MkdirTemp(dir, "wimpi-spill-*")
+	if err != nil {
+		return nil, fmt.Errorf("spill: create area: %w", err)
+	}
+	return &Area{dir: d, limit: limitBytes}, nil
+}
+
+// Dir returns the area's directory.
+func (a *Area) Dir() string { return a.dir }
+
+// UsedBytes returns the bytes currently written to the area.
+func (a *Area) UsedBytes() int64 { return a.used }
+
+// Close removes the area and every segment in it.
+func (a *Area) Close() error {
+	if a == nil || a.dir == "" {
+		return nil
+	}
+	dir := a.dir
+	a.dir = ""
+	return os.RemoveAll(dir)
+}
+
+// Segment is one spilled partition: its keys and build/probe row ids,
+// stored as a flat little-endian file.
+type Segment struct {
+	path    string
+	n       int
+	hasRows bool
+	bytes   int64
+}
+
+// Len returns the segment's row count.
+func (s *Segment) Len() int { return s.n }
+
+// SizeBytes returns the segment's on-disk footprint.
+func (s *Segment) SizeBytes() int64 { return s.bytes }
+
+// segmentBytes is the on-disk footprint of n (key, row) pairs.
+func segmentBytes(n int, hasRows bool) int64 {
+	b := int64(n) * 8
+	if hasRows {
+		b += int64(n) * 4
+	}
+	return b
+}
+
+// WriteSegment streams one partition's keys (and, when non-nil, its row
+// ids — rows must then be the same length) into a new segment, charging
+// the write as spill I/O. It fails when the segment would push the area
+// past its byte budget — the spill area is itself a bounded resource,
+// not a second unbounded memory.
+func (a *Area) WriteSegment(ctx context.Context, keys []int64, rows []int32, ctr *exec.Counters) (*Segment, error) {
+	if a == nil || a.dir == "" {
+		return nil, fmt.Errorf("spill: write to closed area")
+	}
+	if rows != nil && len(rows) != len(keys) {
+		return nil, fmt.Errorf("spill: keys/rows length mismatch: %d vs %d", len(keys), len(rows))
+	}
+	size := segmentBytes(len(keys), rows != nil)
+	if a.used+size > a.limit {
+		return nil, fmt.Errorf("spill: area budget exceeded: %d + %d > %d bytes", a.used, size, a.limit)
+	}
+	seg := &Segment{
+		path:    filepath.Join(a.dir, fmt.Sprintf("seg-%06d", a.nseg)),
+		n:       len(keys),
+		hasRows: rows != nil,
+		bytes:   size,
+	}
+	a.nseg++
+	f, err := os.Create(seg.path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: create segment: %w", err)
+	}
+	if err := writeKeys(ctx, f, keys, ctr); err != nil {
+		f.Close()
+		os.Remove(seg.path)
+		return nil, err
+	}
+	if rows != nil {
+		if err := writeRows(ctx, f, rows, ctr); err != nil {
+			f.Close()
+			os.Remove(seg.path)
+			return nil, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(seg.path)
+		return nil, fmt.Errorf("spill: close segment: %w", err)
+	}
+	a.used += size
+	return seg, nil
+}
+
+// writeKeys streams keys to f in ioChunk batches, checking ctx between
+// batches and charging each flushed batch.
+func writeKeys(ctx context.Context, f *os.File, keys []int64, ctr *exec.Counters) error {
+	buf := make([]byte, 0, ioChunk)
+	for i, k := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(k))
+		if len(buf) >= ioChunk || i == len(keys)-1 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("spill: write canceled: %w", context.Cause(ctx))
+			}
+			if _, err := f.Write(buf); err != nil {
+				return fmt.Errorf("spill: write segment: %w", err)
+			}
+			ctr.SpillWriteBytes += int64(len(buf))
+			buf = buf[:0]
+		}
+	}
+	return nil
+}
+
+// writeRows is writeKeys for the 4-byte row ids.
+func writeRows(ctx context.Context, f *os.File, rows []int32, ctr *exec.Counters) error {
+	buf := make([]byte, 0, ioChunk)
+	for i, r := range rows {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r))
+		if len(buf) >= ioChunk || i == len(rows)-1 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("spill: write canceled: %w", context.Cause(ctx))
+			}
+			if _, err := f.Write(buf); err != nil {
+				return fmt.Errorf("spill: write segment: %w", err)
+			}
+			ctr.SpillWriteBytes += int64(len(buf))
+			buf = buf[:0]
+		}
+	}
+	return nil
+}
+
+// Read streams the segment back, charging the read as spill I/O. The
+// returned rows slice is nil when the segment was written without rows.
+// A segment may be read any number of times (the spill join's inner
+// pass re-reads probe partitions).
+func (s *Segment) Read(ctx context.Context, ctr *exec.Counters) (keys []int64, rows []int32, err error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("spill: open segment: %w", err)
+	}
+	defer f.Close()
+	keys = make([]int64, s.n)
+	if err := readChunks(ctx, f, int64(s.n)*8, ctr, func(off int64, b []byte) {
+		for len(b) >= 8 {
+			keys[off/8] = int64(binary.LittleEndian.Uint64(b))
+			b = b[8:]
+			off += 8
+		}
+	}); err != nil {
+		return nil, nil, err
+	}
+	if !s.hasRows {
+		return keys, nil, nil
+	}
+	rows = make([]int32, s.n)
+	if err := readChunks(ctx, f, int64(s.n)*4, ctr, func(off int64, b []byte) {
+		for len(b) >= 4 {
+			rows[off/4] = int32(binary.LittleEndian.Uint32(b))
+			b = b[4:]
+			off += 4
+		}
+	}); err != nil {
+		return nil, nil, err
+	}
+	return keys, rows, nil
+}
+
+// readChunks reads exactly total bytes from f in ioChunk batches,
+// handing each batch (with its offset within this call's span) to emit,
+// checking ctx between batches and charging each batch read.
+func readChunks(ctx context.Context, f *os.File, total int64, ctr *exec.Counters, emit func(off int64, b []byte)) error {
+	buf := make([]byte, ioChunk)
+	var off int64
+	for off < total {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("spill: read canceled: %w", context.Cause(ctx))
+		}
+		want := total - off
+		if want > ioChunk {
+			want = ioChunk
+		}
+		// ReadFull keeps chunks aligned to whole values even when the
+		// underlying read returns short.
+		if _, err := io.ReadFull(f, buf[:want]); err != nil {
+			return fmt.Errorf("spill: read segment: %w", err)
+		}
+		emit(off, buf[:want])
+		ctr.SpillReadBytes += want
+		off += want
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package spill
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	"wimpi/internal/exec"
+)
+
+func TestSegmentRoundTrip(t *testing.T) {
+	a, err := NewArea(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	n := 50_000 // several ioChunk batches
+	keys := make([]int64, n)
+	rows := make([]int32, n)
+	for i := range keys {
+		keys[i] = int64(i)*7 - 1000
+		rows[i] = int32(n - i)
+	}
+	var ctr exec.Counters
+	seg, err := a.WriteSegment(context.Background(), keys, rows, &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Len() != n {
+		t.Fatalf("len %d, want %d", seg.Len(), n)
+	}
+	wantBytes := int64(n) * 12
+	if ctr.SpillWriteBytes != wantBytes {
+		t.Fatalf("charged %d write bytes, want %d", ctr.SpillWriteBytes, wantBytes)
+	}
+	if a.UsedBytes() != wantBytes {
+		t.Fatalf("area used %d, want %d", a.UsedBytes(), wantBytes)
+	}
+	// Segments must be re-readable (the spill join re-reads probe
+	// partitions for its fill pass).
+	for pass := 0; pass < 2; pass++ {
+		gk, gr, err := seg.Read(context.Background(), &ctr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range keys {
+			if gk[i] != keys[i] || gr[i] != rows[i] {
+				t.Fatalf("pass %d row %d: (%d,%d), want (%d,%d)", pass, i, gk[i], gr[i], keys[i], rows[i])
+			}
+		}
+	}
+	if ctr.SpillReadBytes != 2*wantBytes {
+		t.Fatalf("charged %d read bytes, want %d", ctr.SpillReadBytes, 2*wantBytes)
+	}
+}
+
+func TestSegmentWithoutRows(t *testing.T) {
+	a, err := NewArea(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	var ctr exec.Counters
+	seg, err := a.WriteSegment(context.Background(), []int64{1, 2, 3}, nil, &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, rows, err := seg.Read(context.Background(), &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != nil {
+		t.Fatal("rows must be nil for a keys-only segment")
+	}
+	if len(keys) != 3 || keys[2] != 3 {
+		t.Fatalf("bad keys %v", keys)
+	}
+}
+
+func TestAreaBudgetEnforced(t *testing.T) {
+	a, err := NewArea(t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	var ctr exec.Counters
+	if _, err := a.WriteSegment(context.Background(), make([]int64, 8), nil, &ctr); err != nil {
+		t.Fatalf("64 bytes under a 100-byte budget: %v", err)
+	}
+	if _, err := a.WriteSegment(context.Background(), make([]int64, 8), nil, &ctr); err == nil {
+		t.Fatal("second segment must exceed the budget")
+	}
+}
+
+func TestAreaCloseRemovesEverything(t *testing.T) {
+	a, err := NewArea(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := a.Dir()
+	var ctr exec.Counters
+	if _, err := a.WriteSegment(context.Background(), []int64{1}, nil, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("area dir still exists: %v", err)
+	}
+	if _, err := a.WriteSegment(context.Background(), []int64{1}, nil, &ctr); err == nil {
+		t.Fatal("write to a closed area must fail")
+	}
+}
+
+func TestWriteCanceledByContext(t *testing.T) {
+	a, err := NewArea(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ctr exec.Counters
+	if _, err := a.WriteSegment(ctx, make([]int64, 100_000), nil, &ctr); err == nil {
+		t.Fatal("write under a canceled context must fail")
+	}
+	seg, err := a.WriteSegment(context.Background(), []int64{7}, nil, &ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := seg.Read(ctx, &ctr); err == nil {
+		t.Fatal("read under a canceled context must fail")
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"1234", 1234, false},
+		{"64k", 64 << 10, false},
+		{"512M", 512 << 20, false},
+		{"1g", 1 << 30, false},
+		{"1GiB", 1 << 30, false},
+		{"2gb", 2 << 30, false},
+		{" 16m ", 16 << 20, false},
+		{"-1", 0, true},
+		{"10x", 0, true},
+		{"g", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseByteSize(tc.in)
+		if tc.err != (err != nil) {
+			t.Fatalf("%q: err=%v, want err=%v", tc.in, err, tc.err)
+		}
+		if got != tc.want {
+			t.Fatalf("%q: %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	for _, n := range []int64{0, 1234, 64 << 10, 512 << 20, 3 << 30} {
+		rt, err := ParseByteSize(FormatByteSize(n))
+		if err != nil || rt != n {
+			t.Fatalf("round trip %d: %d, %v", n, rt, err)
+		}
+	}
+}

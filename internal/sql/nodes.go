@@ -37,6 +37,10 @@ func (m *memoNode) Explain(depth int) string {
 	return pad + "cte " + m.name + " (memoized)\n" + m.inner.Explain(depth+1)
 }
 
+// Children implements plan.ChildNodes, so plan-tree walks (notably the
+// spill-capability scan behind memory budgets) see through the memo.
+func (m *memoNode) Children() []plan.Node { return []plan.Node{m.inner} }
+
 // scalarPlan is one scalar subquery: a plan whose result is a single
 // row with the scalar in its only column.
 type scalarPlan struct {
@@ -91,6 +95,21 @@ func (d *deferredNode) Execute(ctx *plan.Context) (*colstore.Table, error) {
 	}
 	d.built = n
 	return n.Execute(ctx)
+}
+
+// Children implements plan.ChildNodes: the scalar subquery plans, plus
+// the built block when available. Before execution the block does not
+// exist yet, so capability scans (e.g. spill) see only the scalars —
+// conservative, since an unseen join keeps MemLimitError semantics.
+func (d *deferredNode) Children() []plan.Node {
+	out := make([]plan.Node, 0, len(d.scalars)+1)
+	for i := range d.scalars {
+		out = append(out, d.scalars[i].node)
+	}
+	if d.built != nil {
+		out = append(out, d.built)
+	}
+	return out
 }
 
 // Explain implements plan.Node.
